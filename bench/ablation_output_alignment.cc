@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Ablation: frame-aligned output device.
+ *
+ * CommGuard realigns inter-core streams, but the *output device* edge
+ * still sees the sink thread's miscounts: an over/under-push shifts
+ * every later output position, which positional quality metrics
+ * punish even though the data content is fine. Since the header
+ * inserter stamps the collector edge too, the device can place each
+ * frame's record at its header-indicated offset
+ * (`LoadOptions::frameAlignedOutput`). This bench quantifies the
+ * effect on jpeg across the MTBE axis.
+ */
+
+#include <iostream>
+
+#include "apps/app.hh"
+#include "bench/bench_util.hh"
+
+using namespace commguard;
+
+namespace
+{
+
+double
+meanQuality(const apps::App &app, Count mtbe, bool aligned)
+{
+    double sum = 0.0;
+    for (int seed = 0; seed < bench::seeds(); ++seed) {
+        streamit::LoadOptions options;
+        options.mode = streamit::ProtectionMode::CommGuard;
+        options.injectErrors = true;
+        options.mtbe = static_cast<double>(mtbe);
+        options.seed = static_cast<std::uint64_t>(seed + 1) * 1000003;
+        options.frameAlignedOutput = aligned;
+        sum += sim::runOnce(app, options).qualityDb;
+    }
+    return sum / bench::seeds();
+}
+
+} // namespace
+
+int
+main()
+{
+    std::cout << "=== Ablation: frame-aligned output device (jpeg, "
+                 "PSNR dB) ===\n\n";
+
+    const apps::App app = apps::makeJpegApp();
+    sim::Table table(
+        {"MTBE", "stream output (default)", "frame-aligned output"});
+
+    for (Count mtbe : bench::mtbeAxis()) {
+        table.addRow({std::to_string(mtbe / 1000) + "k",
+                      sim::fmt(meanQuality(app, mtbe, false), 1),
+                      sim::fmt(meanQuality(app, mtbe, true), 1)});
+    }
+
+    bench::printTable(table);
+    std::cout << "\nExpected: aligned output matches or beats the "
+                 "plain stream at every MTBE (it removes positional "
+                 "shift artifacts without touching the computation).\n";
+    return 0;
+}

@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Ablation: guarding the external input edge (DESIGN.md §2/§7).
+ *
+ * This reproduction's loader pre-frames the input stream with headers
+ * — the reliable input device acts as a header-inserting producer, so
+ * the first filter's alignment manager can repair its own over- or
+ * under-reads. Without that (an unguarded input, as if the file were
+ * a raw byte stream), a control-flow error in the first filter shifts
+ * its input permanently: nothing downstream can recover data that was
+ * consumed from or left in the input stream at the wrong positions.
+ * This bench quantifies the decision on jpeg.
+ */
+
+#include <iostream>
+
+#include "apps/app.hh"
+#include "bench/bench_util.hh"
+
+using namespace commguard;
+
+namespace
+{
+
+double
+meanQuality(const apps::App &app, Count mtbe, bool guard_source)
+{
+    double sum = 0.0;
+    for (int seed = 0; seed < bench::seeds(); ++seed) {
+        streamit::LoadOptions options;
+        options.mode = streamit::ProtectionMode::CommGuard;
+        options.injectErrors = true;
+        options.mtbe = static_cast<double>(mtbe);
+        options.seed = static_cast<std::uint64_t>(seed + 1) * 1000003;
+        options.guardSourceEdge = guard_source;
+        sum += sim::runOnce(app, options).qualityDb;
+    }
+    return sum / bench::seeds();
+}
+
+} // namespace
+
+int
+main()
+{
+    std::cout << "=== Ablation: guarded vs unguarded input edge "
+                 "(jpeg, PSNR dB) ===\n\n";
+
+    const apps::App app = apps::makeJpegApp();
+    sim::Table table({"MTBE", "guarded source (default)",
+                      "unguarded source"});
+
+    for (Count mtbe : bench::mtbeAxis()) {
+        table.addRow({std::to_string(mtbe / 1000) + "k",
+                      sim::fmt(meanQuality(app, mtbe, true), 1),
+                      sim::fmt(meanQuality(app, mtbe, false), 1)});
+    }
+
+    bench::printTable(table);
+    std::cout << "\nExpected: without input-edge headers, first-"
+                 "filter control-flow errors shift the input stream "
+                 "permanently and quality collapses at high error "
+                 "rates; with them the damage stays frame-local.\n";
+    return 0;
+}

@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Shared helpers for the figure-reproduction benches.
+ *
+ * Every bench binary reproduces one table/figure of the paper's
+ * evaluation (§7) and prints the same rows/series the paper reports.
+ * Set CG_QUICK=1 in the environment to run a reduced sweep (fewer
+ * seeds and MTBE points) for smoke-testing.
+ */
+
+#ifndef COMMGUARD_BENCH_BENCH_UTIL_HH
+#define COMMGUARD_BENCH_BENCH_UTIL_HH
+
+#include <cstdlib>
+#include <iostream>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "sim/experiment.hh"
+#include "sim/table.hh"
+
+namespace commguard::bench
+{
+
+/** True when CG_QUICK is set: reduced sweeps for smoke runs. */
+inline bool
+quick()
+{
+    const char *env = std::getenv("CG_QUICK");
+    return env != nullptr && env[0] != '\0' && env[0] != '0';
+}
+
+/** Seeds per configuration (paper: 5). */
+inline int
+seeds()
+{
+    return quick() ? 2 : sim::seedsPerPoint;
+}
+
+/** MTBE axis, possibly thinned for quick runs. */
+inline std::vector<Count>
+mtbeAxis()
+{
+    if (!quick())
+        return sim::mtbeAxis();
+    return {128'000, 1'024'000, 8'192'000};
+}
+
+/** Directory where benches drop images/audio; created on demand. */
+inline std::string
+outputDir()
+{
+    const std::string dir = "bench_out";
+    std::error_code ec;
+    std::filesystem::create_directories(dir, ec);
+    return dir;
+}
+
+/**
+ * Print a finished table; when CG_CSV is set, also emit it as CSV
+ * (for plotting scripts) after the human-readable form.
+ */
+inline void
+printTable(const sim::Table &table)
+{
+    table.print();
+    const char *env = std::getenv("CG_CSV");
+    if (env != nullptr && env[0] != '\0' && env[0] != '0') {
+        std::cout << "\n[csv]\n";
+        table.printCsv();
+    }
+}
+
+/** Run an app over seeds() seeds; returns quality samples. */
+inline std::vector<double>
+qualitySamples(const apps::App &app, streamit::ProtectionMode mode,
+               bool inject, double mtbe, Count frame_scale = 1)
+{
+    std::vector<double> samples;
+    for (int seed = 0; seed < seeds(); ++seed) {
+        streamit::LoadOptions options;
+        options.mode = mode;
+        options.injectErrors = inject;
+        options.mtbe = mtbe;
+        options.seed = static_cast<std::uint64_t>(seed + 1) * 1000003;
+        options.frameScale = frame_scale;
+        samples.push_back(sim::runOnce(app, options).qualityDb);
+    }
+    return samples;
+}
+
+} // namespace commguard::bench
+
+#endif // COMMGUARD_BENCH_BENCH_UTIL_HH

@@ -1,0 +1,110 @@
+/**
+ * @file
+ * Google-benchmark micro suite for the functional simulator itself:
+ * interpreter throughput on representative kernels (simulated
+ * instructions per second determine how fast the figure sweeps run)
+ * and the cost of error injection.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "isa/assembler.hh"
+#include "kernels/jpeg_kernels.hh"
+#include "machine/backends.hh"
+#include "machine/multicore.hh"
+#include "queue/io_queue.hh"
+
+namespace commguard
+{
+namespace
+{
+
+using namespace isa;
+
+/** ALU-only loop: the interpreter's best case. */
+Program
+aluLoop()
+{
+    Assembler a("alu");
+    a.forDown(R30, 1024, [&] {
+        a.addi(R1, R1, 3);
+        a.xor_(R2, R1, R2);
+        a.slli(R3, R1, 2);
+        a.add(R2, R2, R3);
+    });
+    return a.finalize();
+}
+
+void
+runProgramBench(benchmark::State &state, Program program,
+                bool inject, std::vector<Word> input = {})
+{
+    for (auto _ : state) {
+        state.PauseTiming();
+        Multicore machine;
+        Core &core = machine.addCore("c");
+        std::vector<QueueBase *> ins;
+        std::vector<QueueBase *> outs;
+        if (program.numInPorts > 0) {
+            std::vector<QueueWord> words;
+            for (Word w : input)
+                words.push_back(makeItem(w));
+            ins.push_back(&machine.addQueue(
+                std::make_unique<SourceQueue>("in", words)));
+        }
+        if (program.numOutPorts > 0) {
+            outs.push_back(&machine.addQueue(
+                std::make_unique<CollectorQueue>("out")));
+        }
+        core.setProgram(program);
+        if (inject) {
+            ErrorInjector::Config config;
+            config.enabled = true;
+            config.mtbe = 10'000;
+            config.seed = 1;
+            core.configureInjector(config);
+        }
+        CommBackend &backend = machine.addBackend(
+            std::make_unique<RawBackend>(ins, outs));
+        machine.addRuntime(core, backend, 16);
+        state.ResumeTiming();
+
+        machine.run();
+        state.counters["sim_insts_per_s"] = benchmark::Counter(
+            static_cast<double>(core.counters().committedInsts),
+            benchmark::Counter::kIsIterationInvariantRate);
+    }
+}
+
+void
+BM_InterpreterAluLoop(benchmark::State &state)
+{
+    runProgramBench(state, aluLoop(), false);
+}
+BENCHMARK(BM_InterpreterAluLoop)->Unit(benchmark::kMicrosecond);
+
+void
+BM_InterpreterAluLoopWithInjection(benchmark::State &state)
+{
+    runProgramBench(state, aluLoop(), true);
+}
+BENCHMARK(BM_InterpreterAluLoopWithInjection)
+    ->Unit(benchmark::kMicrosecond);
+
+void
+BM_InterpreterIdctKernel(benchmark::State &state)
+{
+    std::vector<Word> input;
+    for (int i = 0; i < 64 * 16; ++i)
+        input.push_back(floatToWord(static_cast<float>(i % 64)));
+    runProgramBench(state, kernels::buildIdct8x8(1), false,
+                    std::move(input));
+}
+BENCHMARK(BM_InterpreterIdctKernel)->Unit(benchmark::kMicrosecond);
+
+} // namespace
+} // namespace commguard
+
+BENCHMARK_MAIN();

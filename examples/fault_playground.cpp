@@ -1,0 +1,95 @@
+// fault_playground: a small CLI for exploring the simulator — pick a
+// benchmark, a protection mode, an error rate, a frame-size scale and
+// a seed, run it, and dump the full statistics tree.
+//
+// Usage:
+//   fault_playground [app] [mode] [mtbe] [seed] [frame_scale]
+//                    [--disasm]
+//     app:   jpeg | mp3 | audiobeamformer | channelvocoder |
+//            complex-fir | fft                (default jpeg)
+//     mode:  ppu | reliable | commguard | error-free
+//                                             (default commguard)
+//     mtbe:  mean instructions between errors (default 512000)
+//     seed:  RNG seed                         (default 1)
+//     frame_scale: frames per CommGuard frame (default 1)
+//     --disasm: also print each filter's work program
+
+#include <cstdio>
+#include <cstdlib>
+#include <iostream>
+#include <string>
+
+#include "apps/app.hh"
+#include "isa/program.hh"
+#include "sim/experiment.hh"
+
+using namespace commguard;
+
+int
+main(int argc, char **argv)
+{
+    const std::string app_name = argc > 1 ? argv[1] : "jpeg";
+    const std::string mode_name = argc > 2 ? argv[2] : "commguard";
+    const double mtbe = argc > 3 ? std::atof(argv[3]) : 512000.0;
+    const std::uint64_t seed =
+        argc > 4 ? std::strtoull(argv[4], nullptr, 10) : 1;
+    const Count frame_scale =
+        argc > 5 ? std::strtoull(argv[5], nullptr, 10) : 1;
+
+    streamit::LoadOptions options;
+    options.injectErrors = true;
+    if (mode_name == "ppu") {
+        options.mode = streamit::ProtectionMode::PpuOnly;
+    } else if (mode_name == "reliable") {
+        options.mode = streamit::ProtectionMode::ReliableQueue;
+    } else if (mode_name == "error-free") {
+        options.mode = streamit::ProtectionMode::CommGuard;
+        options.injectErrors = false;
+    } else {
+        options.mode = streamit::ProtectionMode::CommGuard;
+    }
+    options.mtbe = mtbe;
+    options.seed = seed;
+    options.frameScale = frame_scale;
+
+    const apps::App app = apps::makeAppByName(app_name);
+    std::printf("app=%s mode=%s mtbe=%.0f seed=%llu frame_scale=%llu\n",
+                app.name.c_str(),
+                streamit::protectionModeName(options.mode), mtbe,
+                static_cast<unsigned long long>(seed),
+                static_cast<unsigned long long>(frame_scale));
+    std::printf("error-free baseline: %.1f dB\n\n",
+                app.errorFreeQualityDb);
+
+    bool disasm = false;
+    for (int i = 1; i < argc; ++i) {
+        if (std::string(argv[i]) == "--disasm")
+            disasm = true;
+    }
+
+    // Run with full machine access so we can dump the stats tree.
+    streamit::LoadedApp loaded = streamit::loadGraph(
+        app.graph, app.input, app.steadyIterations, options);
+
+    if (disasm) {
+        std::printf("---- filter programs ----\n");
+        for (const auto &core : loaded.machine->cores())
+            std::printf("%s\n", isa::disassemble(core->program()).c_str());
+    }
+    const MachineRunResult result = loaded.run();
+
+    const double quality = app.quality(loaded.output());
+    std::printf("completed=%s  quality=%.2f dB  instructions=%llu  "
+                "cycles=%llu\n",
+                result.completed ? "yes" : "no", quality,
+                static_cast<unsigned long long>(
+                    result.totalInstructions),
+                static_cast<unsigned long long>(result.totalCycles));
+    std::printf("timeouts=%llu  deadlock_breaks=%llu\n\n",
+                static_cast<unsigned long long>(result.timeoutsFired),
+                static_cast<unsigned long long>(result.deadlockBreaks));
+
+    std::printf("---- statistics tree ----\n");
+    loaded.machine->collectStats().dump(std::cout);
+    return 0;
+}

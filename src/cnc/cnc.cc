@@ -1,0 +1,70 @@
+#include "cnc/cnc.hh"
+
+#include "common/logging.hh"
+
+namespace commguard::cnc
+{
+
+StepId
+CncGraph::addStep(StepDecl step)
+{
+    _steps.push_back(std::move(step));
+    return static_cast<StepId>(_steps.size() - 1);
+}
+
+void
+CncGraph::connectItems(StepId producer, int out_slot, StepId consumer,
+                       int in_slot)
+{
+    _items.push_back(ItemCollection{producer, out_slot, consumer,
+                                    in_slot});
+}
+
+void
+CncGraph::setEnvironmentInput(StepId step, int in_slot)
+{
+    _inputStep = step;
+    _inputSlot = in_slot;
+}
+
+void
+CncGraph::setEnvironmentOutput(StepId step, int out_slot)
+{
+    _outputStep = step;
+    _outputSlot = out_slot;
+}
+
+streamit::StreamGraph
+CncGraph::lower() const
+{
+    if (_inputStep < 0 || _outputStep < 0)
+        fatal("cnc: environment input/output not declared");
+
+    streamit::StreamGraph graph;
+
+    // Steps map one-to-one onto filters: per-tag consume/produce
+    // counts are the filter's per-firing pop/push rates, and the step
+    // body is the work program. Tags become frame IDs implicitly: the
+    // loader's frame analysis groups tag instances exactly as it
+    // groups firings, and the HI stamps each group's header with the
+    // running tag counter (active-fc).
+    for (const StepDecl &step : _steps) {
+        if (!step.body)
+            fatal("cnc: step '" + step.name + "' has no body");
+        graph.addFilter(streamit::FilterSpec{
+            step.name, step.consumesPerTag, step.producesPerTag,
+            step.body});
+    }
+
+    // Item collections map onto edges (guarded queues).
+    for (const ItemCollection &item : _items) {
+        graph.connect(item.producer, item.outSlot, item.consumer,
+                      item.inSlot);
+    }
+
+    graph.setExternalInput(_inputStep, _inputSlot);
+    graph.setExternalOutput(_outputStep, _outputSlot);
+    return graph;
+}
+
+} // namespace commguard::cnc

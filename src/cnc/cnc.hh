@@ -1,0 +1,116 @@
+/**
+ * @file
+ * A Concurrent Collections (CnC) style tagged programming model on
+ * top of CommGuard — the paper's §8 generality claim, implemented.
+ *
+ * "Programming models that can express high-level control-flow
+ * constructs and how these control-flow constructs in different
+ * threads relate may easily implement CommGuard. For example,
+ * Concurrent Collections expresses control-flow by tagging produced
+ * items of a thread and steps threads with a matching tag. ...
+ * CommGuard's headers are identifiers for data frames, and alignment
+ * manager modules use these identifiers for realignment."
+ *
+ * The model: *step collections* are stateless-or-locally-stateful
+ * computations prescribed once per *tag* t = 1, 2, 3, ...; *item
+ * collections* carry data between steps, with each step consuming and
+ * producing a statically declared number of items per tag instance.
+ *
+ * The lowering makes the paper's point concrete: a tag maps to a
+ * CommGuard frame ID (the header the HI inserts *is* the tag), an item
+ * collection maps to a guarded queue, and a step instance maps to a
+ * frame computation. The mapping is nearly one-to-one — which is
+ * exactly §8's argument that CommGuard needs only a frame structure
+ * linking communication to coarse control flow, not StreamIt
+ * specifically.
+ */
+
+#ifndef COMMGUARD_CNC_CNC_HH
+#define COMMGUARD_CNC_CNC_HH
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "isa/program.hh"
+#include "streamit/graph.hh"
+
+namespace commguard::cnc
+{
+
+/** Index of a step collection within its graph. */
+using StepId = int;
+
+/** Declaration of one step collection. */
+struct StepDecl
+{
+    std::string name;
+
+    /** Items consumed per tag instance, per input item collection. */
+    std::vector<int> consumesPerTag;
+
+    /** Items produced per tag instance, per output item collection. */
+    std::vector<int> producesPerTag;
+
+    /**
+     * Build the step body: a program executing
+     * @p instances_per_frame tag instances (the lowering fuses
+     * instances when producer/consumer tag granularities differ,
+     * exactly as frame analysis groups firings).
+     */
+    std::function<isa::Program(int instances_per_frame)> body;
+};
+
+/**
+ * A CnC-style graph of step and item collections.
+ */
+class CncGraph
+{
+  public:
+    /** Add a step collection. */
+    StepId addStep(StepDecl step);
+
+    /**
+     * Connect an item collection: items produced by @p producer's
+     * output slot @p out_slot are consumed by @p consumer's input
+     * slot @p in_slot.
+     */
+    void connectItems(StepId producer, int out_slot, StepId consumer,
+                      int in_slot);
+
+    /** Declare the environment-fed input item collection. */
+    void setEnvironmentInput(StepId step, int in_slot);
+
+    /** Declare the environment-read output item collection. */
+    void setEnvironmentOutput(StepId step, int out_slot);
+
+    /**
+     * Lower the tagged program onto the streaming substrate: steps
+     * become filters, item collections become (guarded) queues, tags
+     * become CommGuard frame IDs. The result loads through the
+     * ordinary streamit::loadGraph.
+     */
+    streamit::StreamGraph lower() const;
+
+    const std::vector<StepDecl> &steps() const { return _steps; }
+
+  private:
+    struct ItemCollection
+    {
+        StepId producer;
+        int outSlot;
+        StepId consumer;
+        int inSlot;
+    };
+
+    std::vector<StepDecl> _steps;
+    std::vector<ItemCollection> _items;
+    StepId _inputStep = -1;
+    int _inputSlot = -1;
+    StepId _outputStep = -1;
+    int _outputSlot = -1;
+};
+
+} // namespace commguard::cnc
+
+#endif // COMMGUARD_CNC_CNC_HH

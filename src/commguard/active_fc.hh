@@ -1,0 +1,75 @@
+/**
+ * @file
+ * The active frame computation (active-fc) counter.
+ *
+ * Paper §4: "The PPU core increments the active-fc counter for every new
+ * frame computation and this counter represents the frame progress of
+ * the thread." The header inserter stamps outgoing headers with this
+ * value and the alignment manager compares incoming headers against it.
+ *
+ * A saturating counter optionally down-scales the increment frequency so
+ * that N program-level frame computations form one CommGuard frame
+ * (paper §5.4, the frame-size knob evaluated in Figs. 10, 11, 13).
+ */
+
+#ifndef COMMGUARD_COMMGUARD_ACTIVE_FC_HH
+#define COMMGUARD_COMMGUARD_ACTIVE_FC_HH
+
+#include "common/sat_counter.hh"
+#include "commguard/counters.hh"
+#include "common/types.hh"
+
+namespace commguard
+{
+
+/**
+ * Reliable frame-progress counter with optional down-scaling.
+ */
+class ActiveFcCounter
+{
+  public:
+    /** Result of registering one frame-computation invocation. */
+    struct Tick
+    {
+        bool newFrame;  //!< True when a new CommGuard frame starts.
+        FrameId id;     //!< The (possibly unchanged) active-fc value.
+    };
+
+    /**
+     * @param downscale Program frame computations per CommGuard frame
+     *                  (1 = paper's default application-wide frames).
+     * @param counters  Optional counter-op accounting target.
+     */
+    explicit ActiveFcCounter(Count downscale = 1,
+                             CgCounters *counters = nullptr)
+        : _downscale(downscale), _counters(counters)
+    {}
+
+    /** Register the start of one program-level frame computation. */
+    Tick
+    onFrameComputation()
+    {
+        if (_counters)
+            ++_counters->counterOps;
+        if (_downscale.tick()) {
+            ++_value;
+            return {true, _value};
+        }
+        return {false, _value};
+    }
+
+    /** Current frame ID (0 before the first frame). */
+    FrameId value() const { return _value; }
+
+    /** Frame computations per CommGuard frame. */
+    Count downscale() const { return _downscale.limit(); }
+
+  private:
+    FrameId _value = 0;
+    SaturatingCounter _downscale;
+    CgCounters *_counters;
+};
+
+} // namespace commguard
+
+#endif // COMMGUARD_COMMGUARD_ACTIVE_FC_HH

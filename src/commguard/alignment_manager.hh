@@ -1,0 +1,92 @@
+/**
+ * @file
+ * CommGuard alignment manager (AM): the 5-state checker FSM of Table 1.
+ *
+ * One AM instance guards one incoming queue of a consumer core. It
+ * receives two kinds of events: the local thread starting a new frame
+ * computation, and the local thread issuing a pop. Using the frame IDs
+ * in received headers and the thread's active-fc counter it detects
+ * misalignment and repairs it by discarding queued words (communication
+ * realignment) or padding pop responses with zeroes (computation
+ * realignment), converting catastrophic alignment errors into tolerable
+ * data errors (paper §4.2).
+ */
+
+#ifndef COMMGUARD_COMMGUARD_ALIGNMENT_MANAGER_HH
+#define COMMGUARD_COMMGUARD_ALIGNMENT_MANAGER_HH
+
+#include "commguard/counters.hh"
+#include "commguard/queue_manager.hh"
+
+namespace commguard
+{
+
+/** Alignment manager FSM states (paper Table 1). */
+enum class AmState : std::uint8_t
+{
+    RcvCmp,   //!< Receiving/computing items of the active frame.
+    ExpHdr,   //!< New frame computation started; expecting a header.
+    DiscFr,   //!< Discarding frames from the queue (AE-FE).
+    Disc,     //!< Discarding items and frames (AE-IE, AE-FE).
+    Pdg,      //!< Padding the thread for lost data (AE-IL, AE-FL).
+};
+
+/** Printable state name. */
+const char *amStateName(AmState state);
+
+/** Outcome of one pop request processed by the AM. */
+struct AmPopResult
+{
+    enum class Kind : std::uint8_t
+    {
+        Item,     //!< A real data item was delivered.
+        Pad,      //!< The AM padded the response (value is 0).
+        Blocked,  //!< The underlying queue is empty; retry later.
+    };
+
+    Kind kind;
+    Word value;
+};
+
+/**
+ * Alignment checker for one incoming queue.
+ */
+class AlignmentManager
+{
+  public:
+    /** @param counters Per-core CommGuard suboperation accounting. */
+    explicit AlignmentManager(CgCounters &counters)
+        : _counters(counters)
+    {}
+
+    /**
+     * Event: local thread rolled over to a new frame computation whose
+     * frame ID is @p active_fc.
+     */
+    void onNewFrameComputation(FrameId active_fc);
+
+    /**
+     * Event: local thread issued a pop on this queue. May consume
+     * several queued words (discarding) before resolving. Re-entrant:
+     * if the queue drains mid-discard the call returns Blocked and a
+     * later retry resumes from the persisted FSM state.
+     */
+    AmPopResult onPop(QueueManager &qm, FrameId active_fc);
+
+    AmState state() const { return _state; }
+
+    /** Future header being waited for while padding (valid in Pdg). */
+    FrameId pendingHeader() const { return _pendingHeader; }
+
+  private:
+    /** Count one FSM-check/update suboperation (Table 3). */
+    void fsmOp() { ++_counters.fsmOps; }
+
+    AmState _state = AmState::RcvCmp;
+    FrameId _pendingHeader = 0;
+    CgCounters &_counters;
+};
+
+} // namespace commguard
+
+#endif // COMMGUARD_COMMGUARD_ALIGNMENT_MANAGER_HH

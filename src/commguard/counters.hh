@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Hot-path suboperation counters for the CommGuard modules.
+ *
+ * One instance per core, shared by its header inserter, alignment
+ * managers, queue managers, and active-fc counter. The fields mirror
+ * the suboperations of paper Tables 2-3 so the overhead evaluation
+ * (Figs. 12 and 14) reads directly from a run.
+ */
+
+#ifndef COMMGUARD_COMMGUARD_COUNTERS_HH
+#define COMMGUARD_COMMGUARD_COUNTERS_HH
+
+#include "common/stats.hh"
+#include "common/types.hh"
+
+namespace commguard
+{
+
+/** Per-core CommGuard suboperation counters. */
+struct CgCounters
+{
+    // Memory events in the queue substrate (Fig. 12).
+    Count dataStores = 0;    //!< Item pushes.
+    Count dataLoads = 0;     //!< Item pops.
+    Count headerStores = 0;  //!< Header pushes.
+    Count headerLoads = 0;   //!< Header pops.
+
+    // Table 3 suboperation classes (Fig. 14).
+    Count headerBitOps = 0;      //!< is-header tag checks.
+    Count eccChecks = 0;         //!< check-ECC for received headers.
+    Count eccComputes = 0;       //!< compute-ECC for inserted headers.
+    Count fsmOps = 0;            //!< FSM-check/update operations.
+    Count counterOps = 0;        //!< active-fc reads/increments.
+    Count prepareHeaderOps = 0;  //!< prepare-header operations.
+
+    // Realignment activity (Figs. 7-8).
+    Count paddedItems = 0;
+    Count discardedItems = 0;
+    Count discardedHeaders = 0;
+    Count acceptedItems = 0;
+
+    // Timeout recovery.
+    Count headerDropsOnTimeout = 0;
+
+    /** FSM/Counter class of Fig. 14. */
+    Count fsmCounterOps() const { return fsmOps + counterOps; }
+
+    /** ECC class of Fig. 14 (working-set pointer ECC is counted by the
+     *  queues and added by the reporting layer). */
+    Count eccOps() const { return eccChecks + eccComputes; }
+
+    /** Total CommGuard suboperations (Fig. 14 "Total"). */
+    Count
+    totalOps() const
+    {
+        return fsmCounterOps() + eccOps() + headerBitOps +
+               prepareHeaderOps;
+    }
+
+    /** Publish all counters into @p group. */
+    void
+    exportTo(StatGroup &group) const
+    {
+        group.set("dataStores", dataStores);
+        group.set("dataLoads", dataLoads);
+        group.set("headerStores", headerStores);
+        group.set("headerLoads", headerLoads);
+        group.set("headerBitOps", headerBitOps);
+        group.set("eccChecks", eccChecks);
+        group.set("eccComputes", eccComputes);
+        group.set("fsmOps", fsmOps);
+        group.set("counterOps", counterOps);
+        group.set("prepareHeaderOps", prepareHeaderOps);
+        group.set("paddedItems", paddedItems);
+        group.set("discardedItems", discardedItems);
+        group.set("discardedHeaders", discardedHeaders);
+        group.set("acceptedItems", acceptedItems);
+        group.set("headerDropsOnTimeout", headerDropsOnTimeout);
+    }
+};
+
+} // namespace commguard
+
+#endif // COMMGUARD_COMMGUARD_COUNTERS_HH

@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Hardware-area accounting for the CommGuard modules (paper §5.5).
+ *
+ * "CommGuard modules need reliable storage for maintaining static and
+ * dynamic state ... modules store 2 counters and their limits;
+ * active-fc and a saturating counter ... Further, the modules need to
+ * store the following for each incoming queue; 3-bits and 1 word for
+ * header, queue ID, the local buffer pointer and its speculative copy
+ * in the QIT. ... with 4 queues per core the total reliable storage
+ * would account to 4 x 4B + 4 x (3bits + 4B + 4B + 4B + 4B) ~ 82B."
+ */
+
+#ifndef COMMGUARD_COMMGUARD_HARDWARE_AREA_HH
+#define COMMGUARD_COMMGUARD_HARDWARE_AREA_HH
+
+#include "common/types.hh"
+
+namespace commguard
+{
+
+/** Per-core reliable storage requirement, in bits. */
+struct HardwareArea
+{
+    Count counterBits = 0;   //!< active-fc + saturating counter state.
+    Count perQueueBits = 0;  //!< QIT entries for the incoming queues.
+
+    Count totalBits() const { return counterBits + perQueueBits; }
+
+    /** Rounded-up bytes (the paper reports ~82B for 4 queues). */
+    Count totalBytes() const { return (totalBits() + 7) / 8; }
+};
+
+/**
+ * Compute the reliable storage a core's CommGuard modules need for
+ * @p num_queues incoming queues, following the paper's §5.5 itemized
+ * accounting:
+ *  - 2 counters and their limits (active-fc, frame downscaler): 4
+ *    words;
+ *  - per incoming queue: a 3-bit FSM state, a 1-word header buffer, a
+ *    1-word queue ID, a 1-word local buffer pointer, and its 1-word
+ *    speculative copy (the §5.3 option (ii) speculation storage).
+ */
+inline HardwareArea
+commGuardReliableStorage(int num_queues)
+{
+    constexpr Count word_bits = 32;
+
+    HardwareArea area;
+    area.counterBits = 4 * word_bits;
+    area.perQueueBits =
+        static_cast<Count>(num_queues) * (3 + 4 * word_bits);
+    return area;
+}
+
+} // namespace commguard
+
+#endif // COMMGUARD_COMMGUARD_HARDWARE_AREA_HH

@@ -1,0 +1,42 @@
+#include "commguard/header_inserter.hh"
+
+namespace commguard
+{
+
+QueueOpStatus
+HeaderInserter::insert(FrameId id)
+{
+    if (!_inProgress) {
+        // Table 2, "new frame computation": prepare-header (read then
+        // increment active-fc, set header-bit) and compute-ECC happen
+        // once; the per-queue pushes follow.
+        ++_counters.prepareHeaderOps;
+        ++_counters.eccComputes;
+        _header = makeHeader(id);
+        _nextPort = 0;
+        _inProgress = true;
+    }
+
+    for (; _nextPort < _outs.size(); ++_nextPort) {
+        // Table 2: one FSM-update per outgoing queue.
+        ++_counters.fsmOps;
+        if (_outs[_nextPort]->pushHeader(_header) ==
+            QueueOpStatus::Blocked) {
+            return QueueOpStatus::Blocked;
+        }
+    }
+
+    _inProgress = false;
+    return QueueOpStatus::Ok;
+}
+
+void
+HeaderInserter::skipBlockedPort()
+{
+    if (_inProgress && _nextPort < _outs.size()) {
+        ++_counters.headerDropsOnTimeout;
+        ++_nextPort;
+    }
+}
+
+} // namespace commguard

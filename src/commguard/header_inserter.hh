@@ -1,0 +1,77 @@
+/**
+ * @file
+ * CommGuard header inserter (HI).
+ *
+ * Paper §4.1: on the producer side, at the start of every frame
+ * computation the HI inserts an ECC-protected frame header carrying the
+ * active-fc value into *all* outgoing queues, giving downstream
+ * alignment managers specific points at which alignment can be
+ * restored. When the thread's computation ends, a special end-of-
+ * computation frame ID is inserted instead. The thread is oblivious to
+ * HI actions.
+ *
+ * Insertion is resumable: a full outgoing queue blocks the insertion,
+ * which later retries from the first not-yet-written port.
+ */
+
+#ifndef COMMGUARD_COMMGUARD_HEADER_INSERTER_HH
+#define COMMGUARD_COMMGUARD_HEADER_INSERTER_HH
+
+#include <vector>
+
+#include "commguard/counters.hh"
+#include "commguard/queue_manager.hh"
+
+namespace commguard
+{
+
+/**
+ * Per-core header insertion engine.
+ */
+class HeaderInserter
+{
+  public:
+    /**
+     * @param outs     Queue managers of the core's outgoing edges.
+     * @param counters Per-core CommGuard suboperation accounting.
+     */
+    HeaderInserter(std::vector<QueueManager *> outs, CgCounters &counters)
+        : _outs(std::move(outs)), _counters(counters)
+    {}
+
+    /**
+     * Insert the header for frame @p id into every outgoing queue.
+     * Returns Blocked if some queue is full; call again with the same
+     * @p id to resume (already-written ports are not written twice).
+     */
+    QueueOpStatus insert(FrameId id);
+
+    /** Insert the end-of-computation marker into every outgoing queue. */
+    QueueOpStatus
+    insertEndOfComputation()
+    {
+        return insert(endOfComputationId);
+    }
+
+    /**
+     * Timeout recovery: give up on the port currently blocking an
+     * in-progress insertion (its consumer will realign via padding or
+     * discarding when traffic resumes).
+     */
+    void skipBlockedPort();
+
+    /** Number of outgoing queues. */
+    std::size_t numPorts() const { return _outs.size(); }
+
+  private:
+    std::vector<QueueManager *> _outs;
+    CgCounters &_counters;
+
+    bool _inProgress = false;
+    QueueWord _header;
+    std::size_t _nextPort = 0;
+};
+
+} // namespace commguard
+
+#endif // COMMGUARD_COMMGUARD_HEADER_INSERTER_HH

@@ -1,0 +1,123 @@
+#include "common/ecc.hh"
+
+#include <bit>
+
+namespace commguard
+{
+
+namespace
+{
+
+// Codeword layout: bit positions 1..38 use classic Hamming numbering
+// (check bits at powers of two: 1, 2, 4, 8, 16, 32; data bits fill the
+// remaining 32 positions in increasing order). Bit position 0 holds the
+// overall parity bit that upgrades Hamming SEC to SECDED.
+
+constexpr int kPositions = 39;
+
+bool
+isPowerOfTwo(int x)
+{
+    return (x & (x - 1)) == 0;
+}
+
+/** Map data bit index (0..31) to its Hamming position (non-power-of-2). */
+constexpr int
+dataPosition(int data_bit)
+{
+    int pos = 0;
+    int seen = -1;
+    for (pos = 1; pos < kPositions; ++pos) {
+        if (isPowerOfTwo(pos))
+            continue;
+        if (++seen == data_bit)
+            return pos;
+    }
+    return -1;
+}
+
+} // namespace
+
+EccWord
+eccEncode(Word data)
+{
+    EccWord code = 0;
+
+    // Place data bits.
+    for (int i = 0; i < 32; ++i) {
+        if ((data >> i) & 1u)
+            code |= EccWord{1} << dataPosition(i);
+    }
+
+    // Compute Hamming check bits (positions 1,2,4,8,16,32): check bit at
+    // position p covers every position whose index has bit p set.
+    for (int p = 1; p < kPositions; p <<= 1) {
+        int parity = 0;
+        for (int pos = 1; pos < kPositions; ++pos) {
+            if ((pos & p) && !isPowerOfTwo(pos))
+                parity ^= static_cast<int>((code >> pos) & 1u);
+        }
+        if (parity)
+            code |= EccWord{1} << p;
+    }
+
+    // Overall parity over positions 1..38 stored at position 0.
+    int overall = std::popcount(code >> 1) & 1;
+    if (overall)
+        code |= 1u;
+
+    return code;
+}
+
+EccDecode
+eccDecode(EccWord code)
+{
+    // Recompute the syndrome.
+    int syndrome = 0;
+    for (int p = 1; p < kPositions; p <<= 1) {
+        int parity = 0;
+        for (int pos = 1; pos < kPositions; ++pos) {
+            if (pos & p)
+                parity ^= static_cast<int>((code >> pos) & 1u);
+        }
+        if (parity)
+            syndrome |= p;
+    }
+
+    const int overall = std::popcount(code) & 1;
+
+    EccDecode result;
+    if (syndrome == 0 && overall == 0) {
+        result.status = EccStatus::Clean;
+    } else if (overall == 1) {
+        // Odd number of flipped bits: correct the indicated position
+        // (syndrome 0 with odd parity means the parity bit itself).
+        if (syndrome < kPositions)
+            code ^= EccWord{1} << syndrome;
+        result.status = EccStatus::Corrected;
+    } else {
+        // Even number of flips with nonzero syndrome: uncorrectable.
+        result.status = EccStatus::Uncorrectable;
+    }
+
+    // Extract data bits.
+    Word data = 0;
+    int seen = -1;
+    for (int pos = 1; pos < kPositions; ++pos) {
+        if (isPowerOfTwo(pos))
+            continue;
+        ++seen;
+        if ((code >> pos) & 1u)
+            data |= Word{1} << seen;
+    }
+    result.data = data;
+    return result;
+}
+
+EccWord
+eccFlipBit(EccWord code, int bit)
+{
+    return code ^ (EccWord{1} << bit);
+}
+
+} // namespace commguard

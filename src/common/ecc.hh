@@ -1,0 +1,55 @@
+/**
+ * @file
+ * SECDED error-correcting code for single words.
+ *
+ * CommGuard protects frame headers and the queue manager's shared
+ * head/tail pointers with single-word ECC (paper §4.1, §5.1, Table 3:
+ * "Single-word ECC set/check"). We implement a Hamming(38,32) code
+ * extended with an overall parity bit — single-error-correcting,
+ * double-error-detecting (SECDED) over 32 data bits, 7 check bits,
+ * 39-bit codeword stored in a 64-bit container.
+ */
+
+#ifndef COMMGUARD_COMMON_ECC_HH
+#define COMMGUARD_COMMON_ECC_HH
+
+#include <cstdint>
+
+#include "common/types.hh"
+
+namespace commguard
+{
+
+/** A 39-bit SECDED codeword held in the low bits of a uint64_t. */
+using EccWord = std::uint64_t;
+
+/** Outcome of decoding a (possibly corrupted) codeword. */
+enum class EccStatus
+{
+    Clean,          //!< No error detected.
+    Corrected,      //!< Single-bit error detected and corrected.
+    Uncorrectable,  //!< Double-bit (or worse) error detected.
+};
+
+/** Result of an ECC decode: recovered data word plus status. */
+struct EccDecode
+{
+    Word data = 0;
+    EccStatus status = EccStatus::Clean;
+};
+
+/** Number of bits in an encoded codeword. */
+constexpr int eccCodewordBits = 39;
+
+/** Encode a 32-bit data word into a SECDED codeword. */
+EccWord eccEncode(Word data);
+
+/** Decode a codeword, correcting single-bit errors if present. */
+EccDecode eccDecode(EccWord code);
+
+/** Flip one bit (0 <= bit < eccCodewordBits) of a codeword, for tests. */
+EccWord eccFlipBit(EccWord code, int bit);
+
+} // namespace commguard
+
+#endif // COMMGUARD_COMMON_ECC_HH

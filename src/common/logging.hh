@@ -1,0 +1,37 @@
+/**
+ * @file
+ * Minimal logging and error-termination helpers (gem5-style panic/fatal).
+ *
+ * panic() is for internal invariant violations (simulator bugs); fatal()
+ * is for user-caused conditions (bad configuration). warn()/inform() are
+ * advisory and never stop the simulation.
+ */
+
+#ifndef COMMGUARD_COMMON_LOGGING_HH
+#define COMMGUARD_COMMON_LOGGING_HH
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+namespace commguard
+{
+
+/** Print a formatted message with a severity prefix to stderr. */
+void logMessage(const char *prefix, const std::string &msg);
+
+/** Abort with a message: an invariant inside the simulator broke. */
+[[noreturn]] void panic(const std::string &msg);
+
+/** Exit(1) with a message: the user supplied an impossible config. */
+[[noreturn]] void fatal(const std::string &msg);
+
+/** Advisory warning; execution continues. */
+void warn(const std::string &msg);
+
+/** Informational status message; execution continues. */
+void inform(const std::string &msg);
+
+} // namespace commguard
+
+#endif // COMMGUARD_COMMON_LOGGING_HH

@@ -1,0 +1,106 @@
+#include "common/rng.hh"
+
+#include <cmath>
+
+namespace commguard
+{
+
+namespace
+{
+
+/** splitmix64 step, used only for seeding. */
+std::uint64_t
+splitmix64(std::uint64_t &x)
+{
+    x += 0x9e3779b97f4a7c15ull;
+    std::uint64_t z = x;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+}
+
+std::uint32_t
+rotl(std::uint32_t x, int k)
+{
+    return (x << k) | (x >> (32 - k));
+}
+
+} // namespace
+
+Rng::Rng(std::uint64_t seed_value)
+{
+    seed(seed_value);
+}
+
+void
+Rng::seed(std::uint64_t seed_value)
+{
+    std::uint64_t s = seed_value;
+    std::uint64_t a = splitmix64(s);
+    std::uint64_t b = splitmix64(s);
+    _state[0] = static_cast<std::uint32_t>(a);
+    _state[1] = static_cast<std::uint32_t>(a >> 32);
+    _state[2] = static_cast<std::uint32_t>(b);
+    _state[3] = static_cast<std::uint32_t>(b >> 32);
+    // xoshiro must not start in the all-zero state.
+    if ((_state[0] | _state[1] | _state[2] | _state[3]) == 0)
+        _state[0] = 1;
+}
+
+std::uint32_t
+Rng::next32()
+{
+    const std::uint32_t result = rotl(_state[1] * 5, 7) * 9;
+    const std::uint32_t t = _state[1] << 9;
+
+    _state[2] ^= _state[0];
+    _state[3] ^= _state[1];
+    _state[1] ^= _state[2];
+    _state[0] ^= _state[3];
+    _state[2] ^= t;
+    _state[3] = rotl(_state[3], 11);
+
+    return result;
+}
+
+std::uint64_t
+Rng::next64()
+{
+    const std::uint64_t hi = next32();
+    return (hi << 32) | next32();
+}
+
+std::uint32_t
+Rng::below(std::uint32_t bound)
+{
+    if (bound == 0)
+        return 0;
+    const std::uint64_t m =
+        static_cast<std::uint64_t>(next32()) * bound;
+    return static_cast<std::uint32_t>(m >> 32);
+}
+
+double
+Rng::uniform()
+{
+    // 53 random mantissa bits.
+    return static_cast<double>(next64() >> 11) * 0x1.0p-53;
+}
+
+double
+Rng::exponential(double mean)
+{
+    double u = uniform();
+    // Avoid log(0).
+    if (u <= 0.0)
+        u = 0x1.0p-53;
+    return -mean * std::log(u);
+}
+
+std::uint32_t
+Rng::range(std::uint32_t lo, std::uint32_t hi)
+{
+    return lo + below(hi - lo + 1);
+}
+
+} // namespace commguard

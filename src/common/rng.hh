@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generation for the simulator.
+ *
+ * Every stochastic component (one error injector per core, workload
+ * generators, ...) owns its own Rng instance seeded independently, matching
+ * the paper's methodology ("Each core's error injection is independent and
+ * has its own random number generator", §6). The generator is
+ * xoshiro128**, seeded via splitmix64, so runs are reproducible across
+ * platforms for a given seed.
+ */
+
+#ifndef COMMGUARD_COMMON_RNG_HH
+#define COMMGUARD_COMMON_RNG_HH
+
+#include <cstdint>
+
+#include "common/types.hh"
+
+namespace commguard
+{
+
+/**
+ * Small, fast, reproducible PRNG (xoshiro128**).
+ */
+class Rng
+{
+  public:
+    /** Construct with a 64-bit seed; any value (including 0) is valid. */
+    explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ull);
+
+    /** Re-seed the generator, resetting its sequence. */
+    void seed(std::uint64_t seed);
+
+    /** Next raw 32-bit value. */
+    std::uint32_t next32();
+
+    /** Next raw 64-bit value. */
+    std::uint64_t next64();
+
+    /** Uniform integer in [0, bound) via rejection-free Lemire mapping. */
+    std::uint32_t below(std::uint32_t bound);
+
+    /** Uniform double in [0, 1). */
+    double uniform();
+
+    /**
+     * Exponentially distributed sample with the given mean.
+     *
+     * Used for error inter-arrival times: a mean-time-between-errors of
+     * @p mean committed instructions.
+     */
+    double exponential(double mean);
+
+    /** Uniform integer in [lo, hi] inclusive. */
+    std::uint32_t range(std::uint32_t lo, std::uint32_t hi);
+
+  private:
+    std::uint32_t _state[4];
+};
+
+} // namespace commguard
+
+#endif // COMMGUARD_COMMON_RNG_HH

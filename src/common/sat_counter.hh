@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Saturating counter used to down-scale frame computation frequency.
+ *
+ * Paper §5.4: "CommGuard can increase the application-wide frame
+ * definitions by downscaling the frame computation frequencies through
+ * one saturating counter for frame computation invocations." A counter
+ * with limit N makes every N-th frame-computation event visible to the
+ * header inserter / alignment manager, multiplying the effective frame
+ * size by N.
+ *
+ * The counter fires on the *first* event of each group of N (events
+ * 1, N+1, 2N+1, ...) because frame headers are inserted at frame
+ * *starts* (paper §4.1).
+ */
+
+#ifndef COMMGUARD_COMMON_SAT_COUNTER_HH
+#define COMMGUARD_COMMON_SAT_COUNTER_HH
+
+#include "common/types.hh"
+
+namespace commguard
+{
+
+/**
+ * Counts events and reports one firing per group of @c limit events.
+ */
+class SaturatingCounter
+{
+  public:
+    /** @param limit Events per firing; values < 1 are clamped to 1. */
+    explicit SaturatingCounter(Count limit = 1) : _limit(limit ? limit : 1)
+    {}
+
+    /**
+     * Record one event.
+     * @return true on the first event of each group of limit() events.
+     */
+    bool
+    tick()
+    {
+        const bool fire = (_value == 0);
+        if (++_value >= _limit)
+            _value = 0;
+        return fire;
+    }
+
+    /** Restart the current group (next tick() fires). */
+    void reset() { _value = 0; }
+
+    /** Events per firing. */
+    Count limit() const { return _limit; }
+
+    /** Events seen since the last firing. */
+    Count value() const { return _value; }
+
+  private:
+    Count _limit;
+    Count _value = 0;
+};
+
+} // namespace commguard
+
+#endif // COMMGUARD_COMMON_SAT_COUNTER_HH

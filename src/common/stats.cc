@@ -1,0 +1,56 @@
+#include "common/stats.hh"
+
+namespace commguard
+{
+
+Count
+StatGroup::getPath(const std::string &path) const
+{
+    auto slash = path.find('/');
+    if (slash == std::string::npos)
+        return get(path);
+    auto it = _children.find(path.substr(0, slash));
+    if (it == _children.end())
+        return 0;
+    return it->second.getPath(path.substr(slash + 1));
+}
+
+Count
+StatGroup::sumRecursive(const std::string &name) const
+{
+    Count total = get(name);
+    for (const auto &[_, group] : _children)
+        total += group.sumRecursive(name);
+    return total;
+}
+
+void
+StatGroup::merge(const StatGroup &other)
+{
+    for (const auto &[name, value] : other._counters)
+        _counters[name] += value;
+    for (const auto &[name, group] : other._children)
+        child(name).merge(group);
+}
+
+void
+StatGroup::clear()
+{
+    for (auto &[_, value] : _counters)
+        value = 0;
+    for (auto &[_, group] : _children)
+        group.clear();
+}
+
+void
+StatGroup::dump(std::ostream &os, const std::string &prefix) const
+{
+    const std::string base = prefix.empty() ? _name : prefix;
+    for (const auto &[name, value] : _counters)
+        os << base << (base.empty() ? "" : "/") << name
+           << " = " << value << "\n";
+    for (const auto &[name, group] : _children)
+        group.dump(os, base.empty() ? name : base + "/" + name);
+}
+
+} // namespace commguard

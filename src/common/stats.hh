@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Lightweight named-statistics registry.
+ *
+ * Every component that the paper's evaluation counts (CommGuard
+ * suboperations of Tables 2-3, memory events, committed instructions,
+ * padded/discarded items, ...) owns named counters inside a StatGroup.
+ * Groups nest so a whole Multicore can be dumped or queried by path,
+ * e.g. "core3/commguard/eccCheck".
+ */
+
+#ifndef COMMGUARD_COMMON_STATS_HH
+#define COMMGUARD_COMMON_STATS_HH
+
+#include <map>
+#include <ostream>
+#include <string>
+
+#include "common/types.hh"
+
+namespace commguard
+{
+
+/**
+ * A hierarchical group of named 64-bit counters.
+ */
+class StatGroup
+{
+  public:
+    StatGroup() = default;
+    explicit StatGroup(std::string name) : _name(std::move(name)) {}
+
+    /** Add @p delta to the named counter, creating it at zero. */
+    void
+    add(const std::string &name, Count delta = 1)
+    {
+        _counters[name] += delta;
+    }
+
+    /** Set the named counter to an absolute value. */
+    void
+    set(const std::string &name, Count value)
+    {
+        _counters[name] = value;
+    }
+
+    /** Read a counter; missing counters read as zero. */
+    Count
+    get(const std::string &name) const
+    {
+        auto it = _counters.find(name);
+        return it == _counters.end() ? 0 : it->second;
+    }
+
+    /** Get (or create) a nested child group. */
+    StatGroup &
+    child(const std::string &name)
+    {
+        auto it = _children.find(name);
+        if (it == _children.end())
+            it = _children.emplace(name, StatGroup(name)).first;
+        return it->second;
+    }
+
+    /** Read a counter by slash-separated path ("a/b/ctr"). */
+    Count getPath(const std::string &path) const;
+
+    /** Sum this group's counter and all descendants' counters of a name. */
+    Count sumRecursive(const std::string &name) const;
+
+    /** Merge all counters (and children) of @p other into this group. */
+    void merge(const StatGroup &other);
+
+    /** Zero every counter in this group and its descendants. */
+    void clear();
+
+    /** Pretty-print all counters, one per line, prefixed by path. */
+    void dump(std::ostream &os, const std::string &prefix = "") const;
+
+    const std::string &name() const { return _name; }
+    const std::map<std::string, Count> &counters() const
+    {
+        return _counters;
+    }
+    const std::map<std::string, StatGroup> &children() const
+    {
+        return _children;
+    }
+
+  private:
+    std::string _name;
+    std::map<std::string, Count> _counters;
+    std::map<std::string, StatGroup> _children;
+};
+
+} // namespace commguard
+
+#endif // COMMGUARD_COMMON_STATS_HH

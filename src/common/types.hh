@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Fundamental word and identifier types shared across the simulator.
+ *
+ * The simulated machine is a 32-bit architecture (matching the paper's
+ * 32-bit x86 baseline): architectural registers, memory words, and queue
+ * items are all 32-bit words. Floating-point values are IEEE-754 single
+ * precision reinterpretations of the same word, so a register-file bit
+ * flip uniformly models data, addressing, and control-flow errors.
+ */
+
+#ifndef COMMGUARD_COMMON_TYPES_HH
+#define COMMGUARD_COMMON_TYPES_HH
+
+#include <cstdint>
+#include <cstring>
+
+namespace commguard
+{
+
+/** A 32-bit architectural word (register, memory cell, queue item). */
+using Word = std::uint32_t;
+
+/** Signed view of a word for arithmetic comparisons. */
+using SWord = std::int32_t;
+
+/** Wide counters for instruction/cycle/statistic counts. */
+using Count = std::uint64_t;
+
+/** Simulated cycle count. */
+using Cycle = std::uint64_t;
+
+/** Identifier of a processor core (thread) in the multicore. */
+using CoreId = std::uint32_t;
+
+/** Identifier of a communication queue (QID in the paper, Fig. 4). */
+using QueueId = std::uint32_t;
+
+/** Frame identifier carried by CommGuard headers (active-fc values). */
+using FrameId = std::uint32_t;
+
+/** Reinterpret a word as an IEEE-754 single-precision float. */
+inline float
+wordToFloat(Word w)
+{
+    float f;
+    std::memcpy(&f, &w, sizeof(f));
+    return f;
+}
+
+/** Reinterpret an IEEE-754 single-precision float as a word. */
+inline Word
+floatToWord(float f)
+{
+    Word w;
+    std::memcpy(&w, &f, sizeof(w));
+    return w;
+}
+
+} // namespace commguard
+
+#endif // COMMGUARD_COMMON_TYPES_HH

@@ -1,0 +1,303 @@
+#include "isa/assembler.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace commguard::isa
+{
+
+Assembler::Assembler(std::string name)
+{
+    _prog.name = std::move(name);
+}
+
+Word
+Assembler::dataWords(const std::vector<Word> &words)
+{
+    const Word base = static_cast<Word>(_prog.data.size());
+    _prog.data.insert(_prog.data.end(), words.begin(), words.end());
+    return base;
+}
+
+Word
+Assembler::dataFloats(const std::vector<float> &floats)
+{
+    const Word base = static_cast<Word>(_prog.data.size());
+    for (float f : floats)
+        _prog.data.push_back(floatToWord(f));
+    return base;
+}
+
+Word
+Assembler::reserve(std::size_t words)
+{
+    const Word base = static_cast<Word>(_prog.data.size());
+    _prog.data.insert(_prog.data.end(), words, 0u);
+    return base;
+}
+
+void
+Assembler::label(const std::string &name)
+{
+    if (_labels.count(name))
+        fatal("assembler: duplicate label '" + name + "' in " +
+              _prog.name);
+    _labels[name] = static_cast<std::int32_t>(_prog.code.size());
+}
+
+Inst &
+Assembler::emit(Op op)
+{
+    _prog.code.push_back(Inst{});
+    _prog.code.back().op = op;
+    return _prog.code.back();
+}
+
+void
+Assembler::branch(Op op, Reg a, Reg b, const std::string &target)
+{
+    Inst &inst = emit(op);
+    inst.rs1 = a;
+    inst.rs2 = b;
+    _fixups.emplace_back(_prog.code.size() - 1, target);
+}
+
+void Assembler::jmp(const std::string &t) { branch(Op::Jmp, 0, 0, t); }
+void Assembler::beq(Reg a, Reg b, const std::string &t)
+{ branch(Op::Beq, a, b, t); }
+void Assembler::bne(Reg a, Reg b, const std::string &t)
+{ branch(Op::Bne, a, b, t); }
+void Assembler::blt(Reg a, Reg b, const std::string &t)
+{ branch(Op::Blt, a, b, t); }
+void Assembler::bge(Reg a, Reg b, const std::string &t)
+{ branch(Op::Bge, a, b, t); }
+void Assembler::bltu(Reg a, Reg b, const std::string &t)
+{ branch(Op::Bltu, a, b, t); }
+void Assembler::bgeu(Reg a, Reg b, const std::string &t)
+{ branch(Op::Bgeu, a, b, t); }
+
+void
+Assembler::forDown(Reg cnt, Word n, const std::function<void()> &body)
+{
+    if (n == 0)
+        fatal("assembler: forDown with zero count in " + _prog.name);
+    static int unique = 0;
+    const std::string top =
+        "__loop" + std::to_string(unique++) + "_" + _prog.name;
+    li(cnt, n);
+    label(top);
+    body();
+    addi(cnt, cnt, -1);
+    bne(cnt, R0, top);
+}
+
+void Assembler::nop() { emit(Op::Nop); }
+void Assembler::halt() { emit(Op::Halt); }
+
+void
+Assembler::li(Reg rd, Word imm)
+{
+    Inst &inst = emit(Op::Li);
+    inst.rd = rd;
+    inst.imm = imm;
+}
+
+void
+Assembler::lif(Reg rd, float value)
+{
+    li(rd, floatToWord(value));
+}
+
+void
+Assembler::mov(Reg rd, Reg rs)
+{
+    add(rd, rs, R0);
+}
+
+#define CG_RRR(fn, opcode)                                              \
+    void                                                                \
+    Assembler::fn(Reg rd, Reg rs1, Reg rs2)                             \
+    {                                                                   \
+        Inst &inst = emit(Op::opcode);                                  \
+        inst.rd = rd;                                                   \
+        inst.rs1 = rs1;                                                 \
+        inst.rs2 = rs2;                                                 \
+    }
+
+CG_RRR(add, Add)
+CG_RRR(sub, Sub)
+CG_RRR(mul, Mul)
+CG_RRR(divu, Divu)
+CG_RRR(divs, Divs)
+CG_RRR(remu, Remu)
+CG_RRR(and_, And)
+CG_RRR(or_, Or)
+CG_RRR(xor_, Xor)
+CG_RRR(sll, Sll)
+CG_RRR(srl, Srl)
+CG_RRR(sra, Sra)
+CG_RRR(slt, Slt)
+CG_RRR(sltu, Sltu)
+CG_RRR(fadd, Fadd)
+CG_RRR(fsub, Fsub)
+CG_RRR(fmul, Fmul)
+CG_RRR(fdiv, Fdiv)
+CG_RRR(fmin, Fmin)
+CG_RRR(fmax, Fmax)
+CG_RRR(feq, Feq)
+CG_RRR(flt, Flt)
+CG_RRR(fle, Fle)
+
+#undef CG_RRR
+
+#define CG_RRI(fn, opcode)                                              \
+    void                                                                \
+    Assembler::fn(Reg rd, Reg rs1, Word imm)                            \
+    {                                                                   \
+        Inst &inst = emit(Op::opcode);                                  \
+        inst.rd = rd;                                                   \
+        inst.rs1 = rs1;                                                 \
+        inst.imm = imm;                                                 \
+    }
+
+CG_RRI(andi, Andi)
+CG_RRI(ori, Ori)
+CG_RRI(xori, Xori)
+CG_RRI(slli, Slli)
+CG_RRI(srli, Srli)
+CG_RRI(srai, Srai)
+
+#undef CG_RRI
+
+void
+Assembler::addi(Reg rd, Reg rs1, SWord imm)
+{
+    Inst &inst = emit(Op::Addi);
+    inst.rd = rd;
+    inst.rs1 = rs1;
+    inst.imm = static_cast<Word>(imm);
+}
+
+#define CG_RR(fn, opcode)                                               \
+    void                                                                \
+    Assembler::fn(Reg rd, Reg rs1)                                      \
+    {                                                                   \
+        Inst &inst = emit(Op::opcode);                                  \
+        inst.rd = rd;                                                   \
+        inst.rs1 = rs1;                                                 \
+    }
+
+CG_RR(fsqrt, Fsqrt)
+CG_RR(fabs_, Fabs)
+CG_RR(fneg, Fneg)
+CG_RR(cvtif, Cvtif)
+CG_RR(cvtfi, Cvtfi)
+
+#undef CG_RR
+
+void
+Assembler::lw(Reg rd, Reg base, SWord offset)
+{
+    Inst &inst = emit(Op::Lw);
+    inst.rd = rd;
+    inst.rs1 = base;
+    inst.imm = static_cast<Word>(offset);
+}
+
+void
+Assembler::sw(Reg rs, Reg base, SWord offset)
+{
+    Inst &inst = emit(Op::Sw);
+    inst.rs2 = rs;
+    inst.rs1 = base;
+    inst.imm = static_cast<Word>(offset);
+}
+
+void
+Assembler::push(int out_port, Reg rs)
+{
+    Inst &inst = emit(Op::Push);
+    inst.rs2 = rs;
+    inst.imm = static_cast<Word>(out_port);
+    _prog.numOutPorts = std::max(_prog.numOutPorts, out_port + 1);
+}
+
+void
+Assembler::pop(Reg rd, int in_port)
+{
+    Inst &inst = emit(Op::Pop);
+    inst.rd = rd;
+    inst.imm = static_cast<Word>(in_port);
+    _prog.numInPorts = std::max(_prog.numInPorts, in_port + 1);
+}
+
+int
+Assembler::scopeEnter(Count estimated_insts)
+{
+    const int index = static_cast<int>(_prog.scopes.size());
+    ScopeInfo info;
+    info.estimatedInsts = estimated_insts;
+    _prog.scopes.push_back(info);
+    Inst &inst = emit(Op::ScopeEnter);
+    inst.imm = static_cast<Word>(index);
+    _openScopes.push_back(index);
+    return index;
+}
+
+void
+Assembler::scopeExit()
+{
+    if (_openScopes.empty())
+        fatal("assembler: scopeExit without scopeEnter in " +
+              _prog.name);
+    const int index = _openScopes.back();
+    _openScopes.pop_back();
+    _prog.scopes[index].exitPc =
+        static_cast<std::int32_t>(_prog.code.size());
+    Inst &inst = emit(Op::ScopeExit);
+    inst.imm = static_cast<Word>(index);
+}
+
+void
+Assembler::setMemWords(std::size_t words)
+{
+    _prog.memWords = words;
+}
+
+void
+Assembler::setEstimatedInsts(Count insts)
+{
+    _prog.estimatedInstsPerInvocation = insts;
+}
+
+Program
+Assembler::finalize()
+{
+    if (_finalized)
+        fatal("assembler: finalize called twice for " + _prog.name);
+    _finalized = true;
+    if (!_openScopes.empty())
+        fatal("assembler: unclosed scope in " + _prog.name);
+
+    if (_prog.code.empty() || _prog.code.back().op != Op::Halt)
+        _prog.code.push_back(Inst{Op::Halt, 0, 0, 0, 0, 0});
+
+    for (const auto &[pc, name] : _fixups) {
+        auto it = _labels.find(name);
+        if (it == _labels.end())
+            fatal("assembler: undefined label '" + name + "' in " +
+                  _prog.name);
+        _prog.code[pc].target = it->second;
+    }
+
+    if (_prog.memWords < _prog.data.size())
+        _prog.memWords = _prog.data.size();
+
+    ValidationResult result = validate(_prog);
+    if (!result.ok)
+        fatal("assembler: " + result.message);
+    return std::move(_prog);
+}
+
+} // namespace commguard::isa

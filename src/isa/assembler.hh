@@ -1,0 +1,189 @@
+/**
+ * @file
+ * In-process assembler EDSL for writing filter kernels.
+ *
+ * Kernels (src/kernels/) build their frame-computation programs through
+ * this builder: one method per opcode, string labels with forward
+ * references, data-segment allocation helpers, and a down-counting loop
+ * helper. finalize() resolves labels and statically validates the result.
+ */
+
+#ifndef COMMGUARD_ISA_ASSEMBLER_HH
+#define COMMGUARD_ISA_ASSEMBLER_HH
+
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "isa/program.hh"
+
+namespace commguard::isa
+{
+
+/** Named register constants (R0 is hardwired zero). */
+constexpr Reg R0 = 0,  R1 = 1,  R2 = 2,  R3 = 3,  R4 = 4,  R5 = 5;
+constexpr Reg R6 = 6,  R7 = 7,  R8 = 8,  R9 = 9,  R10 = 10, R11 = 11;
+constexpr Reg R12 = 12, R13 = 13, R14 = 14, R15 = 15, R16 = 16;
+constexpr Reg R17 = 17, R18 = 18, R19 = 19, R20 = 20, R21 = 21;
+constexpr Reg R22 = 22, R23 = 23, R24 = 24, R25 = 25, R26 = 26;
+constexpr Reg R27 = 27, R28 = 28, R29 = 29, R30 = 30, R31 = 31;
+
+/**
+ * Program builder. All emit methods append one instruction.
+ */
+class Assembler
+{
+  public:
+    explicit Assembler(std::string name);
+
+    // ------------------------------------------------------------------
+    // Data segment.
+    // ------------------------------------------------------------------
+
+    /** Append words to the data segment; returns their base address. */
+    Word dataWords(const std::vector<Word> &words);
+
+    /** Append floats (bit-cast) to the data segment. */
+    Word dataFloats(const std::vector<float> &floats);
+
+    /** Reserve zero-initialized scratch words; returns base address. */
+    Word reserve(std::size_t words);
+
+    // ------------------------------------------------------------------
+    // Labels and control flow.
+    // ------------------------------------------------------------------
+
+    /** Place a label at the next instruction. */
+    void label(const std::string &name);
+
+    void jmp(const std::string &target);
+    void beq(Reg a, Reg b, const std::string &target);
+    void bne(Reg a, Reg b, const std::string &target);
+    void blt(Reg a, Reg b, const std::string &target);
+    void bge(Reg a, Reg b, const std::string &target);
+    void bltu(Reg a, Reg b, const std::string &target);
+    void bgeu(Reg a, Reg b, const std::string &target);
+
+    /**
+     * Emit a loop running @p body exactly @p n times (n >= 1), using
+     * @p cnt as a down-counter. The counter is error-prone like any
+     * register, which is precisely how control-flow errors perturb
+     * item counts in the paper.
+     */
+    void forDown(Reg cnt, Word n, const std::function<void()> &body);
+
+    // ------------------------------------------------------------------
+    // Moves and immediates.
+    // ------------------------------------------------------------------
+
+    void nop();
+    void halt();
+    void li(Reg rd, Word imm);
+    void lif(Reg rd, float value);
+    void mov(Reg rd, Reg rs);
+
+    // ------------------------------------------------------------------
+    // Integer ALU.
+    // ------------------------------------------------------------------
+
+    void add(Reg rd, Reg rs1, Reg rs2);
+    void sub(Reg rd, Reg rs1, Reg rs2);
+    void mul(Reg rd, Reg rs1, Reg rs2);
+    void divu(Reg rd, Reg rs1, Reg rs2);
+    void divs(Reg rd, Reg rs1, Reg rs2);
+    void remu(Reg rd, Reg rs1, Reg rs2);
+    void and_(Reg rd, Reg rs1, Reg rs2);
+    void or_(Reg rd, Reg rs1, Reg rs2);
+    void xor_(Reg rd, Reg rs1, Reg rs2);
+    void sll(Reg rd, Reg rs1, Reg rs2);
+    void srl(Reg rd, Reg rs1, Reg rs2);
+    void sra(Reg rd, Reg rs1, Reg rs2);
+    void slt(Reg rd, Reg rs1, Reg rs2);
+    void sltu(Reg rd, Reg rs1, Reg rs2);
+
+    void addi(Reg rd, Reg rs1, SWord imm);
+    void andi(Reg rd, Reg rs1, Word imm);
+    void ori(Reg rd, Reg rs1, Word imm);
+    void xori(Reg rd, Reg rs1, Word imm);
+    void slli(Reg rd, Reg rs1, Word sh);
+    void srli(Reg rd, Reg rs1, Word sh);
+    void srai(Reg rd, Reg rs1, Word sh);
+
+    // ------------------------------------------------------------------
+    // Floating point.
+    // ------------------------------------------------------------------
+
+    void fadd(Reg rd, Reg rs1, Reg rs2);
+    void fsub(Reg rd, Reg rs1, Reg rs2);
+    void fmul(Reg rd, Reg rs1, Reg rs2);
+    void fdiv(Reg rd, Reg rs1, Reg rs2);
+    void fsqrt(Reg rd, Reg rs1);
+    void fabs_(Reg rd, Reg rs1);
+    void fneg(Reg rd, Reg rs1);
+    void fmin(Reg rd, Reg rs1, Reg rs2);
+    void fmax(Reg rd, Reg rs1, Reg rs2);
+    void cvtif(Reg rd, Reg rs1);
+    void cvtfi(Reg rd, Reg rs1);
+    void feq(Reg rd, Reg rs1, Reg rs2);
+    void flt(Reg rd, Reg rs1, Reg rs2);
+    void fle(Reg rd, Reg rs1, Reg rs2);
+
+    // ------------------------------------------------------------------
+    // Memory and communication.
+    // ------------------------------------------------------------------
+
+    void lw(Reg rd, Reg base, SWord offset);
+    void sw(Reg rs, Reg base, SWord offset);
+    void push(int out_port, Reg rs);
+    void pop(Reg rd, int in_port);
+
+    // ------------------------------------------------------------------
+    // Nested scopes (paper SS4.4).
+    // ------------------------------------------------------------------
+
+    /**
+     * Open a nested scope with a static instruction estimate; the PPU
+     * module force-completes the scope when execution inside it
+     * exceeds its budget. Must be balanced by scopeExit(). Returns
+     * the scope index.
+     */
+    int scopeEnter(Count estimated_insts);
+
+    /** Close the innermost open scope. */
+    void scopeExit();
+
+    // ------------------------------------------------------------------
+    // Finalization.
+    // ------------------------------------------------------------------
+
+    /** Declare local memory size in words (default 64Ki words). */
+    void setMemWords(std::size_t words);
+
+    /** Record a dynamic-instruction estimate for the PPU watchdog. */
+    void setEstimatedInsts(Count insts);
+
+    /** Current instruction count (useful for building estimates). */
+    std::size_t codeSize() const { return _prog.code.size(); }
+
+    /**
+     * Resolve labels, validate, and return the finished program.
+     * Calls fatal() on malformed programs (an authoring bug).
+     */
+    Program finalize();
+
+  private:
+    Inst &emit(Op op);
+    void branch(Op op, Reg a, Reg b, const std::string &target);
+
+    Program _prog;
+    std::vector<int> _openScopes;
+    std::map<std::string, std::int32_t> _labels;
+    // Instruction index -> unresolved label name.
+    std::vector<std::pair<std::size_t, std::string>> _fixups;
+    bool _finalized = false;
+};
+
+} // namespace commguard::isa
+
+#endif // COMMGUARD_ISA_ASSEMBLER_HH

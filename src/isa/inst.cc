@@ -1,0 +1,94 @@
+#include "isa/inst.hh"
+
+namespace commguard::isa
+{
+
+const char *
+opName(Op op)
+{
+    switch (op) {
+      case Op::Nop: return "nop";
+      case Op::Halt: return "halt";
+      case Op::Li: return "li";
+      case Op::Add: return "add";
+      case Op::Sub: return "sub";
+      case Op::Mul: return "mul";
+      case Op::Divu: return "divu";
+      case Op::Divs: return "divs";
+      case Op::Remu: return "remu";
+      case Op::And: return "and";
+      case Op::Or: return "or";
+      case Op::Xor: return "xor";
+      case Op::Sll: return "sll";
+      case Op::Srl: return "srl";
+      case Op::Sra: return "sra";
+      case Op::Slt: return "slt";
+      case Op::Sltu: return "sltu";
+      case Op::Addi: return "addi";
+      case Op::Andi: return "andi";
+      case Op::Ori: return "ori";
+      case Op::Xori: return "xori";
+      case Op::Slli: return "slli";
+      case Op::Srli: return "srli";
+      case Op::Srai: return "srai";
+      case Op::Fadd: return "fadd";
+      case Op::Fsub: return "fsub";
+      case Op::Fmul: return "fmul";
+      case Op::Fdiv: return "fdiv";
+      case Op::Fsqrt: return "fsqrt";
+      case Op::Fabs: return "fabs";
+      case Op::Fneg: return "fneg";
+      case Op::Fmin: return "fmin";
+      case Op::Fmax: return "fmax";
+      case Op::Cvtif: return "cvtif";
+      case Op::Cvtfi: return "cvtfi";
+      case Op::Feq: return "feq";
+      case Op::Flt: return "flt";
+      case Op::Fle: return "fle";
+      case Op::Beq: return "beq";
+      case Op::Bne: return "bne";
+      case Op::Blt: return "blt";
+      case Op::Bge: return "bge";
+      case Op::Bltu: return "bltu";
+      case Op::Bgeu: return "bgeu";
+      case Op::Jmp: return "jmp";
+      case Op::Lw: return "lw";
+      case Op::Sw: return "sw";
+      case Op::Push: return "push";
+      case Op::Pop: return "pop";
+      case Op::ScopeEnter: return "scope.enter";
+      case Op::ScopeExit: return "scope.exit";
+      default: return "???";
+    }
+}
+
+bool
+isMemoryOp(Op op)
+{
+    return op == Op::Lw || op == Op::Sw;
+}
+
+bool
+isQueueOp(Op op)
+{
+    return op == Op::Push || op == Op::Pop;
+}
+
+bool
+isControlOp(Op op)
+{
+    switch (op) {
+      case Op::Beq:
+      case Op::Bne:
+      case Op::Blt:
+      case Op::Bge:
+      case Op::Bltu:
+      case Op::Bgeu:
+      case Op::Jmp:
+        return true;
+      default:
+        return false;
+    }
+}
+
+} // namespace commguard::isa

@@ -1,0 +1,224 @@
+#include "kernels/audio_kernels.hh"
+
+#include <string>
+#include <vector>
+
+#include "isa/assembler.hh"
+
+namespace commguard::kernels
+{
+
+using namespace isa;
+using media::subband::bands;
+using media::subband::quantLevels;
+using media::subband::synthesisScale;
+using media::subband::windowLen;
+
+namespace
+{
+
+class LabelGen
+{
+  public:
+    std::string
+    next(const char *stem)
+    {
+        return std::string(stem) + "_" + std::to_string(_n++);
+    }
+
+  private:
+    int _n = 0;
+};
+
+} // namespace
+
+isa::Program
+buildSubbandDequantSplit(int firings)
+{
+    Assembler a("mp3_dequant_split");
+    a.forDown(R30, static_cast<Word>(firings), [&] {
+        a.lif(R20, 1.0f / static_cast<float>(quantLevels));
+        a.pop(R2, 0);           // scalefactor (float bits)
+        a.fmul(R21, R2, R20);   // combined scale/levels factor
+        a.forDown(R29, bands / 2, [&] {
+            // Even band -> port 0.
+            a.pop(R3, 0);
+            a.cvtif(R4, R3);
+            a.fmul(R5, R4, R21);
+            a.push(0, R5);
+            // Odd band -> port 1.
+            a.pop(R3, 0);
+            a.cvtif(R4, R3);
+            a.fmul(R5, R4, R21);
+            a.push(1, R5);
+        });
+    });
+    a.setEstimatedInsts(static_cast<Count>(firings) *
+                        (bands * 5 + 12));
+    return a.finalize();
+}
+
+isa::Program
+buildImdctPartial(int parity, int firings)
+{
+    Assembler a(parity == 0 ? "mp3_imdct_even" : "mp3_imdct_odd");
+    LabelGen lg;
+
+    // Partial basis with the synthesis scale folded in:
+    // part[j*64+n] = scale * basis[2j+parity][n].
+    const auto &basis = media::subband::mdctBasis();
+    std::vector<float> part;
+    part.reserve(static_cast<std::size_t>(bands / 2) * windowLen);
+    for (int j = 0; j < bands / 2; ++j)
+        for (int n = 0; n < windowLen; ++n)
+            part.push_back(synthesisScale *
+                           basis[2 * j + parity][n]);
+    const Word tab = a.dataFloats(part);
+    const Word cbuf = a.reserve(bands / 2);
+
+    const Count imdct_cost = windowLen * (bands / 2 * 9 + 7) +
+                             bands / 2 * 5 + 12;
+    a.forDown(R30, static_cast<Word>(firings), [&] {
+        a.scopeEnter(imdct_cost);
+        a.li(R10, windowLen);
+        a.li(R12, bands / 2);
+
+        const std::string load = lg.next("mld");
+        a.li(R1, 0);
+        a.label(load);
+        a.pop(R2, 0);
+        a.sw(R2, R1, static_cast<SWord>(cbuf));
+        a.addi(R1, R1, 1);
+        a.blt(R1, R12, load);
+
+        const std::string ln = lg.next("mn");
+        const std::string lj = lg.next("mj");
+        a.li(R1, 0);  // n
+        a.label(ln);
+        a.lif(R4, 0.0f);
+        a.li(R3, 0);  // j*64
+        a.li(R2, 0);  // j
+        a.label(lj);
+        a.add(R7, R3, R1);
+        a.lw(R8, R7, static_cast<SWord>(tab));
+        a.lw(R9, R2, static_cast<SWord>(cbuf));
+        a.fmul(R5, R8, R9);
+        a.fadd(R4, R4, R5);
+        a.addi(R3, R3, windowLen);
+        a.addi(R2, R2, 1);
+        a.blt(R2, R12, lj);
+        a.push(0, R4);
+        a.addi(R1, R1, 1);
+        a.blt(R1, R10, ln);
+        a.scopeExit();
+    });
+    a.setEstimatedInsts(static_cast<Count>(firings) *
+                        (windowLen * (bands / 2 * 9 + 7) +
+                         bands / 2 * 5 + 12));
+    return a.finalize();
+}
+
+isa::Program
+buildJoinAdd(int firings)
+{
+    Assembler a("mp3_join_add");
+    LabelGen lg;
+    const Word buf = a.reserve(windowLen);
+
+    a.forDown(R30, static_cast<Word>(firings), [&] {
+        a.scopeEnter(windowLen * 11 + 8);
+        a.li(R10, windowLen);
+
+        const std::string l0 = lg.next("ja");
+        a.li(R1, 0);
+        a.label(l0);
+        a.pop(R2, 0);
+        a.sw(R2, R1, static_cast<SWord>(buf));
+        a.addi(R1, R1, 1);
+        a.blt(R1, R10, l0);
+
+        const std::string l1 = lg.next("jb");
+        a.li(R1, 0);
+        a.label(l1);
+        a.pop(R2, 1);
+        a.lw(R3, R1, static_cast<SWord>(buf));
+        a.fadd(R4, R2, R3);
+        a.push(0, R4);
+        a.addi(R1, R1, 1);
+        a.blt(R1, R10, l1);
+        a.scopeExit();
+    });
+    a.setEstimatedInsts(static_cast<Count>(firings) *
+                        (windowLen * 11 + 8));
+    return a.finalize();
+}
+
+isa::Program
+buildOverlapAdd(int firings)
+{
+    Assembler a("mp3_overlap_add");
+    LabelGen lg;
+    const Word prev = a.reserve(bands);     // Persistent tail state.
+    const Word ybuf = a.reserve(windowLen);
+
+    a.forDown(R30, static_cast<Word>(firings), [&] {
+        a.scopeEnter(windowLen * 10 + 12);
+        a.li(R10, bands);
+        a.li(R11, windowLen);
+
+        const std::string load = lg.next("old");
+        a.li(R1, 0);
+        a.label(load);
+        a.pop(R2, 0);
+        a.sw(R2, R1, static_cast<SWord>(ybuf));
+        a.addi(R1, R1, 1);
+        a.blt(R1, R11, load);
+
+        // Emit head + previous tail.
+        const std::string emit = lg.next("oem");
+        a.li(R1, 0);
+        a.label(emit);
+        a.lw(R2, R1, static_cast<SWord>(ybuf));
+        a.lw(R3, R1, static_cast<SWord>(prev));
+        a.fadd(R4, R2, R3);
+        a.push(0, R4);
+        a.addi(R1, R1, 1);
+        a.blt(R1, R10, emit);
+
+        // Save the new tail.
+        const std::string save = lg.next("osv");
+        a.li(R1, 0);
+        a.label(save);
+        a.addi(R5, R1, bands);
+        a.lw(R2, R5, static_cast<SWord>(ybuf));
+        a.sw(R2, R1, static_cast<SWord>(prev));
+        a.addi(R1, R1, 1);
+        a.blt(R1, R10, save);
+        a.scopeExit();
+    });
+    a.setEstimatedInsts(static_cast<Count>(firings) *
+                        (windowLen * 10 + 12));
+    return a.finalize();
+}
+
+isa::Program
+buildPcmClamp(int firings)
+{
+    Assembler a("mp3_pcm");
+    a.forDown(R30, static_cast<Word>(firings), [&] {
+        a.lif(R20, 32767.0f);
+        a.lif(R21, -32767.0f);
+        a.forDown(R29, bands, [&] {
+            a.pop(R2, 0);
+            a.fmul(R3, R2, R20);
+            a.fmin(R3, R3, R20);
+            a.fmax(R3, R3, R21);
+            a.cvtfi(R4, R3);
+            a.push(0, R4);
+        });
+    });
+    a.setEstimatedInsts(static_cast<Count>(firings) * (bands * 8 + 8));
+    return a.finalize();
+}
+
+} // namespace commguard::kernels

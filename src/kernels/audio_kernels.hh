@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Work programs of the mp3-style subband decoder graph.
+ *
+ * The graph mirrors the paper's mp3 pipeline: unpack (F0), dequantize +
+ * even/odd coefficient split (F1), two parallel partial-IMDCT filters
+ * (F3a/F3b, a split-join like jpeg's — the paper's AFI hazard), join-add
+ * (F4), windowed overlap-add (F5), PCM clamp (F6), and the sink (F7).
+ */
+
+#ifndef COMMGUARD_KERNELS_AUDIO_KERNELS_HH
+#define COMMGUARD_KERNELS_AUDIO_KERNELS_HH
+
+#include "isa/program.hh"
+#include "media/subband_codec.hh"
+
+namespace commguard::kernels
+{
+
+/**
+ * F1: dequantize + split. Per firing pops one block (scalefactor word
+ * plus 32 quantized ints) and pushes 16 even-band floats to port 0 and
+ * 16 odd-band floats to port 1.
+ */
+isa::Program buildSubbandDequantSplit(int firings);
+
+/**
+ * F3a/F3b: partial IMDCT. Per firing pops 16 subband samples (the even
+ * bands for parity 0, odd for parity 1) and pushes the 64-tap partial
+ * synthesis contribution.
+ */
+isa::Program buildImdctPartial(int parity, int firings);
+
+/** F4: join-add. Pops 64 floats from each of 2 ports, pushes sums. */
+isa::Program buildJoinAdd(int firings);
+
+/**
+ * F5: overlap-add. Pops a 64-tap synthesis window, emits 32 PCM-domain
+ * samples (previous tail + current head) and keeps the new tail as
+ * filter state.
+ */
+isa::Program buildOverlapAdd(int firings);
+
+/** F6: scale to 16-bit PCM range, clamp, and round to int. */
+isa::Program buildPcmClamp(int firings);
+
+} // namespace commguard::kernels
+
+#endif // COMMGUARD_KERNELS_AUDIO_KERNELS_HH

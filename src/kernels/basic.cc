@@ -1,0 +1,46 @@
+#include "kernels/basic.hh"
+
+#include "isa/assembler.hh"
+
+namespace commguard::kernels
+{
+
+using namespace isa;
+
+isa::Program
+buildPassthrough(const std::string &name, int items_per_firing,
+                 int firings)
+{
+    Assembler a(name);
+    a.forDown(R30, static_cast<Word>(firings), [&] {
+        a.forDown(R29, static_cast<Word>(items_per_firing), [&] {
+            a.pop(R2, 0);
+            a.push(0, R2);
+        });
+    });
+    a.setEstimatedInsts(static_cast<Count>(firings) *
+                        (4 * items_per_firing + 4));
+    return a.finalize();
+}
+
+isa::Program
+buildClampRange(const std::string &name, float lo, float hi,
+                int items_per_firing, int firings)
+{
+    Assembler a(name);
+    a.forDown(R30, static_cast<Word>(firings), [&] {
+        a.lif(R20, lo);
+        a.lif(R21, hi);
+        a.forDown(R29, static_cast<Word>(items_per_firing), [&] {
+            a.pop(R2, 0);
+            a.fmax(R3, R2, R20);
+            a.fmin(R3, R3, R21);
+            a.push(0, R3);
+        });
+    });
+    a.setEstimatedInsts(static_cast<Count>(firings) *
+                        (6 * items_per_firing + 8));
+    return a.finalize();
+}
+
+} // namespace commguard::kernels

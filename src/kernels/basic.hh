@@ -1,0 +1,36 @@
+/**
+ * @file
+ * Generic stream kernels shared by the benchmark applications.
+ */
+
+#ifndef COMMGUARD_KERNELS_BASIC_HH
+#define COMMGUARD_KERNELS_BASIC_HH
+
+#include <string>
+
+#include "isa/program.hh"
+
+namespace commguard::kernels
+{
+
+/**
+ * Pass-through filter: per firing, pop @p items_per_firing words from
+ * input port 0 and push them unchanged to output port 0. Used for
+ * unpack/staging stages (the paper's jpeg F0 role) and sinks.
+ */
+isa::Program buildPassthrough(const std::string &name,
+                              int items_per_firing, int firings);
+
+/**
+ * Output-formatting sink: clamps float items into the output device's
+ * representable range [lo, hi] (like a DAC or file writer would), so
+ * corrupted values saturate instead of dominating quality metrics.
+ * fmin/fmax also absorb NaN bit patterns.
+ */
+isa::Program buildClampRange(const std::string &name, float lo,
+                             float hi, int items_per_firing,
+                             int firings);
+
+} // namespace commguard::kernels
+
+#endif // COMMGUARD_KERNELS_BASIC_HH

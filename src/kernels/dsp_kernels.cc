@@ -1,0 +1,317 @@
+#include "kernels/dsp_kernels.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "isa/assembler.hh"
+
+namespace commguard::kernels
+{
+
+using namespace isa;
+
+namespace
+{
+
+class LabelGen
+{
+  public:
+    std::string
+    next(const char *stem)
+    {
+        return std::string(stem) + "_" + std::to_string(_n++);
+    }
+
+  private:
+    int _n = 0;
+};
+
+} // namespace
+
+isa::Program
+buildComplexFir(const std::string &name,
+                const std::vector<std::complex<float>> &taps,
+                int firings)
+{
+    Assembler a(name);
+    const int num_taps = static_cast<int>(taps.size());
+    const Word dr = a.reserve(num_taps);  // Real delay line.
+    const Word di = a.reserve(num_taps);  // Imaginary delay line.
+
+    a.forDown(R30, static_cast<Word>(firings), [&] {
+        a.pop(R2, 0);  // re
+        a.pop(R3, 0);  // im
+
+        // Shift the delay lines (unrolled; taps are few).
+        for (int t = num_taps - 1; t >= 1; --t) {
+            a.lw(R4, R0, static_cast<SWord>(dr + t - 1));
+            a.sw(R4, R0, static_cast<SWord>(dr + t));
+            a.lw(R4, R0, static_cast<SWord>(di + t - 1));
+            a.sw(R4, R0, static_cast<SWord>(di + t));
+        }
+        a.sw(R2, R0, static_cast<SWord>(dr));
+        a.sw(R3, R0, static_cast<SWord>(di));
+
+        // Complex MAC accumulation.
+        a.lif(R10, 0.0f);  // acc re
+        a.lif(R11, 0.0f);  // acc im
+        for (int t = 0; t < num_taps; ++t) {
+            a.lw(R4, R0, static_cast<SWord>(dr + t));
+            a.lw(R5, R0, static_cast<SWord>(di + t));
+            a.lif(R6, taps[t].real());
+            a.lif(R7, taps[t].imag());
+            a.fmul(R8, R6, R4);
+            a.fadd(R10, R10, R8);  // + cr*xr
+            a.fmul(R8, R7, R5);
+            a.fsub(R10, R10, R8);  // - ci*xi
+            a.fmul(R8, R6, R5);
+            a.fadd(R11, R11, R8);  // + cr*xi
+            a.fmul(R8, R7, R4);
+            a.fadd(R11, R11, R8);  // + ci*xr
+        }
+        a.push(0, R10);
+        a.push(0, R11);
+    });
+    a.setEstimatedInsts(static_cast<Count>(firings) *
+                        (static_cast<Count>(num_taps) * 16 + 12));
+    return a.finalize();
+}
+
+isa::Program
+buildMagnitude(int firings)
+{
+    Assembler a("magnitude");
+    a.forDown(R30, static_cast<Word>(firings), [&] {
+        a.pop(R2, 0);
+        a.pop(R3, 0);
+        a.fmul(R4, R2, R2);
+        a.fmul(R5, R3, R3);
+        a.fadd(R6, R4, R5);
+        a.fsqrt(R7, R6);
+        a.push(0, R7);
+    });
+    a.setEstimatedInsts(static_cast<Count>(firings) * 10);
+    return a.finalize();
+}
+
+isa::Program
+buildSplitRoundRobin(int ways, int firings)
+{
+    Assembler a("split_rr" + std::to_string(ways));
+    a.forDown(R30, static_cast<Word>(firings), [&] {
+        for (int w = 0; w < ways; ++w) {
+            a.pop(R2, 0);
+            a.push(w, R2);
+        }
+    });
+    a.setEstimatedInsts(static_cast<Count>(firings) * (2 * ways + 4));
+    return a.finalize();
+}
+
+isa::Program
+buildSplitDuplicate(int ways, int firings)
+{
+    Assembler a("split_dup" + std::to_string(ways));
+    a.forDown(R30, static_cast<Word>(firings), [&] {
+        a.pop(R2, 0);
+        for (int w = 0; w < ways; ++w)
+            a.push(w, R2);
+    });
+    a.setEstimatedInsts(static_cast<Count>(firings) * (ways + 5));
+    return a.finalize();
+}
+
+isa::Program
+buildJoinSum(int ways, int firings)
+{
+    Assembler a("join_sum" + std::to_string(ways));
+    a.forDown(R30, static_cast<Word>(firings), [&] {
+        a.pop(R2, 0);
+        for (int w = 1; w < ways; ++w) {
+            a.pop(R3, w);
+            a.fadd(R2, R2, R3);
+        }
+        a.push(0, R2);
+    });
+    a.setEstimatedInsts(static_cast<Count>(firings) * (2 * ways + 5));
+    return a.finalize();
+}
+
+isa::Program
+buildDelayWeight(const std::string &name, int delay, float weight,
+                 int firings)
+{
+    Assembler a(name);
+    LabelGen lg;
+
+    a.forDown(R30, static_cast<Word>(firings), [&] {
+        if (delay == 0) {
+            a.pop(R2, 0);
+            a.lif(R6, weight);
+            a.fmul(R7, R2, R6);
+            a.push(0, R7);
+            return;
+        }
+
+        const Word idx = a.reserve(1);
+        const Word buf = a.reserve(static_cast<std::size_t>(delay));
+        const std::string wrapped = lg.next("dw");
+
+        a.pop(R2, 0);
+        a.lw(R3, R0, static_cast<SWord>(idx));
+        a.lw(R4, R3, static_cast<SWord>(buf));  // Oldest sample.
+        a.sw(R2, R3, static_cast<SWord>(buf));  // Overwrite with new.
+        a.addi(R3, R3, 1);
+        a.li(R5, static_cast<Word>(delay));
+        a.blt(R3, R5, wrapped);
+        a.li(R3, 0);
+        a.label(wrapped);
+        a.sw(R3, R0, static_cast<SWord>(idx));
+        a.lif(R6, weight);
+        a.fmul(R7, R4, R6);
+        a.push(0, R7);
+    });
+    a.setEstimatedInsts(static_cast<Count>(firings) * 16);
+    return a.finalize();
+}
+
+isa::Program
+buildBeamChannel(const std::string &name, int delay,
+                 const std::vector<float> &taps, int firings)
+{
+    Assembler a(name);
+    LabelGen lg;
+    const int num_taps = static_cast<int>(taps.size());
+    const Word idx = a.reserve(1);
+    const Word dbuf =
+        a.reserve(static_cast<std::size_t>(std::max(delay, 1)));
+    const Word fir = a.reserve(static_cast<std::size_t>(num_taps));
+
+    a.forDown(R30, static_cast<Word>(firings), [&] {
+        a.pop(R2, 0);
+
+        // Steering delay through a circular buffer.
+        if (delay == 0) {
+            a.mov(R4, R2);
+        } else {
+            const std::string wrapped = lg.next("bc");
+            a.lw(R3, R0, static_cast<SWord>(idx));
+            a.lw(R4, R3, static_cast<SWord>(dbuf));
+            a.sw(R2, R3, static_cast<SWord>(dbuf));
+            a.addi(R3, R3, 1);
+            a.li(R5, static_cast<Word>(delay));
+            a.blt(R3, R5, wrapped);
+            a.li(R3, 0);
+            a.label(wrapped);
+            a.sw(R3, R0, static_cast<SWord>(idx));
+        }
+
+        // Interpolation FIR on the delayed sample (shift + MAC).
+        for (int t = num_taps - 1; t >= 1; --t) {
+            a.lw(R6, R0, static_cast<SWord>(fir + t - 1));
+            a.sw(R6, R0, static_cast<SWord>(fir + t));
+        }
+        a.sw(R4, R0, static_cast<SWord>(fir));
+        a.lif(R10, 0.0f);
+        for (int t = 0; t < num_taps; ++t) {
+            a.lw(R6, R0, static_cast<SWord>(fir + t));
+            a.lif(R7, taps[t]);
+            a.fmul(R8, R6, R7);
+            a.fadd(R10, R10, R8);
+        }
+        a.push(0, R10);
+    });
+    a.setEstimatedInsts(static_cast<Count>(firings) *
+                        (static_cast<Count>(num_taps) * 8 + 20));
+    return a.finalize();
+}
+
+isa::Program
+buildVocoderBand(const std::string &name,
+                 const std::vector<float> &taps, float env_alpha,
+                 float carrier_step, int firings)
+{
+    Assembler a(name);
+    LabelGen lg;
+    const int num_taps = static_cast<int>(taps.size());
+    const Word dl = a.reserve(static_cast<std::size_t>(num_taps));
+    const Word env = a.reserve(1);
+    // Oscillator state (cos, sin) initialized to phase 0.
+    const Word osc = a.dataFloats({1.0f, 0.0f});
+
+    const float cos_d = std::cos(carrier_step);
+    const float sin_d = std::sin(carrier_step);
+
+    a.forDown(R30, static_cast<Word>(firings), [&] {
+        a.pop(R2, 0);
+
+        // Bandpass FIR (shift + MAC, unrolled).
+        for (int t = num_taps - 1; t >= 1; --t) {
+            a.lw(R4, R0, static_cast<SWord>(dl + t - 1));
+            a.sw(R4, R0, static_cast<SWord>(dl + t));
+        }
+        a.sw(R2, R0, static_cast<SWord>(dl));
+        a.lif(R10, 0.0f);
+        for (int t = 0; t < num_taps; ++t) {
+            a.lw(R4, R0, static_cast<SWord>(dl + t));
+            a.lif(R5, taps[t]);
+            a.fmul(R6, R4, R5);
+            a.fadd(R10, R10, R6);
+        }
+
+        // Envelope follower: e += alpha * (|y| - e), bounded to
+        // [0, 4] so a corrupted stored envelope heals immediately
+        // (fmin/fmax also absorb NaN) -- self-stabilizing filter
+        // state in the sense of paper SS9.
+        a.fabs_(R11, R10);
+        a.lw(R12, R0, static_cast<SWord>(env));
+        a.fsub(R13, R11, R12);
+        a.lif(R14, env_alpha);
+        a.fmul(R13, R13, R14);
+        a.fadd(R12, R12, R13);
+        a.lif(R14, 0.0f);
+        a.fmax(R12, R12, R14);
+        a.lif(R14, 4.0f);
+        a.fmin(R12, R12, R14);
+        a.sw(R12, R0, static_cast<SWord>(env));
+
+        // Carrier oscillator rotation. Rotation preserves magnitude,
+        // so a corrupted (cos, sin) pair would persist forever; reset
+        // the phasor whenever its norm leaves [0.25, 4] (the
+        // comparisons are also false for NaN, forcing a reset).
+        a.lw(R15, R0, static_cast<SWord>(osc));      // cos
+        a.lw(R16, R0, static_cast<SWord>(osc + 1));  // sin
+        a.fmul(R19, R15, R15);
+        a.fmul(R20, R16, R16);
+        a.fadd(R21, R19, R20);  // norm^2
+        a.lif(R22, 0.25f);
+        a.lif(R23, 4.0f);
+        a.fle(R24, R22, R21);   // norm >= 0.25 ?
+        a.fle(R25, R21, R23);   // norm <= 4 ?
+        a.and_(R24, R24, R25);
+        const std::string healthy = lg.next("vb_osc_ok");
+        a.bne(R24, R0, healthy);
+        a.lif(R15, 1.0f);
+        a.lif(R16, 0.0f);
+        a.label(healthy);
+        a.lif(R17, cos_d);
+        a.lif(R18, sin_d);
+        a.fmul(R19, R15, R17);
+        a.fmul(R20, R16, R18);
+        a.fsub(R21, R19, R20);  // cos'
+        a.fmul(R19, R16, R17);
+        a.fmul(R20, R15, R18);
+        a.fadd(R22, R19, R20);  // sin'
+        a.sw(R21, R0, static_cast<SWord>(osc));
+        a.sw(R22, R0, static_cast<SWord>(osc + 1));
+
+        // Modulate the envelope onto the carrier.
+        a.fmul(R23, R12, R22);
+        a.push(0, R23);
+    });
+    a.setEstimatedInsts(static_cast<Count>(firings) *
+                        (static_cast<Count>(num_taps) * 8 + 36));
+    return a.finalize();
+}
+
+} // namespace commguard::kernels

@@ -1,0 +1,81 @@
+/**
+ * @file
+ * DSP work programs for the complex-fir, audiobeamformer, and
+ * channelvocoder benchmarks.
+ */
+
+#ifndef COMMGUARD_KERNELS_DSP_KERNELS_HH
+#define COMMGUARD_KERNELS_DSP_KERNELS_HH
+
+#include <complex>
+#include <string>
+#include <vector>
+
+#include "isa/program.hh"
+
+namespace commguard::kernels
+{
+
+/**
+ * Complex FIR section. Per firing pops an interleaved (re, im) sample,
+ * filters it through @p taps, and pushes the filtered (re, im) pair.
+ * The delay line is filter state in core-local memory. Tap loops are
+ * unrolled (taps are small), as a compiler would for fixed
+ * coefficients.
+ */
+isa::Program buildComplexFir(const std::string &name,
+                             const std::vector<std::complex<float>> &taps,
+                             int firings);
+
+/** Magnitude: per firing pops (re, im) and pushes sqrt(re^2 + im^2). */
+isa::Program buildMagnitude(int firings);
+
+/**
+ * Round-robin splitter: per firing pops @p ways items from input port
+ * 0 and pushes the i-th to output port i.
+ */
+isa::Program buildSplitRoundRobin(int ways, int firings);
+
+/**
+ * Duplicating splitter: per firing pops one item and pushes it to all
+ * @p ways output ports.
+ */
+isa::Program buildSplitDuplicate(int ways, int firings);
+
+/**
+ * Summing joiner: per firing pops one float from each of @p ways input
+ * ports and pushes their sum.
+ */
+isa::Program buildJoinSum(int ways, int firings);
+
+/**
+ * Beamformer channel: per firing pops one sample, delays it by
+ * @p delay samples (circular buffer state) and scales by @p weight.
+ */
+isa::Program buildDelayWeight(const std::string &name, int delay,
+                              float weight, int firings);
+
+/**
+ * Beamformer channel with interpolation filtering: per firing pops
+ * one sample, applies the steering delay (circular buffer state),
+ * then runs the delayed sample through a real FIR (@p taps, channel
+ * weight folded in) — the StreamIt beamformer's per-channel
+ * interpolate/decimate structure.
+ */
+isa::Program buildBeamChannel(const std::string &name, int delay,
+                              const std::vector<float> &taps,
+                              int firings);
+
+/**
+ * Vocoder band: bandpass FIR (@p taps, unrolled) -> envelope follower
+ * (one-pole, coefficient @p env_alpha) -> ring modulation by a carrier
+ * oscillator advancing @p carrier_step radians per sample.
+ */
+isa::Program buildVocoderBand(const std::string &name,
+                              const std::vector<float> &taps,
+                              float env_alpha, float carrier_step,
+                              int firings);
+
+} // namespace commguard::kernels
+
+#endif // COMMGUARD_KERNELS_DSP_KERNELS_HH

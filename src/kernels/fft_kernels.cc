@@ -1,0 +1,194 @@
+#include "kernels/fft_kernels.hh"
+
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include "common/logging.hh"
+#include "isa/assembler.hh"
+
+namespace commguard::kernels
+{
+
+using namespace isa;
+
+namespace
+{
+
+class LabelGen
+{
+  public:
+    std::string
+    next(const char *stem)
+    {
+        return std::string(stem) + "_" + std::to_string(_n++);
+    }
+
+  private:
+    int _n = 0;
+};
+
+int
+log2int(int n)
+{
+    int bits = 0;
+    while ((1 << bits) < n)
+        ++bits;
+    return bits;
+}
+
+} // namespace
+
+isa::Program
+buildBitReverse(int n, int firings)
+{
+    if ((n & (n - 1)) != 0)
+        fatal("buildBitReverse: n must be a power of two");
+
+    Assembler a("fft_bitrev" + std::to_string(n));
+    LabelGen lg;
+
+    const int bits = log2int(n);
+    std::vector<Word> rev(static_cast<std::size_t>(n));
+    for (int i = 0; i < n; ++i) {
+        Word r = 0;
+        for (int b = 0; b < bits; ++b)
+            if (i & (1 << b))
+                r |= 1u << (bits - 1 - b);
+        rev[i] = r;
+    }
+    const Word rev_base = a.dataWords(rev);
+    const Word buf = a.reserve(static_cast<std::size_t>(2 * n));
+
+    a.forDown(R30, static_cast<Word>(firings), [&] {
+        a.scopeEnter(static_cast<Count>(n) * 15 + 12);
+        a.li(R10, static_cast<Word>(2 * n));
+        a.li(R11, static_cast<Word>(n));
+
+        const std::string load = lg.next("bld");
+        a.li(R1, 0);
+        a.label(load);
+        a.pop(R2, 0);
+        a.sw(R2, R1, static_cast<SWord>(buf));
+        a.addi(R1, R1, 1);
+        a.blt(R1, R10, load);
+
+        const std::string emit = lg.next("bem");
+        a.li(R1, 0);
+        a.label(emit);
+        a.lw(R3, R1, static_cast<SWord>(rev_base));
+        a.slli(R4, R3, 1);
+        a.lw(R2, R4, static_cast<SWord>(buf));
+        a.push(0, R2);
+        a.addi(R4, R4, 1);
+        a.lw(R2, R4, static_cast<SWord>(buf));
+        a.push(0, R2);
+        a.addi(R1, R1, 1);
+        a.blt(R1, R11, emit);
+        a.scopeExit();
+    });
+    a.setEstimatedInsts(static_cast<Count>(firings) *
+                        (static_cast<Count>(n) * 15 + 12));
+    return a.finalize();
+}
+
+isa::Program
+buildFftStage(int n, int stage, int firings)
+{
+    if ((n & (n - 1)) != 0)
+        fatal("buildFftStage: n must be a power of two");
+    if (stage < 0 || (1 << stage) >= n)
+        fatal("buildFftStage: stage out of range");
+
+    Assembler a("fft_stage" + std::to_string(stage));
+    LabelGen lg;
+
+    const int half = 1 << stage;
+    const int m = half * 2;
+    const int tw_stride = n / m;
+
+    // Forward twiddles W_t = exp(-2*pi*i*t/n), t in [0, n/2).
+    std::vector<float> wr(static_cast<std::size_t>(n / 2));
+    std::vector<float> wi(static_cast<std::size_t>(n / 2));
+    const double pi = std::acos(-1.0);
+    for (int t = 0; t < n / 2; ++t) {
+        wr[t] = static_cast<float>(std::cos(2 * pi * t / n));
+        wi[t] = static_cast<float>(-std::sin(2 * pi * t / n));
+    }
+    const Word wr_base = a.dataFloats(wr);
+    const Word wi_base = a.dataFloats(wi);
+    const Word buf = a.reserve(static_cast<std::size_t>(2 * n));
+
+    const Count stage_cost = static_cast<Count>(n / 2) * 34 +
+                             static_cast<Count>(n) * 9 + 16;
+    a.forDown(R30, static_cast<Word>(firings), [&] {
+        a.scopeEnter(stage_cost);
+        a.li(R10, static_cast<Word>(2 * n));
+        a.li(R11, static_cast<Word>(n));
+        a.li(R12, static_cast<Word>(tw_stride));
+        a.li(R13, static_cast<Word>(half));
+        a.li(R15, static_cast<Word>(2 * half));
+
+        const std::string load = lg.next("sld");
+        a.li(R1, 0);
+        a.label(load);
+        a.pop(R2, 0);
+        a.sw(R2, R1, static_cast<SWord>(buf));
+        a.addi(R1, R1, 1);
+        a.blt(R1, R10, load);
+
+        const std::string lj = lg.next("sj");
+        const std::string li_loop = lg.next("si");
+        a.li(R1, 0);  // j
+        a.label(lj);
+        a.li(R2, 0);  // i
+        a.label(li_loop);
+        a.mul(R3, R2, R12);  // twiddle index
+        a.lw(R16, R3, static_cast<SWord>(wr_base));
+        a.lw(R17, R3, static_cast<SWord>(wi_base));
+        a.add(R4, R1, R2);
+        a.slli(R4, R4, 1);   // idx1 = 2*(j+i)
+        a.lw(R18, R4, static_cast<SWord>(buf));  // ar
+        a.addi(R5, R4, 1);
+        a.lw(R19, R5, static_cast<SWord>(buf));  // ai
+        a.add(R6, R4, R15);  // idx2 = idx1 + 2*half
+        a.lw(R20, R6, static_cast<SWord>(buf));  // br
+        a.addi(R7, R6, 1);
+        a.lw(R21, R7, static_cast<SWord>(buf));  // bi
+        // t = b * W
+        a.fmul(R22, R20, R16);
+        a.fmul(R23, R21, R17);
+        a.fsub(R22, R22, R23);  // tr
+        a.fmul(R23, R20, R17);
+        a.fmul(R24, R21, R16);
+        a.fadd(R23, R23, R24);  // ti
+        // a +- t
+        a.fadd(R25, R18, R22);
+        a.fsub(R26, R18, R22);
+        a.fadd(R27, R19, R23);
+        a.fsub(R28, R19, R23);
+        a.sw(R25, R4, static_cast<SWord>(buf));
+        a.sw(R27, R5, static_cast<SWord>(buf));
+        a.sw(R26, R6, static_cast<SWord>(buf));
+        a.sw(R28, R7, static_cast<SWord>(buf));
+        a.addi(R2, R2, 1);
+        a.blt(R2, R13, li_loop);
+        a.addi(R1, R1, m);
+        a.blt(R1, R11, lj);
+
+        const std::string emit = lg.next("sem");
+        a.li(R1, 0);
+        a.label(emit);
+        a.lw(R2, R1, static_cast<SWord>(buf));
+        a.push(0, R2);
+        a.addi(R1, R1, 1);
+        a.blt(R1, R10, emit);
+        a.scopeExit();
+    });
+    a.setEstimatedInsts(static_cast<Count>(firings) *
+                        (static_cast<Count>(n / 2) * 34 +
+                         static_cast<Count>(n) * 9 + 16));
+    return a.finalize();
+}
+
+} // namespace commguard::kernels

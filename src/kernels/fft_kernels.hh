@@ -1,0 +1,34 @@
+/**
+ * @file
+ * Work programs of the fft benchmark: a radix-2 decimation-in-time FFT
+ * expressed as a pipeline of butterfly-stage filters, the classic
+ * StreamIt FFT structure.
+ *
+ * Samples travel as interleaved complex words (re at 2i, im at 2i+1);
+ * each firing transforms one n-point block (2n words).
+ */
+
+#ifndef COMMGUARD_KERNELS_FFT_KERNELS_HH
+#define COMMGUARD_KERNELS_FFT_KERNELS_HH
+
+#include "isa/program.hh"
+
+namespace commguard::kernels
+{
+
+/**
+ * Bit-reversal permutation: per firing pops 2n words and pushes them
+ * permuted to DIT input order. @p n must be a power of two.
+ */
+isa::Program buildBitReverse(int n, int firings);
+
+/**
+ * One butterfly stage (stage index @p stage in [0, log2(n))): per
+ * firing pops a 2n-word block, applies the stage's n/2 butterflies
+ * with forward twiddles W = exp(-2*pi*i*t/n), and pushes the block.
+ */
+isa::Program buildFftStage(int n, int stage, int firings);
+
+} // namespace commguard::kernels
+
+#endif // COMMGUARD_KERNELS_FFT_KERNELS_HH

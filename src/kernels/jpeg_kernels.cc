@@ -1,0 +1,351 @@
+#include "kernels/jpeg_kernels.hh"
+
+#include <vector>
+
+#include "isa/assembler.hh"
+
+namespace commguard::kernels
+{
+
+using namespace isa;
+using media::jpeg::blockDim;
+using media::jpeg::blockSize;
+using media::jpeg::channels;
+
+namespace
+{
+
+/** Unique label generator, local to one program build. */
+class LabelGen
+{
+  public:
+    std::string
+    next(const char *stem)
+    {
+        return std::string(stem) + "_" + std::to_string(_n++);
+    }
+
+  private:
+    int _n = 0;
+};
+
+/** Basis table as floats, flattened B[u*8+x]. */
+std::vector<float>
+basisFloats()
+{
+    const auto &basis = media::jpeg::dctBasis();
+    std::vector<float> flat;
+    flat.reserve(blockSize);
+    for (int u = 0; u < blockDim; ++u)
+        for (int x = 0; x < blockDim; ++x)
+            flat.push_back(static_cast<float>(basis[u][x]));
+    return flat;
+}
+
+} // namespace
+
+isa::Program
+buildJpegDequant(
+    const std::array<float, media::jpeg::blockSize> &qt_zigzag,
+    int firings)
+{
+    Assembler a("jpeg_dequant");
+    LabelGen lg;
+    const Word qt = a.dataFloats(
+        std::vector<float>(qt_zigzag.begin(), qt_zigzag.end()));
+
+    a.forDown(R30, static_cast<Word>(firings), [&] {
+        a.scopeEnter(blockSize * 7 + 8);
+        const std::string loop = lg.next("deq");
+        a.li(R10, blockSize);
+        a.li(R1, 0);
+        a.label(loop);
+        a.pop(R2, 0);
+        a.cvtif(R3, R2);
+        a.lw(R4, R1, static_cast<SWord>(qt));
+        a.fmul(R5, R3, R4);
+        a.push(0, R5);
+        a.addi(R1, R1, 1);
+        a.blt(R1, R10, loop);
+        a.scopeExit();
+    });
+    a.setEstimatedInsts(static_cast<Count>(firings) *
+                        (blockSize * 7 + 8));
+    return a.finalize();
+}
+
+isa::Program
+buildInvZigzagSplit3(int firings)
+{
+    Assembler a("jpeg_invzigzag_split");
+    LabelGen lg;
+
+    // zz[i] = natural index of the i-th zigzag coefficient.
+    const auto &zz = media::jpeg::zigzagOrder();
+    std::vector<Word> zz_words(zz.begin(), zz.end());
+    const Word zz_base = a.dataWords(zz_words);
+    const Word buf = a.reserve(blockSize);
+
+    a.forDown(R30, static_cast<Word>(firings), [&] {
+        a.scopeEnter(channels * blockSize * 10 + 16);
+        a.li(R10, blockSize);
+        for (int ch = 0; ch < channels; ++ch) {
+            const std::string in_loop = lg.next("zin");
+            const std::string out_loop = lg.next("zout");
+
+            // Scatter one zigzag block into natural order.
+            a.li(R1, 0);
+            a.label(in_loop);
+            a.pop(R2, 0);
+            a.lw(R3, R1, static_cast<SWord>(zz_base));
+            a.sw(R2, R3, static_cast<SWord>(buf));
+            a.addi(R1, R1, 1);
+            a.blt(R1, R10, in_loop);
+
+            // Emit the natural-order block to this channel's port.
+            a.li(R1, 0);
+            a.label(out_loop);
+            a.lw(R2, R1, static_cast<SWord>(buf));
+            a.push(ch, R2);
+            a.addi(R1, R1, 1);
+            a.blt(R1, R10, out_loop);
+        }
+        a.scopeExit();
+    });
+    a.setEstimatedInsts(static_cast<Count>(firings) *
+                        (channels * blockSize * 10 + 16));
+    return a.finalize();
+}
+
+isa::Program
+buildIdct8x8(int firings)
+{
+    Assembler a("jpeg_idct8x8");
+    LabelGen lg;
+
+    const Word bas = a.dataFloats(basisFloats());
+    const Word in = a.reserve(blockSize);
+    const Word tmp = a.reserve(blockSize);
+
+    a.forDown(R30, static_cast<Word>(firings), [&] {
+        a.scopeEnter(10500);
+        a.li(R10, blockDim);
+        a.li(R11, blockSize);
+
+        // Load the coefficient block.
+        const std::string load = lg.next("ild");
+        a.li(R1, 0);
+        a.label(load);
+        a.pop(R2, 0);
+        a.sw(R2, R1, static_cast<SWord>(in));
+        a.addi(R1, R1, 1);
+        a.blt(R1, R11, load);
+
+        // Pass 1 (columns): tmp[y*8+u] = sum_v B[v*8+y] * in[v*8+u].
+        {
+            const std::string ly = lg.next("p1y");
+            const std::string lu = lg.next("p1u");
+            const std::string lv = lg.next("p1v");
+            a.li(R1, 0);  // y
+            a.label(ly);
+            a.li(R2, 0);  // u
+            a.label(lu);
+            a.lif(R4, 0.0f);
+            a.li(R3, 0);  // v*8
+            a.label(lv);
+            a.add(R7, R3, R1);
+            a.lw(R8, R7, static_cast<SWord>(bas));
+            a.add(R7, R3, R2);
+            a.lw(R9, R7, static_cast<SWord>(in));
+            a.fmul(R5, R8, R9);
+            a.fadd(R4, R4, R5);
+            a.addi(R3, R3, blockDim);
+            a.blt(R3, R11, lv);
+            a.slli(R7, R1, 3);
+            a.add(R7, R7, R2);
+            a.sw(R4, R7, static_cast<SWord>(tmp));
+            a.addi(R2, R2, 1);
+            a.blt(R2, R10, lu);
+            a.addi(R1, R1, 1);
+            a.blt(R1, R10, ly);
+        }
+
+        // Pass 2 (rows): out[y*8+x] = 128 + sum_u B[u*8+x]*tmp[y*8+u],
+        // pushed in raster order.
+        {
+            const std::string ly = lg.next("p2y");
+            const std::string lx = lg.next("p2x");
+            const std::string lu = lg.next("p2u");
+            a.lif(R12, 128.0f);
+            a.li(R1, 0);  // y
+            a.label(ly);
+            a.slli(R13, R1, 3);
+            a.li(R2, 0);  // x
+            a.label(lx);
+            a.lif(R4, 0.0f);
+            a.li(R3, 0);  // u
+            a.label(lu);
+            a.slli(R7, R3, 3);
+            a.add(R7, R7, R2);
+            a.lw(R8, R7, static_cast<SWord>(bas));
+            a.add(R7, R13, R3);
+            a.lw(R9, R7, static_cast<SWord>(tmp));
+            a.fmul(R5, R8, R9);
+            a.fadd(R4, R4, R5);
+            a.addi(R3, R3, 1);
+            a.blt(R3, R10, lu);
+            a.fadd(R4, R4, R12);
+            a.push(0, R4);
+            a.addi(R2, R2, 1);
+            a.blt(R2, R10, lx);
+            a.addi(R1, R1, 1);
+            a.blt(R1, R10, ly);
+        }
+        a.scopeExit();
+    });
+    a.setEstimatedInsts(static_cast<Count>(firings) * 10500);
+    return a.finalize();
+}
+
+isa::Program
+buildJoin3Interleave(int firings)
+{
+    Assembler a("jpeg_join3");
+    LabelGen lg;
+    const Word buf = a.reserve(channels * blockSize);
+
+    a.forDown(R30, static_cast<Word>(firings), [&] {
+        a.scopeEnter(channels * blockSize * 9 + 16);
+        a.li(R10, blockSize);
+        for (int ch = 0; ch < channels; ++ch) {
+            const std::string in_loop = lg.next("jin");
+            a.li(R1, 0);
+            a.label(in_loop);
+            a.pop(R2, ch);
+            a.sw(R2, R1,
+                 static_cast<SWord>(buf + ch * blockSize));
+            a.addi(R1, R1, 1);
+            a.blt(R1, R10, in_loop);
+        }
+        const std::string out_loop = lg.next("jout");
+        a.li(R1, 0);
+        a.label(out_loop);
+        a.lw(R2, R1, static_cast<SWord>(buf));
+        a.push(0, R2);
+        a.lw(R2, R1, static_cast<SWord>(buf + blockSize));
+        a.push(0, R2);
+        a.lw(R2, R1, static_cast<SWord>(buf + 2 * blockSize));
+        a.push(0, R2);
+        a.addi(R1, R1, 1);
+        a.blt(R1, R10, out_loop);
+        a.scopeExit();
+    });
+    a.setEstimatedInsts(static_cast<Count>(firings) *
+                        (channels * blockSize * 9 + 16));
+    return a.finalize();
+}
+
+isa::Program
+buildClamp255(int firings)
+{
+    Assembler a("jpeg_clamp");
+    a.forDown(R30, static_cast<Word>(firings), [&] {
+        a.lif(R20, 0.0f);
+        a.lif(R21, 255.0f);
+        a.forDown(R29, channels * blockSize, [&] {
+            a.pop(R2, 0);
+            a.fmax(R3, R2, R20);
+            a.fmin(R3, R3, R21);
+            a.push(0, R3);
+        });
+    });
+    a.setEstimatedInsts(static_cast<Count>(firings) *
+                        (channels * blockSize * 6 + 8));
+    return a.finalize();
+}
+
+isa::Program
+buildRoundToByte(int firings)
+{
+    Assembler a("jpeg_round");
+    a.forDown(R30, static_cast<Word>(firings), [&] {
+        a.lif(R20, 0.5f);
+        a.forDown(R29, channels * blockSize, [&] {
+            a.pop(R2, 0);
+            a.fadd(R3, R2, R20);
+            a.cvtfi(R4, R3);
+            a.push(0, R4);
+        });
+    });
+    a.setEstimatedInsts(static_cast<Count>(firings) *
+                        (channels * blockSize * 6 + 8));
+    return a.finalize();
+}
+
+isa::Program
+buildRowAssembler(int width, int firings)
+{
+    Assembler a("jpeg_rows");
+    LabelGen lg;
+
+    const int blocks = width / blockDim;
+    const int row_words = width * blockDim * channels;
+    const Word rowbuf = a.reserve(static_cast<std::size_t>(row_words));
+
+    const Count row_cost = static_cast<Count>(blocks) * blockSize * 30 +
+                           static_cast<Count>(row_words) * 4 + 32;
+    a.forDown(R30, static_cast<Word>(firings), [&] {
+        a.scopeEnter(row_cost);
+        a.li(R15, static_cast<Word>(width));
+        a.li(R16, channels);
+        a.li(R17, blockSize);
+        a.li(R18, static_cast<Word>(blocks));
+        a.li(R19, static_cast<Word>(row_words));
+
+        const std::string lbx = lg.next("rbx");
+        const std::string lp = lg.next("rp");
+        const std::string lc = lg.next("rc");
+        const std::string lout = lg.next("rout");
+
+        // Scatter incoming block-raster samples into the row buffer.
+        a.li(R1, 0);  // bx
+        a.label(lbx);
+        a.slli(R14, R1, 3);  // bx*8
+        a.li(R2, 0);         // p: pixel index within block
+        a.label(lp);
+        a.srli(R5, R2, 3);   // y = p >> 3
+        a.andi(R6, R2, 7);   // x = p & 7
+        a.mul(R7, R5, R15);  // y*width
+        a.add(R7, R7, R14);
+        a.add(R7, R7, R6);
+        a.slli(R8, R7, 1);
+        a.add(R7, R7, R8);   // *3
+        a.li(R3, 0);         // c
+        a.label(lc);
+        a.pop(R4, 0);
+        a.add(R9, R7, R3);
+        a.sw(R4, R9, static_cast<SWord>(rowbuf));
+        a.addi(R3, R3, 1);
+        a.blt(R3, R16, lc);
+        a.addi(R2, R2, 1);
+        a.blt(R2, R17, lp);
+        a.addi(R1, R1, 1);
+        a.blt(R1, R18, lbx);
+
+        // Emit the stripe in image-raster order.
+        a.li(R1, 0);
+        a.label(lout);
+        a.lw(R2, R1, static_cast<SWord>(rowbuf));
+        a.push(0, R2);
+        a.addi(R1, R1, 1);
+        a.blt(R1, R19, lout);
+        a.scopeExit();
+    });
+    a.setEstimatedInsts(
+        static_cast<Count>(firings) *
+        (static_cast<Count>(blocks) * blockSize * 30 +
+         static_cast<Count>(row_words) * 4 + 32));
+    return a.finalize();
+}
+
+} // namespace commguard::kernels

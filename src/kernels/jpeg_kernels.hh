@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Work programs of the jpeg decoder graph (paper Fig. 1).
+ *
+ * The 10-node structure mirrors the paper: staging (F0), dequantization
+ * (F1), inverse zigzag + R/G/B split (F2), three parallel 8x8 IDCT
+ * filters (F3R/F3G/F3B), interleaving join (F4), clamping (F5),
+ * rounding (F6), and the row assembler/sink (F7) whose firing consumes
+ * a whole 8-pixel-high stripe — the paper's width*8*3-item frame.
+ */
+
+#ifndef COMMGUARD_KERNELS_JPEG_KERNELS_HH
+#define COMMGUARD_KERNELS_JPEG_KERNELS_HH
+
+#include <array>
+
+#include "isa/program.hh"
+#include "media/jpeg_codec.hh"
+
+namespace commguard::kernels
+{
+
+/**
+ * F1: dequantize. Per firing pops 64 quantized int coefficients
+ * (zigzag order) and pushes 64 dequantized floats.
+ *
+ * @param qt_zigzag Quantization table reordered to zigzag sequence.
+ */
+isa::Program buildJpegDequant(
+    const std::array<float, media::jpeg::blockSize> &qt_zigzag,
+    int firings);
+
+/**
+ * F2: inverse zigzag + channel split. Per firing pops 3 blocks of 64
+ * zigzag-ordered floats (R, G, B) and pushes each block in natural
+ * order to output ports 0, 1, 2 respectively.
+ */
+isa::Program buildInvZigzagSplit3(int firings);
+
+/**
+ * F3: 8x8 2D IDCT + level shift. Per firing pops 64 natural-order
+ * coefficients and pushes 64 raster-order samples (float, unclamped,
+ * level-shifted by +128).
+ */
+isa::Program buildIdct8x8(int firings);
+
+/**
+ * F4: join. Per firing pops 64 samples from each of 3 input ports and
+ * pushes 192 pixel-interleaved samples (r,g,b per pixel).
+ */
+isa::Program buildJoin3Interleave(int firings);
+
+/** F5: clamp floats to [0, 255]. 192 items per firing. */
+isa::Program buildClamp255(int firings);
+
+/** F6: round floats to integer bytes. 192 items per firing. */
+isa::Program buildRoundToByte(int firings);
+
+/**
+ * F7: row assembler. One firing consumes a whole 8-pixel-high stripe
+ * (width/8 blocks of 192 block-raster samples) and pushes width*8*3
+ * image-raster bytes to the output.
+ */
+isa::Program buildRowAssembler(int width, int firings);
+
+} // namespace commguard::kernels
+
+#endif // COMMGUARD_KERNELS_JPEG_KERNELS_HH

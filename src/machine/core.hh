@@ -1,0 +1,250 @@
+/**
+ * @file
+ * A partially-protected processor core (PPU, paper §2.1 and [32]).
+ *
+ * The core functionally executes one filter's frame-computation program
+ * with error injection into its register file. The PPU protection
+ * contract is enforced here: control-flow and memory-addressing errors
+ * never crash or hang the core —
+ *  - memory addresses wrap inside core-local memory,
+ *  - arithmetic traps (divide-by-zero, bad float conversion) produce
+ *    benign values,
+ *  - a per-scope watchdog bounds the dynamic instructions of one frame
+ *    computation, force-completing runaway invocations.
+ *
+ * Execution is resumable: a PUSH on a full queue or POP on an empty
+ * queue returns Blocked without committing, and a later run() retries
+ * the same instruction.
+ */
+
+#ifndef COMMGUARD_MACHINE_CORE_HH
+#define COMMGUARD_MACHINE_CORE_HH
+
+#include <string>
+#include <vector>
+
+#include "common/stats.hh"
+#include "common/types.hh"
+#include "isa/program.hh"
+#include "machine/comm_backend.hh"
+#include "machine/error_injector.hh"
+#include "machine/register_file.hh"
+#include "machine/timing.hh"
+#include "machine/trace.hh"
+
+namespace commguard
+{
+
+/** PPU protection parameters. */
+struct PpuConfig
+{
+    /**
+     * Watchdog budget = multiplier x program's estimated insts. The
+     * paper's PPU substrate [32] enforces tight per-scope bounds; a
+     * small margin keeps corrupted loops from flooding queues with
+     * garbage items before the scope is force-completed.
+     */
+    Count watchdogMultiplier = 2;
+
+    /** Budget when the program carries no estimate. */
+    Count defaultScopeBudget = 1'000'000;
+
+    /** Absolute upper bound on any scope budget. */
+    Count maxScopeBudget = 64'000'000;
+
+    /**
+     * Enforce nested ScopeEnter/ScopeExit budgets (paper SS4.4). When
+     * false the scope instructions are no-ops and only the
+     * per-invocation watchdog protects against runaway loops
+     * (ablation knob).
+     */
+    bool enforceNestedScopes = true;
+
+    /** Maximum tracked nesting depth (deeper scopes are unguarded). */
+    int maxScopeDepth = 8;
+};
+
+/** Why a run() slice ended. */
+enum class RunStatus
+{
+    Done,        //!< Invocation completed (Halt or watchdog).
+    Blocked,     //!< Stuck on a queue operation; retry later.
+    OutOfSteps,  //!< Slice exhausted; more work remains.
+};
+
+/** Result of a run() slice. */
+struct RunResult
+{
+    RunStatus status;
+    Count executed;  //!< Instructions committed during the slice.
+};
+
+/** Hot-path per-core event counters. */
+struct CoreCounters
+{
+    Count committedInsts = 0;
+    Count loads = 0;
+    Count stores = 0;
+    Count queuePushes = 0;
+    Count queuePops = 0;
+    Count registerFlips = 0;
+    Count scopeWatchdogTrips = 0;
+    Count nestedScopeTrips = 0;
+    Count popTimeouts = 0;
+    Count pushTimeouts = 0;
+    Count invocations = 0;
+
+    void
+    exportTo(StatGroup &group) const
+    {
+        group.set("committedInsts", committedInsts);
+        group.set("loads", loads);
+        group.set("stores", stores);
+        group.set("queuePushes", queuePushes);
+        group.set("queuePops", queuePops);
+        group.set("registerFlips", registerFlips);
+        group.set("scopeWatchdogTrips", scopeWatchdogTrips);
+        group.set("nestedScopeTrips", nestedScopeTrips);
+        group.set("popTimeouts", popTimeouts);
+        group.set("pushTimeouts", pushTimeouts);
+        group.set("invocations", invocations);
+    }
+};
+
+/**
+ * One simulated PPU core.
+ */
+class Core
+{
+  public:
+    Core(CoreId id, std::string name);
+
+    // ------------------------------------------------------------------
+    // Configuration (done once by the loader).
+    // ------------------------------------------------------------------
+
+    /** Load the filter program; copies the data segment into memory. */
+    void setProgram(isa::Program program);
+
+    /** Attach the communication backend (not owned). */
+    void setBackend(CommBackend *backend);
+
+    void configureInjector(const ErrorInjector::Config &config);
+    void setTiming(const TimingConfig &timing) { _timing = timing; }
+    void setPpu(const PpuConfig &ppu);
+
+    /** Attach an execution observer (not owned; nullptr disables). */
+    void setTraceSink(TraceSink *sink) { _trace = sink; }
+
+    // ------------------------------------------------------------------
+    // Execution.
+    // ------------------------------------------------------------------
+
+    /** Begin a new frame-computation invocation (registers cleared). */
+    void startInvocation();
+
+    /** Execute up to @p max_steps instructions. */
+    RunResult run(Count max_steps);
+
+    // ------------------------------------------------------------------
+    // Blocked-operation recovery (timeout path, paper §5.1).
+    // ------------------------------------------------------------------
+
+    bool blocked() const { return _blocked; }
+    bool blockedOnPop() const { return _blockedIsPop; }
+    int blockedPort() const { return _blockedPort; }
+
+    /** Commit the stuck pop with @p value (QM timeout). */
+    void resolveBlockedPop(Word value);
+
+    /** Commit the stuck push, dropping its item (QM timeout). */
+    void resolveBlockedPush();
+
+    // ------------------------------------------------------------------
+    // Services for backends.
+    // ------------------------------------------------------------------
+
+    /**
+     * Charge @p insts virtual instructions during which @p queue's
+     * management state is register-resident (software queue routines).
+     * Scheduled errors in the window corrupt the queue or the register
+     * file with equal probability.
+     */
+    void exposeQueueWindow(Count insts, QueueBase &queue);
+
+    /** Charge raw cycles (frame-boundary serialization, ...). */
+    void addCycles(Cycle cycles) { _cycles += cycles; }
+
+    /** Charge the memory-subsystem cost of one queue word transfer. */
+    void chargeQueueTransfer() { _cycles += _timing.queueOpCycles; }
+
+    // ------------------------------------------------------------------
+    // Introspection.
+    // ------------------------------------------------------------------
+
+    CoreId id() const { return _id; }
+    const std::string &name() const { return _name; }
+    RegisterFile &regs() { return _regs; }
+    std::vector<Word> &memory() { return _memory; }
+    ErrorInjector &injector() { return _injector; }
+    CoreCounters &counters() { return _counters; }
+    const CoreCounters &counters() const { return _counters; }
+    Cycle cycles() const { return _cycles; }
+    Count pc() const { return _pc; }
+    const isa::Program &program() const { return _program; }
+
+    /** Flip a random bit of a random live architectural register. */
+    void flipRandomRegisterBit();
+
+    /** Registers the loaded program references (injection targets). */
+    const std::vector<isa::Reg> &usedRegs() const { return _usedRegs; }
+
+  private:
+    /** Commit the instruction at _pc: count, cycle, inject, advance. */
+    void commit(Cycle extra_cycles, Count next_pc);
+
+    CoreId _id;
+    std::string _name;
+
+    isa::Program _program;
+    std::vector<Word> _memory;
+    RegisterFile _regs;
+    ErrorInjector _injector;
+    TimingConfig _timing;
+    PpuConfig _ppu;
+    CommBackend *_backend = nullptr;
+    TraceSink *_trace = nullptr;
+
+    /**
+     * Registers referenced by the loaded program (excluding the
+     * hardwired R0). The error injector targets only these: the
+     * paper's x86 cores have a small register file that is essentially
+     * fully live, and flipping architecturally dead registers would
+     * artificially dilute the modeled error rate.
+     */
+    std::vector<isa::Reg> _usedRegs;
+
+    /** One tracked nested scope activation. */
+    struct ScopeFrame
+    {
+        Word id;         //!< Scope table index (matches ScopeExit).
+        std::int32_t exitPc;
+        Count deadline;  //!< instsThisInvocation limit.
+    };
+
+    Count _pc = 0;
+    Count _instsThisInvocation = 0;
+    Count _scopeBudget = 0;
+    std::vector<ScopeFrame> _scopeStack;
+    Cycle _cycles = 0;
+
+    bool _blocked = false;
+    bool _blockedIsPop = false;
+    int _blockedPort = 0;
+
+    CoreCounters _counters;
+};
+
+} // namespace commguard
+
+#endif // COMMGUARD_MACHINE_CORE_HH

@@ -1,0 +1,94 @@
+#include "machine/core_runtime.hh"
+
+namespace commguard
+{
+
+CoreRuntime::StepResult
+CoreRuntime::step(Count max_steps)
+{
+    StepResult result;
+    Count remaining = max_steps;
+
+    while (true) {
+        switch (_phase) {
+          case Phase::FrameStart: {
+            if (_framesCompleted >= _totalFrames) {
+                // Degenerate zero-frame threads.
+                _phase = Phase::Ending;
+                continue;
+            }
+            if (_backend.newFrameComputation() ==
+                QueueOpStatus::Blocked) {
+                result.blocked = true;
+                return result;
+            }
+            // Frame computation invocations serialize push/pop (paper
+            // §5.3): charge the pipeline flush when CommGuard is
+            // active.
+            if (_backend.serializesFrames())
+                _core.addCycles(_timing.frameFlushCycles);
+            _core.startInvocation();
+            _phase = Phase::Running;
+            result.progressed = true;
+            continue;
+          }
+
+          case Phase::Running: {
+            if (remaining == 0)
+                return result;
+            const RunResult run = _core.run(remaining);
+            result.executed += run.executed;
+            remaining -= run.executed;
+            if (run.executed > 0)
+                result.progressed = true;
+
+            if (run.status == RunStatus::Done) {
+                ++_framesCompleted;
+                result.progressed = true;
+                _phase = _framesCompleted >= _totalFrames
+                             ? Phase::Ending
+                             : Phase::FrameStart;
+                continue;
+            }
+            if (run.status == RunStatus::Blocked) {
+                result.blocked = true;
+                return result;
+            }
+            // OutOfSteps: slice exhausted.
+            return result;
+          }
+
+          case Phase::Ending: {
+            if (_backend.endOfComputation() == QueueOpStatus::Blocked) {
+                result.blocked = true;
+                return result;
+            }
+            _phase = Phase::Finished;
+            result.progressed = true;
+            continue;
+          }
+
+          case Phase::Finished:
+            result.finished = true;
+            return result;
+        }
+    }
+}
+
+void
+CoreRuntime::forceTimeout()
+{
+    if (_phase == Phase::Running && _core.blocked()) {
+        if (_core.blockedOnPop()) {
+            const Word value = _backend.timeoutPop(_core.blockedPort());
+            _core.resolveBlockedPop(value);
+        } else {
+            _backend.timeoutPush(_core.blockedPort());
+            _core.resolveBlockedPush();
+        }
+    } else if (_phase == Phase::FrameStart || _phase == Phase::Ending) {
+        _backend.timeoutFrameEvent();
+    }
+}
+
+} // namespace commguard

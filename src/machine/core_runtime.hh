@@ -1,0 +1,86 @@
+/**
+ * @file
+ * The reliable per-core runtime (the PPU protection module's sequencing
+ * role, paper §4.4).
+ *
+ * The runtime guarantees coarse-grained forward progress: it sequences
+ * the thread from one frame computation (scope) to the next, signals
+ * CommGuard at each boundary, invokes the error-prone work program, and
+ * after the final frame emits the end-of-computation event. It is built
+ * from reliable hardware, so its own control state is never corrupted —
+ * only the work inside an invocation is error-prone.
+ */
+
+#ifndef COMMGUARD_MACHINE_CORE_RUNTIME_HH
+#define COMMGUARD_MACHINE_CORE_RUNTIME_HH
+
+#include "machine/core.hh"
+
+namespace commguard
+{
+
+/**
+ * Drives one core through its fixed number of frame computations.
+ */
+class CoreRuntime
+{
+  public:
+    /** Lifecycle of a thread. */
+    enum class Phase
+    {
+        FrameStart,  //!< Signalling the next frame computation.
+        Running,     //!< Executing the work program.
+        Ending,      //!< Emitting the end-of-computation markers.
+        Finished,    //!< Thread complete.
+    };
+
+    /** Outcome of one scheduling slice. */
+    struct StepResult
+    {
+        Count executed = 0;     //!< Instructions committed.
+        bool progressed = false;//!< Any forward progress (incl. phase).
+        bool blocked = false;   //!< Stuck on a queue operation.
+        bool finished = false;  //!< Thread complete.
+    };
+
+    /**
+     * @param core         The driven core.
+     * @param backend      Its communication backend.
+     * @param total_frames Frame computations the thread executes.
+     * @param timing       Cycle-cost model (frame-boundary flushes).
+     */
+    CoreRuntime(Core &core, CommBackend &backend, Count total_frames,
+                const TimingConfig &timing)
+        : _core(core), _backend(backend), _totalFrames(total_frames),
+          _timing(timing)
+    {}
+
+    /** Advance the thread by at most @p max_steps instructions. */
+    StepResult step(Count max_steps);
+
+    /**
+     * Resolve whatever queue operation has been blocking this thread
+     * (QM timeout, paper §5.1).
+     */
+    void forceTimeout();
+
+    Phase phase() const { return _phase; }
+    Count framesCompleted() const { return _framesCompleted; }
+    Count totalFrames() const { return _totalFrames; }
+    bool finished() const { return _phase == Phase::Finished; }
+    Core &core() { return _core; }
+    CommBackend &backend() { return _backend; }
+
+  private:
+    Core &_core;
+    CommBackend &_backend;
+    Count _totalFrames;
+    TimingConfig _timing;
+
+    Phase _phase = Phase::FrameStart;
+    Count _framesCompleted = 0;
+};
+
+} // namespace commguard
+
+#endif // COMMGUARD_MACHINE_CORE_RUNTIME_HH

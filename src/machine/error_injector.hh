@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Architectural error injection (paper §6, "Simulation").
+ *
+ * "Every core in our simulator implements an error injection module that
+ * randomly flips bits in the register file. Each error injector picks a
+ * random target cycle in the future following the mean error rate, and
+ * flips a random bit in the register file when the simulation reaches
+ * the target cycle." Inter-arrival times are exponentially distributed
+ * with mean MTBE (in committed instructions); each core's injector is
+ * independent with its own RNG.
+ */
+
+#ifndef COMMGUARD_MACHINE_ERROR_INJECTOR_HH
+#define COMMGUARD_MACHINE_ERROR_INJECTOR_HH
+
+#include <functional>
+
+#include "common/rng.hh"
+#include "common/types.hh"
+
+namespace commguard
+{
+
+/**
+ * Per-core exponential error process over committed instructions.
+ */
+class ErrorInjector
+{
+  public:
+    struct Config
+    {
+        bool enabled = false;
+        double mtbe = 1e6;        //!< Mean instructions between errors.
+        std::uint64_t seed = 1;
+
+        /**
+         * When false (default), flips target only the registers the
+         * loaded program references — modeling the paper's small,
+         * fully-live x86 register file. When true, flips target all
+         * 31 architectural registers uniformly (ablation knob).
+         */
+        bool flipAllRegisters = false;
+    };
+
+    ErrorInjector() = default;
+
+    /** (Re)configure and restart the error process. */
+    void
+    configure(const Config &config)
+    {
+        _config = config;
+        _rng.seed(config.seed);
+        _untilNext = _config.enabled
+            ? _rng.exponential(_config.mtbe) : 0.0;
+    }
+
+    /**
+     * Advance the process by @p insts committed instructions, invoking
+     * @p on_error once per scheduled error in the window.
+     */
+    template <typename F>
+    void
+    advance(Count insts, F &&on_error)
+    {
+        if (!_config.enabled)
+            return;
+        _untilNext -= static_cast<double>(insts);
+        while (_untilNext <= 0.0) {
+            on_error();
+            ++_errorsInjected;
+            _untilNext += _rng.exponential(_config.mtbe);
+        }
+    }
+
+    /** RNG used to pick flip targets (shared with the error process). */
+    Rng &rng() { return _rng; }
+
+    bool enabled() const { return _config.enabled; }
+    double mtbe() const { return _config.mtbe; }
+    bool flipAllRegisters() const { return _config.flipAllRegisters; }
+    Count errorsInjected() const { return _errorsInjected; }
+
+  private:
+    Config _config;
+    Rng _rng;
+    double _untilNext = 0.0;
+    Count _errorsInjected = 0;
+};
+
+} // namespace commguard
+
+#endif // COMMGUARD_MACHINE_ERROR_INJECTOR_HH

@@ -1,0 +1,144 @@
+#include "machine/multicore.hh"
+
+#include "common/logging.hh"
+
+namespace commguard
+{
+
+Core &
+Multicore::addCore(const std::string &name)
+{
+    const CoreId id = static_cast<CoreId>(_cores.size());
+    _cores.push_back(std::make_unique<Core>(id, name));
+    Core &core = *_cores.back();
+    core.setTiming(_config.timing);
+    core.setPpu(_config.ppu);
+    return core;
+}
+
+QueueBase &
+Multicore::addQueue(std::unique_ptr<QueueBase> queue)
+{
+    _queues.push_back(std::move(queue));
+    return *_queues.back();
+}
+
+CommBackend &
+Multicore::addBackend(std::unique_ptr<CommBackend> backend)
+{
+    _backends.push_back(std::move(backend));
+    return *_backends.back();
+}
+
+CoreRuntime &
+Multicore::addRuntime(Core &core, CommBackend &backend,
+                      Count total_frames)
+{
+    core.setBackend(&backend);
+    _runtimes.push_back(std::make_unique<CoreRuntime>(
+        core, backend, total_frames, _config.timing));
+    return *_runtimes.back();
+}
+
+MachineRunResult
+Multicore::run()
+{
+    MachineRunResult result;
+    std::vector<Count> blocked_rounds(_runtimes.size(), 0);
+
+    while (true) {
+        bool all_finished = true;
+        bool any_progress = false;
+
+        for (std::size_t i = 0; i < _runtimes.size(); ++i) {
+            CoreRuntime &runtime = *_runtimes[i];
+            if (runtime.finished())
+                continue;
+            all_finished = false;
+
+            const CoreRuntime::StepResult step =
+                runtime.step(_config.sliceInstructions);
+            if (step.progressed) {
+                any_progress = true;
+                blocked_rounds[i] = 0;
+            } else if (step.blocked) {
+                if (++blocked_rounds[i] >= _config.timeoutRounds) {
+                    // Queue-manager timeout (paper §5.1).
+                    runtime.forceTimeout();
+                    ++result.timeoutsFired;
+                    blocked_rounds[i] = 0;
+                }
+            }
+            if (runtime.finished())
+                any_progress = true;
+        }
+
+        if (all_finished) {
+            result.completed = true;
+            break;
+        }
+
+        if (!any_progress) {
+            // System-wide deadlock (e.g., corrupted full/empty views,
+            // Fig. 3b): break it by timing out every stuck thread.
+            ++result.deadlockBreaks;
+            for (auto &runtime : _runtimes) {
+                if (!runtime->finished()) {
+                    runtime->forceTimeout();
+                    ++result.timeoutsFired;
+                }
+            }
+        }
+
+        if (totalCommittedInsts() > _config.globalWatchdogInsts) {
+            warn("multicore: global instruction watchdog tripped; "
+                 "aborting run");
+            break;
+        }
+    }
+
+    result.totalInstructions = totalCommittedInsts();
+    result.totalCycles = totalCycles();
+    return result;
+}
+
+Count
+Multicore::totalCommittedInsts() const
+{
+    Count total = 0;
+    for (const auto &core : _cores)
+        total += core->counters().committedInsts;
+    return total;
+}
+
+Cycle
+Multicore::totalCycles() const
+{
+    Cycle total = 0;
+    for (const auto &core : _cores)
+        total += core->cycles();
+    return total;
+}
+
+StatGroup
+Multicore::collectStats() const
+{
+    StatGroup root("machine");
+    for (std::size_t i = 0; i < _cores.size(); ++i) {
+        StatGroup &group = root.child(_cores[i]->name());
+        _cores[i]->counters().exportTo(group);
+        group.set("cycles", _cores[i]->cycles());
+        group.set("errorsInjected",
+                  _cores[i]->injector().errorsInjected());
+    }
+    for (const auto &runtime : _runtimes) {
+        runtime->backend().exportStats(
+            root.child(runtime->core().name()));
+    }
+    StatGroup &queues = root.child("queues");
+    for (const auto &queue : _queues)
+        queue->counters().exportTo(queues.child(queue->name()));
+    return root;
+}
+
+} // namespace commguard

@@ -1,0 +1,106 @@
+/**
+ * @file
+ * The simulated multicore system: cores, queues, backends, runtimes,
+ * and the cooperative scheduler.
+ *
+ * Mirrors the paper's experimental platform (§6): N cores, each running
+ * one streaming thread, communicating through queues. The scheduler is
+ * a round-robin interleaver with per-thread slices; blocked threads are
+ * revisited, and the queue-manager timeout mechanism (§5.1) plus a
+ * global deadlock breaker guarantee that even catastrophically
+ * corrupted configurations keep making progress — the paper's first
+ * operational requirement (no crash, no hang).
+ */
+
+#ifndef COMMGUARD_MACHINE_MULTICORE_HH
+#define COMMGUARD_MACHINE_MULTICORE_HH
+
+#include <memory>
+#include <vector>
+
+#include "common/stats.hh"
+#include "machine/core.hh"
+#include "machine/core_runtime.hh"
+#include "queue/queue_base.hh"
+
+namespace commguard
+{
+
+/** System-level configuration. */
+struct MachineConfig
+{
+    /** Instructions per scheduling slice per thread. */
+    Count sliceInstructions = 50'000;
+
+    /** Consecutive fully-blocked slices before a QM timeout fires. */
+    Count timeoutRounds = 2'000;
+
+    /** Abort threshold on total committed instructions (safety net). */
+    Count globalWatchdogInsts = 50'000'000'000ull;
+
+    TimingConfig timing;
+    PpuConfig ppu;
+};
+
+/** Result of driving a system to completion. */
+struct MachineRunResult
+{
+    bool completed = false;      //!< All threads finished.
+    Count totalInstructions = 0;
+    Cycle totalCycles = 0;
+    Count timeoutsFired = 0;
+    Count deadlockBreaks = 0;
+};
+
+/**
+ * Owner of all simulated components and the scheduler.
+ */
+class Multicore
+{
+  public:
+    explicit Multicore(MachineConfig config = {}) : _config(config) {}
+
+    /** Create a new core (owned by the machine). */
+    Core &addCore(const std::string &name);
+
+    /** Transfer ownership of a queue to the machine. */
+    QueueBase &addQueue(std::unique_ptr<QueueBase> queue);
+
+    /** Transfer ownership of a backend to the machine. */
+    CommBackend &addBackend(std::unique_ptr<CommBackend> backend);
+
+    /** Register a runtime driving @p core through @p total_frames. */
+    CoreRuntime &addRuntime(Core &core, CommBackend &backend,
+                            Count total_frames);
+
+    /** Drive every thread to completion. */
+    MachineRunResult run();
+
+    /** Sum of committed instructions over all cores. */
+    Count totalCommittedInsts() const;
+
+    /** Sum of cycles over all cores. */
+    Cycle totalCycles() const;
+
+    /** Export the full statistics tree (cores, backends, queues). */
+    StatGroup collectStats() const;
+
+    MachineConfig &config() { return _config; }
+    std::vector<std::unique_ptr<Core>> &cores() { return _cores; }
+    std::vector<std::unique_ptr<QueueBase>> &queues() { return _queues; }
+    std::vector<std::unique_ptr<CoreRuntime>> &runtimes()
+    {
+        return _runtimes;
+    }
+
+  private:
+    MachineConfig _config;
+    std::vector<std::unique_ptr<Core>> _cores;
+    std::vector<std::unique_ptr<QueueBase>> _queues;
+    std::vector<std::unique_ptr<CommBackend>> _backends;
+    std::vector<std::unique_ptr<CoreRuntime>> _runtimes;
+};
+
+} // namespace commguard
+
+#endif // COMMGUARD_MACHINE_MULTICORE_HH

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Architectural register file of a simulated core.
+ *
+ * Thirty-two 32-bit registers; R0 is hardwired to zero (reads as zero,
+ * ignores writes, and is never targeted by the error injector — a
+ * hardwired zero has no storage to flip).
+ */
+
+#ifndef COMMGUARD_MACHINE_REGISTER_FILE_HH
+#define COMMGUARD_MACHINE_REGISTER_FILE_HH
+
+#include <array>
+
+#include "common/types.hh"
+#include "isa/inst.hh"
+
+namespace commguard
+{
+
+/**
+ * The error-prone architectural register file.
+ */
+class RegisterFile
+{
+  public:
+    /** Read a register; R0 reads as zero. */
+    Word
+    read(isa::Reg reg) const
+    {
+        return _regs[reg];
+    }
+
+    /** Write a register; writes to R0 are dropped. */
+    void
+    write(isa::Reg reg, Word value)
+    {
+        if (reg != 0)
+            _regs[reg] = value;
+    }
+
+    /** Flip one bit of a register (error injection). No effect on R0. */
+    void
+    flipBit(isa::Reg reg, int bit)
+    {
+        if (reg != 0)
+            _regs[reg] ^= Word{1} << bit;
+    }
+
+    /** Zero every register (invocation start). */
+    void
+    clear()
+    {
+        _regs.fill(0);
+    }
+
+  private:
+    std::array<Word, isa::numRegs> _regs{};
+};
+
+} // namespace commguard
+
+#endif // COMMGUARD_MACHINE_REGISTER_FILE_HH

@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Execution tracing hooks for debugging simulated programs.
+ *
+ * A TraceSink observes a core's committed instructions, invocation
+ * boundaries, and injected errors — the simulator-side equivalent of
+ * gem5's trace-based debugging. Tracing is off by default and costs
+ * one pointer test per commit when enabled.
+ */
+
+#ifndef COMMGUARD_MACHINE_TRACE_HH
+#define COMMGUARD_MACHINE_TRACE_HH
+
+#include <ostream>
+
+#include "common/types.hh"
+#include "isa/inst.hh"
+
+namespace commguard
+{
+
+class Core;
+
+/**
+ * Observer interface for core execution events.
+ */
+class TraceSink
+{
+  public:
+    virtual ~TraceSink() = default;
+
+    /** An instruction at @p pc committed on @p core. */
+    virtual void
+    onCommit(const Core &core, Count pc, const isa::Inst &inst)
+    {
+        (void)core;
+        (void)pc;
+        (void)inst;
+    }
+
+    /** A new frame-computation invocation began. */
+    virtual void
+    onInvocationStart(const Core &core)
+    {
+        (void)core;
+    }
+
+    /** The injector flipped @p bit of @p reg. */
+    virtual void
+    onErrorInjected(const Core &core, isa::Reg reg, int bit)
+    {
+        (void)core;
+        (void)reg;
+        (void)bit;
+    }
+};
+
+/**
+ * Human-readable trace writer with a line budget (trailing activity is
+ * summarized as a count so a runaway program cannot flood the log).
+ */
+class TextTracer : public TraceSink
+{
+  public:
+    /**
+     * @param os        Destination stream (not owned).
+     * @param max_lines Instruction lines to print before going quiet.
+     */
+    explicit TextTracer(std::ostream &os, Count max_lines = 200)
+        : _os(os), _maxLines(max_lines)
+    {}
+
+    void onCommit(const Core &core, Count pc,
+                  const isa::Inst &inst) override;
+    void onInvocationStart(const Core &core) override;
+    void onErrorInjected(const Core &core, isa::Reg reg,
+                         int bit) override;
+
+    Count commitsSeen() const { return _commits; }
+    Count errorsSeen() const { return _errors; }
+
+  private:
+    std::ostream &_os;
+    Count _maxLines;
+    Count _commits = 0;
+    Count _errors = 0;
+};
+
+} // namespace commguard
+
+#endif // COMMGUARD_MACHINE_TRACE_HH

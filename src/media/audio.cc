@@ -1,0 +1,104 @@
+#include "media/audio.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstdint>
+
+namespace commguard::media
+{
+
+std::vector<float>
+makeMusicAudio(int samples, int sample_rate)
+{
+    std::vector<float> audio(samples, 0.0f);
+    const double pi = std::acos(-1.0);
+
+    // A little pentatonic phrase.
+    const double notes[] = {220.0,  261.63, 293.66, 329.63,
+                            392.0,  329.63, 293.66, 261.63};
+    const int num_notes = 8;
+    const double note_len = 0.35;  // seconds
+
+    std::uint32_t noise_state = 0x12345678u;
+    auto noise = [&noise_state] {
+        noise_state = noise_state * 1664525u + 1013904223u;
+        return static_cast<double>(noise_state >> 8) / 16777216.0 -
+               0.5;
+    };
+
+    for (int i = 0; i < samples; ++i) {
+        const double t = static_cast<double>(i) / sample_rate;
+        const int note_index =
+            static_cast<int>(t / note_len) % num_notes;
+        const double note_t = std::fmod(t, note_len);
+        const double freq =
+            notes[note_index] *
+            (1.0 + 0.004 * std::sin(2 * pi * 5.0 * t));  // vibrato
+
+        // ADSR-ish envelope per note.
+        double env;
+        if (note_t < 0.02)
+            env = note_t / 0.02;
+        else
+            env = std::exp(-3.0 * (note_t - 0.02));
+
+        double v = 0.0;
+        v += 0.55 * std::sin(2 * pi * freq * t);
+        v += 0.25 * std::sin(2 * pi * 2 * freq * t);
+        v += 0.12 * std::sin(2 * pi * 3 * freq * t);
+        v *= env;
+
+        // Percussive noise tick at note onsets.
+        if (note_t < 0.03)
+            v += 0.2 * (1.0 - note_t / 0.03) * noise();
+
+        // Gentle pad underneath.
+        v += 0.08 * std::sin(2 * pi * 110.0 * t);
+
+        audio[i] = static_cast<float>(std::clamp(v, -1.0, 1.0));
+    }
+    return audio;
+}
+
+bool
+writeWav(const std::vector<float> &samples, int sample_rate,
+         const std::string &path)
+{
+    std::FILE *file = std::fopen(path.c_str(), "wb");
+    if (file == nullptr)
+        return false;
+
+    const std::uint32_t data_bytes =
+        static_cast<std::uint32_t>(samples.size() * 2);
+    const std::uint32_t riff_size = 36 + data_bytes;
+
+    auto put16 = [&](std::uint16_t v) { std::fwrite(&v, 2, 1, file); };
+    auto put32 = [&](std::uint32_t v) { std::fwrite(&v, 4, 1, file); };
+
+    std::fwrite("RIFF", 1, 4, file);
+    put32(riff_size);
+    std::fwrite("WAVE", 1, 4, file);
+    std::fwrite("fmt ", 1, 4, file);
+    put32(16);
+    put16(1);  // PCM
+    put16(1);  // mono
+    put32(static_cast<std::uint32_t>(sample_rate));
+    put32(static_cast<std::uint32_t>(sample_rate * 2));
+    put16(2);
+    put16(16);
+    std::fwrite("data", 1, 4, file);
+    put32(data_bytes);
+
+    for (float f : samples) {
+        const double clamped = std::clamp(
+            static_cast<double>(f), -1.0, 1.0);
+        const std::int16_t pcm =
+            static_cast<std::int16_t>(std::lround(clamped * 32767.0));
+        std::fwrite(&pcm, 2, 1, file);
+    }
+    std::fclose(file);
+    return true;
+}
+
+} // namespace commguard::media

@@ -1,0 +1,29 @@
+/**
+ * @file
+ * Host-side audio synthesis and WAV output.
+ *
+ * The paper's mp3 benchmark decodes music; our substitute input is a
+ * synthesized melody with harmonics, vibrato, and percussion-like noise
+ * bursts — spectrally rich enough that subband quantization and error
+ * corruption are audible/measurable, like the paper's example clips.
+ */
+
+#ifndef COMMGUARD_MEDIA_AUDIO_HH
+#define COMMGUARD_MEDIA_AUDIO_HH
+
+#include <string>
+#include <vector>
+
+namespace commguard::media
+{
+
+/** Synthesize @p samples of music-like audio in [-1, 1]. */
+std::vector<float> makeMusicAudio(int samples, int sample_rate = 32768);
+
+/** Write mono 16-bit PCM WAV. Returns false on I/O failure. */
+bool writeWav(const std::vector<float> &samples, int sample_rate,
+              const std::string &path);
+
+} // namespace commguard::media
+
+#endif // COMMGUARD_MEDIA_AUDIO_HH

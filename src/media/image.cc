@@ -1,0 +1,119 @@
+#include "media/image.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+namespace commguard::media
+{
+
+bool
+writePpm(const Image &image, const std::string &path)
+{
+    std::FILE *file = std::fopen(path.c_str(), "wb");
+    if (file == nullptr)
+        return false;
+    std::fprintf(file, "P6\n%d %d\n255\n", image.width, image.height);
+    const std::size_t wrote = std::fwrite(
+        image.rgb.data(), 1, image.rgb.size(), file);
+    std::fclose(file);
+    return wrote == image.rgb.size();
+}
+
+namespace
+{
+
+std::uint8_t
+toByte(double v)
+{
+    return static_cast<std::uint8_t>(
+        std::clamp(v, 0.0, 255.0));
+}
+
+/** Cheap value-noise-ish hash for texture. */
+double
+hashNoise(int x, int y)
+{
+    std::uint32_t h = static_cast<std::uint32_t>(x) * 374761393u +
+                      static_cast<std::uint32_t>(y) * 668265263u;
+    h = (h ^ (h >> 13)) * 1274126177u;
+    return static_cast<double>(h & 0xffffu) / 65535.0;
+}
+
+} // namespace
+
+Image
+makeFlowerImage(int width, int height)
+{
+    Image image(width, height);
+
+    const double cx = width * 0.52;
+    const double cy = height * 0.42;
+    const double flower_r = std::min(width, height) * 0.33;
+    const int petals = 7;
+
+    for (int y = 0; y < height; ++y) {
+        for (int x = 0; x < width; ++x) {
+            const double fy = static_cast<double>(y) / height;
+
+            // Background: sky gradient into grass.
+            double r, g, b;
+            if (fy < 0.62) {
+                const double t = fy / 0.62;
+                r = 120 + 60 * t;
+                g = 170 + 40 * t;
+                b = 235 - 35 * t;
+            } else {
+                const double t = (fy - 0.62) / 0.38;
+                r = 70 - 25 * t;
+                g = 150 - 45 * t;
+                b = 60 - 20 * t;
+            }
+            r += 10 * (hashNoise(x / 3, y / 3) - 0.5);
+            g += 10 * (hashNoise(x / 3 + 7, y / 3) - 0.5);
+
+            // Stem.
+            const double stem_x =
+                cx + 0.08 * flower_r *
+                         std::sin((y - cy) * 0.05);
+            if (y > cy && std::fabs(x - stem_x) <
+                              std::max(1.5, width * 0.012)) {
+                r = 40;
+                g = 110 + 20 * hashNoise(x, y);
+                b = 35;
+            }
+
+            // Flower: petal rosette + core disc.
+            const double dx = x - cx;
+            const double dy = y - cy;
+            const double dist = std::sqrt(dx * dx + dy * dy);
+            const double theta = std::atan2(dy, dx);
+            const double petal_r =
+                flower_r *
+                (0.45 + 0.55 * std::fabs(std::cos(petals * theta / 2)));
+            if (dist < petal_r) {
+                const double t = dist / petal_r;
+                r = 245 - 60 * t + 8 * (hashNoise(x, y) - 0.5);
+                g = 120 + 60 * t;
+                b = 160 + 50 * t;
+            }
+            if (dist < flower_r * 0.22) {
+                const double t = dist / (flower_r * 0.22);
+                r = 250 - 30 * t;
+                g = 200 - 60 * t;
+                b = 40 + 30 * t;
+                if (hashNoise(x, y) > 0.75) {
+                    r -= 60;
+                    g -= 60;
+                }
+            }
+
+            image.at(x, y, 0) = toByte(r);
+            image.at(x, y, 1) = toByte(g);
+            image.at(x, y, 2) = toByte(b);
+        }
+    }
+    return image;
+}
+
+} // namespace commguard::media

@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Host-side image representation, PPM I/O, and the synthetic "flower"
+ * test image.
+ *
+ * The paper's jpeg experiments decode a flower photograph (Figs. 3, 7,
+ * 9). No such input ships with this reproduction, so a procedurally
+ * generated flower scene with smooth gradients, petal structure, and
+ * mild texture provides an equivalent data-error-tolerant workload
+ * whose corruption is equally visible.
+ */
+
+#ifndef COMMGUARD_MEDIA_IMAGE_HH
+#define COMMGUARD_MEDIA_IMAGE_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace commguard::media
+{
+
+/** Simple interleaved 8-bit RGB image. */
+struct Image
+{
+    int width = 0;
+    int height = 0;
+    std::vector<std::uint8_t> rgb;  //!< width * height * 3 bytes.
+
+    Image() = default;
+    Image(int w, int h)
+        : width(w), height(h),
+          rgb(static_cast<std::size_t>(w) * h * 3, 0)
+    {}
+
+    std::uint8_t &
+    at(int x, int y, int channel)
+    {
+        return rgb[(static_cast<std::size_t>(y) * width + x) * 3 +
+                   channel];
+    }
+
+    std::uint8_t
+    at(int x, int y, int channel) const
+    {
+        return rgb[(static_cast<std::size_t>(y) * width + x) * 3 +
+                   channel];
+    }
+};
+
+/** Write a binary PPM (P6). Returns false on I/O failure. */
+bool writePpm(const Image &image, const std::string &path);
+
+/** Generate the synthetic flower test image. */
+Image makeFlowerImage(int width, int height);
+
+} // namespace commguard::media
+
+#endif // COMMGUARD_MEDIA_IMAGE_HH

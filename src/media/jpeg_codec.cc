@@ -1,0 +1,207 @@
+#include "media/jpeg_codec.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace commguard::media::jpeg
+{
+
+namespace
+{
+
+/** Standard JPEG luminance quantization table (Annex K). */
+constexpr int baseQuant[blockSize] = {
+    16, 11, 10, 16, 24,  40,  51,  61,
+    12, 12, 14, 19, 26,  58,  60,  55,
+    14, 13, 16, 24, 40,  57,  69,  56,
+    14, 17, 22, 29, 51,  87,  80,  62,
+    18, 22, 37, 56, 68,  109, 103, 77,
+    24, 35, 55, 64, 81,  104, 113, 92,
+    49, 64, 78, 87, 103, 121, 120, 101,
+    72, 92, 95, 98, 112, 100, 103, 99,
+};
+
+std::array<int, blockSize>
+computeZigzag()
+{
+    std::array<int, blockSize> order{};
+    int index = 0;
+    for (int s = 0; s < 2 * blockDim - 1; ++s) {
+        if (s % 2 == 0) {
+            // Walk up-right.
+            int y = std::min(s, blockDim - 1);
+            int x = s - y;
+            while (y >= 0 && x < blockDim)
+                order[index++] = y-- * blockDim + x++;
+        } else {
+            // Walk down-left.
+            int x = std::min(s, blockDim - 1);
+            int y = s - x;
+            while (x >= 0 && y < blockDim)
+                order[index++] = y++ * blockDim + x--;
+        }
+    }
+    return order;
+}
+
+} // namespace
+
+const std::array<int, blockSize> &
+zigzagOrder()
+{
+    static const std::array<int, blockSize> order = computeZigzag();
+    return order;
+}
+
+std::array<float, blockSize>
+quantTable(int quality)
+{
+    quality = std::clamp(quality, 1, 100);
+    const int scale =
+        quality < 50 ? 5000 / quality : 200 - 2 * quality;
+    std::array<float, blockSize> table{};
+    for (int i = 0; i < blockSize; ++i) {
+        const int q = std::clamp((baseQuant[i] * scale + 50) / 100, 1,
+                                 255);
+        table[i] = static_cast<float>(q);
+    }
+    return table;
+}
+
+const std::array<std::array<double, blockDim>, blockDim> &
+dctBasis()
+{
+    static const auto basis = [] {
+        std::array<std::array<double, blockDim>, blockDim> b{};
+        const double pi = std::acos(-1.0);
+        for (int u = 0; u < blockDim; ++u) {
+            const double cu =
+                u == 0 ? std::sqrt(0.5) : 1.0;
+            for (int x = 0; x < blockDim; ++x) {
+                b[u][x] = 0.5 * cu *
+                          std::cos((2 * x + 1) * u * pi / 16.0);
+            }
+        }
+        return b;
+    }();
+    return basis;
+}
+
+JpegStream
+encode(const Image &image, int quality)
+{
+    if (image.width % blockDim != 0 || image.height % blockDim != 0)
+        fatal("jpeg::encode: dimensions must be multiples of 8");
+
+    JpegStream stream;
+    stream.width = image.width;
+    stream.height = image.height;
+    stream.quality = quality;
+    stream.words.reserve(static_cast<std::size_t>(image.width) *
+                         image.height * channels);
+
+    const auto qt = quantTable(quality);
+    const auto &zz = zigzagOrder();
+    const auto &basis = dctBasis();
+
+    double samples[blockDim][blockDim];
+    double temp[blockDim][blockDim];
+    double coeffs[blockDim][blockDim];
+
+    for (int by = 0; by < image.height / blockDim; ++by) {
+        for (int bx = 0; bx < image.width / blockDim; ++bx) {
+            for (int ch = 0; ch < channels; ++ch) {
+                // Level shift.
+                for (int y = 0; y < blockDim; ++y)
+                    for (int x = 0; x < blockDim; ++x)
+                        samples[y][x] =
+                            image.at(bx * blockDim + x,
+                                     by * blockDim + y, ch) -
+                            128.0;
+
+                // Separable 2D DCT: rows, then columns.
+                for (int y = 0; y < blockDim; ++y)
+                    for (int u = 0; u < blockDim; ++u) {
+                        double acc = 0.0;
+                        for (int x = 0; x < blockDim; ++x)
+                            acc += basis[u][x] * samples[y][x];
+                        temp[y][u] = acc;
+                    }
+                for (int u = 0; u < blockDim; ++u)
+                    for (int v = 0; v < blockDim; ++v) {
+                        double acc = 0.0;
+                        for (int y = 0; y < blockDim; ++y)
+                            acc += basis[v][y] * temp[y][u];
+                        coeffs[v][u] = acc;
+                    }
+
+                // Quantize and emit in zigzag order.
+                for (int i = 0; i < blockSize; ++i) {
+                    const int natural = zz[i];
+                    const int v = natural / blockDim;
+                    const int u = natural % blockDim;
+                    const double q = coeffs[v][u] / qt[natural];
+                    const SWord rounded = static_cast<SWord>(
+                        std::lround(q));
+                    stream.words.push_back(
+                        static_cast<Word>(rounded));
+                }
+            }
+        }
+    }
+    return stream;
+}
+
+Image
+decodeHost(const JpegStream &stream)
+{
+    Image image(stream.width, stream.height);
+    const auto qt = quantTable(stream.quality);
+    const auto &zz = zigzagOrder();
+    const auto &basis = dctBasis();
+
+    double coeffs[blockDim][blockDim];
+    double temp[blockDim][blockDim];
+
+    std::size_t cursor = 0;
+    for (int by = 0; by < stream.height / blockDim; ++by) {
+        for (int bx = 0; bx < stream.width / blockDim; ++bx) {
+            for (int ch = 0; ch < channels; ++ch) {
+                // Dequantize out of zigzag order.
+                for (int i = 0; i < blockSize; ++i) {
+                    const int natural = zz[i];
+                    const int v = natural / blockDim;
+                    const int u = natural % blockDim;
+                    const SWord q = static_cast<SWord>(
+                        stream.words[cursor++]);
+                    coeffs[v][u] = q * qt[natural];
+                }
+
+                // Separable 2D IDCT: columns, then rows.
+                for (int u = 0; u < blockDim; ++u)
+                    for (int y = 0; y < blockDim; ++y) {
+                        double acc = 0.0;
+                        for (int v = 0; v < blockDim; ++v)
+                            acc += basis[v][y] * coeffs[v][u];
+                        temp[y][u] = acc;
+                    }
+                for (int y = 0; y < blockDim; ++y)
+                    for (int x = 0; x < blockDim; ++x) {
+                        double acc = 0.0;
+                        for (int u = 0; u < blockDim; ++u)
+                            acc += basis[u][x] * temp[y][u];
+                        const double value = acc + 128.0;
+                        image.at(bx * blockDim + x,
+                                 by * blockDim + y, ch) =
+                            static_cast<std::uint8_t>(
+                                std::clamp(value, 0.0, 255.0));
+                    }
+            }
+        }
+    }
+    return image;
+}
+
+} // namespace commguard::media::jpeg

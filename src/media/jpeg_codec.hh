@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Host-side JPEG-style transform codec.
+ *
+ * The paper's jpeg benchmark decodes a baseline JPEG on the error-prone
+ * multicore. This reproduction keeps the transform path bit-faithful —
+ * per-channel 8x8 DCT, quantization with the standard table and a
+ * libjpeg-style quality scale, zigzag ordering — and replaces entropy
+ * coding with a plain coefficient stream (the paper's F0-F2 parsing
+ * stages become unpack/staging filters; see DESIGN.md). The reliable
+ * host encoder produces the input stream for the error-prone decoder
+ * graph; the host decoder provides the error-free lossy baseline
+ * quality reference (paper §6).
+ *
+ * Stream layout (one word per coefficient, int32):
+ *   for each 8-pixel-high stripe, for each horizontal block, for each
+ *   channel (R, G, B): 64 quantized coefficients in zigzag order.
+ */
+
+#ifndef COMMGUARD_MEDIA_JPEG_CODEC_HH
+#define COMMGUARD_MEDIA_JPEG_CODEC_HH
+
+#include <array>
+#include <vector>
+
+#include "common/types.hh"
+#include "media/image.hh"
+
+namespace commguard::media::jpeg
+{
+
+constexpr int blockDim = 8;
+constexpr int blockSize = blockDim * blockDim;
+constexpr int channels = 3;
+
+/** Natural index of the i-th zigzag-ordered coefficient. */
+const std::array<int, blockSize> &zigzagOrder();
+
+/** Quantization table (natural order) scaled for @p quality (1-100). */
+std::array<float, blockSize> quantTable(int quality);
+
+/** Separable DCT basis: basis[u][x] = C(u)/2 * cos((2x+1)u*pi/16). */
+const std::array<std::array<double, blockDim>, blockDim> &dctBasis();
+
+/** An encoded image: coefficient stream plus geometry. */
+struct JpegStream
+{
+    int width = 0;
+    int height = 0;
+    int quality = 50;
+    std::vector<Word> words;
+
+    /** Coefficient words per 8-pixel-high stripe. */
+    Count
+    wordsPerStripe() const
+    {
+        return static_cast<Count>(width / blockDim) * channels *
+               blockSize;
+    }
+
+    int numStripes() const { return height / blockDim; }
+};
+
+/**
+ * Encode an image (dimensions must be multiples of 8).
+ */
+JpegStream encode(const Image &image, int quality);
+
+/**
+ * Reference (reliable) decoder mirroring the error-prone graph's
+ * arithmetic; used for the error-free lossy baseline.
+ */
+Image decodeHost(const JpegStream &stream);
+
+} // namespace commguard::media::jpeg
+
+#endif // COMMGUARD_MEDIA_JPEG_CODEC_HH

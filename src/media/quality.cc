@@ -1,0 +1,81 @@
+#include "media/quality.hh"
+
+#include <cmath>
+#include <limits>
+
+#include "common/logging.hh"
+
+namespace commguard::media
+{
+
+double
+psnrDb(const Image &reference, const Image &output)
+{
+    if (reference.width != output.width ||
+        reference.height != output.height) {
+        warn("psnrDb: image dimensions differ; comparing overlap");
+    }
+
+    double sum_sq = 0.0;
+    std::size_t count = 0;
+    const int width = std::min(reference.width, output.width);
+    const int height = std::min(reference.height, output.height);
+    for (int y = 0; y < height; ++y) {
+        for (int x = 0; x < width; ++x) {
+            for (int c = 0; c < 3; ++c) {
+                const double d =
+                    static_cast<double>(reference.at(x, y, c)) -
+                    static_cast<double>(output.at(x, y, c));
+                sum_sq += d * d;
+                ++count;
+            }
+        }
+    }
+    if (count == 0)
+        return 0.0;
+    const double mse = sum_sq / static_cast<double>(count);
+    if (mse == 0.0)
+        return std::numeric_limits<double>::infinity();
+    return 10.0 * std::log10(255.0 * 255.0 / mse);
+}
+
+namespace
+{
+
+template <typename T>
+double
+snrImpl(const std::vector<T> &reference, const std::vector<T> &output)
+{
+    double signal = 0.0;
+    double noise = 0.0;
+    for (std::size_t i = 0; i < reference.size(); ++i) {
+        const double ref = static_cast<double>(reference[i]);
+        const double out =
+            i < output.size() ? static_cast<double>(output[i]) : 0.0;
+        signal += ref * ref;
+        noise += (ref - out) * (ref - out);
+    }
+    if (noise == 0.0)
+        return std::numeric_limits<double>::infinity();
+    if (signal == 0.0)
+        return 0.0;
+    return 10.0 * std::log10(signal / noise);
+}
+
+} // namespace
+
+double
+snrDb(const std::vector<float> &reference,
+      const std::vector<float> &output)
+{
+    return snrImpl(reference, output);
+}
+
+double
+snrDb(const std::vector<double> &reference,
+      const std::vector<double> &output)
+{
+    return snrImpl(reference, output);
+}
+
+} // namespace commguard::media

@@ -1,0 +1,35 @@
+/**
+ * @file
+ * Output-quality metrics (paper §6, "Benchmarks").
+ *
+ * "Lossiness is commonly measured using signal-to-noise-ratio (SNR) for
+ * audio, and using peak-signal-to-noise-ratio (PSNR) for image." PSNR
+ * compares against the 8-bit peak; SNR against the reference signal
+ * energy. Outputs shorter/longer than the reference are zero-padded /
+ * truncated to the reference length, so missing data counts as error.
+ */
+
+#ifndef COMMGUARD_MEDIA_QUALITY_HH
+#define COMMGUARD_MEDIA_QUALITY_HH
+
+#include <vector>
+
+#include "media/image.hh"
+
+namespace commguard::media
+{
+
+/** PSNR in dB between two same-sized images (inf for identical). */
+double psnrDb(const Image &reference, const Image &output);
+
+/** SNR in dB of @p output against @p reference (inf for identical). */
+double snrDb(const std::vector<float> &reference,
+             const std::vector<float> &output);
+
+/** SNR over double-precision vectors. */
+double snrDb(const std::vector<double> &reference,
+             const std::vector<double> &output);
+
+} // namespace commguard::media
+
+#endif // COMMGUARD_MEDIA_QUALITY_HH

@@ -1,0 +1,118 @@
+#include "media/subband_codec.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace commguard::media::subband
+{
+
+const std::array<std::array<float, windowLen>, bands> &
+mdctBasis()
+{
+    static const auto basis = [] {
+        std::array<std::array<float, windowLen>, bands> b{};
+        const double pi = std::acos(-1.0);
+        for (int k = 0; k < bands; ++k) {
+            for (int n = 0; n < windowLen; ++n) {
+                const double window =
+                    std::sin(pi / windowLen * (n + 0.5));
+                const double cosine = std::cos(
+                    pi / bands * (n + 0.5 + bands / 2.0) * (k + 0.5));
+                b[k][n] = static_cast<float>(window * cosine);
+            }
+        }
+        return b;
+    }();
+    return basis;
+}
+
+SubbandStream
+encode(const std::vector<float> &samples)
+{
+    if (samples.size() % bands != 0)
+        fatal("subband::encode: sample count must be a multiple of 32");
+
+    const auto &basis = mdctBasis();
+
+    // Pad 32 zeros on both sides so overlap-add reconstructs the full
+    // clip; one extra block covers the tail.
+    std::vector<float> padded(samples.size() + 2 * bands, 0.0f);
+    std::copy(samples.begin(), samples.end(), padded.begin() + bands);
+
+    SubbandStream stream;
+    stream.originalSamples = static_cast<int>(samples.size());
+    stream.numBlocks = static_cast<int>(samples.size() / bands) + 1;
+    stream.words.reserve(
+        static_cast<std::size_t>(stream.numBlocks) * wordsPerBlock);
+
+    for (int block = 0; block < stream.numBlocks; ++block) {
+        const float *window = padded.data() +
+                              static_cast<std::size_t>(block) * bands;
+
+        float coeffs[bands];
+        float peak = 0.0f;
+        for (int k = 0; k < bands; ++k) {
+            if (k >= keptBands) {
+                coeffs[k] = 0.0f;  // Bandwidth truncation (lossy).
+                continue;
+            }
+            double acc = 0.0;
+            for (int n = 0; n < windowLen; ++n)
+                acc += static_cast<double>(basis[k][n]) * window[n];
+            coeffs[k] = static_cast<float>(acc);
+            peak = std::max(peak, std::fabs(coeffs[k]));
+        }
+
+        const float scale = peak > 0.0f ? peak : 1.0f;
+        stream.words.push_back(floatToWord(scale));
+        for (int k = 0; k < bands; ++k) {
+            const int q = static_cast<int>(std::lround(
+                coeffs[k] / scale * quantLevels));
+            const int clamped =
+                std::clamp(q, -quantLevels, quantLevels);
+            stream.words.push_back(
+                static_cast<Word>(static_cast<SWord>(clamped)));
+        }
+    }
+    return stream;
+}
+
+std::vector<float>
+decodeHost(const SubbandStream &stream)
+{
+    const auto &basis = mdctBasis();
+
+    std::vector<float> accum(
+        static_cast<std::size_t>(stream.numBlocks + 1) * bands, 0.0f);
+
+    std::size_t cursor = 0;
+    for (int block = 0; block < stream.numBlocks; ++block) {
+        const float scale = wordToFloat(stream.words[cursor++]);
+        float coeffs[bands];
+        for (int k = 0; k < bands; ++k) {
+            const SWord q =
+                static_cast<SWord>(stream.words[cursor++]);
+            coeffs[k] = static_cast<float>(q) * scale /
+                        static_cast<float>(quantLevels);
+        }
+
+        float *out = accum.data() +
+                     static_cast<std::size_t>(block) * bands;
+        for (int n = 0; n < windowLen; ++n) {
+            double acc = 0.0;
+            for (int k = 0; k < bands; ++k)
+                acc += static_cast<double>(coeffs[k]) * basis[k][n];
+            out[n] += static_cast<float>(acc * synthesisScale);
+        }
+    }
+
+    // Strip the leading half-window of padding.
+    std::vector<float> result(
+        accum.begin() + bands,
+        accum.begin() + bands + stream.originalSamples);
+    return result;
+}
+
+} // namespace commguard::media::subband

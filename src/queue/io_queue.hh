@@ -1,0 +1,172 @@
+/**
+ * @file
+ * Reliable I/O endpoints: the input stream source and output collector.
+ *
+ * The paper requires that error-tolerant execution "not crash, hang, or
+ * corrupt I/O devices" (§2.1.1); I/O devices themselves are reliable.
+ * SourceQueue models the input side (a file reader / sensor feeding the
+ * first filter): it is pre-filled with the whole input stream and, when
+ * CommGuard is enabled, with a frame header before each frame's worth of
+ * items — equivalent to a header inserter at the reliable I/O producer.
+ * If erroneous consumer control flow over-pops it past the end it
+ * delivers zero items instead of deadlocking. CollectorQueue models the
+ * output device: an unbounded, always-accepting sink that records
+ * everything pushed to it (stripping and counting headers).
+ */
+
+#ifndef COMMGUARD_QUEUE_IO_QUEUE_HH
+#define COMMGUARD_QUEUE_IO_QUEUE_HH
+
+#include <vector>
+
+#include "queue/queue_base.hh"
+
+namespace commguard
+{
+
+/**
+ * Pre-filled, pop-only input stream.
+ */
+class SourceQueue : public QueueBase
+{
+  public:
+    SourceQueue(std::string name, std::vector<QueueWord> contents)
+        : QueueBase(std::move(name)), _contents(std::move(contents))
+    {}
+
+    /** Input devices are never pushed to by the computation. */
+    QueueOpStatus
+    tryPush(const QueueWord &word) override
+    {
+        (void)word;
+        ++_counters.illegalPushes;
+        return QueueOpStatus::Ok;  // Swallow; never corrupt the device.
+    }
+
+    QueueOpStatus
+    tryPop(QueueWord &word) override
+    {
+        if (_next < _contents.size()) {
+            word = _contents[_next++];
+            ++_counters.pops;
+        } else {
+            // Exhausted: deliver zero items so an over-popping consumer
+            // cannot hang the system on its reliable input device.
+            word = makeItem(0);
+            ++_counters.underflowPops;
+        }
+        return QueueOpStatus::Ok;
+    }
+
+    std::size_t size() const override { return _contents.size() - _next; }
+    std::size_t capacity() const override { return _contents.size(); }
+
+    /** Words remaining unread (for tests). */
+    std::size_t remaining() const { return _contents.size() - _next; }
+
+  private:
+    std::vector<QueueWord> _contents;
+    std::size_t _next = 0;
+};
+
+/**
+ * Unbounded, always-accepting output recorder.
+ */
+class CollectorQueue : public QueueBase
+{
+  public:
+    explicit CollectorQueue(std::string name) : QueueBase(std::move(name))
+    {}
+
+    QueueOpStatus
+    tryPush(const QueueWord &word) override
+    {
+        if (word.isHeader) {
+            ++_counters.headersCollected;
+        } else {
+            _items.push_back(word.value);
+            ++_counters.pushes;
+        }
+        return QueueOpStatus::Ok;
+    }
+
+    /** Output devices are never popped by the computation. */
+    QueueOpStatus
+    tryPop(QueueWord &word) override
+    {
+        word = makeItem(0);
+        ++_counters.illegalPops;
+        return QueueOpStatus::Ok;
+    }
+
+    std::size_t size() const override { return _items.size(); }
+    std::size_t capacity() const override { return ~std::size_t{0}; }
+
+    /** Everything the computation emitted, headers stripped. */
+    const std::vector<Word> &items() const { return _items; }
+
+  protected:
+    std::vector<Word> _items;
+};
+
+/**
+ * Frame-aligned output recorder: uses the frame headers CommGuard's
+ * header inserter stamps onto the collector edge to place each
+ * frame's items at that frame's offset in the output stream, the way
+ * a reliable output device writing fixed-size records would. A sink
+ * thread that over- or under-pushes within a frame then corrupts only
+ * that frame's region instead of shifting the whole remaining output.
+ */
+class FrameAlignedCollector : public CollectorQueue
+{
+  public:
+    /**
+     * @param items_per_frame Output items each frame contributes.
+     * @param max_frames      Sanity cap on header IDs (records beyond
+     *                        it are treated as overflow).
+     */
+    FrameAlignedCollector(std::string name, Count items_per_frame,
+                          Count max_frames)
+        : CollectorQueue(std::move(name)),
+          _itemsPerFrame(items_per_frame ? items_per_frame : 1),
+          _maxFrames(max_frames)
+    {}
+
+    QueueOpStatus
+    tryPush(const QueueWord &word) override
+    {
+        if (word.isHeader) {
+            ++_counters.headersCollected;
+            if (word.value == endOfComputationId)
+                return QueueOpStatus::Ok;
+            if (word.value >= 1 && word.value <= _maxFrames) {
+                _cursor = static_cast<std::size_t>(word.value - 1) *
+                          _itemsPerFrame;
+                _frameEnd = _cursor + _itemsPerFrame;
+                if (_items.size() < _frameEnd)
+                    _items.resize(_frameEnd, 0);
+            }
+            return QueueOpStatus::Ok;
+        }
+
+        ++_counters.pushes;
+        if (_cursor < _frameEnd) {
+            _items[_cursor++] = word.value;
+        } else {
+            // Extra items past the frame's record: the device drops
+            // them (they would realign at the next header anyway).
+            ++_counters.overflowDrops;
+        }
+        return QueueOpStatus::Ok;
+    }
+
+  private:
+    Count _itemsPerFrame;
+    Count _maxFrames;
+    std::size_t _cursor = 0;
+    std::size_t _frameEnd = 0;
+};
+
+} // namespace commguard
+
+#endif // COMMGUARD_QUEUE_IO_QUEUE_HH

@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Abstract interface for inter-core communication queues.
+ *
+ * Three implementations model the paper's three communication substrates
+ * (Fig. 3):
+ *  - SoftwareQueue: the StreamIt software queue whose head/tail pointer
+ *    updates pass through the error-prone register file (Fig. 3b);
+ *  - ReliableQueue: an error-protected queue with correct pointers but
+ *    no alignment checking (Fig. 3c);
+ *  - WorkingSetQueue: the CommGuard queue manager's storage with
+ *    working-set sub-regions and ECC-protected shared pointers (§5.1).
+ */
+
+#ifndef COMMGUARD_QUEUE_QUEUE_BASE_HH
+#define COMMGUARD_QUEUE_QUEUE_BASE_HH
+
+#include <cstddef>
+#include <string>
+
+#include "common/rng.hh"
+#include "queue/queue_counters.hh"
+#include "queue/queue_word.hh"
+
+namespace commguard
+{
+
+/** Outcome of a non-blocking queue attempt. */
+enum class QueueOpStatus
+{
+    Ok,       //!< Operation completed.
+    Blocked,  //!< Queue full (push) or empty (pop); retry later.
+};
+
+/**
+ * FIFO of QueueWords with bounded capacity and blocking semantics.
+ */
+class QueueBase
+{
+  public:
+    explicit QueueBase(std::string name) : _name(std::move(name)) {}
+    virtual ~QueueBase() = default;
+
+    QueueBase(const QueueBase &) = delete;
+    QueueBase &operator=(const QueueBase &) = delete;
+
+    /** Try to append a word; Blocked when the queue appears full. */
+    virtual QueueOpStatus tryPush(const QueueWord &word) = 0;
+
+    /** Try to remove the oldest word; Blocked when it appears empty. */
+    virtual QueueOpStatus tryPop(QueueWord &word) = 0;
+
+    /** Apparent number of queued words (may be garbage if corrupted). */
+    virtual std::size_t size() const = 0;
+
+    /** Maximum number of words the queue can hold. */
+    virtual std::size_t capacity() const = 0;
+
+    /**
+     * Model one architectural error landing in this queue's management
+     * state while a queue routine had it in registers (queue management
+     * errors, paper §3 "QME"). Reliable queues ignore this.
+     */
+    virtual void corrupt(Rng &rng) { (void)rng; }
+
+    /**
+     * Extra committed instructions one push/pop costs on the issuing
+     * core (software queues execute a routine; hardware queues are
+     * single ISA operations).
+     */
+    virtual Count opCost() const { return 0; }
+
+    const std::string &name() const { return _name; }
+
+    /** Per-queue statistics (pushes, pops, corruptions, ...). */
+    QueueCounters &counters() { return _counters; }
+    const QueueCounters &counters() const { return _counters; }
+
+  protected:
+    std::string _name;
+    QueueCounters _counters;
+};
+
+} // namespace commguard
+
+#endif // COMMGUARD_QUEUE_QUEUE_BASE_HH

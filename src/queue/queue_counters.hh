@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Hot-path statistics counters for queue implementations.
+ *
+ * Queue pushes/pops happen tens of millions of times per run, so these
+ * are plain struct members; exportTo() publishes them into the named
+ * StatGroup hierarchy for reporting.
+ */
+
+#ifndef COMMGUARD_QUEUE_QUEUE_COUNTERS_HH
+#define COMMGUARD_QUEUE_QUEUE_COUNTERS_HH
+
+#include "common/stats.hh"
+#include "common/types.hh"
+
+namespace commguard
+{
+
+/** Per-queue event counters. */
+struct QueueCounters
+{
+    Count pushes = 0;
+    Count pops = 0;
+    Count pushBlocked = 0;
+    Count popBlocked = 0;
+
+    // SoftwareQueue corruption events (paper §3, QME).
+    Count headCorruptions = 0;
+    Count tailCorruptions = 0;
+    Count itemCorruptions = 0;
+
+    // WorkingSetQueue shared-pointer accounting (paper §5.1, Table 3).
+    Count worksetSwitches = 0;
+    Count worksetEccOps = 0;
+
+    // I/O endpoint events.
+    Count underflowPops = 0;
+    Count headersCollected = 0;
+    Count overflowDrops = 0;
+    Count illegalPushes = 0;
+    Count illegalPops = 0;
+
+    /** Publish all counters into @p group. */
+    void
+    exportTo(StatGroup &group) const
+    {
+        group.set("pushes", pushes);
+        group.set("pops", pops);
+        group.set("pushBlocked", pushBlocked);
+        group.set("popBlocked", popBlocked);
+        group.set("headCorruptions", headCorruptions);
+        group.set("tailCorruptions", tailCorruptions);
+        group.set("itemCorruptions", itemCorruptions);
+        group.set("worksetSwitches", worksetSwitches);
+        group.set("worksetEccOps", worksetEccOps);
+        group.set("underflowPops", underflowPops);
+        group.set("headersCollected", headersCollected);
+        group.set("overflowDrops", overflowDrops);
+        group.set("illegalPushes", illegalPushes);
+        group.set("illegalPops", illegalPops);
+    }
+};
+
+} // namespace commguard
+
+#endif // COMMGUARD_QUEUE_QUEUE_COUNTERS_HH

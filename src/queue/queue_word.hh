@@ -1,0 +1,54 @@
+/**
+ * @file
+ * The unit of inter-core communication: a tagged word.
+ *
+ * CommGuard transmits frame headers in-band with data items. Hardware
+ * distinguishes them with a header tag bit (paper Table 3: "is-header:
+ * Check header-bit"); headers additionally carry a SECDED codeword
+ * because they are end-to-end ECC protected (paper §6: "Headers are not
+ * error-prone because we assume they are end-to-end ECC protected and
+ * account for their overhead").
+ */
+
+#ifndef COMMGUARD_QUEUE_QUEUE_WORD_HH
+#define COMMGUARD_QUEUE_QUEUE_WORD_HH
+
+#include "common/ecc.hh"
+#include "common/types.hh"
+
+namespace commguard
+{
+
+/** One queue slot: a data item or an ECC-protected frame header. */
+struct QueueWord
+{
+    /** Item value, or the frame ID for headers. */
+    Word value = 0;
+
+    /** Header tag bit. */
+    bool isHeader = false;
+
+    /** SECDED codeword of the frame ID; valid only for headers. */
+    EccWord ecc = 0;
+};
+
+/** Make a plain data item. */
+inline QueueWord
+makeItem(Word value)
+{
+    return QueueWord{value, false, 0};
+}
+
+/** Make an ECC-protected frame header carrying @p frame_id. */
+inline QueueWord
+makeHeader(FrameId frame_id)
+{
+    return QueueWord{frame_id, true, eccEncode(frame_id)};
+}
+
+/** Frame ID marking the end of a thread's computation (paper §4.1). */
+constexpr FrameId endOfComputationId = 0xffffffffu;
+
+} // namespace commguard
+
+#endif // COMMGUARD_QUEUE_QUEUE_WORD_HH

@@ -1,0 +1,37 @@
+/**
+ * @file
+ * Fully-reliable hardware queue without alignment checking (Fig. 3c).
+ *
+ * Pointer state is never corrupted and push/pop are single ISA
+ * operations (zero extra instruction cost). This substrate eliminates
+ * queue management errors but, as the paper shows, still fails under
+ * alignment errors: producers/consumers with perturbed control flow
+ * transfer the wrong *number* of items and the streams shift
+ * permanently.
+ */
+
+#ifndef COMMGUARD_QUEUE_RELIABLE_QUEUE_HH
+#define COMMGUARD_QUEUE_RELIABLE_QUEUE_HH
+
+#include "queue/ring_queue.hh"
+
+namespace commguard
+{
+
+/**
+ * Error-free queue with hardware push/pop.
+ */
+class ReliableQueue : public RingQueue
+{
+  public:
+    ReliableQueue(std::string name, std::size_t capacity)
+        : RingQueue(std::move(name), capacity)
+    {}
+
+    // corrupt() deliberately inherits the no-op default: this queue's
+    // management state is protected hardware.
+};
+
+} // namespace commguard
+
+#endif // COMMGUARD_QUEUE_RELIABLE_QUEUE_HH

@@ -1,0 +1,53 @@
+#include "queue/ring_queue.hh"
+
+namespace commguard
+{
+
+namespace
+{
+
+std::size_t
+roundUpPow2(std::size_t x)
+{
+    std::size_t p = 2;
+    while (p < x)
+        p <<= 1;
+    return p;
+}
+
+} // namespace
+
+RingQueue::RingQueue(std::string name, std::size_t capacity)
+    : QueueBase(std::move(name)),
+      _buffer(roundUpPow2(capacity)),
+      _mask(static_cast<Word>(_buffer.size() - 1))
+{
+}
+
+QueueOpStatus
+RingQueue::tryPush(const QueueWord &word)
+{
+    if (size() >= capacity()) {
+        ++_counters.pushBlocked;
+        return QueueOpStatus::Blocked;
+    }
+    _buffer[_tail & _mask] = word;
+    ++_tail;
+    ++_counters.pushes;
+    return QueueOpStatus::Ok;
+}
+
+QueueOpStatus
+RingQueue::tryPop(QueueWord &word)
+{
+    if (size() == 0) {
+        ++_counters.popBlocked;
+        return QueueOpStatus::Blocked;
+    }
+    word = _buffer[_head & _mask];
+    ++_head;
+    ++_counters.pops;
+    return QueueOpStatus::Ok;
+}
+
+} // namespace commguard

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Shared ring-buffer machinery for the concrete queue implementations.
+ *
+ * The buffer index is always masked, so even corrupted head/tail
+ * pointers can never produce out-of-bounds accesses — corruption
+ * produces *wrong data* (stale or skipped slots, bogus occupancy),
+ * never a simulator fault, mirroring how a PPU system fails.
+ */
+
+#ifndef COMMGUARD_QUEUE_RING_QUEUE_HH
+#define COMMGUARD_QUEUE_RING_QUEUE_HH
+
+#include <vector>
+
+#include "common/logging.hh"
+#include "queue/queue_base.hh"
+
+namespace commguard
+{
+
+/**
+ * Bounded FIFO over a power-of-two ring with absolute head/tail
+ * counters (the StreamIt head/tail pointer pair, paper §2.2).
+ */
+class RingQueue : public QueueBase
+{
+  public:
+    /** @param capacity Rounded up to a power of two, minimum 2. */
+    RingQueue(std::string name, std::size_t capacity);
+
+    QueueOpStatus tryPush(const QueueWord &word) override;
+    QueueOpStatus tryPop(QueueWord &word) override;
+
+    std::size_t
+    size() const override
+    {
+        // Unsigned wraparound: garbage (possibly > capacity) when the
+        // pointers have been corrupted, which is exactly the paper's
+        // inconsistent full/empty view failure mode.
+        return static_cast<Word>(_tail - _head);
+    }
+
+    std::size_t capacity() const override { return _buffer.size(); }
+
+    /** Raw pointer access for corruption modeling and tests. */
+    Word head() const { return _head; }
+    Word tail() const { return _tail; }
+    void setHead(Word head) { _head = head; }
+    void setTail(Word tail) { _tail = tail; }
+
+    /** Direct slot access for corruption modeling and tests. */
+    QueueWord &slot(std::size_t index)
+    {
+        return _buffer[index & _mask];
+    }
+
+  private:
+    std::vector<QueueWord> _buffer;
+    Word _mask;
+    Word _head = 0;  //!< Absolute count of completed pops.
+    Word _tail = 0;  //!< Absolute count of completed pushes.
+};
+
+} // namespace commguard
+
+#endif // COMMGUARD_QUEUE_RING_QUEUE_HH

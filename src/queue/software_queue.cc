@@ -1,0 +1,29 @@
+#include "queue/software_queue.hh"
+
+namespace commguard
+{
+
+void
+SoftwareQueue::corrupt(Rng &rng)
+{
+    const Word bit = Word{1} << rng.below(32);
+    // The queue routine holds three word-sized values in registers:
+    // the head pointer, the tail pointer, and the item being moved.
+    switch (rng.below(3)) {
+      case 0:
+        setHead(head() ^ bit);
+        ++_counters.headCorruptions;
+        break;
+      case 1:
+        setTail(tail() ^ bit);
+        ++_counters.tailCorruptions;
+        break;
+      default:
+        // Corrupt the most recently pushed slot (the in-flight item).
+        slot(tail() - 1).value ^= bit;
+        ++_counters.itemCorruptions;
+        break;
+    }
+}
+
+} // namespace commguard

@@ -1,0 +1,45 @@
+/**
+ * @file
+ * The unprotected StreamIt software queue (paper Fig. 3b baseline).
+ *
+ * In the paper, each push/pop executes a library routine whose head/tail
+ * pointer values transit the error-prone register file; a register bit
+ * flip during that window corrupts the queue management state (queue
+ * management errors, §3). We model the same exposure: the queue reports
+ * an opCost() of several virtual instructions, and when the machine's
+ * error injector fires inside such a window it calls corrupt(), which
+ * flips one bit of the head pointer, the tail pointer, or an in-flight
+ * item — the three register-resident values of the routine.
+ */
+
+#ifndef COMMGUARD_QUEUE_SOFTWARE_QUEUE_HH
+#define COMMGUARD_QUEUE_SOFTWARE_QUEUE_HH
+
+#include "queue/ring_queue.hh"
+
+namespace commguard
+{
+
+/**
+ * Corruptible software queue.
+ */
+class SoftwareQueue : public RingQueue
+{
+  public:
+    /** Instructions one push/pop routine costs (paper §2.3 notes a
+     *  communication event as often as every 7 compute instructions;
+     *  the StreamIt routine is on the order of a dozen operations). */
+    static constexpr Count softwareOpCost = 12;
+
+    SoftwareQueue(std::string name, std::size_t capacity)
+        : RingQueue(std::move(name), capacity)
+    {}
+
+    Count opCost() const override { return softwareOpCost; }
+
+    void corrupt(Rng &rng) override;
+};
+
+} // namespace commguard
+
+#endif // COMMGUARD_QUEUE_SOFTWARE_QUEUE_HH

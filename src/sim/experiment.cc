@@ -1,0 +1,114 @@
+#include "sim/experiment.hh"
+
+#include <cmath>
+
+#include "queue/working_set_queue.hh"
+
+namespace commguard::sim
+{
+
+RunOutcome
+runOnce(const apps::App &app, const streamit::LoadOptions &options)
+{
+    streamit::LoadedApp loaded = streamit::loadGraph(
+        app.graph, app.input, app.steadyIterations, options);
+
+    const MachineRunResult machine_result = loaded.run();
+
+    RunOutcome outcome;
+    outcome.completed = machine_result.completed;
+    outcome.totalInstructions = machine_result.totalInstructions;
+    outcome.totalCycles = machine_result.totalCycles;
+    outcome.timeoutsFired = machine_result.timeoutsFired;
+    outcome.deadlockBreaks = machine_result.deadlockBreaks;
+
+    for (const auto &core : loaded.machine->cores()) {
+        const CoreCounters &c = core->counters();
+        outcome.coreLoads += c.loads;
+        outcome.coreStores += c.stores;
+        outcome.watchdogTrips += c.scopeWatchdogTrips;
+        outcome.invocations += c.invocations;
+        outcome.errorsInjected += core->injector().errorsInjected();
+    }
+
+    for (const CommGuardBackend *backend : loaded.cgBackends) {
+        const CgCounters &c = backend->counters();
+        outcome.paddedItems += c.paddedItems;
+        outcome.discardedItems += c.discardedItems;
+        outcome.discardedHeaders += c.discardedHeaders;
+        outcome.acceptedItems += c.acceptedItems;
+        outcome.headerLoads += c.headerLoads;
+        outcome.headerStores += c.headerStores;
+        outcome.dataLoads += c.dataLoads;
+        outcome.dataStores += c.dataStores;
+        outcome.fsmCounterOps += c.fsmCounterOps();
+        outcome.eccOps += c.eccOps();
+        outcome.headerBitOps += c.headerBitOps;
+        outcome.totalCgOps += c.totalOps();
+    }
+
+    for (const auto &queue : loaded.machine->queues())
+        outcome.worksetEccOps += queue->counters().worksetEccOps;
+    outcome.eccOps += outcome.worksetEccOps;
+    outcome.totalCgOps += outcome.worksetEccOps;
+
+    outcome.output = loaded.collector->items();
+    outcome.qualityDb = app.quality(outcome.output);
+    return outcome;
+}
+
+SampleStats
+summarize(const std::vector<double> &samples)
+{
+    SampleStats stats;
+    if (samples.empty())
+        return stats;
+
+    double sum = 0.0;
+    stats.min = samples.front();
+    stats.max = samples.front();
+    for (double s : samples) {
+        sum += s;
+        stats.min = std::min(stats.min, s);
+        stats.max = std::max(stats.max, s);
+    }
+    stats.mean = sum / static_cast<double>(samples.size());
+
+    double var = 0.0;
+    for (double s : samples)
+        var += (s - stats.mean) * (s - stats.mean);
+    stats.stddev =
+        std::sqrt(var / static_cast<double>(samples.size()));
+    return stats;
+}
+
+const std::vector<Count> &
+mtbeAxis()
+{
+    static const std::vector<Count> axis = {
+        64'000,   128'000,  256'000,  512'000,
+        1'024'000, 2'048'000, 4'096'000, 8'192'000,
+    };
+    return axis;
+}
+
+SampleStats
+qualitySweep(const apps::App &app, double mtbe,
+             streamit::ProtectionMode mode, Count frame_scale)
+{
+    std::vector<double> qualities;
+    qualities.reserve(seedsPerPoint);
+    for (int seed = 0; seed < seedsPerPoint; ++seed) {
+        streamit::LoadOptions options;
+        options.mode = mode;
+        options.injectErrors = true;
+        options.mtbe = mtbe;
+        options.seed = static_cast<std::uint64_t>(seed + 1) * 1000003;
+        options.frameScale = frame_scale;
+        const RunOutcome outcome = runOnce(app, options);
+        qualities.push_back(outcome.qualityDb);
+    }
+    return summarize(qualities);
+}
+
+} // namespace commguard::sim

@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Experiment harness: single runs, seed sweeps, and MTBE axes
+ * reproducing the paper's methodology (§6): for every MTBE the
+ * application runs 5 times with different random seeds and the mean and
+ * deviation of output quality are reported.
+ */
+
+#ifndef COMMGUARD_SIM_EXPERIMENT_HH
+#define COMMGUARD_SIM_EXPERIMENT_HH
+
+#include <string>
+#include <vector>
+
+#include "apps/app.hh"
+#include "streamit/loader.hh"
+
+namespace commguard::sim
+{
+
+/** Aggregated observables of one run. */
+struct RunOutcome
+{
+    double qualityDb = 0.0;
+    bool completed = false;
+
+    Count totalInstructions = 0;
+    Cycle totalCycles = 0;
+    Count timeoutsFired = 0;
+    Count deadlockBreaks = 0;
+
+    // Core aggregates.
+    Count coreLoads = 0;
+    Count coreStores = 0;
+    Count errorsInjected = 0;
+    Count watchdogTrips = 0;
+    Count invocations = 0;
+
+    // CommGuard aggregates (zero unless mode == CommGuard).
+    Count paddedItems = 0;
+    Count discardedItems = 0;
+    Count discardedHeaders = 0;
+    Count acceptedItems = 0;
+    Count headerLoads = 0;
+    Count headerStores = 0;
+    Count dataLoads = 0;
+    Count dataStores = 0;
+    Count fsmCounterOps = 0;
+    Count eccOps = 0;
+    Count headerBitOps = 0;
+    Count totalCgOps = 0;
+    Count worksetEccOps = 0;
+
+    /** Paper Fig. 8 metric: (padded + discarded) / accepted. */
+    double
+    dataLossRatio() const
+    {
+        if (acceptedItems == 0)
+            return 0.0;
+        return static_cast<double>(paddedItems + discardedItems) /
+               static_cast<double>(acceptedItems);
+    }
+
+    /** The collected output stream (moved from the collector). */
+    std::vector<Word> output;
+};
+
+/** Run one application once under the given options. */
+RunOutcome runOnce(const apps::App &app,
+                   const streamit::LoadOptions &options);
+
+/** Mean / deviation summary of a sample set. */
+struct SampleStats
+{
+    double mean = 0.0;
+    double stddev = 0.0;
+    double min = 0.0;
+    double max = 0.0;
+};
+
+SampleStats summarize(const std::vector<double> &samples);
+
+/** The paper's MTBE axis: {64, 128, 256, ..., 8192} * 1000 insts. */
+const std::vector<Count> &mtbeAxis();
+
+/** Paper methodology: five seeds per configuration. */
+constexpr int seedsPerPoint = 5;
+
+/**
+ * Sweep helper: run @p app at one MTBE over seedsPerPoint seeds and
+ * summarize the quality.
+ */
+SampleStats qualitySweep(const apps::App &app, double mtbe,
+                         streamit::ProtectionMode mode,
+                         Count frame_scale = 1);
+
+} // namespace commguard::sim
+
+#endif // COMMGUARD_SIM_EXPERIMENT_HH

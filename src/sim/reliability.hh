@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Rely-style frame reliability analysis (paper §9).
+ *
+ * The paper argues that CommGuard is what makes quantitative
+ * reliability analysis of streaming programs possible: "with
+ * CommGuard, the reliability analysis can capture that error effects
+ * do not propagate across frame boundaries. As a result, Rely's
+ * reliability analysis may compute the overall application reliability
+ * for streaming data." The authors leave this as future work; this
+ * module implements the analysis for our substrate.
+ *
+ * Model: each core's errors form a Poisson process over committed
+ * instructions with rate 1/MTBE. A CommGuard frame on node n spans
+ * I_n committed instructions, so the probability that node n suffers
+ * at least one error during one frame is 1 - exp(-I_n / MTBE).
+ * Because CommGuard confines error effects to the frames they occur
+ * in, an output frame is clean *at least* whenever no node erred
+ * during it:
+ *
+ *     P(frame affected) <= 1 - prod_n exp(-I_n / MTBE)
+ *                        = 1 - exp(-sum_n I_n / MTBE).
+ *
+ * This is an upper bound: not every register flip corrupts output
+ * (dead values, masked bits). The measured corrupted-frame fraction
+ * divided by the bound gives the empirical sensitivity factor.
+ */
+
+#ifndef COMMGUARD_SIM_RELIABILITY_HH
+#define COMMGUARD_SIM_RELIABILITY_HH
+
+#include <cmath>
+#include <vector>
+
+#include "apps/app.hh"
+#include "streamit/loader.hh"
+
+namespace commguard::sim
+{
+
+/** Static inputs of the frame-reliability model. */
+struct ReliabilityModel
+{
+    /** Committed instructions per CommGuard frame, per node. */
+    std::vector<double> instsPerFrame;
+
+    /** Sum over nodes (instructions the whole machine spends per
+     *  frame). */
+    double totalInstsPerFrame = 0.0;
+
+    /**
+     * Upper bound on the probability that a given output frame is
+     * affected by at least one error, at the given per-core MTBE.
+     */
+    double
+    frameAffectedBound(double mtbe) const
+    {
+        return 1.0 - std::exp(-totalInstsPerFrame / mtbe);
+    }
+
+    /** Expected affected frames out of @p frames at @p mtbe. */
+    double
+    expectedAffectedFrames(double mtbe, double frames) const
+    {
+        return frames * frameAffectedBound(mtbe);
+    }
+};
+
+/**
+ * Build the model by measuring per-node instructions per frame on an
+ * error-free CommGuard run of @p app.
+ */
+ReliabilityModel buildReliabilityModel(const apps::App &app,
+                                       Count frame_scale = 1);
+
+/**
+ * Measured counterpart: the fraction of output frames that differ
+ * from the error-free output. Frames are compared as contiguous
+ * groups of @p items_per_frame output items; missing items count as
+ * corrupted.
+ */
+double corruptedFrameFraction(const std::vector<Word> &reference,
+                              const std::vector<Word> &output,
+                              Count items_per_frame);
+
+} // namespace commguard::sim
+
+#endif // COMMGUARD_SIM_RELIABILITY_HH

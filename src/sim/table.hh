@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Small table/CSV printers used by the figure-reproduction benches.
+ */
+
+#ifndef COMMGUARD_SIM_TABLE_HH
+#define COMMGUARD_SIM_TABLE_HH
+
+#include <iostream>
+#include <string>
+#include <vector>
+
+namespace commguard::sim
+{
+
+/**
+ * Column-aligned text table writer for figure output.
+ */
+class Table
+{
+  public:
+    explicit Table(std::vector<std::string> headers);
+
+    /** Append a row (stringified cells). */
+    void addRow(std::vector<std::string> cells);
+
+    /** Print with aligned columns. */
+    void print(std::ostream &os = std::cout) const;
+
+    /** Print as CSV (for plotting). */
+    void printCsv(std::ostream &os = std::cout) const;
+
+  private:
+    std::vector<std::string> _headers;
+    std::vector<std::vector<std::string>> _rows;
+};
+
+/** Format a double with fixed precision. */
+std::string fmt(double value, int precision = 2);
+
+/** Format "mean +- stddev". */
+std::string fmtMeanDev(double mean, double dev, int precision = 2);
+
+} // namespace commguard::sim
+
+#endif // COMMGUARD_SIM_TABLE_HH

@@ -1,0 +1,109 @@
+#include "streamit/graph.hh"
+
+#include <sstream>
+
+namespace commguard::streamit
+{
+
+std::string
+StreamGraph::validateStructure() const
+{
+    std::ostringstream os;
+
+    if (_filters.empty())
+        return "graph has no filters";
+    if (!_input.valid())
+        return "graph has no external input";
+    if (!_output.valid())
+        return "graph has no external output";
+
+    // Count connections per port.
+    std::vector<std::vector<int>> in_uses(_filters.size());
+    std::vector<std::vector<int>> out_uses(_filters.size());
+    for (std::size_t n = 0; n < _filters.size(); ++n) {
+        in_uses[n].assign(_filters[n].popRates.size(), 0);
+        out_uses[n].assign(_filters[n].pushRates.size(), 0);
+        for (int rate : _filters[n].popRates) {
+            if (rate <= 0) {
+                os << _filters[n].name << ": non-positive pop rate";
+                return os.str();
+            }
+        }
+        for (int rate : _filters[n].pushRates) {
+            if (rate <= 0) {
+                os << _filters[n].name << ": non-positive push rate";
+                return os.str();
+            }
+        }
+        if (!_filters[n].buildProgram) {
+            os << _filters[n].name << ": missing program builder";
+            return os.str();
+        }
+    }
+
+    auto check_node = [&](NodeId node, const char *what) {
+        if (node < 0 || node >= numNodes()) {
+            os << what << " references invalid node " << node;
+            return false;
+        }
+        return true;
+    };
+
+    for (const Edge &edge : _edges) {
+        if (!check_node(edge.producer, "edge") ||
+            !check_node(edge.consumer, "edge"))
+            return os.str();
+        if (edge.outPort < 0 ||
+            edge.outPort >=
+                static_cast<int>(out_uses[edge.producer].size())) {
+            os << _filters[edge.producer].name
+               << ": edge uses undeclared output port " << edge.outPort;
+            return os.str();
+        }
+        if (edge.inPort < 0 ||
+            edge.inPort >=
+                static_cast<int>(in_uses[edge.consumer].size())) {
+            os << _filters[edge.consumer].name
+               << ": edge uses undeclared input port " << edge.inPort;
+            return os.str();
+        }
+        ++out_uses[edge.producer][edge.outPort];
+        ++in_uses[edge.consumer][edge.inPort];
+    }
+
+    if (!check_node(_input.node, "external input"))
+        return os.str();
+    if (!check_node(_output.node, "external output"))
+        return os.str();
+    if (_input.port < 0 ||
+        _input.port >= static_cast<int>(in_uses[_input.node].size()))
+        return "external input attached to undeclared port";
+    if (_output.port < 0 ||
+        _output.port >= static_cast<int>(out_uses[_output.node].size()))
+        return "external output attached to undeclared port";
+    ++in_uses[_input.node][_input.port];
+    ++out_uses[_output.node][_output.port];
+
+    for (std::size_t n = 0; n < _filters.size(); ++n) {
+        for (std::size_t p = 0; p < in_uses[n].size(); ++p) {
+            if (in_uses[n][p] != 1) {
+                os << _filters[n].name << ": input port " << p
+                   << " has " << in_uses[n][p]
+                   << " connections (want 1)";
+                return os.str();
+            }
+        }
+        for (std::size_t p = 0; p < out_uses[n].size(); ++p) {
+            if (out_uses[n][p] != 1) {
+                os << _filters[n].name << ": output port " << p
+                   << " has " << out_uses[n][p]
+                   << " connections (want 1)";
+                return os.str();
+            }
+        }
+    }
+
+    return "";
+}
+
+} // namespace commguard::streamit

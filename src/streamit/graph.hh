@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Stream computation graph: filters connected by producer-consumer
+ * edges, with one external input and one external output (the reliable
+ * I/O devices).
+ *
+ * Pipelines and split-joins (paper Fig. 1) are built by connecting
+ * multi-port filters; there are no separate splitter/joiner node kinds —
+ * a splitter is a filter with several output ports, a joiner one with
+ * several input ports, matching how the StreamIt cluster backend fuses
+ * them into threads.
+ */
+
+#ifndef COMMGUARD_STREAMIT_GRAPH_HH
+#define COMMGUARD_STREAMIT_GRAPH_HH
+
+#include <string>
+#include <vector>
+
+#include "streamit/filter.hh"
+
+namespace commguard::streamit
+{
+
+/** Index of a filter within its graph. */
+using NodeId = int;
+
+/** A producer-consumer connection. */
+struct Edge
+{
+    NodeId producer;
+    int outPort;
+    NodeId consumer;
+    int inPort;
+};
+
+/** Attachment point of an external I/O device. */
+struct ExternalPort
+{
+    NodeId node = -1;
+    int port = -1;
+    bool valid() const { return node >= 0; }
+};
+
+/**
+ * The application graph.
+ */
+class StreamGraph
+{
+  public:
+    /** Add a filter; returns its node ID. */
+    NodeId
+    addFilter(FilterSpec spec)
+    {
+        _filters.push_back(std::move(spec));
+        return static_cast<NodeId>(_filters.size() - 1);
+    }
+
+    /** Connect producer output port to consumer input port. */
+    void
+    connect(NodeId producer, int out_port, NodeId consumer, int in_port)
+    {
+        _edges.push_back(Edge{producer, out_port, consumer, in_port});
+    }
+
+    /** Declare where the input stream enters the graph. */
+    void
+    setExternalInput(NodeId node, int in_port)
+    {
+        _input = ExternalPort{node, in_port};
+    }
+
+    /** Declare where the output stream leaves the graph. */
+    void
+    setExternalOutput(NodeId node, int out_port)
+    {
+        _output = ExternalPort{node, out_port};
+    }
+
+    const std::vector<FilterSpec> &filters() const { return _filters; }
+    const std::vector<Edge> &edges() const { return _edges; }
+    const ExternalPort &externalInput() const { return _input; }
+    const ExternalPort &externalOutput() const { return _output; }
+
+    int numNodes() const { return static_cast<int>(_filters.size()); }
+
+    /**
+     * Check structural sanity: every declared port connected exactly
+     * once (edges plus external attachments), rates positive, external
+     * ports declared. Returns an empty string when valid, else a
+     * diagnostic.
+     */
+    std::string validateStructure() const;
+
+  private:
+    std::vector<FilterSpec> _filters;
+    std::vector<Edge> _edges;
+    ExternalPort _input;
+    ExternalPort _output;
+};
+
+} // namespace commguard::streamit
+
+#endif // COMMGUARD_STREAMIT_GRAPH_HH

@@ -1,0 +1,254 @@
+#include "streamit/loader.hh"
+
+#include <algorithm>
+#include <numeric>
+#include <sstream>
+
+#include "common/logging.hh"
+#include "queue/reliable_queue.hh"
+#include "queue/software_queue.hh"
+#include "queue/working_set_queue.hh"
+
+namespace commguard::streamit
+{
+
+const char *
+protectionModeName(ProtectionMode mode)
+{
+    switch (mode) {
+      case ProtectionMode::PpuOnly: return "ppu-only";
+      case ProtectionMode::ReliableQueue: return "reliable-queue";
+      case ProtectionMode::CommGuard: return "commguard";
+      default: return "???";
+    }
+}
+
+namespace
+{
+
+/** Derive an independent per-core injector seed (paper §6). */
+std::uint64_t
+coreSeed(std::uint64_t base, int core)
+{
+    std::uint64_t x =
+        base + 0x9e3779b97f4a7c15ull * static_cast<std::uint64_t>(
+                                           core + 1);
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+    return x ^ (x >> 31);
+}
+
+std::unique_ptr<QueueBase>
+makeEdgeQueue(ProtectionMode mode, const std::string &name,
+              std::size_t capacity)
+{
+    switch (mode) {
+      case ProtectionMode::PpuOnly:
+        return std::make_unique<SoftwareQueue>(name, capacity);
+      case ProtectionMode::ReliableQueue:
+        return std::make_unique<ReliableQueue>(name, capacity);
+      case ProtectionMode::CommGuard:
+      default:
+        return std::make_unique<WorkingSetQueue>(name, capacity);
+    }
+}
+
+} // namespace
+
+LoadedApp
+loadGraph(const StreamGraph &graph, const std::vector<Word> &input,
+          Count steady_iterations, const LoadOptions &options)
+{
+    const std::string structure_error = graph.validateStructure();
+    if (!structure_error.empty())
+        fatal("loadGraph: " + structure_error);
+
+    const RepetitionVector reps = solveRepetitions(graph);
+    if (!reps.ok)
+        fatal("loadGraph: " + reps.error);
+
+    LoadedApp app;
+    app.frames = analyzeFrames(graph, reps);
+    app.steadyIterations = steady_iterations;
+    app.machine = std::make_unique<Multicore>(options.machine);
+    Multicore &machine = *app.machine;
+
+    const int num_nodes = graph.numNodes();
+    const bool guarded = options.mode == ProtectionMode::CommGuard;
+    const Count frame_scale = options.frameScale ? options.frameScale : 1;
+
+    // Per-node frame domains (SS5.4); uniform by default.
+    if (!options.perNodeFrameScale.empty() &&
+        options.perNodeFrameScale.size() !=
+            static_cast<std::size_t>(num_nodes)) {
+        fatal("loadGraph: perNodeFrameScale must have one entry per "
+              "node");
+    }
+    auto node_scale = [&](int node) -> Count {
+        if (options.perNodeFrameScale.empty())
+            return frame_scale;
+        const Count s = options.perNodeFrameScale[node];
+        return s ? s : 1;
+    };
+    const Count source_scale = node_scale(graph.externalInput().node);
+
+    // ------------------------------------------------------------------
+    // Input device: pre-filled source stream, framed when guarded.
+    // ------------------------------------------------------------------
+    const Count items_per_inv = app.frames.inputItemsPerFrame;
+    const Count needed = items_per_inv * steady_iterations;
+    std::vector<Word> padded_input = input;
+    if (padded_input.size() != needed) {
+        if (padded_input.size() < needed) {
+            warn("loadGraph: input shorter than schedule needs; "
+                 "zero-padding");
+        }
+        padded_input.resize(needed, 0);
+    }
+
+    std::vector<QueueWord> source_words;
+    source_words.reserve(needed + steady_iterations + 1);
+    std::size_t cursor = 0;
+    for (Count inv = 0; inv < steady_iterations; ++inv) {
+        if (guarded && options.guardSourceEdge &&
+            inv % source_scale == 0) {
+            const FrameId id =
+                static_cast<FrameId>(inv / source_scale + 1);
+            source_words.push_back(makeHeader(id));
+        }
+        for (Count i = 0; i < items_per_inv; ++i)
+            source_words.push_back(makeItem(padded_input[cursor++]));
+    }
+    if (guarded && options.guardSourceEdge)
+        source_words.push_back(makeHeader(endOfComputationId));
+
+    auto source = std::make_unique<SourceQueue>(
+        "source", std::move(source_words));
+    app.source = source.get();
+    machine.addQueue(std::move(source));
+
+    std::unique_ptr<CollectorQueue> collector;
+    if (guarded && options.frameAlignedOutput) {
+        const Count out_scale =
+            node_scale(graph.externalOutput().node);
+        const Count frames =
+            (steady_iterations + out_scale - 1) / out_scale;
+        collector = std::make_unique<FrameAlignedCollector>(
+            "collector",
+            app.frames.outputItemsPerFrame * out_scale, frames);
+    } else {
+        collector = std::make_unique<CollectorQueue>("collector");
+    }
+    app.collector = collector.get();
+    machine.addQueue(std::move(collector));
+
+    // ------------------------------------------------------------------
+    // Edge queues.
+    // ------------------------------------------------------------------
+    std::vector<QueueBase *> edge_queues;
+    edge_queues.reserve(graph.edges().size());
+    for (std::size_t e = 0; e < graph.edges().size(); ++e) {
+        const Edge &edge = graph.edges()[e];
+        std::ostringstream name;
+        name << "edge_" << graph.filters()[edge.producer].name << "."
+             << edge.outPort << "->"
+             << graph.filters()[edge.consumer].name << "."
+             << edge.inPort;
+        const std::size_t capacity = std::max<std::size_t>(
+            options.queueCapacityWords,
+            2 * app.frames.edgeItemsPerFrame[e] + 64);
+        edge_queues.push_back(&machine.addQueue(
+            makeEdgeQueue(options.mode, name.str(), capacity)));
+    }
+
+    // ------------------------------------------------------------------
+    // Per-node port tables.
+    // ------------------------------------------------------------------
+    std::vector<std::vector<QueueBase *>> ins(num_nodes);
+    std::vector<std::vector<QueueBase *>> outs(num_nodes);
+    for (int n = 0; n < num_nodes; ++n) {
+        ins[n].assign(graph.filters()[n].popRates.size(), nullptr);
+        outs[n].assign(graph.filters()[n].pushRates.size(), nullptr);
+    }
+    for (std::size_t e = 0; e < graph.edges().size(); ++e) {
+        const Edge &edge = graph.edges()[e];
+        outs[edge.producer][edge.outPort] = edge_queues[e];
+        ins[edge.consumer][edge.inPort] = edge_queues[e];
+    }
+    ins[graph.externalInput().node][graph.externalInput().port] =
+        app.source;
+    outs[graph.externalOutput().node][graph.externalOutput().port] =
+        app.collector;
+
+    // ------------------------------------------------------------------
+    // Cores, backends, runtimes.
+    // ------------------------------------------------------------------
+    Count estimated_total = 0;
+    for (int n = 0; n < num_nodes; ++n) {
+        const FilterSpec &spec = graph.filters()[n];
+        Core &core = machine.addCore(spec.name);
+
+        isa::Program program = spec.buildProgram(
+            static_cast<int>(reps.firings[n]));
+        estimated_total +=
+            program.estimatedInstsPerInvocation * steady_iterations;
+        core.setProgram(std::move(program));
+
+        ErrorInjector::Config injector;
+        injector.enabled = options.injectErrors;
+        injector.mtbe = options.mtbe;
+        injector.seed = coreSeed(options.seed, n);
+        injector.flipAllRegisters = options.flipAllRegisters;
+        core.configureInjector(injector);
+
+        std::unique_ptr<CommBackend> backend;
+        if (guarded) {
+            // Per-edge frame scales: an internal edge is guarded at
+            // the coarser (lcm) of its endpoints' domains; external
+            // edges use the attached node's domain.
+            auto edge_scale = [&](QueueBase *queue,
+                                  int self) -> Count {
+                if (queue == app.source || queue == app.collector)
+                    return node_scale(self);
+                for (std::size_t e = 0; e < graph.edges().size();
+                     ++e) {
+                    if (edge_queues[e] != queue)
+                        continue;
+                    const Edge &edge = graph.edges()[e];
+                    return std::lcm(node_scale(edge.producer),
+                                    node_scale(edge.consumer));
+                }
+                return node_scale(self);
+            };
+            std::vector<Count> in_scales;
+            for (QueueBase *queue : ins[n])
+                in_scales.push_back(edge_scale(queue, n));
+            std::vector<Count> out_scales;
+            for (QueueBase *queue : outs[n])
+                out_scales.push_back(edge_scale(queue, n));
+            std::vector<bool> in_guarded;
+            for (QueueBase *queue : ins[n]) {
+                in_guarded.push_back(queue != app.source ||
+                                     options.guardSourceEdge);
+            }
+            auto cg = std::make_unique<CommGuardBackend>(
+                ins[n], outs[n], std::move(in_scales),
+                std::move(out_scales), std::move(in_guarded));
+            app.cgBackends.push_back(cg.get());
+            backend = std::move(cg);
+        } else {
+            backend = std::make_unique<RawBackend>(ins[n], outs[n]);
+        }
+        CommBackend &bound = machine.addBackend(std::move(backend));
+        machine.addRuntime(core, bound, steady_iterations);
+    }
+
+    // Safety net: abort runaway (corrupted) executions well past any
+    // plausible completion point.
+    machine.config().globalWatchdogInsts = std::max<Count>(
+        200'000'000ull, estimated_total * 50);
+
+    return app;
+}
+
+} // namespace commguard::streamit

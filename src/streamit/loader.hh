@@ -1,0 +1,127 @@
+/**
+ * @file
+ * Graph loader: instantiates a stream graph onto a simulated multicore
+ * under a chosen protection configuration (paper Fig. 3).
+ *
+ * One filter maps to one core (the paper's cluster backend pins one
+ * thread per processor). Each edge becomes a queue whose implementation
+ * depends on the protection mode; the external input becomes a reliable
+ * pre-filled SourceQueue (with frame headers when CommGuard is active —
+ * the reliable input device acts as a header-inserting producer) and
+ * the external output becomes a CollectorQueue.
+ */
+
+#ifndef COMMGUARD_STREAMIT_LOADER_HH
+#define COMMGUARD_STREAMIT_LOADER_HH
+
+#include <memory>
+#include <vector>
+
+#include "machine/backends.hh"
+#include "machine/multicore.hh"
+#include "queue/io_queue.hh"
+#include "streamit/schedule.hh"
+
+namespace commguard::streamit
+{
+
+/** Inter-core communication substrate (paper Fig. 3 configurations). */
+enum class ProtectionMode
+{
+    PpuOnly,        //!< Corruptible software queues (Fig. 3b).
+    ReliableQueue,  //!< Reliable queues, no CommGuard (Fig. 3c).
+    CommGuard,      //!< Reliable QM + HI + AM (Fig. 3d).
+};
+
+/** Printable mode name. */
+const char *protectionModeName(ProtectionMode mode);
+
+/** Loader options. */
+struct LoadOptions
+{
+    ProtectionMode mode = ProtectionMode::CommGuard;
+
+    /** False models fully error-free cores (Fig. 3a / overhead runs). */
+    bool injectErrors = true;
+
+    /** Per-core mean instructions between register-file bit flips. */
+    double mtbe = 1e6;
+
+    /** Base RNG seed; per-core injector seeds derive from it. */
+    std::uint64_t seed = 1;
+
+    /** Ablation: flip all 31 registers instead of the live set. */
+    bool flipAllRegisters = false;
+
+    /** Frame-size knob (§5.4): steady iterations per CommGuard frame. */
+    Count frameScale = 1;
+
+    /**
+     * Varying frame definitions across the application (§5.4): one
+     * frame scale per node. Empty means uniform (frameScale). Each
+     * edge is guarded at the coarser granularity of its two endpoint
+     * domains (their least common multiple), implemented with a
+     * redundant active-fc counter per frame domain.
+     */
+    std::vector<Count> perNodeFrameScale;
+
+    /**
+     * Guard the external input edge with frame headers (the reliable
+     * input device acts as a header-inserting producer, letting the
+     * first filter's alignment manager repair its own input reads).
+     * Disable to quantify that modeling decision
+     * (`bench/ablation_source_guard`).
+     */
+    bool guardSourceEdge = true;
+
+    /**
+     * Use a frame-aligned output device (CommGuard mode only): the
+     * collector places each frame's items at the offset named by its
+     * header, so sink-side miscounts corrupt one frame's record
+     * instead of shifting the rest of the output stream.
+     */
+    bool frameAlignedOutput = false;
+
+    /** Minimum queue capacity in words. */
+    std::size_t queueCapacityWords = 1u << 12;
+
+    MachineConfig machine;
+};
+
+/** A graph instantiated on a machine, ready to run. */
+struct LoadedApp
+{
+    std::unique_ptr<Multicore> machine;
+    SourceQueue *source = nullptr;
+    CollectorQueue *collector = nullptr;
+
+    /** Per-core CommGuard backends (empty unless mode == CommGuard). */
+    std::vector<CommGuardBackend *> cgBackends;
+
+    FrameAnalysis frames;
+    Count steadyIterations = 0;
+
+    /** Run to completion and return the collected output stream. */
+    MachineRunResult run() { return machine->run(); }
+
+    /** Output items recorded by the collector. */
+    const std::vector<Word> &output() const
+    {
+        return collector->items();
+    }
+};
+
+/**
+ * Instantiate @p graph for @p steady_iterations steady-state
+ * iterations over the given input stream.
+ *
+ * The input must contain steady_iterations * inputItemsPerFrame words;
+ * shorter inputs are zero-padded with a warning.
+ */
+LoadedApp loadGraph(const StreamGraph &graph,
+                    const std::vector<Word> &input,
+                    Count steady_iterations, const LoadOptions &options);
+
+} // namespace commguard::streamit
+
+#endif // COMMGUARD_STREAMIT_LOADER_HH

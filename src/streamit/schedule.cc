@@ -1,0 +1,172 @@
+#include "streamit/schedule.hh"
+
+#include <numeric>
+#include <queue>
+
+namespace commguard::streamit
+{
+
+namespace
+{
+
+/** Exact rational with small helpers; components kept reduced. */
+struct Rational
+{
+    long long num = 0;
+    long long den = 1;
+
+    void
+    reduce()
+    {
+        const long long g = std::gcd(num < 0 ? -num : num, den);
+        if (g > 1) {
+            num /= g;
+            den /= g;
+        }
+    }
+
+    static Rational
+    make(long long num, long long den)
+    {
+        Rational r{num, den};
+        r.reduce();
+        return r;
+    }
+
+    Rational
+    times(long long mul_num, long long mul_den) const
+    {
+        // Reduce eagerly to keep the products small.
+        Rational a = make(num, mul_den);
+        Rational b = make(mul_num, den);
+        return make(a.num * b.num, a.den * b.den);
+    }
+
+    bool
+    equals(const Rational &other) const
+    {
+        return num == other.num && den == other.den;
+    }
+};
+
+} // namespace
+
+RepetitionVector
+solveRepetitions(const StreamGraph &graph)
+{
+    RepetitionVector result;
+    const int n = graph.numNodes();
+    if (n == 0) {
+        result.error = "empty graph";
+        return result;
+    }
+
+    // Adjacency over edges (both directions).
+    struct Link
+    {
+        int other;
+        long long my_rate;     //!< Items I transfer per firing.
+        long long other_rate;  //!< Items the other side transfers.
+    };
+    std::vector<std::vector<Link>> adj(n);
+    for (const Edge &edge : graph.edges()) {
+        const long long push =
+            graph.filters()[edge.producer].pushRates[edge.outPort];
+        const long long pop =
+            graph.filters()[edge.consumer].popRates[edge.inPort];
+        adj[edge.producer].push_back(Link{edge.consumer, push, pop});
+        adj[edge.consumer].push_back(Link{edge.producer, pop, push});
+    }
+
+    // Propagate rationals from node 0 (BFS).
+    std::vector<Rational> rate(n);
+    std::vector<bool> seen(n, false);
+    std::queue<int> work;
+    rate[0] = Rational{1, 1};
+    seen[0] = true;
+    work.push(0);
+    while (!work.empty()) {
+        const int node = work.front();
+        work.pop();
+        for (const Link &link : adj[node]) {
+            // rep[me]*my_rate = rep[other]*other_rate.
+            const Rational implied =
+                rate[node].times(link.my_rate, link.other_rate);
+            if (!seen[link.other]) {
+                rate[link.other] = implied;
+                seen[link.other] = true;
+                work.push(link.other);
+            } else if (!rate[link.other].equals(implied)) {
+                result.error = "inconsistent rates between " +
+                               graph.filters()[node].name + " and " +
+                               graph.filters()[link.other].name;
+                return result;
+            }
+        }
+    }
+
+    for (int i = 0; i < n; ++i) {
+        if (!seen[i]) {
+            result.error =
+                "graph is disconnected at " + graph.filters()[i].name;
+            return result;
+        }
+    }
+
+    // Scale to the smallest integer vector.
+    long long lcm_den = 1;
+    for (const Rational &r : rate)
+        lcm_den = std::lcm(lcm_den, r.den);
+    std::vector<long long> firings(n);
+    long long gcd_all = 0;
+    for (int i = 0; i < n; ++i) {
+        firings[i] = rate[i].num * (lcm_den / rate[i].den);
+        gcd_all = std::gcd(gcd_all, firings[i]);
+    }
+    if (gcd_all == 0)
+        gcd_all = 1;
+
+    result.firings.resize(n);
+    for (int i = 0; i < n; ++i) {
+        const long long f = firings[i] / gcd_all;
+        if (f <= 0) {
+            result.error = "non-positive repetition for " +
+                           graph.filters()[i].name;
+            return result;
+        }
+        result.firings[i] = static_cast<Count>(f);
+    }
+    result.ok = true;
+    return result;
+}
+
+FrameAnalysis
+analyzeFrames(const StreamGraph &graph, const RepetitionVector &reps)
+{
+    FrameAnalysis analysis;
+    analysis.firingsPerFrame = reps.firings;
+
+    analysis.edgeItemsPerFrame.reserve(graph.edges().size());
+    for (const Edge &edge : graph.edges()) {
+        const Count push = static_cast<Count>(
+            graph.filters()[edge.producer].pushRates[edge.outPort]);
+        analysis.edgeItemsPerFrame.push_back(
+            reps.firings[edge.producer] * push);
+    }
+
+    const ExternalPort &in = graph.externalInput();
+    if (in.valid()) {
+        const Count pop = static_cast<Count>(
+            graph.filters()[in.node].popRates[in.port]);
+        analysis.inputItemsPerFrame = reps.firings[in.node] * pop;
+    }
+    const ExternalPort &out = graph.externalOutput();
+    if (out.valid()) {
+        const Count push = static_cast<Count>(
+            graph.filters()[out.node].pushRates[out.port]);
+        analysis.outputItemsPerFrame = reps.firings[out.node] * push;
+    }
+    return analysis;
+}
+
+} // namespace commguard::streamit

@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Steady-state scheduling: the repetition vector and frame analysis.
+ *
+ * Solving the synchronous-dataflow balance equations gives, for each
+ * filter, the number of firings per steady-state iteration such that
+ * every edge transfers a consistent number of items. The paper's frame
+ * analysis (§2.2, Fig. 2) builds exactly on this: one steady-state
+ * iteration is the natural application-wide frame — a group of firings
+ * on each thread linked to a group of items on each edge ("15360 items
+ * correspond to exact multiples of firings in both filters").
+ */
+
+#ifndef COMMGUARD_STREAMIT_SCHEDULE_HH
+#define COMMGUARD_STREAMIT_SCHEDULE_HH
+
+#include <string>
+#include <vector>
+
+#include "common/types.hh"
+#include "streamit/graph.hh"
+
+namespace commguard::streamit
+{
+
+/** Result of the balance-equation solve. */
+struct RepetitionVector
+{
+    bool ok = false;
+    std::string error;
+
+    /** Firings per steady-state iteration, indexed by node. */
+    std::vector<Count> firings;
+};
+
+/**
+ * Solve the balance equations rep[p]*push = rep[c]*pop over all edges.
+ * Fails on inconsistent rates or a disconnected graph.
+ */
+RepetitionVector solveRepetitions(const StreamGraph &graph);
+
+/** Per-frame item/firing linkage (paper Fig. 2). */
+struct FrameAnalysis
+{
+    /** Firings per frame computation, indexed by node (= repetition
+     *  vector: one steady-state iteration per frame computation). */
+    std::vector<Count> firingsPerFrame;
+
+    /** Items per frame on each internal edge, indexed like edges(). */
+    std::vector<Count> edgeItemsPerFrame;
+
+    /** Items consumed from the external input per frame computation. */
+    Count inputItemsPerFrame = 0;
+
+    /** Items pushed to the external output per frame computation. */
+    Count outputItemsPerFrame = 0;
+};
+
+/** Derive the frame linkage from a solved repetition vector. */
+FrameAnalysis analyzeFrames(const StreamGraph &graph,
+                            const RepetitionVector &reps);
+
+} // namespace commguard::streamit
+
+#endif // COMMGUARD_STREAMIT_SCHEDULE_HH

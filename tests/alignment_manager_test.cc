@@ -1,0 +1,381 @@
+/**
+ * @file
+ * Tests for the alignment manager FSM — every transition of paper
+ * Table 1 plus the end-to-end realignment scenarios of §3 (AE-IE,
+ * AE-IL, AE-FE, AE-FL) and the end-of-computation marker.
+ */
+
+#include <gtest/gtest.h>
+
+#include "commguard/alignment_manager.hh"
+#include "queue/working_set_queue.hh"
+
+namespace commguard
+{
+namespace
+{
+
+class AmTest : public ::testing::Test
+{
+  protected:
+    AmTest() : _queue("q", 256), _qm(_queue, _counters), _am(_counters)
+    {}
+
+    void
+    pushHeader(FrameId id)
+    {
+        ASSERT_EQ(_queue.tryPush(makeHeader(id)), QueueOpStatus::Ok);
+    }
+
+    void
+    pushItems(std::initializer_list<Word> values)
+    {
+        for (Word v : values)
+            ASSERT_EQ(_queue.tryPush(makeItem(v)), QueueOpStatus::Ok);
+    }
+
+    AmPopResult
+    pop(FrameId active_fc)
+    {
+        return _am.onPop(_qm, active_fc);
+    }
+
+    CgCounters _counters;
+    WorkingSetQueue _queue;
+    QueueManager _qm;
+    AlignmentManager _am;
+};
+
+// ----------------------------------------------------------------------
+// Table 1 transitions, row by row.
+// ----------------------------------------------------------------------
+
+TEST_F(AmTest, InitialStateIsRcvCmp)
+{
+    EXPECT_EQ(_am.state(), AmState::RcvCmp);
+}
+
+TEST_F(AmTest, RcvCmpNewFrameComputationGoesToExpHdr)
+{
+    _am.onNewFrameComputation(1);
+    EXPECT_EQ(_am.state(), AmState::ExpHdr);
+}
+
+TEST_F(AmTest, ExpHdrCorrectHeaderGoesToRcvCmpAndDeliversItem)
+{
+    pushHeader(1);
+    pushItems({42});
+    _am.onNewFrameComputation(1);
+    const AmPopResult r = pop(1);
+    EXPECT_EQ(r.kind, AmPopResult::Kind::Item);
+    EXPECT_EQ(r.value, 42u);
+    EXPECT_EQ(_am.state(), AmState::RcvCmp);
+    EXPECT_EQ(_counters.acceptedItems, 1u);
+    EXPECT_EQ(_counters.eccChecks, 1u);
+}
+
+TEST_F(AmTest, RcvCmpFutureHeaderGoesToPdg)
+{
+    pushHeader(1);
+    pushItems({1, 2});
+    pushHeader(2);  // Future while still in frame 1.
+    _am.onNewFrameComputation(1);
+    EXPECT_EQ(pop(1).value, 1u);
+    EXPECT_EQ(pop(1).value, 2u);
+    // The third pop of frame 1 meets header 2 -> Pdg, padded 0.
+    const AmPopResult r = pop(1);
+    EXPECT_EQ(r.kind, AmPopResult::Kind::Pad);
+    EXPECT_EQ(r.value, 0u);
+    EXPECT_EQ(_am.state(), AmState::Pdg);
+    EXPECT_EQ(_am.pendingHeader(), 2u);
+    EXPECT_EQ(_counters.paddedItems, 1u);
+}
+
+TEST_F(AmTest, RcvCmpPastHeaderGoesToDisc)
+{
+    pushHeader(1);
+    pushItems({1});
+    _am.onNewFrameComputation(1);
+    EXPECT_EQ(pop(1).value, 1u);
+    // Simulate a replayed past header mid-frame.
+    pushHeader(0);
+    pushItems({7});
+    pushHeader(2);
+    pushItems({9});
+    // Past header -> Disc; item 7 discarded; header 2 (future) -> Pdg.
+    const AmPopResult r = pop(1);
+    EXPECT_EQ(r.kind, AmPopResult::Kind::Pad);
+    EXPECT_EQ(_am.state(), AmState::Pdg);
+    EXPECT_EQ(_counters.discardedItems, 1u);
+    EXPECT_GE(_counters.discardedHeaders, 1u);
+}
+
+TEST_F(AmTest, ExpHdrItemGoesToDiscFrThenCorrectHeaderRecovers)
+{
+    // An extra item sits before the expected header (AE-IE).
+    pushItems({99});
+    pushHeader(1);
+    pushItems({5});
+    _am.onNewFrameComputation(1);
+    const AmPopResult r = pop(1);
+    // The stray item is discarded, header 1 consumed, item 5 delivered.
+    EXPECT_EQ(r.kind, AmPopResult::Kind::Item);
+    EXPECT_EQ(r.value, 5u);
+    EXPECT_EQ(_am.state(), AmState::RcvCmp);
+    EXPECT_EQ(_counters.discardedItems, 1u);
+}
+
+TEST_F(AmTest, ExpHdrPastHeaderGoesToDiscFr)
+{
+    pushHeader(0);
+    _am.onNewFrameComputation(1);
+    // Only the past header is queued; next pop blocks in DiscFr.
+    const AmPopResult r = pop(1);
+    EXPECT_EQ(r.kind, AmPopResult::Kind::Blocked);
+    EXPECT_EQ(_am.state(), AmState::DiscFr);
+    EXPECT_EQ(_counters.discardedHeaders, 1u);
+}
+
+TEST_F(AmTest, ExpHdrFutureHeaderGoesToPdg)
+{
+    pushHeader(3);
+    _am.onNewFrameComputation(1);
+    const AmPopResult r = pop(1);
+    EXPECT_EQ(r.kind, AmPopResult::Kind::Pad);
+    EXPECT_EQ(_am.state(), AmState::Pdg);
+    EXPECT_EQ(_am.pendingHeader(), 3u);
+}
+
+TEST_F(AmTest, DiscFrDiscardsWholeFramesUntilCorrectHeader)
+{
+    // Consumer is at frame 3; queue still holds frames 1 and 2.
+    pushHeader(1);
+    pushItems({11, 12});
+    pushHeader(2);
+    pushItems({21, 22});
+    pushHeader(3);
+    pushItems({31});
+    _am.onNewFrameComputation(1);
+    _am.onNewFrameComputation(2);  // ExpHdr stays; fc advances.
+    _am.onNewFrameComputation(3);
+    const AmPopResult r = pop(3);
+    EXPECT_EQ(r.kind, AmPopResult::Kind::Item);
+    EXPECT_EQ(r.value, 31u);
+    EXPECT_EQ(_counters.discardedItems, 4u);
+    EXPECT_EQ(_counters.discardedHeaders, 2u);
+    EXPECT_EQ(_am.state(), AmState::RcvCmp);
+}
+
+TEST_F(AmTest, DiscFrFutureHeaderGoesToPdg)
+{
+    pushHeader(0);   // Past: ExpHdr -> DiscFr.
+    pushItems({1});  // Discarded in DiscFr.
+    pushHeader(5);   // Future -> Pdg.
+    _am.onNewFrameComputation(1);
+    const AmPopResult r = pop(1);
+    EXPECT_EQ(r.kind, AmPopResult::Kind::Pad);
+    EXPECT_EQ(_am.state(), AmState::Pdg);
+    EXPECT_EQ(_am.pendingHeader(), 5u);
+}
+
+TEST_F(AmTest, DiscResolvesOnlyOnFutureHeader)
+{
+    pushHeader(1);
+    pushItems({1});
+    _am.onNewFrameComputation(1);
+    EXPECT_EQ(pop(1).value, 1u);
+
+    // Past header mid-frame -> Disc. A current-frame header does NOT
+    // resolve Disc (Table 1 lists only "future header" for Disc).
+    pushHeader(0);
+    pushItems({70});
+    pushHeader(1);   // Current frame id == active-fc: still discarded.
+    pushItems({71});
+    pushHeader(2);   // Future: -> Pdg.
+    const AmPopResult r = pop(1);
+    EXPECT_EQ(r.kind, AmPopResult::Kind::Pad);
+    EXPECT_EQ(_am.state(), AmState::Pdg);
+    EXPECT_EQ(_counters.discardedItems, 2u);
+    EXPECT_EQ(_counters.discardedHeaders, 2u);
+}
+
+TEST_F(AmTest, PdgPadsWithoutTouchingQueue)
+{
+    pushHeader(2);
+    _am.onNewFrameComputation(1);
+    ASSERT_EQ(pop(1).kind, AmPopResult::Kind::Pad);  // Enter Pdg.
+    pushItems({123});
+    const Count loads_before =
+        _counters.dataLoads + _counters.headerLoads;
+    for (int i = 0; i < 5; ++i) {
+        const AmPopResult r = pop(1);
+        EXPECT_EQ(r.kind, AmPopResult::Kind::Pad);
+        EXPECT_EQ(r.value, 0u);
+    }
+    EXPECT_EQ(_counters.dataLoads + _counters.headerLoads,
+              loads_before);
+    EXPECT_EQ(_counters.paddedItems, 6u);
+}
+
+TEST_F(AmTest, PdgResumesWhenFrameComputationMatchesHeader)
+{
+    pushHeader(2);
+    pushItems({55});
+    _am.onNewFrameComputation(1);
+    ASSERT_EQ(pop(1).kind, AmPopResult::Kind::Pad);  // Pdg, pending 2.
+    _am.onNewFrameComputation(2);
+    EXPECT_EQ(_am.state(), AmState::RcvCmp);
+    const AmPopResult r = pop(2);
+    EXPECT_EQ(r.kind, AmPopResult::Kind::Item);
+    EXPECT_EQ(r.value, 55u);
+}
+
+TEST_F(AmTest, PdgStaysWhileFrameComputationBehindHeader)
+{
+    pushHeader(5);
+    _am.onNewFrameComputation(1);
+    ASSERT_EQ(pop(1).kind, AmPopResult::Kind::Pad);
+    _am.onNewFrameComputation(2);
+    EXPECT_EQ(_am.state(), AmState::Pdg);
+    _am.onNewFrameComputation(3);
+    _am.onNewFrameComputation(4);
+    EXPECT_EQ(_am.state(), AmState::Pdg);
+    _am.onNewFrameComputation(5);
+    EXPECT_EQ(_am.state(), AmState::RcvCmp);
+}
+
+TEST_F(AmTest, EndOfComputationPadsForever)
+{
+    pushHeader(1);
+    pushItems({1});
+    pushHeader(endOfComputationId);
+    _am.onNewFrameComputation(1);
+    EXPECT_EQ(pop(1).value, 1u);
+    ASSERT_EQ(pop(1).kind, AmPopResult::Kind::Pad);
+    EXPECT_EQ(_am.pendingHeader(), endOfComputationId);
+    for (FrameId fc = 2; fc < 10; ++fc) {
+        _am.onNewFrameComputation(fc);
+        EXPECT_EQ(_am.state(), AmState::Pdg);
+        EXPECT_EQ(pop(fc).kind, AmPopResult::Kind::Pad);
+    }
+}
+
+TEST_F(AmTest, BlockedPopPreservesStateAndResumes)
+{
+    _am.onNewFrameComputation(1);
+    EXPECT_EQ(pop(1).kind, AmPopResult::Kind::Blocked);
+    EXPECT_EQ(_am.state(), AmState::ExpHdr);
+    pushHeader(1);
+    EXPECT_EQ(pop(1).kind, AmPopResult::Kind::Blocked);  // Header only.
+    EXPECT_EQ(_am.state(), AmState::RcvCmp);
+    pushItems({9});
+    const AmPopResult r = pop(1);
+    EXPECT_EQ(r.kind, AmPopResult::Kind::Item);
+    EXPECT_EQ(r.value, 9u);
+}
+
+// ----------------------------------------------------------------------
+// End-to-end realignment scenarios (paper §3 error taxonomy).
+// ----------------------------------------------------------------------
+
+/** Producer emitted one extra item in frame 1 (AE-IE). */
+TEST_F(AmTest, ExtraItemRealignsAtNextFrame)
+{
+    pushHeader(1);
+    pushItems({11, 12, 13, 99});  // 99 is the extra item.
+    pushHeader(2);
+    pushItems({21, 22, 23});
+
+    _am.onNewFrameComputation(1);
+    EXPECT_EQ(pop(1).value, 11u);
+    EXPECT_EQ(pop(1).value, 12u);
+    EXPECT_EQ(pop(1).value, 13u);
+
+    _am.onNewFrameComputation(2);
+    // ExpHdr meets the extra item -> DiscFr -> header 2 -> aligned.
+    EXPECT_EQ(pop(2).value, 21u);
+    EXPECT_EQ(pop(2).value, 22u);
+    EXPECT_EQ(pop(2).value, 23u);
+    EXPECT_EQ(_counters.discardedItems, 1u);
+    EXPECT_EQ(_counters.paddedItems, 0u);
+}
+
+/** Producer lost one item of frame 1 (AE-IL). */
+TEST_F(AmTest, LostItemPadsRestOfFrame)
+{
+    pushHeader(1);
+    pushItems({11, 12});  // Third item lost.
+    pushHeader(2);
+    pushItems({21, 22, 23});
+
+    _am.onNewFrameComputation(1);
+    EXPECT_EQ(pop(1).value, 11u);
+    EXPECT_EQ(pop(1).value, 12u);
+    EXPECT_EQ(pop(1).kind, AmPopResult::Kind::Pad);  // Lost item.
+
+    _am.onNewFrameComputation(2);
+    EXPECT_EQ(pop(2).value, 21u);
+    EXPECT_EQ(pop(2).value, 22u);
+    EXPECT_EQ(pop(2).value, 23u);
+    EXPECT_EQ(_counters.paddedItems, 1u);
+    EXPECT_EQ(_counters.discardedItems, 0u);
+}
+
+/** Producer emitted a whole spurious frame (AE-FE). */
+TEST_F(AmTest, ConsumerBehindDiscardsFrames)
+{
+    pushHeader(1);
+    pushItems({11, 12});
+    pushHeader(2);
+    pushItems({21, 22});
+
+    // Consumer control flow skipped ahead to frame 2.
+    _am.onNewFrameComputation(1);
+    _am.onNewFrameComputation(2);
+    EXPECT_EQ(pop(2).value, 21u);
+    EXPECT_EQ(pop(2).value, 22u);
+    EXPECT_EQ(_counters.discardedItems, 2u);
+}
+
+/** Producer lost a whole frame (AE-FL). */
+TEST_F(AmTest, MissingFramePadsUntilCaughtUp)
+{
+    pushHeader(1);
+    pushItems({11, 12});
+    pushHeader(3);  // Frame 2 never materialized.
+    pushItems({31, 32});
+
+    _am.onNewFrameComputation(1);
+    EXPECT_EQ(pop(1).value, 11u);
+    EXPECT_EQ(pop(1).value, 12u);
+
+    _am.onNewFrameComputation(2);
+    EXPECT_EQ(pop(2).kind, AmPopResult::Kind::Pad);
+    EXPECT_EQ(pop(2).kind, AmPopResult::Kind::Pad);
+
+    _am.onNewFrameComputation(3);
+    EXPECT_EQ(pop(3).value, 31u);
+    EXPECT_EQ(pop(3).value, 32u);
+}
+
+TEST_F(AmTest, FsmOpsAreCounted)
+{
+    pushHeader(1);
+    pushItems({1});
+    _am.onNewFrameComputation(1);
+    pop(1);
+    EXPECT_GT(_counters.fsmOps, 0u);
+    EXPECT_GT(_counters.headerBitOps, 0u);
+}
+
+TEST(AmStateName, AllNamed)
+{
+    EXPECT_STREQ(amStateName(AmState::RcvCmp), "RcvCmp");
+    EXPECT_STREQ(amStateName(AmState::ExpHdr), "ExpHdr");
+    EXPECT_STREQ(amStateName(AmState::DiscFr), "DiscFr");
+    EXPECT_STREQ(amStateName(AmState::Disc), "Disc");
+    EXPECT_STREQ(amStateName(AmState::Pdg), "Pdg");
+}
+
+} // namespace
+} // namespace commguard

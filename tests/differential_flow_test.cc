@@ -1,0 +1,227 @@
+/**
+ * @file
+ * Second differential suite: random programs *with memory and control
+ * flow*. A structured generator emits nested bounded loops, forward
+ * branches, and load/store traffic; an independent oracle interpreter
+ * (with the same PPU contract: wrapped addressing, benign traps)
+ * executes the same program. Register files and data memory must
+ * match bit-exactly.
+ */
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cmath>
+#include <memory>
+#include <vector>
+
+#include "common/rng.hh"
+#include "isa/assembler.hh"
+#include "machine/backends.hh"
+#include "machine/multicore.hh"
+
+namespace commguard
+{
+namespace
+{
+
+using namespace isa;
+
+constexpr std::size_t oracleMemWords = 64;
+
+/**
+ * Oracle interpreter for branchy programs. Independent transcription
+ * of the ISA semantics, including the PPU addressing contract.
+ */
+class FlowOracle
+{
+  public:
+    /** Runs until Halt or the step budget; returns steps executed. */
+    Count
+    run(const Program &program, Count max_steps)
+    {
+        _mem.assign(program.memWords, 0);
+        std::copy(program.data.begin(), program.data.end(),
+                  _mem.begin());
+        _regs.fill(0);
+
+        Count pc = 0;
+        Count steps = 0;
+        while (steps < max_steps) {
+            const Inst &inst = program.code[pc];
+            ++steps;
+            Count next = pc + 1;
+            const Word a = reg(inst.rs1);
+            const Word b = reg(inst.rs2);
+            switch (inst.op) {
+              case Op::Halt:
+                return steps;
+              case Op::Nop:
+                break;
+              case Op::Li: set(inst.rd, inst.imm); break;
+              case Op::Add: set(inst.rd, a + b); break;
+              case Op::Sub: set(inst.rd, a - b); break;
+              case Op::Mul: set(inst.rd, a * b); break;
+              case Op::Xor: set(inst.rd, a ^ b); break;
+              case Op::And: set(inst.rd, a & b); break;
+              case Op::Or: set(inst.rd, a | b); break;
+              case Op::Addi: set(inst.rd, a + inst.imm); break;
+              case Op::Slli:
+                set(inst.rd, a << (inst.imm & 31));
+                break;
+              case Op::Srli:
+                set(inst.rd, a >> (inst.imm & 31));
+                break;
+              case Op::Lw:
+                set(inst.rd,
+                    _mem[(a + inst.imm) % _mem.size()]);
+                break;
+              case Op::Sw:
+                _mem[(a + inst.imm) % _mem.size()] = b;
+                break;
+              case Op::Beq:
+                if (a == b)
+                    next = static_cast<Count>(inst.target);
+                break;
+              case Op::Bne:
+                if (a != b)
+                    next = static_cast<Count>(inst.target);
+                break;
+              case Op::Blt:
+                if (static_cast<SWord>(a) < static_cast<SWord>(b))
+                    next = static_cast<Count>(inst.target);
+                break;
+              case Op::Bgeu:
+                if (a >= b)
+                    next = static_cast<Count>(inst.target);
+                break;
+              case Op::Jmp:
+                next = static_cast<Count>(inst.target);
+                break;
+              default:
+                ADD_FAILURE()
+                    << "oracle: unexpected op " << opName(inst.op);
+                return steps;
+            }
+            pc = next;
+        }
+        return steps;
+    }
+
+    Word reg(Reg r) const { return r == 0 ? 0 : _regs[r]; }
+    const std::vector<Word> &memory() const { return _mem; }
+
+  private:
+    void
+    set(Reg r, Word v)
+    {
+        if (r != 0)
+            _regs[r] = v;
+    }
+
+    std::array<Word, numRegs> _regs{};
+    std::vector<Word> _mem;
+};
+
+/**
+ * Structured random program: a few registers of setup, then nested
+ * bounded loops whose bodies mix ALU, memory traffic, and forward
+ * conditional skips.
+ */
+Program
+makeFlowProgram(Rng &rng)
+{
+    Assembler a("flow");
+    a.setMemWords(oracleMemWords);
+    a.reserve(oracleMemWords);
+
+    int label_id = 0;
+    for (Reg r = 1; r <= 8; ++r)
+        a.li(r, rng.next32());
+
+    const int outer_loops = 1 + static_cast<int>(rng.below(3));
+    for (int l = 0; l < outer_loops; ++l) {
+        const Word outer_n = 2 + rng.below(6);
+        a.forDown(R20, outer_n, [&] {
+            // Memory op with a register-dependent (wrapping) address.
+            a.sw(static_cast<Reg>(1 + rng.below(8)),
+                 static_cast<Reg>(1 + rng.below(8)),
+                 static_cast<SWord>(rng.below(256)));
+            a.lw(static_cast<Reg>(9 + rng.below(4)),
+                 static_cast<Reg>(1 + rng.below(8)),
+                 static_cast<SWord>(rng.below(256)));
+
+            // Inner loop of cheap ALU work.
+            const Word inner_n = 1 + rng.below(5);
+            a.forDown(R21, inner_n, [&] {
+                a.add(static_cast<Reg>(1 + rng.below(8)),
+                      static_cast<Reg>(1 + rng.below(12)),
+                      static_cast<Reg>(1 + rng.below(12)));
+                a.xor_(static_cast<Reg>(9 + rng.below(4)),
+                       static_cast<Reg>(1 + rng.below(12)),
+                       static_cast<Reg>(1 + rng.below(12)));
+            });
+
+            // Forward conditional skip over a mutation.
+            const std::string skip =
+                "skip" + std::to_string(label_id++);
+            const Reg x = static_cast<Reg>(1 + rng.below(12));
+            const Reg y = static_cast<Reg>(1 + rng.below(12));
+            switch (rng.below(3)) {
+              case 0: a.beq(x, y, skip); break;
+              case 1: a.blt(x, y, skip); break;
+              default: a.bgeu(x, y, skip); break;
+            }
+            a.addi(static_cast<Reg>(1 + rng.below(8)),
+                   static_cast<Reg>(1 + rng.below(8)),
+                   static_cast<SWord>(rng.below(17)) - 8);
+            a.label(skip);
+        });
+    }
+    a.halt();
+    return a.finalize();
+}
+
+class FlowDifferential : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(FlowDifferential, RegistersAndMemoryMatchOracle)
+{
+    Rng rng(GetParam() * 104729u + 3);
+    const Program program = makeFlowProgram(rng);
+    ASSERT_TRUE(validate(program).ok);
+
+    FlowOracle oracle;
+    const Count budget = 2'000'000;
+    const Count oracle_steps = oracle.run(program, budget);
+    ASSERT_LT(oracle_steps, budget) << "oracle did not halt";
+
+    Multicore machine;
+    machine.config().ppu.defaultScopeBudget = budget;
+    Core &core = machine.addCore("flow");
+    core.setProgram(program);
+    CommBackend &backend = machine.addBackend(
+        std::make_unique<RawBackend>(std::vector<QueueBase *>{},
+                                     std::vector<QueueBase *>{}));
+    machine.addRuntime(core, backend, 1);
+    ASSERT_TRUE(machine.run().completed);
+
+    EXPECT_EQ(core.counters().committedInsts, oracle_steps);
+    for (int r = 0; r < numRegs; ++r) {
+        EXPECT_EQ(core.regs().read(static_cast<Reg>(r)),
+                  oracle.reg(static_cast<Reg>(r)))
+            << "register r" << r;
+    }
+    ASSERT_EQ(core.memory().size(), oracle.memory().size());
+    for (std::size_t i = 0; i < oracle.memory().size(); ++i) {
+        EXPECT_EQ(core.memory()[i], oracle.memory()[i])
+            << "memory word " << i;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FlowDifferential,
+                         ::testing::Range(0, 24));
+
+} // namespace
+} // namespace commguard

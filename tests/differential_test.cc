@@ -1,0 +1,222 @@
+/**
+ * @file
+ * Differential testing of the interpreter: random straight-line
+ * programs over the integer/float ALU are executed both by the Core
+ * and by an independent oracle evaluator written directly against the
+ * ISA's semantic definitions. Any divergence is an interpreter bug.
+ */
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cmath>
+#include <memory>
+
+#include "common/rng.hh"
+#include "isa/assembler.hh"
+#include "machine/backends.hh"
+#include "machine/multicore.hh"
+
+namespace commguard
+{
+namespace
+{
+
+using namespace isa;
+
+/**
+ * Independent reference evaluator for straight-line register code.
+ * Deliberately written from the ISA spec, not from the interpreter.
+ */
+class Oracle
+{
+  public:
+    void
+    execute(const Inst &inst)
+    {
+        const Word a = read(inst.rs1);
+        const Word b = read(inst.rs2);
+        const float fa = wordToFloat(a);
+        const float fb = wordToFloat(b);
+
+        switch (inst.op) {
+          case Op::Li: write(inst.rd, inst.imm); break;
+          case Op::Add: write(inst.rd, a + b); break;
+          case Op::Sub: write(inst.rd, a - b); break;
+          case Op::Mul: write(inst.rd, a * b); break;
+          case Op::Divu: write(inst.rd, b ? a / b : 0); break;
+          case Op::Divs: {
+            const SWord sa = static_cast<SWord>(a);
+            const SWord sb = static_cast<SWord>(b);
+            write(inst.rd,
+                  sb ? static_cast<Word>(static_cast<SWord>(
+                           static_cast<std::int64_t>(sa) / sb))
+                     : 0);
+            break;
+          }
+          case Op::Remu: write(inst.rd, b ? a % b : 0); break;
+          case Op::And: write(inst.rd, a & b); break;
+          case Op::Or: write(inst.rd, a | b); break;
+          case Op::Xor: write(inst.rd, a ^ b); break;
+          case Op::Sll: write(inst.rd, a << (b & 31)); break;
+          case Op::Srl: write(inst.rd, a >> (b & 31)); break;
+          case Op::Sra:
+            write(inst.rd, static_cast<Word>(
+                               static_cast<SWord>(a) >> (b & 31)));
+            break;
+          case Op::Slt:
+            write(inst.rd, static_cast<SWord>(a) <
+                                   static_cast<SWord>(b)
+                               ? 1 : 0);
+            break;
+          case Op::Sltu: write(inst.rd, a < b ? 1 : 0); break;
+          case Op::Addi: write(inst.rd, a + inst.imm); break;
+          case Op::Andi: write(inst.rd, a & inst.imm); break;
+          case Op::Ori: write(inst.rd, a | inst.imm); break;
+          case Op::Xori: write(inst.rd, a ^ inst.imm); break;
+          case Op::Slli: write(inst.rd, a << (inst.imm & 31)); break;
+          case Op::Srli: write(inst.rd, a >> (inst.imm & 31)); break;
+          case Op::Srai:
+            write(inst.rd,
+                  static_cast<Word>(static_cast<SWord>(a) >>
+                                    (inst.imm & 31)));
+            break;
+          case Op::Fadd: write(inst.rd, floatToWord(fa + fb)); break;
+          case Op::Fsub: write(inst.rd, floatToWord(fa - fb)); break;
+          case Op::Fmul: write(inst.rd, floatToWord(fa * fb)); break;
+          case Op::Fdiv: write(inst.rd, floatToWord(fa / fb)); break;
+          case Op::Fsqrt:
+            write(inst.rd,
+                  floatToWord(fa >= 0.0f ? std::sqrt(fa) : 0.0f));
+            break;
+          case Op::Fabs:
+            write(inst.rd, floatToWord(std::fabs(fa)));
+            break;
+          case Op::Fneg: write(inst.rd, floatToWord(-fa)); break;
+          case Op::Fmin:
+            // ISA spec: NaN yields the other operand; ties keep the
+            // first operand.
+            write(inst.rd,
+                  floatToWord(fa != fa   ? fb
+                              : fb != fb ? fa
+                              : fb < fa  ? fb
+                                         : fa));
+            break;
+          case Op::Fmax:
+            write(inst.rd,
+                  floatToWord(fa != fa   ? fb
+                              : fb != fb ? fa
+                              : fa < fb  ? fb
+                                         : fa));
+            break;
+          case Op::Cvtif:
+            write(inst.rd,
+                  floatToWord(
+                      static_cast<float>(static_cast<SWord>(a))));
+            break;
+          case Op::Cvtfi: {
+            SWord result = 0;
+            if (std::isfinite(fa) && fa >= -2147483648.0f &&
+                fa <= 2147483520.0f)
+                result = static_cast<SWord>(fa);
+            write(inst.rd, static_cast<Word>(result));
+            break;
+          }
+          case Op::Feq: write(inst.rd, fa == fb ? 1 : 0); break;
+          case Op::Flt: write(inst.rd, fa < fb ? 1 : 0); break;
+          case Op::Fle: write(inst.rd, fa <= fb ? 1 : 0); break;
+          default:
+            FAIL() << "oracle: unexpected op " << opName(inst.op);
+        }
+    }
+
+    Word read(Reg reg) const { return reg == 0 ? 0 : _regs[reg]; }
+
+    void
+    write(Reg reg, Word value)
+    {
+        if (reg != 0)
+            _regs[reg] = value;
+    }
+
+  private:
+    std::array<Word, numRegs> _regs{};
+};
+
+/** Ops the generator may emit (no control flow/memory/queues). */
+const Op generatorOps[] = {
+    Op::Li,   Op::Add,  Op::Sub,  Op::Mul,  Op::Divu, Op::Divs,
+    Op::Remu, Op::And,  Op::Or,   Op::Xor,  Op::Sll,  Op::Srl,
+    Op::Sra,  Op::Slt,  Op::Sltu, Op::Addi, Op::Andi, Op::Ori,
+    Op::Xori, Op::Slli, Op::Srli, Op::Srai, Op::Fadd, Op::Fsub,
+    Op::Fmul, Op::Fdiv, Op::Fsqrt, Op::Fabs, Op::Fneg, Op::Fmin,
+    Op::Fmax, Op::Cvtif, Op::Cvtfi, Op::Feq, Op::Flt, Op::Fle,
+};
+
+class Differential : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(Differential, RandomProgramMatchesOracle)
+{
+    Rng rng(GetParam() * 48271u + 1);
+
+    // Generate the instruction sequence.
+    std::vector<Inst> body;
+    const int length = 64 + static_cast<int>(rng.below(192));
+    for (int i = 0; i < length; ++i) {
+        Inst inst;
+        inst.op = generatorOps[rng.below(std::size(generatorOps))];
+        inst.rd = static_cast<Reg>(1 + rng.below(numRegs - 1));
+        inst.rs1 = static_cast<Reg>(rng.below(numRegs));
+        inst.rs2 = static_cast<Reg>(rng.below(numRegs));
+        // Mix of small and full-range immediates.
+        inst.imm = rng.below(2) ? rng.below(64) : rng.next32();
+        body.push_back(inst);
+    }
+
+    // Seed some registers so the first ops have varied inputs.
+    Program program;
+    program.name = "diff";
+    for (Reg r = 1; r <= 12; ++r) {
+        Inst li;
+        li.op = Op::Li;
+        li.rd = r;
+        li.imm = rng.next32();
+        program.code.push_back(li);
+    }
+    program.code.insert(program.code.end(), body.begin(), body.end());
+    Inst halt;
+    halt.op = Op::Halt;
+    program.code.push_back(halt);
+    ASSERT_TRUE(validate(program).ok);
+
+    // Oracle pass.
+    Oracle oracle;
+    for (const Inst &inst : program.code) {
+        if (inst.op != Op::Halt)
+            oracle.execute(inst);
+    }
+
+    // Interpreter pass.
+    Multicore machine;
+    Core &core = machine.addCore("diff");
+    core.setProgram(program);
+    CommBackend &backend = machine.addBackend(
+        std::make_unique<RawBackend>(std::vector<QueueBase *>{},
+                                     std::vector<QueueBase *>{}));
+    machine.addRuntime(core, backend, 1);
+    ASSERT_TRUE(machine.run().completed);
+
+    // Bit-exact register file comparison (NaNs compare as bits).
+    for (int r = 0; r < numRegs; ++r) {
+        EXPECT_EQ(core.regs().read(static_cast<Reg>(r)),
+                  oracle.read(static_cast<Reg>(r)))
+            << "register r" << r;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, Differential, ::testing::Range(0, 32));
+
+} // namespace
+} // namespace commguard

@@ -1,0 +1,113 @@
+/**
+ * @file
+ * Tests for the SECDED(39,32) codec protecting CommGuard headers and
+ * shared queue pointers.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/ecc.hh"
+#include "common/rng.hh"
+
+namespace commguard
+{
+namespace
+{
+
+TEST(Ecc, CleanRoundtripZero)
+{
+    const EccDecode decoded = eccDecode(eccEncode(0));
+    EXPECT_EQ(decoded.status, EccStatus::Clean);
+    EXPECT_EQ(decoded.data, 0u);
+}
+
+TEST(Ecc, CleanRoundtripAllOnes)
+{
+    const EccDecode decoded = eccDecode(eccEncode(0xffffffffu));
+    EXPECT_EQ(decoded.status, EccStatus::Clean);
+    EXPECT_EQ(decoded.data, 0xffffffffu);
+}
+
+TEST(Ecc, CleanRoundtripWalkingOne)
+{
+    for (int bit = 0; bit < 32; ++bit) {
+        const Word data = Word{1} << bit;
+        const EccDecode decoded = eccDecode(eccEncode(data));
+        EXPECT_EQ(decoded.status, EccStatus::Clean);
+        EXPECT_EQ(decoded.data, data) << "bit " << bit;
+    }
+}
+
+TEST(Ecc, CleanRoundtripRandomWords)
+{
+    Rng rng(7);
+    for (int i = 0; i < 1000; ++i) {
+        const Word data = rng.next32();
+        const EccDecode decoded = eccDecode(eccEncode(data));
+        EXPECT_EQ(decoded.status, EccStatus::Clean);
+        EXPECT_EQ(decoded.data, data);
+    }
+}
+
+/** Every single-bit flip in the codeword must be corrected. */
+class EccSingleFlip : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(EccSingleFlip, Corrected)
+{
+    const int bit = GetParam();
+    Rng rng(1234 + bit);
+    for (int i = 0; i < 50; ++i) {
+        const Word data = rng.next32();
+        const EccWord corrupted = eccFlipBit(eccEncode(data), bit);
+        const EccDecode decoded = eccDecode(corrupted);
+        EXPECT_EQ(decoded.status, EccStatus::Corrected)
+            << "bit " << bit;
+        EXPECT_EQ(decoded.data, data) << "bit " << bit;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllCodewordBits, EccSingleFlip,
+                         ::testing::Range(0, eccCodewordBits));
+
+TEST(Ecc, DoubleFlipsDetected)
+{
+    Rng rng(99);
+    for (int i = 0; i < 500; ++i) {
+        const Word data = rng.next32();
+        const int bit_a =
+            static_cast<int>(rng.below(eccCodewordBits));
+        int bit_b = static_cast<int>(rng.below(eccCodewordBits));
+        while (bit_b == bit_a)
+            bit_b = static_cast<int>(rng.below(eccCodewordBits));
+
+        EccWord corrupted = eccEncode(data);
+        corrupted = eccFlipBit(corrupted, bit_a);
+        corrupted = eccFlipBit(corrupted, bit_b);
+        const EccDecode decoded = eccDecode(corrupted);
+        EXPECT_EQ(decoded.status, EccStatus::Uncorrectable)
+            << "bits " << bit_a << "," << bit_b;
+    }
+}
+
+TEST(Ecc, FlipBitIsInvolution)
+{
+    const EccWord code = eccEncode(0xdeadbeefu);
+    EXPECT_EQ(eccFlipBit(eccFlipBit(code, 17), 17), code);
+}
+
+TEST(Ecc, DistinctDataDistinctCodewords)
+{
+    Rng rng(5);
+    for (int i = 0; i < 200; ++i) {
+        const Word a = rng.next32();
+        const Word b = rng.next32();
+        if (a != b) {
+            EXPECT_NE(eccEncode(a), eccEncode(b));
+        }
+    }
+}
+
+} // namespace
+} // namespace commguard

@@ -1,0 +1,130 @@
+/**
+ * @file
+ * Death tests for the library's fatal() paths: authoring mistakes
+ * (malformed programs, bad graphs, unknown benchmarks) must fail fast
+ * with a diagnostic instead of producing a silently broken simulation.
+ */
+
+#include <gtest/gtest.h>
+
+#include "apps/app.hh"
+#include "isa/assembler.hh"
+#include "kernels/basic.hh"
+#include "streamit/loader.hh"
+
+namespace commguard
+{
+namespace
+{
+
+using namespace isa;
+
+TEST(FatalPaths, DuplicateLabelDies)
+{
+    EXPECT_EXIT(
+        {
+            Assembler a("dup");
+            a.label("x");
+            a.label("x");
+        },
+        ::testing::ExitedWithCode(1), "duplicate label");
+}
+
+TEST(FatalPaths, UndefinedLabelDies)
+{
+    EXPECT_EXIT(
+        {
+            Assembler a("undef");
+            a.jmp("nowhere");
+            a.finalize();
+        },
+        ::testing::ExitedWithCode(1), "undefined label");
+}
+
+TEST(FatalPaths, ZeroCountLoopDies)
+{
+    EXPECT_EXIT(
+        {
+            Assembler a("zl");
+            a.forDown(R1, 0, [] {});
+        },
+        ::testing::ExitedWithCode(1), "zero count");
+}
+
+TEST(FatalPaths, UnbalancedScopeExitDies)
+{
+    EXPECT_EXIT(
+        {
+            Assembler a("sx");
+            a.scopeExit();
+        },
+        ::testing::ExitedWithCode(1), "scopeExit without");
+}
+
+TEST(FatalPaths, UnclosedScopeDies)
+{
+    EXPECT_EXIT(
+        {
+            Assembler a("so");
+            a.scopeEnter(10);
+            a.finalize();
+        },
+        ::testing::ExitedWithCode(1), "unclosed scope");
+}
+
+TEST(FatalPaths, DoubleFinalizeDies)
+{
+    EXPECT_EXIT(
+        {
+            Assembler a("df");
+            a.halt();
+            a.finalize();
+            a.finalize();
+        },
+        ::testing::ExitedWithCode(1), "finalize called twice");
+}
+
+TEST(FatalPaths, UnknownBenchmarkDies)
+{
+    EXPECT_EXIT(apps::makeAppByName("quake"),
+                ::testing::ExitedWithCode(1), "unknown benchmark");
+}
+
+TEST(FatalPaths, LoadingInvalidGraphDies)
+{
+    EXPECT_EXIT(
+        {
+            streamit::StreamGraph g;  // Empty: no filters, no I/O.
+            streamit::LoadOptions options;
+            streamit::loadGraph(g, {}, 1, options);
+        },
+        ::testing::ExitedWithCode(1), "loadGraph");
+}
+
+TEST(FatalPaths, InconsistentRatesDieAtLoad)
+{
+    EXPECT_EXIT(
+        {
+            streamit::StreamGraph g;
+            // Producer pushes 3/firing, consumer pops 2/firing, but a
+            // second edge pins their rates inconsistently.
+            const streamit::NodeId a = g.addFilter(
+                {"a", {1}, {3, 1}, [](int f) {
+                     return kernels::buildPassthrough("a", 1, f);
+                 }});
+            const streamit::NodeId b = g.addFilter(
+                {"b", {3, 2}, {1}, [](int f) {
+                     return kernels::buildPassthrough("b", 1, f);
+                 }});
+            g.connect(a, 0, b, 0);
+            g.connect(a, 1, b, 1);
+            g.setExternalInput(a, 0);
+            g.setExternalOutput(b, 0);
+            streamit::LoadOptions options;
+            streamit::loadGraph(g, {}, 1, options);
+        },
+        ::testing::ExitedWithCode(1), "inconsistent");
+}
+
+} // namespace
+} // namespace commguard

@@ -1,0 +1,141 @@
+/**
+ * @file
+ * Tests for the header inserter and active-fc counter.
+ */
+
+#include <gtest/gtest.h>
+
+#include "commguard/active_fc.hh"
+#include "commguard/header_inserter.hh"
+#include "queue/reliable_queue.hh"
+
+namespace commguard
+{
+namespace
+{
+
+class HiTest : public ::testing::Test
+{
+  protected:
+    HiTest() : _qa("a", 4), _qb("b", 4)
+    {
+        _qms.emplace_back(_qa, _counters);
+        _qms.emplace_back(_qb, _counters);
+        _hi = std::make_unique<HeaderInserter>(
+            std::vector<QueueManager *>{&_qms[0], &_qms[1]},
+            _counters);
+    }
+
+    QueueWord
+    popFrom(QueueBase &q)
+    {
+        QueueWord w;
+        EXPECT_EQ(q.tryPop(w), QueueOpStatus::Ok);
+        return w;
+    }
+
+    CgCounters _counters;
+    ReliableQueue _qa;
+    ReliableQueue _qb;
+    std::vector<QueueManager> _qms;
+    std::unique_ptr<HeaderInserter> _hi;
+};
+
+TEST_F(HiTest, InsertsIntoEveryOutgoingQueue)
+{
+    ASSERT_EQ(_hi->insert(7), QueueOpStatus::Ok);
+    const QueueWord wa = popFrom(_qa);
+    const QueueWord wb = popFrom(_qb);
+    EXPECT_TRUE(wa.isHeader);
+    EXPECT_TRUE(wb.isHeader);
+    EXPECT_EQ(wa.value, 7u);
+    EXPECT_EQ(wb.value, 7u);
+    EXPECT_EQ(eccDecode(wa.ecc).data, 7u);
+}
+
+TEST_F(HiTest, CountsSuboperationsOncePerInsertion)
+{
+    ASSERT_EQ(_hi->insert(1), QueueOpStatus::Ok);
+    // prepare-header and compute-ECC once; FSM update per out queue.
+    EXPECT_EQ(_counters.prepareHeaderOps, 1u);
+    EXPECT_EQ(_counters.eccComputes, 1u);
+    EXPECT_EQ(_counters.fsmOps, 2u);
+    EXPECT_EQ(_counters.headerStores, 2u);
+}
+
+TEST_F(HiTest, BlockedInsertionResumesWithoutDuplicates)
+{
+    // Fill queue b so the second port blocks.
+    for (int i = 0; i < 4; ++i)
+        ASSERT_EQ(_qb.tryPush(makeItem(0)), QueueOpStatus::Ok);
+
+    ASSERT_EQ(_hi->insert(3), QueueOpStatus::Blocked);
+    EXPECT_EQ(_qa.size(), 1u);  // First port already written.
+
+    // Drain one slot of b and retry: only b is written, a is not
+    // duplicated, and the prepare/ECC suboperations are not recounted.
+    QueueWord w;
+    ASSERT_EQ(_qb.tryPop(w), QueueOpStatus::Ok);
+    ASSERT_EQ(_hi->insert(3), QueueOpStatus::Ok);
+    EXPECT_EQ(_qa.size(), 1u);
+    EXPECT_EQ(_counters.prepareHeaderOps, 1u);
+    EXPECT_EQ(_counters.eccComputes, 1u);
+}
+
+TEST_F(HiTest, SkipBlockedPortDropsOnePort)
+{
+    for (int i = 0; i < 4; ++i)
+        ASSERT_EQ(_qa.tryPush(makeItem(0)), QueueOpStatus::Ok);
+
+    ASSERT_EQ(_hi->insert(3), QueueOpStatus::Blocked);  // Stuck on a.
+    _hi->skipBlockedPort();
+    ASSERT_EQ(_hi->insert(3), QueueOpStatus::Ok);  // b gets its header.
+    EXPECT_EQ(_qb.size(), 1u);
+    EXPECT_EQ(_counters.headerDropsOnTimeout, 1u);
+}
+
+TEST_F(HiTest, EndOfComputationUsesSpecialId)
+{
+    ASSERT_EQ(_hi->insertEndOfComputation(), QueueOpStatus::Ok);
+    const QueueWord w = popFrom(_qa);
+    EXPECT_TRUE(w.isHeader);
+    EXPECT_EQ(w.value, endOfComputationId);
+}
+
+// ----------------------------------------------------------------------
+// Active-fc counter (paper §4.4, §5.4).
+// ----------------------------------------------------------------------
+
+TEST(ActiveFc, IncrementsEveryFrameByDefault)
+{
+    CgCounters counters;
+    ActiveFcCounter fc(1, &counters);
+    EXPECT_EQ(fc.value(), 0u);
+    for (FrameId i = 1; i <= 5; ++i) {
+        const ActiveFcCounter::Tick tick = fc.onFrameComputation();
+        EXPECT_TRUE(tick.newFrame);
+        EXPECT_EQ(tick.id, i);
+    }
+    EXPECT_EQ(counters.counterOps, 5u);
+}
+
+TEST(ActiveFc, DownscaleGroupsFrameComputations)
+{
+    ActiveFcCounter fc(4);
+    int new_frames = 0;
+    for (int i = 0; i < 12; ++i)
+        new_frames += fc.onFrameComputation().newFrame;
+    EXPECT_EQ(new_frames, 3);
+    EXPECT_EQ(fc.value(), 3u);
+}
+
+TEST(ActiveFc, DownscaleFiresOnGroupStart)
+{
+    ActiveFcCounter fc(2);
+    EXPECT_TRUE(fc.onFrameComputation().newFrame);   // Invocation 1.
+    EXPECT_FALSE(fc.onFrameComputation().newFrame);  // Invocation 2.
+    EXPECT_TRUE(fc.onFrameComputation().newFrame);   // Invocation 3.
+}
+
+} // namespace
+} // namespace commguard

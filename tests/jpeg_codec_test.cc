@@ -1,0 +1,132 @@
+/**
+ * @file
+ * Tests for the JPEG-style host codec: zigzag permutation, quantization
+ * scaling, DCT basis orthonormality, and end-to-end rate/quality
+ * behavior.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "media/jpeg_codec.hh"
+#include "media/quality.hh"
+
+namespace commguard::media::jpeg
+{
+namespace
+{
+
+TEST(Zigzag, IsAPermutation)
+{
+    const auto &zz = zigzagOrder();
+    std::set<int> seen(zz.begin(), zz.end());
+    EXPECT_EQ(seen.size(), 64u);
+    EXPECT_EQ(*seen.begin(), 0);
+    EXPECT_EQ(*seen.rbegin(), 63);
+}
+
+TEST(Zigzag, StartsWithKnownPrefix)
+{
+    // Classic JPEG zigzag: 0, 1, 8, 16, 9, 2, 3, 10, ...
+    const auto &zz = zigzagOrder();
+    const int expected[] = {0, 1, 8, 16, 9, 2, 3, 10};
+    for (int i = 0; i < 8; ++i)
+        EXPECT_EQ(zz[i], expected[i]) << "index " << i;
+    EXPECT_EQ(zz[63], 63);
+}
+
+TEST(QuantTable, QualityFiftyIsBaseTable)
+{
+    const auto qt = quantTable(50);
+    EXPECT_FLOAT_EQ(qt[0], 16.0f);
+    EXPECT_FLOAT_EQ(qt[63], 99.0f);
+}
+
+TEST(QuantTable, HigherQualityMeansFinerSteps)
+{
+    const auto q25 = quantTable(25);
+    const auto q75 = quantTable(75);
+    for (int i = 0; i < blockSize; ++i) {
+        EXPECT_GE(q25[i], q75[i]) << "entry " << i;
+        EXPECT_GE(q75[i], 1.0f);
+        EXPECT_LE(q25[i], 255.0f);
+    }
+}
+
+TEST(DctBasis, RowsAreOrthonormal)
+{
+    // B * B^T == I, which is what makes decodeHost(encode(x)) an
+    // inverse pair up to quantization.
+    const auto &basis = dctBasis();
+    for (int u = 0; u < blockDim; ++u) {
+        for (int v = 0; v < blockDim; ++v) {
+            double dot = 0.0;
+            for (int x = 0; x < blockDim; ++x)
+                dot += basis[u][x] * basis[v][x];
+            EXPECT_NEAR(dot, u == v ? 1.0 : 0.0, 1e-12)
+                << "u=" << u << " v=" << v;
+        }
+    }
+}
+
+TEST(Codec, StreamGeometry)
+{
+    const Image img = makeFlowerImage(32, 16);
+    const JpegStream stream = encode(img, 50);
+    EXPECT_EQ(stream.words.size(), 32u * 16u * 3u);
+    EXPECT_EQ(stream.wordsPerStripe(), 32u / 8u * 3u * 64u);
+    EXPECT_EQ(stream.numStripes(), 2);
+}
+
+TEST(Codec, RoundtripQualityIsHigh)
+{
+    const Image img = makeFlowerImage(64, 64);
+    const Image decoded = decodeHost(encode(img, 50));
+    const double psnr = psnrDb(img, decoded);
+    EXPECT_GT(psnr, 28.0);
+    EXPECT_LT(psnr, 60.0);  // Still lossy.
+}
+
+TEST(Codec, QualityKnobOrdersPsnr)
+{
+    const Image img = makeFlowerImage(64, 64);
+    const double low = psnrDb(img, decodeHost(encode(img, 15)));
+    const double mid = psnrDb(img, decodeHost(encode(img, 50)));
+    const double high = psnrDb(img, decodeHost(encode(img, 90)));
+    EXPECT_LT(low, mid);
+    EXPECT_LT(mid, high);
+}
+
+TEST(Codec, UniformBlockCompressesToDcOnly)
+{
+    Image img(8, 8);
+    for (auto &v : img.rgb)
+        v = 200;
+    const JpegStream stream = encode(img, 50);
+    // Each channel: DC (zigzag index 0) nonzero, all ACs zero.
+    for (int ch = 0; ch < 3; ++ch) {
+        const std::size_t base = static_cast<std::size_t>(ch) * 64;
+        EXPECT_NE(static_cast<SWord>(stream.words[base]), 0);
+        for (int i = 1; i < 64; ++i)
+            EXPECT_EQ(static_cast<SWord>(stream.words[base + i]), 0)
+                << "ch " << ch << " coeff " << i;
+    }
+}
+
+TEST(Codec, DecodeClampsToByteRange)
+{
+    // Extreme blocks must clamp, not wrap.
+    Image img(8, 8);
+    for (std::size_t i = 0; i < img.rgb.size(); ++i)
+        img.rgb[i] = (i % 2) ? 255 : 0;
+    const Image decoded = decodeHost(encode(img, 10));
+    for (std::uint8_t v : decoded.rgb) {
+        EXPECT_GE(v, 0);
+        EXPECT_LE(v, 255);
+    }
+}
+
+} // namespace
+} // namespace commguard::media::jpeg

@@ -1,0 +1,581 @@
+/**
+ * @file
+ * Tests for every filter kernel: each work program is executed on a
+ * single error-free core against scripted inputs and compared with a
+ * host-side model of the same arithmetic.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "kernels/audio_kernels.hh"
+#include "kernels/basic.hh"
+#include "kernels/dsp_kernels.hh"
+#include "kernels/fft_kernels.hh"
+#include "kernels/jpeg_kernels.hh"
+#include "tests/test_util.hh"
+
+namespace commguard
+{
+namespace
+{
+
+using test::runKernel;
+using test::toFloats;
+using test::toWords;
+
+TEST(Kernels, PassthroughForwardsExactly)
+{
+    std::vector<Word> input;
+    for (Word i = 0; i < 60; ++i)
+        input.push_back(i * 7);
+    const test::KernelRun run =
+        runKernel(kernels::buildPassthrough("p", 6, 2), {input}, 5);
+    ASSERT_TRUE(run.completed);
+    EXPECT_EQ(run.outputs[0], input);
+}
+
+TEST(Kernels, JpegDequantScalesByZigzagTable)
+{
+    std::array<float, 64> qt{};
+    for (int i = 0; i < 64; ++i)
+        qt[i] = static_cast<float>(i + 1);
+
+    std::vector<Word> input;
+    for (int i = 0; i < 64; ++i)
+        input.push_back(static_cast<Word>(static_cast<SWord>(i - 30)));
+
+    const test::KernelRun run =
+        runKernel(kernels::buildJpegDequant(qt, 1), {input}, 1);
+    ASSERT_TRUE(run.completed);
+    const std::vector<float> out = toFloats(run.outputs[0]);
+    ASSERT_EQ(out.size(), 64u);
+    for (int i = 0; i < 64; ++i)
+        EXPECT_FLOAT_EQ(out[i],
+                        static_cast<float>(i - 30) * qt[i])
+            << "coeff " << i;
+}
+
+TEST(Kernels, InvZigzagSplitsChannelsAndReorders)
+{
+    const auto &zz = media::jpeg::zigzagOrder();
+    // Three channel blocks; channel c carries value 1000*c + natural
+    // index, delivered in zigzag order.
+    std::vector<Word> input;
+    for (int ch = 0; ch < 3; ++ch)
+        for (int i = 0; i < 64; ++i)
+            input.push_back(
+                floatToWord(static_cast<float>(1000 * ch + zz[i])));
+
+    const test::KernelRun run =
+        runKernel(kernels::buildInvZigzagSplit3(1), {input}, 1);
+    ASSERT_TRUE(run.completed);
+    ASSERT_EQ(run.outputs.size(), 3u);
+    for (int ch = 0; ch < 3; ++ch) {
+        const std::vector<float> out = toFloats(run.outputs[ch]);
+        ASSERT_EQ(out.size(), 64u);
+        for (int i = 0; i < 64; ++i)
+            EXPECT_FLOAT_EQ(out[i],
+                            static_cast<float>(1000 * ch + i))
+                << "ch " << ch << " index " << i;
+    }
+}
+
+TEST(Kernels, Idct8x8MatchesHostWithinEpsilon)
+{
+    // Host IDCT in double precision as the reference.
+    const auto &basis = media::jpeg::dctBasis();
+    float coeffs[64];
+    for (int i = 0; i < 64; ++i)
+        coeffs[i] = static_cast<float>(
+            std::sin(i * 0.9) * (i < 16 ? 100.0 : 10.0));
+
+    double expected[64];
+    {
+        double tmp[8][8];
+        for (int u = 0; u < 8; ++u)
+            for (int y = 0; y < 8; ++y) {
+                double acc = 0.0;
+                for (int v = 0; v < 8; ++v)
+                    acc += basis[v][y] * coeffs[v * 8 + u];
+                tmp[y][u] = acc;
+            }
+        for (int y = 0; y < 8; ++y)
+            for (int x = 0; x < 8; ++x) {
+                double acc = 0.0;
+                for (int u = 0; u < 8; ++u)
+                    acc += basis[u][x] * tmp[y][u];
+                expected[y * 8 + x] = acc + 128.0;
+            }
+    }
+
+    std::vector<Word> input;
+    for (float c : coeffs)
+        input.push_back(floatToWord(c));
+    const test::KernelRun run =
+        runKernel(kernels::buildIdct8x8(1), {input}, 1);
+    ASSERT_TRUE(run.completed);
+    const std::vector<float> out = toFloats(run.outputs[0]);
+    ASSERT_EQ(out.size(), 64u);
+    for (int i = 0; i < 64; ++i)
+        EXPECT_NEAR(out[i], expected[i], 0.01) << "pixel " << i;
+}
+
+TEST(Kernels, IdctOfDcOnlyBlockIsFlat)
+{
+    std::vector<Word> input(64, floatToWord(0.0f));
+    input[0] = floatToWord(80.0f);  // DC coefficient.
+    const test::KernelRun run =
+        runKernel(kernels::buildIdct8x8(1), {input}, 1);
+    ASSERT_TRUE(run.completed);
+    const std::vector<float> out = toFloats(run.outputs[0]);
+    // s = 0.25 * C(0)^2 * ... : flat value = 80 * (1/8) ... compute:
+    // each 1D pass scales DC by basis[0][x] = sqrt(0.5)/2, summed once.
+    const float flat = out[0];
+    for (int i = 0; i < 64; ++i)
+        EXPECT_NEAR(out[i], flat, 1e-4);
+    EXPECT_NEAR(flat, 128.0f + 80.0f / 8.0f, 1e-3);
+}
+
+TEST(Kernels, Join3InterleavesPixelwise)
+{
+    std::vector<Word> r_in, g_in, b_in;
+    for (int i = 0; i < 64; ++i) {
+        r_in.push_back(static_cast<Word>(100 + i));
+        g_in.push_back(static_cast<Word>(200 + i));
+        b_in.push_back(static_cast<Word>(300 + i));
+    }
+    const test::KernelRun run = runKernel(
+        kernels::buildJoin3Interleave(1), {r_in, g_in, b_in}, 1);
+    ASSERT_TRUE(run.completed);
+    const std::vector<Word> &out = run.outputs[0];
+    ASSERT_EQ(out.size(), 192u);
+    for (int i = 0; i < 64; ++i) {
+        EXPECT_EQ(out[3 * i + 0], static_cast<Word>(100 + i));
+        EXPECT_EQ(out[3 * i + 1], static_cast<Word>(200 + i));
+        EXPECT_EQ(out[3 * i + 2], static_cast<Word>(300 + i));
+    }
+}
+
+TEST(Kernels, ClampBoundsTo255)
+{
+    std::vector<float> values(192, 0.0f);
+    values[0] = -50.0f;
+    values[1] = 300.0f;
+    values[2] = 127.5f;
+    const test::KernelRun run =
+        runKernel(kernels::buildClamp255(1), {toWords(values)}, 1);
+    ASSERT_TRUE(run.completed);
+    const std::vector<float> out = toFloats(run.outputs[0]);
+    EXPECT_FLOAT_EQ(out[0], 0.0f);
+    EXPECT_FLOAT_EQ(out[1], 255.0f);
+    EXPECT_FLOAT_EQ(out[2], 127.5f);
+}
+
+TEST(Kernels, RoundToByteRounds)
+{
+    std::vector<float> values(192, 0.0f);
+    values[0] = 10.4f;
+    values[1] = 10.6f;
+    values[2] = 254.9f;
+    const test::KernelRun run =
+        runKernel(kernels::buildRoundToByte(1), {toWords(values)}, 1);
+    ASSERT_TRUE(run.completed);
+    EXPECT_EQ(run.outputs[0][0], 10u);
+    EXPECT_EQ(run.outputs[0][1], 11u);
+    EXPECT_EQ(run.outputs[0][2], 255u);
+}
+
+TEST(Kernels, RowAssemblerProducesRasterOrder)
+{
+    // Width 16 = 2 blocks. Feed pixel values encoding (bx, y, x, c).
+    const int width = 16;
+    std::vector<Word> input;
+    for (int bx = 0; bx < 2; ++bx)
+        for (int p = 0; p < 64; ++p)
+            for (int c = 0; c < 3; ++c) {
+                const int y = p / 8;
+                const int x = p % 8;
+                input.push_back(static_cast<Word>(
+                    bx * 100000 + y * 1000 + x * 10 + c));
+            }
+    const test::KernelRun run = runKernel(
+        kernels::buildRowAssembler(width, 1), {input}, 1);
+    ASSERT_TRUE(run.completed);
+    const std::vector<Word> &out = run.outputs[0];
+    ASSERT_EQ(out.size(), static_cast<std::size_t>(width * 8 * 3));
+    for (int y = 0; y < 8; ++y)
+        for (int gx = 0; gx < width; ++gx)
+            for (int c = 0; c < 3; ++c) {
+                const int bx = gx / 8;
+                const int x = gx % 8;
+                const Word expected = static_cast<Word>(
+                    bx * 100000 + y * 1000 + x * 10 + c);
+                EXPECT_EQ(out[(y * width + gx) * 3 + c], expected)
+                    << "y=" << y << " gx=" << gx << " c=" << c;
+            }
+}
+
+TEST(Kernels, ComplexFirMatchesDirectConvolution)
+{
+    std::vector<std::complex<float>> taps = {
+        {0.5f, 0.1f}, {0.25f, -0.2f}, {-0.1f, 0.3f}};
+    std::vector<std::complex<float>> x = {
+        {1, 0}, {0, 1}, {-1, 0.5f}, {2, -1}, {0.3f, 0.3f}};
+
+    std::vector<Word> input;
+    for (auto &s : x) {
+        input.push_back(floatToWord(s.real()));
+        input.push_back(floatToWord(s.imag()));
+    }
+    const test::KernelRun run = runKernel(
+        kernels::buildComplexFir("fir", taps, 1), {input}, 5);
+    ASSERT_TRUE(run.completed);
+    const std::vector<float> out = toFloats(run.outputs[0]);
+    ASSERT_EQ(out.size(), 10u);
+
+    for (std::size_t n = 0; n < x.size(); ++n) {
+        std::complex<double> acc = 0.0;
+        for (std::size_t t = 0; t < taps.size(); ++t) {
+            if (n >= t)
+                acc += std::complex<double>(taps[t]) *
+                       std::complex<double>(x[n - t]);
+        }
+        EXPECT_NEAR(out[2 * n], acc.real(), 1e-4) << "sample " << n;
+        EXPECT_NEAR(out[2 * n + 1], acc.imag(), 1e-4)
+            << "sample " << n;
+    }
+}
+
+TEST(Kernels, MagnitudeComputesEuclideanNorm)
+{
+    const std::vector<float> input = {3.0f, 4.0f, -5.0f, 12.0f};
+    const test::KernelRun run =
+        runKernel(kernels::buildMagnitude(2), {toWords(input)}, 1);
+    ASSERT_TRUE(run.completed);
+    const std::vector<float> out = toFloats(run.outputs[0]);
+    ASSERT_EQ(out.size(), 2u);
+    EXPECT_FLOAT_EQ(out[0], 5.0f);
+    EXPECT_FLOAT_EQ(out[1], 13.0f);
+}
+
+TEST(Kernels, SplitRoundRobinDistributes)
+{
+    const std::vector<Word> input = {1, 2, 3, 4, 5, 6};
+    const test::KernelRun run = runKernel(
+        kernels::buildSplitRoundRobin(3, 1), {input}, 2);
+    ASSERT_TRUE(run.completed);
+    EXPECT_EQ(run.outputs[0], (std::vector<Word>{1, 4}));
+    EXPECT_EQ(run.outputs[1], (std::vector<Word>{2, 5}));
+    EXPECT_EQ(run.outputs[2], (std::vector<Word>{3, 6}));
+}
+
+TEST(Kernels, SplitDuplicateCopiesToAllPorts)
+{
+    const std::vector<Word> input = {9, 8};
+    const test::KernelRun run = runKernel(
+        kernels::buildSplitDuplicate(3, 2), {input}, 1);
+    ASSERT_TRUE(run.completed);
+    for (int p = 0; p < 3; ++p)
+        EXPECT_EQ(run.outputs[p], (std::vector<Word>{9, 8}));
+}
+
+TEST(Kernels, JoinSumAddsAcrossPorts)
+{
+    const std::vector<float> a = {1.0f, 2.0f};
+    const std::vector<float> b = {10.0f, 20.0f};
+    const std::vector<float> c = {100.0f, 200.0f};
+    const test::KernelRun run = runKernel(
+        kernels::buildJoinSum(3, 2),
+        {toWords(a), toWords(b), toWords(c)}, 1);
+    ASSERT_TRUE(run.completed);
+    const std::vector<float> out = toFloats(run.outputs[0]);
+    EXPECT_FLOAT_EQ(out[0], 111.0f);
+    EXPECT_FLOAT_EQ(out[1], 222.0f);
+}
+
+TEST(Kernels, DelayWeightDelaysAndScales)
+{
+    const std::vector<float> input = {1.0f, 2.0f, 3.0f, 4.0f, 5.0f};
+    const test::KernelRun run = runKernel(
+        kernels::buildDelayWeight("dw", 2, 0.5f, 1),
+        {toWords(input)}, 5);
+    ASSERT_TRUE(run.completed);
+    const std::vector<float> out = toFloats(run.outputs[0]);
+    const std::vector<float> expected = {0.0f, 0.0f, 0.5f, 1.0f, 1.5f};
+    ASSERT_EQ(out.size(), expected.size());
+    for (std::size_t i = 0; i < expected.size(); ++i)
+        EXPECT_FLOAT_EQ(out[i], expected[i]) << "sample " << i;
+}
+
+TEST(Kernels, DelayWeightZeroDelayIsPureGain)
+{
+    const std::vector<float> input = {2.0f, -4.0f};
+    const test::KernelRun run = runKernel(
+        kernels::buildDelayWeight("dw0", 0, 0.25f, 1),
+        {toWords(input)}, 2);
+    ASSERT_TRUE(run.completed);
+    const std::vector<float> out = toFloats(run.outputs[0]);
+    EXPECT_FLOAT_EQ(out[0], 0.5f);
+    EXPECT_FLOAT_EQ(out[1], -1.0f);
+}
+
+TEST(Kernels, BeamChannelDelaysThenFilters)
+{
+    // delay 2, FIR {0.5, 0.25}: y[n] = 0.5 d[n] + 0.25 d[n-1] where
+    // d[n] = x[n-2].
+    const std::vector<float> taps = {0.5f, 0.25f};
+    const std::vector<float> input = {1.0f, 2.0f, 4.0f, 8.0f, 16.0f};
+    const test::KernelRun run = runKernel(
+        kernels::buildBeamChannel("bc", 2, taps, 1),
+        {toWords(input)}, 5);
+    ASSERT_TRUE(run.completed);
+    const std::vector<float> out = toFloats(run.outputs[0]);
+    const std::vector<float> expected = {0.0f, 0.0f, 0.5f,
+                                         1.0f + 0.25f,
+                                         2.0f + 0.5f};
+    ASSERT_EQ(out.size(), expected.size());
+    for (std::size_t i = 0; i < expected.size(); ++i)
+        EXPECT_FLOAT_EQ(out[i], expected[i]) << "sample " << i;
+}
+
+TEST(Kernels, BeamChannelZeroDelayIsPureFir)
+{
+    const std::vector<float> taps = {1.0f, -1.0f};
+    const std::vector<float> input = {3.0f, 5.0f, 9.0f};
+    const test::KernelRun run = runKernel(
+        kernels::buildBeamChannel("bc0", 0, taps, 1),
+        {toWords(input)}, 3);
+    ASSERT_TRUE(run.completed);
+    const std::vector<float> out = toFloats(run.outputs[0]);
+    EXPECT_FLOAT_EQ(out[0], 3.0f);
+    EXPECT_FLOAT_EQ(out[1], 2.0f);   // 5 - 3
+    EXPECT_FLOAT_EQ(out[2], 4.0f);   // 9 - 5
+}
+
+TEST(Kernels, ClampRangeBoundsAndHealsNan)
+{
+    std::vector<Word> input = {floatToWord(0.5f), floatToWord(-9.0f),
+                               floatToWord(9.0f), 0x7fc00000u};
+    const test::KernelRun run = runKernel(
+        kernels::buildClampRange("cr", -1.0f, 1.0f, 4, 1), {input},
+        1);
+    ASSERT_TRUE(run.completed);
+    const std::vector<float> out = toFloats(run.outputs[0]);
+    EXPECT_FLOAT_EQ(out[0], 0.5f);
+    EXPECT_FLOAT_EQ(out[1], -1.0f);
+    EXPECT_FLOAT_EQ(out[2], 1.0f);
+    // NaN: fmax(NaN, lo) = lo, then fmin(lo, hi) = lo.
+    EXPECT_FLOAT_EQ(out[3], -1.0f);
+}
+
+TEST(Kernels, VocoderBandTracksEnvelope)
+{
+    // All-pass "bandpass" (single unit tap): envelope of a constant
+    // signal converges toward its magnitude; output is carrier-
+    // modulated and bounded by it.
+    const int n = 400;
+    std::vector<float> input(n, 1.0f);
+    const test::KernelRun run = runKernel(
+        kernels::buildVocoderBand("vb", {1.0f}, 0.1f, 0.2f, 1),
+        {toWords(input)}, n);
+    ASSERT_TRUE(run.completed);
+    const std::vector<float> out = toFloats(run.outputs[0]);
+    ASSERT_EQ(out.size(), static_cast<std::size_t>(n));
+    float peak = 0.0f;
+    for (int i = n / 2; i < n; ++i)
+        peak = std::max(peak, std::fabs(out[i]));
+    EXPECT_GT(peak, 0.8f);
+    EXPECT_LE(peak, 1.01f);
+}
+
+TEST(Kernels, BitReversePermutes)
+{
+    const int n = 8;
+    std::vector<Word> input;
+    for (int i = 0; i < n; ++i) {
+        input.push_back(static_cast<Word>(100 + i));  // re
+        input.push_back(static_cast<Word>(200 + i));  // im
+    }
+    const test::KernelRun run =
+        runKernel(kernels::buildBitReverse(n, 1), {input}, 1);
+    ASSERT_TRUE(run.completed);
+    const std::vector<Word> &out = run.outputs[0];
+    const int rev[8] = {0, 4, 2, 6, 1, 5, 3, 7};
+    for (int i = 0; i < n; ++i) {
+        EXPECT_EQ(out[2 * i], static_cast<Word>(100 + rev[i]));
+        EXPECT_EQ(out[2 * i + 1], static_cast<Word>(200 + rev[i]));
+    }
+}
+
+TEST(Kernels, FftPipelineMatchesDft)
+{
+    // Full pipeline: bit-reverse then all stages; compare against a
+    // direct DFT in double precision.
+    const int n = 16;
+    const int stages = 4;
+    std::vector<float> re(n), im(n);
+    for (int i = 0; i < n; ++i) {
+        re[i] = std::cos(0.7 * i) + 0.2f * i;
+        im[i] = std::sin(0.3 * i);
+    }
+    std::vector<Word> data;
+    for (int i = 0; i < n; ++i) {
+        data.push_back(floatToWord(re[i]));
+        data.push_back(floatToWord(im[i]));
+    }
+
+    std::vector<Word> current = data;
+    {
+        const test::KernelRun run = runKernel(
+            kernels::buildBitReverse(n, 1), {current}, 1);
+        ASSERT_TRUE(run.completed);
+        current = run.outputs[0];
+    }
+    for (int s = 0; s < stages; ++s) {
+        const test::KernelRun run = runKernel(
+            kernels::buildFftStage(n, s, 1), {current}, 1);
+        ASSERT_TRUE(run.completed) << "stage " << s;
+        current = run.outputs[0];
+    }
+
+    const std::vector<float> out = toFloats(current);
+    const double pi = std::acos(-1.0);
+    for (int k = 0; k < n; ++k) {
+        std::complex<double> acc = 0.0;
+        for (int t = 0; t < n; ++t) {
+            const std::complex<double> w(
+                std::cos(-2 * pi * k * t / n),
+                std::sin(-2 * pi * k * t / n));
+            acc += std::complex<double>(re[t], im[t]) * w;
+        }
+        EXPECT_NEAR(out[2 * k], acc.real(), 1e-3) << "bin " << k;
+        EXPECT_NEAR(out[2 * k + 1], acc.imag(), 1e-3) << "bin " << k;
+    }
+}
+
+// ----------------------------------------------------------------------
+// MP3 kernels.
+// ----------------------------------------------------------------------
+
+TEST(Kernels, SubbandDequantSplitsEvenOdd)
+{
+    namespace sb = media::subband;
+    std::vector<Word> input;
+    input.push_back(floatToWord(2.0f));  // scalefactor
+    for (int k = 0; k < sb::bands; ++k)
+        input.push_back(static_cast<Word>(static_cast<SWord>(
+            (k % 2 == 0) ? 1 : -1)));
+
+    const test::KernelRun run = runKernel(
+        kernels::buildSubbandDequantSplit(1), {input}, 1);
+    ASSERT_TRUE(run.completed);
+    const std::vector<float> even = toFloats(run.outputs[0]);
+    const std::vector<float> odd = toFloats(run.outputs[1]);
+    ASSERT_EQ(even.size(), static_cast<std::size_t>(sb::bands / 2));
+    ASSERT_EQ(odd.size(), static_cast<std::size_t>(sb::bands / 2));
+    const float unit = 2.0f / static_cast<float>(sb::quantLevels);
+    for (int j = 0; j < sb::bands / 2; ++j) {
+        EXPECT_FLOAT_EQ(even[j], unit);
+        EXPECT_FLOAT_EQ(odd[j], -unit);
+    }
+}
+
+TEST(Kernels, ImdctPartialsSumToFullSynthesis)
+{
+    namespace sb = media::subband;
+    const auto &basis = sb::mdctBasis();
+    std::vector<float> coeffs(sb::bands);
+    for (int k = 0; k < sb::bands; ++k)
+        coeffs[k] = std::sin(0.4f * k) * (k < 8 ? 1.0f : 0.1f);
+
+    std::vector<Word> even_in, odd_in;
+    for (int k = 0; k < sb::bands; ++k) {
+        if (k % 2 == 0)
+            even_in.push_back(floatToWord(coeffs[k]));
+        else
+            odd_in.push_back(floatToWord(coeffs[k]));
+    }
+
+    const test::KernelRun even_run = runKernel(
+        kernels::buildImdctPartial(0, 1), {even_in}, 1);
+    const test::KernelRun odd_run = runKernel(
+        kernels::buildImdctPartial(1, 1), {odd_in}, 1);
+    ASSERT_TRUE(even_run.completed);
+    ASSERT_TRUE(odd_run.completed);
+    const std::vector<float> even = toFloats(even_run.outputs[0]);
+    const std::vector<float> odd = toFloats(odd_run.outputs[0]);
+
+    for (int n = 0; n < sb::windowLen; ++n) {
+        double expected = 0.0;
+        for (int k = 0; k < sb::bands; ++k)
+            expected += static_cast<double>(coeffs[k]) * basis[k][n] *
+                        sb::synthesisScale;
+        EXPECT_NEAR(even[n] + odd[n], expected, 1e-4) << "tap " << n;
+    }
+}
+
+TEST(Kernels, JoinAddSums)
+{
+    namespace sb = media::subband;
+    std::vector<float> a(sb::windowLen), b(sb::windowLen);
+    for (int i = 0; i < sb::windowLen; ++i) {
+        a[i] = static_cast<float>(i);
+        b[i] = static_cast<float>(1000 - i);
+    }
+    const test::KernelRun run = runKernel(
+        kernels::buildJoinAdd(1), {toWords(a), toWords(b)}, 1);
+    ASSERT_TRUE(run.completed);
+    const std::vector<float> out = toFloats(run.outputs[0]);
+    for (int i = 0; i < sb::windowLen; ++i)
+        EXPECT_FLOAT_EQ(out[i], 1000.0f);
+}
+
+TEST(Kernels, OverlapAddKeepsTailState)
+{
+    namespace sb = media::subband;
+    // First block: head 1..32, tail 101..132. Second block: head all
+    // 1000. Expect first output = head1 (prev state zero), second
+    // output = tail1 + head2.
+    std::vector<float> block1(sb::windowLen), block2(sb::windowLen);
+    for (int i = 0; i < sb::bands; ++i) {
+        block1[i] = static_cast<float>(i + 1);
+        block1[sb::bands + i] = static_cast<float>(101 + i);
+        block2[i] = 1000.0f;
+        block2[sb::bands + i] = 0.0f;
+    }
+    std::vector<Word> input = toWords(block1);
+    const std::vector<Word> second = toWords(block2);
+    input.insert(input.end(), second.begin(), second.end());
+
+    const test::KernelRun run =
+        runKernel(kernels::buildOverlapAdd(1), {input}, 2);
+    ASSERT_TRUE(run.completed);
+    const std::vector<float> out = toFloats(run.outputs[0]);
+    ASSERT_EQ(out.size(), static_cast<std::size_t>(2 * sb::bands));
+    for (int i = 0; i < sb::bands; ++i) {
+        EXPECT_FLOAT_EQ(out[i], static_cast<float>(i + 1));
+        EXPECT_FLOAT_EQ(out[sb::bands + i],
+                        static_cast<float>(101 + i) + 1000.0f);
+    }
+}
+
+TEST(Kernels, PcmClampScalesAndSaturates)
+{
+    namespace sb = media::subband;
+    std::vector<float> input(sb::bands, 0.0f);
+    input[0] = 0.5f;
+    input[1] = 2.0f;   // Above full scale.
+    input[2] = -2.0f;  // Below negative full scale.
+    const test::KernelRun run =
+        runKernel(kernels::buildPcmClamp(1), {toWords(input)}, 1);
+    ASSERT_TRUE(run.completed);
+    const std::vector<Word> &out = run.outputs[0];
+    EXPECT_EQ(static_cast<SWord>(out[0]), 16383);
+    EXPECT_EQ(static_cast<SWord>(out[1]), 32767);
+    EXPECT_EQ(static_cast<SWord>(out[2]), -32767);
+}
+
+} // namespace
+} // namespace commguard

@@ -1,0 +1,171 @@
+/**
+ * @file
+ * Tests for host-side media utilities: images, quality metrics, audio
+ * synthesis, and file writers.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+
+#include "media/audio.hh"
+#include "media/image.hh"
+#include "media/quality.hh"
+
+namespace commguard::media
+{
+namespace
+{
+
+TEST(Image, FlowerHasExpectedGeometry)
+{
+    const Image img = makeFlowerImage(64, 48);
+    EXPECT_EQ(img.width, 64);
+    EXPECT_EQ(img.height, 48);
+    EXPECT_EQ(img.rgb.size(), 64u * 48u * 3u);
+}
+
+TEST(Image, FlowerIsDeterministic)
+{
+    const Image a = makeFlowerImage(32, 32);
+    const Image b = makeFlowerImage(32, 32);
+    EXPECT_EQ(a.rgb, b.rgb);
+}
+
+TEST(Image, FlowerHasStructure)
+{
+    // Not a flat field: many distinct values in each channel.
+    const Image img = makeFlowerImage(64, 64);
+    for (int c = 0; c < 3; ++c) {
+        bool seen[256] = {};
+        int distinct = 0;
+        for (int y = 0; y < 64; ++y)
+            for (int x = 0; x < 64; ++x) {
+                const std::uint8_t v = img.at(x, y, c);
+                if (!seen[v]) {
+                    seen[v] = true;
+                    ++distinct;
+                }
+            }
+        EXPECT_GT(distinct, 30) << "channel " << c;
+    }
+}
+
+TEST(Image, PpmRoundtripOnDisk)
+{
+    const Image img = makeFlowerImage(16, 8);
+    const std::string path = "/tmp/commguard_test.ppm";
+    ASSERT_TRUE(writePpm(img, path));
+
+    std::FILE *file = std::fopen(path.c_str(), "rb");
+    ASSERT_NE(file, nullptr);
+    char magic[3] = {};
+    ASSERT_EQ(std::fread(magic, 1, 2, file), 2u);
+    EXPECT_EQ(magic[0], 'P');
+    EXPECT_EQ(magic[1], '6');
+    std::fclose(file);
+    std::remove(path.c_str());
+}
+
+// ----------------------------------------------------------------------
+// Quality metrics.
+// ----------------------------------------------------------------------
+
+TEST(Quality, IdenticalImagesAreInfinite)
+{
+    const Image img = makeFlowerImage(32, 32);
+    EXPECT_TRUE(std::isinf(psnrDb(img, img)));
+}
+
+TEST(Quality, KnownPsnrValue)
+{
+    Image a(8, 8);
+    Image b(8, 8);
+    // Uniform difference of 10 -> MSE 100 -> PSNR = 10*log10(255^2/100)
+    for (auto &v : b.rgb)
+        v = 10;
+    EXPECT_NEAR(psnrDb(a, b), 10.0 * std::log10(255.0 * 255.0 / 100.0),
+                1e-9);
+}
+
+TEST(Quality, PsnrDecreasesWithMoreNoise)
+{
+    const Image ref = makeFlowerImage(32, 32);
+    Image mild = ref;
+    Image harsh = ref;
+    for (std::size_t i = 0; i < ref.rgb.size(); i += 7)
+        mild.rgb[i] = static_cast<std::uint8_t>(mild.rgb[i] ^ 0x04);
+    for (std::size_t i = 0; i < ref.rgb.size(); i += 2)
+        harsh.rgb[i] = static_cast<std::uint8_t>(harsh.rgb[i] ^ 0x40);
+    EXPECT_GT(psnrDb(ref, mild), psnrDb(ref, harsh));
+}
+
+TEST(Quality, SnrIdenticalIsInfinite)
+{
+    const std::vector<float> v = {1.0f, -2.0f, 3.0f};
+    EXPECT_TRUE(std::isinf(snrDb(v, v)));
+}
+
+TEST(Quality, SnrKnownValue)
+{
+    const std::vector<float> ref = {1.0f, 1.0f, 1.0f, 1.0f};
+    const std::vector<float> out = {1.1f, 0.9f, 1.1f, 0.9f};
+    // signal = 4, noise = 4 * 0.01 -> SNR = 20 dB.
+    EXPECT_NEAR(snrDb(ref, out), 20.0, 0.01);
+}
+
+TEST(Quality, MissingTailCountsAsError)
+{
+    const std::vector<float> ref(100, 1.0f);
+    std::vector<float> half(50, 1.0f);
+    // Half the energy missing -> SNR = 10*log10(100/50) ~ 3 dB.
+    EXPECT_NEAR(snrDb(ref, half), 3.0103, 0.01);
+}
+
+TEST(Quality, ZeroReferenceGivesZeroDb)
+{
+    const std::vector<float> ref(4, 0.0f);
+    const std::vector<float> out = {1.0f, 0.0f, 0.0f, 0.0f};
+    EXPECT_EQ(snrDb(ref, out), 0.0);
+}
+
+// ----------------------------------------------------------------------
+// Audio.
+// ----------------------------------------------------------------------
+
+TEST(Audio, SynthesisBoundsAndEnergy)
+{
+    const std::vector<float> audio = makeMusicAudio(8192);
+    ASSERT_EQ(audio.size(), 8192u);
+    double energy = 0.0;
+    for (float s : audio) {
+        ASSERT_LE(std::fabs(s), 1.0f);
+        energy += s * s;
+    }
+    EXPECT_GT(energy / 8192.0, 0.001);  // Not silence.
+}
+
+TEST(Audio, SynthesisIsDeterministic)
+{
+    EXPECT_EQ(makeMusicAudio(1024), makeMusicAudio(1024));
+}
+
+TEST(Audio, WavWriterProducesRiff)
+{
+    const std::string path = "/tmp/commguard_test.wav";
+    ASSERT_TRUE(writeWav(makeMusicAudio(256), 32768, path));
+    std::FILE *file = std::fopen(path.c_str(), "rb");
+    ASSERT_NE(file, nullptr);
+    char hdr[5] = {};
+    ASSERT_EQ(std::fread(hdr, 1, 4, file), 4u);
+    EXPECT_STREQ(hdr, "RIFF");
+    std::fseek(file, 0, SEEK_END);
+    // 44-byte header + 2 bytes per sample.
+    EXPECT_EQ(std::ftell(file), 44 + 256 * 2);
+    std::fclose(file);
+    std::remove(path.c_str());
+}
+
+} // namespace
+} // namespace commguard::media

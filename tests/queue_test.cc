@@ -1,0 +1,268 @@
+/**
+ * @file
+ * Tests for the queue substrates: FIFO correctness, blocking, software
+ * queue corruption (QME modeling), working-set accounting, and the
+ * reliable I/O endpoints.
+ */
+
+#include <gtest/gtest.h>
+
+#include <deque>
+
+#include "common/rng.hh"
+#include "queue/io_queue.hh"
+#include "queue/reliable_queue.hh"
+#include "queue/software_queue.hh"
+#include "queue/working_set_queue.hh"
+
+namespace commguard
+{
+namespace
+{
+
+TEST(RingQueue, FifoOrder)
+{
+    ReliableQueue q("q", 8);
+    for (Word i = 0; i < 5; ++i)
+        ASSERT_EQ(q.tryPush(makeItem(i)), QueueOpStatus::Ok);
+    QueueWord w;
+    for (Word i = 0; i < 5; ++i) {
+        ASSERT_EQ(q.tryPop(w), QueueOpStatus::Ok);
+        EXPECT_EQ(w.value, i);
+        EXPECT_FALSE(w.isHeader);
+    }
+    EXPECT_EQ(q.tryPop(w), QueueOpStatus::Blocked);
+}
+
+TEST(RingQueue, CapacityRoundsUpToPowerOfTwo)
+{
+    ReliableQueue q("q", 5);
+    EXPECT_EQ(q.capacity(), 8u);
+    ReliableQueue q2("q2", 8);
+    EXPECT_EQ(q2.capacity(), 8u);
+    ReliableQueue q3("q3", 1);
+    EXPECT_EQ(q3.capacity(), 2u);
+}
+
+TEST(RingQueue, BlocksWhenFull)
+{
+    ReliableQueue q("q", 4);
+    for (Word i = 0; i < 4; ++i)
+        ASSERT_EQ(q.tryPush(makeItem(i)), QueueOpStatus::Ok);
+    EXPECT_EQ(q.tryPush(makeItem(99)), QueueOpStatus::Blocked);
+    EXPECT_EQ(q.counters().pushBlocked, 1u);
+    QueueWord w;
+    ASSERT_EQ(q.tryPop(w), QueueOpStatus::Ok);
+    EXPECT_EQ(q.tryPush(makeItem(99)), QueueOpStatus::Ok);
+}
+
+TEST(RingQueue, WrapsManyTimes)
+{
+    ReliableQueue q("q", 4);
+    QueueWord w;
+    for (Word i = 0; i < 1000; ++i) {
+        ASSERT_EQ(q.tryPush(makeItem(i)), QueueOpStatus::Ok);
+        ASSERT_EQ(q.tryPop(w), QueueOpStatus::Ok);
+        EXPECT_EQ(w.value, i);
+    }
+    EXPECT_EQ(q.counters().pushes, 1000u);
+    EXPECT_EQ(q.counters().pops, 1000u);
+}
+
+TEST(RingQueue, RandomizedAgainstDeque)
+{
+    ReliableQueue q("q", 16);
+    std::deque<Word> model;
+    Rng rng(4242);
+    for (int i = 0; i < 20000; ++i) {
+        if (rng.below(2) == 0) {
+            const Word v = rng.next32();
+            const bool ok =
+                q.tryPush(makeItem(v)) == QueueOpStatus::Ok;
+            if (model.size() < q.capacity()) {
+                ASSERT_TRUE(ok);
+                model.push_back(v);
+            } else {
+                ASSERT_FALSE(ok);
+            }
+        } else {
+            QueueWord w;
+            const bool ok = q.tryPop(w) == QueueOpStatus::Ok;
+            if (!model.empty()) {
+                ASSERT_TRUE(ok);
+                ASSERT_EQ(w.value, model.front());
+                model.pop_front();
+            } else {
+                ASSERT_FALSE(ok);
+            }
+        }
+        ASSERT_EQ(q.size(), model.size());
+    }
+}
+
+TEST(RingQueue, PreservesHeaderTagAndEcc)
+{
+    ReliableQueue q("q", 4);
+    const QueueWord header = makeHeader(1234);
+    ASSERT_EQ(q.tryPush(header), QueueOpStatus::Ok);
+    QueueWord w;
+    ASSERT_EQ(q.tryPop(w), QueueOpStatus::Ok);
+    EXPECT_TRUE(w.isHeader);
+    EXPECT_EQ(w.value, 1234u);
+    EXPECT_EQ(w.ecc, header.ecc);
+    EXPECT_EQ(eccDecode(w.ecc).data, 1234u);
+}
+
+// ----------------------------------------------------------------------
+// SoftwareQueue corruption (paper §3, queue management errors).
+// ----------------------------------------------------------------------
+
+TEST(SoftwareQueue, ReportsRoutineCost)
+{
+    SoftwareQueue q("q", 8);
+    EXPECT_GT(q.opCost(), 0u);
+    ReliableQueue r("r", 8);
+    EXPECT_EQ(r.opCost(), 0u);
+}
+
+TEST(SoftwareQueue, CorruptionChangesState)
+{
+    SoftwareQueue q("q", 8);
+    for (Word i = 0; i < 4; ++i)
+        ASSERT_EQ(q.tryPush(makeItem(i)), QueueOpStatus::Ok);
+
+    Rng rng(1);
+    // Corrupt repeatedly; head/tail/item corruption counters add up.
+    for (int i = 0; i < 100; ++i)
+        q.corrupt(rng);
+    const QueueCounters &c = q.counters();
+    EXPECT_EQ(c.headCorruptions + c.tailCorruptions +
+                  c.itemCorruptions,
+              100u);
+    EXPECT_GT(c.headCorruptions, 0u);
+    EXPECT_GT(c.tailCorruptions, 0u);
+    EXPECT_GT(c.itemCorruptions, 0u);
+}
+
+TEST(SoftwareQueue, PointerCorruptionCausesBogusOccupancy)
+{
+    SoftwareQueue q("q", 8);
+    ASSERT_EQ(q.tryPush(makeItem(1)), QueueOpStatus::Ok);
+    // Flip a high bit of the tail pointer: apparent size explodes, and
+    // pushes block as if the queue were full -- the paper's
+    // inconsistent full/empty view.
+    q.setTail(q.tail() ^ (1u << 20));
+    EXPECT_GT(q.size(), q.capacity());
+    EXPECT_EQ(q.tryPush(makeItem(2)), QueueOpStatus::Blocked);
+    // Pops still never fault: they deliver stale slots.
+    QueueWord w;
+    for (int i = 0; i < 32; ++i)
+        EXPECT_EQ(q.tryPop(w), QueueOpStatus::Ok);
+}
+
+TEST(SoftwareQueue, CorruptionNeverCrashes)
+{
+    SoftwareQueue q("q", 16);
+    Rng rng(7);
+    QueueWord w;
+    for (int i = 0; i < 10000; ++i) {
+        switch (rng.below(3)) {
+          case 0:
+            q.tryPush(makeItem(rng.next32()));
+            break;
+          case 1:
+            q.tryPop(w);
+            break;
+          default:
+            q.corrupt(rng);
+            break;
+        }
+    }
+    SUCCEED();
+}
+
+// ----------------------------------------------------------------------
+// WorkingSetQueue (paper §5.1).
+// ----------------------------------------------------------------------
+
+TEST(WorkingSetQueue, SplitsIntoSubRegions)
+{
+    WorkingSetQueue q("q", 1024, 8);
+    EXPECT_EQ(q.worksetWords(), 128u);
+}
+
+TEST(WorkingSetQueue, CountsWorksetSwitchesAndEcc)
+{
+    WorkingSetQueue q("q", 64, 8);  // 8 words per working set.
+    QueueWord w;
+    for (Word i = 0; i < 16; ++i)
+        ASSERT_EQ(q.tryPush(makeItem(i)), QueueOpStatus::Ok);
+    // 16 pushes = 2 producer working sets.
+    EXPECT_EQ(q.counters().worksetSwitches, 2u);
+    for (Word i = 0; i < 16; ++i)
+        ASSERT_EQ(q.tryPop(w), QueueOpStatus::Ok);
+    EXPECT_EQ(q.counters().worksetSwitches, 4u);
+    EXPECT_EQ(q.counters().worksetEccOps,
+              4 * WorkingSetQueue::eccOpsPerWorksetSwitch);
+}
+
+TEST(WorkingSetQueue, StillAFifo)
+{
+    WorkingSetQueue q("q", 32, 4);
+    QueueWord w;
+    for (Word i = 0; i < 500; ++i) {
+        ASSERT_EQ(q.tryPush(makeItem(i * 3)), QueueOpStatus::Ok);
+        ASSERT_EQ(q.tryPop(w), QueueOpStatus::Ok);
+        EXPECT_EQ(w.value, i * 3);
+    }
+}
+
+// ----------------------------------------------------------------------
+// I/O endpoints.
+// ----------------------------------------------------------------------
+
+TEST(SourceQueue, DeliversContentsThenZeroPads)
+{
+    SourceQueue q("src", {makeItem(10), makeItem(20)});
+    QueueWord w;
+    ASSERT_EQ(q.tryPop(w), QueueOpStatus::Ok);
+    EXPECT_EQ(w.value, 10u);
+    ASSERT_EQ(q.tryPop(w), QueueOpStatus::Ok);
+    EXPECT_EQ(w.value, 20u);
+    // Over-popping a reliable input device yields zero items, never a
+    // hang.
+    ASSERT_EQ(q.tryPop(w), QueueOpStatus::Ok);
+    EXPECT_EQ(w.value, 0u);
+    EXPECT_FALSE(w.isHeader);
+    EXPECT_EQ(q.counters().underflowPops, 1u);
+}
+
+TEST(SourceQueue, SwallowsIllegalPushes)
+{
+    SourceQueue q("src", {});
+    EXPECT_EQ(q.tryPush(makeItem(1)), QueueOpStatus::Ok);
+    EXPECT_EQ(q.counters().illegalPushes, 1u);
+}
+
+TEST(CollectorQueue, RecordsItemsAndStripsHeaders)
+{
+    CollectorQueue q("out");
+    ASSERT_EQ(q.tryPush(makeHeader(1)), QueueOpStatus::Ok);
+    ASSERT_EQ(q.tryPush(makeItem(5)), QueueOpStatus::Ok);
+    ASSERT_EQ(q.tryPush(makeItem(6)), QueueOpStatus::Ok);
+    ASSERT_EQ(q.tryPush(makeHeader(endOfComputationId)),
+              QueueOpStatus::Ok);
+    EXPECT_EQ(q.items(), (std::vector<Word>{5, 6}));
+    EXPECT_EQ(q.counters().headersCollected, 2u);
+}
+
+TEST(CollectorQueue, NeverFull)
+{
+    CollectorQueue q("out");
+    for (Word i = 0; i < 100000; ++i)
+        ASSERT_EQ(q.tryPush(makeItem(i)), QueueOpStatus::Ok);
+    EXPECT_EQ(q.items().size(), 100000u);
+}
+
+} // namespace
+} // namespace commguard

@@ -1,0 +1,174 @@
+/**
+ * @file
+ * Randomized stress test over the whole stack: generate random (but
+ * rate-consistent) stream graphs — chains with occasional split-joins
+ * and rate conversions — and check that
+ *  (i) the repetition solver balances every edge,
+ *  (ii) error-free execution forwards exactly the expected item count
+ *       under every protection mode, and
+ *  (iii) erroneous execution always completes (the paper's progress
+ *        requirement) at an extreme error rate.
+ */
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "common/rng.hh"
+#include "kernels/basic.hh"
+#include "kernels/dsp_kernels.hh"
+#include "sim/experiment.hh"
+#include "streamit/loader.hh"
+
+namespace commguard
+{
+namespace
+{
+
+using namespace streamit;
+
+FilterSpec
+passFilter(const std::string &name, int items)
+{
+    return FilterSpec{name,
+                      {items},
+                      {items},
+                      [name, items](int firings) {
+                          return kernels::buildPassthrough(
+                              name, items, firings);
+                      }};
+}
+
+/**
+ * Build a random pipeline: each stage either passes N items, changes
+ * granularity (pops A, pushes A via different firing grouping), or is
+ * a duplicate-split/sum-join sandwich.
+ */
+StreamGraph
+makeRandomGraph(Rng &rng, Count &expected_scale)
+{
+    StreamGraph g;
+    expected_scale = 1;
+
+    const int stages = 2 + static_cast<int>(rng.below(4));
+    NodeId prev = -1;
+    int node_counter = 0;
+
+    auto fresh_name = [&node_counter](const char *stem) {
+        return std::string(stem) + std::to_string(node_counter++);
+    };
+
+    for (int s = 0; s < stages; ++s) {
+        const int kind = static_cast<int>(rng.below(3));
+        if (kind == 2 && s > 0) {
+            // Split-join sandwich: duplicate to 2 branches, sum.
+            const NodeId split = g.addFilter(
+                {fresh_name("split"), {1}, {1, 1}, [](int firings) {
+                     return kernels::buildSplitDuplicate(2, firings);
+                 }});
+            const NodeId bra =
+                g.addFilter(passFilter(fresh_name("bra"), 1));
+            const NodeId brb =
+                g.addFilter(passFilter(fresh_name("brb"), 1));
+            const NodeId join = g.addFilter(
+                {fresh_name("join"), {1, 1}, {1}, [](int firings) {
+                     return kernels::buildJoinSum(2, firings);
+                 }});
+            g.connect(split, 0, bra, 0);
+            g.connect(split, 1, brb, 0);
+            g.connect(bra, 0, join, 0);
+            g.connect(brb, 0, join, 1);
+            if (prev >= 0)
+                g.connect(prev, 0, split, 0);
+            else
+                g.setExternalInput(split, 0);
+            prev = join;
+        } else {
+            // Pass-through with a random granularity 1..6.
+            const int items = 1 + static_cast<int>(rng.below(6));
+            const NodeId node =
+                g.addFilter(passFilter(fresh_name("p"), items));
+            if (prev >= 0)
+                g.connect(prev, 0, node, 0);
+            else
+                g.setExternalInput(node, 0);
+            prev = node;
+        }
+    }
+    g.setExternalOutput(prev, 0);
+    return g;
+}
+
+class RandomGraph : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(RandomGraph, SolvesLoadsAndRuns)
+{
+    Rng rng(GetParam() * 2654435761u + 17);
+    Count scale = 1;
+    const StreamGraph g = makeRandomGraph(rng, scale);
+
+    ASSERT_EQ(g.validateStructure(), "");
+    const RepetitionVector reps = solveRepetitions(g);
+    ASSERT_TRUE(reps.ok) << reps.error;
+
+    // Balance check: every edge transfers the same item count from
+    // both endpoints' perspective.
+    for (const Edge &edge : g.edges()) {
+        const Count produced =
+            reps.firings[edge.producer] *
+            g.filters()[edge.producer].pushRates[edge.outPort];
+        const Count consumed =
+            reps.firings[edge.consumer] *
+            g.filters()[edge.consumer].popRates[edge.inPort];
+        EXPECT_EQ(produced, consumed);
+    }
+
+    const FrameAnalysis frames = analyzeFrames(g, reps);
+    // Duplicate splits make output items a multiple of input items;
+    // either way both are positive and related by integers.
+    ASSERT_GT(frames.inputItemsPerFrame, 0u);
+    ASSERT_GT(frames.outputItemsPerFrame, 0u);
+
+    const Count iterations = 12;
+    std::vector<Word> input(frames.inputItemsPerFrame * iterations);
+    for (std::size_t i = 0; i < input.size(); ++i)
+        input[i] = floatToWord(static_cast<float>(i % 17) * 0.25f);
+
+    // (ii) Error-free exactness in every mode.
+    for (ProtectionMode mode :
+         {ProtectionMode::PpuOnly, ProtectionMode::ReliableQueue,
+          ProtectionMode::CommGuard}) {
+        LoadOptions options;
+        options.mode = mode;
+        options.injectErrors = false;
+        LoadedApp app = loadGraph(g, input, iterations, options);
+        const MachineRunResult result = app.run();
+        ASSERT_TRUE(result.completed) << protectionModeName(mode);
+        EXPECT_EQ(app.output().size(),
+                  frames.outputItemsPerFrame * iterations)
+            << protectionModeName(mode);
+        EXPECT_EQ(result.timeoutsFired, 0u)
+            << protectionModeName(mode);
+    }
+
+    // (iii) Progress under extreme errors in every mode.
+    for (ProtectionMode mode :
+         {ProtectionMode::PpuOnly, ProtectionMode::ReliableQueue,
+          ProtectionMode::CommGuard}) {
+        LoadOptions options;
+        options.mode = mode;
+        options.injectErrors = true;
+        options.mtbe = 2'000;  // Brutal: an error every 2k insts.
+        options.seed = GetParam() * 31 + 7;
+        LoadedApp app = loadGraph(g, input, iterations, options);
+        const MachineRunResult result = app.run();
+        EXPECT_TRUE(result.completed) << protectionModeName(mode);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomGraph, ::testing::Range(0, 16));
+
+} // namespace
+} // namespace commguard

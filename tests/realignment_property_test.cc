@@ -1,0 +1,209 @@
+/**
+ * @file
+ * Property test for CommGuard's central guarantee: *errors are
+ * ephemeral*. Whatever a (bounded) adversarial producer does inside
+ * one frame — extra items, missing items, whole frames missing or
+ * replayed — the alignment manager must deliver every later intact
+ * frame's items exactly, and the FSM must be back in RcvCmp while
+ * consuming them. This is the paper's requirement that "if errors
+ * occur, their effect on execution should diminish with time" (§2.1.1)
+ * and the realignment semantics of §3/§4.2.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hh"
+#include "commguard/alignment_manager.hh"
+#include "queue/working_set_queue.hh"
+
+namespace commguard
+{
+namespace
+{
+
+constexpr int itemsPerFrame = 8;
+
+/** Encode frame id and index into a recognizable item value. */
+Word
+itemValue(FrameId frame, int index)
+{
+    return frame * 1000 + static_cast<Word>(index);
+}
+
+/**
+ * One adversarial fault applied to a single frame's emission.
+ */
+enum class Fault
+{
+    None,        //!< Frame emitted intact.
+    ExtraItems,  //!< 1-4 junk items appended (AE-IE).
+    LostItems,   //!< 1-4 trailing items dropped (AE-IL).
+    LostFrame,   //!< Header and items missing entirely (AE-FL).
+    Replay,      //!< A stale fragment of an old frame re-emitted.
+    JunkBurst,   //!< Junk items with no header at all.
+};
+
+class RealignmentProperty : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(RealignmentProperty, FaultsNeverOutliveTheNextIntactFrame)
+{
+    Rng rng(GetParam() * 7919 + 13);
+    CgCounters counters;
+    WorkingSetQueue queue("q", 1 << 14);
+    QueueManager qm(queue, counters);
+    AlignmentManager am(counters);
+
+    const int num_frames = 60;
+
+    // Script the producer: decide per frame whether it is faulty.
+    std::vector<Fault> faults(num_frames + 1, Fault::None);
+    for (int frame = 1; frame <= num_frames; ++frame) {
+        if (rng.below(100) < 30) {
+            faults[frame] =
+                static_cast<Fault>(1 + rng.below(5));
+        }
+    }
+
+    // Emit the whole stream up front (capacity is ample).
+    for (FrameId frame = 1;
+         frame <= static_cast<FrameId>(num_frames); ++frame) {
+        const Fault fault = faults[frame];
+        if (fault == Fault::LostFrame)
+            continue;
+        if (fault == Fault::JunkBurst) {
+            const int junk = 1 + static_cast<int>(rng.below(6));
+            for (int i = 0; i < junk; ++i)
+                ASSERT_EQ(queue.tryPush(makeItem(0xdead)),
+                          QueueOpStatus::Ok);
+            continue;
+        }
+        if (fault == Fault::Replay) {
+            const FrameId old =
+                frame > 3 ? frame - 2 - rng.below(2) : 1;
+            ASSERT_EQ(queue.tryPush(makeHeader(old)),
+                      QueueOpStatus::Ok);
+            for (int i = 0; i < 3; ++i)
+                ASSERT_EQ(queue.tryPush(makeItem(itemValue(old, i))),
+                          QueueOpStatus::Ok);
+            continue;
+        }
+
+        ASSERT_EQ(queue.tryPush(makeHeader(frame)), QueueOpStatus::Ok);
+        int emit = itemsPerFrame;
+        if (fault == Fault::LostItems)
+            emit -= 1 + static_cast<int>(rng.below(4));
+        for (int i = 0; i < emit; ++i)
+            ASSERT_EQ(queue.tryPush(makeItem(itemValue(frame, i))),
+                      QueueOpStatus::Ok);
+        if (fault == Fault::ExtraItems) {
+            const int extra = 1 + static_cast<int>(rng.below(4));
+            for (int i = 0; i < extra; ++i)
+                ASSERT_EQ(queue.tryPush(makeItem(0xbad)),
+                          QueueOpStatus::Ok);
+        }
+    }
+    ASSERT_EQ(queue.tryPush(makeHeader(endOfComputationId)),
+              QueueOpStatus::Ok);
+
+    // Consume: the consumer's control flow is exact (faults came from
+    // the producer side). Every frame whose emission was intact AND
+    // whose predecessor did not *overrun* into it must arrive exactly.
+    for (FrameId frame = 1;
+         frame <= static_cast<FrameId>(num_frames); ++frame) {
+        am.onNewFrameComputation(frame);
+        bool frame_exact = true;
+        for (int i = 0; i < itemsPerFrame; ++i) {
+            const AmPopResult r = am.onPop(qm, frame);
+            ASSERT_NE(r.kind, AmPopResult::Kind::Blocked)
+                << "frame " << frame << " item " << i;
+            if (r.kind != AmPopResult::Kind::Item ||
+                r.value != itemValue(frame, i)) {
+                frame_exact = false;
+            }
+        }
+
+        // THE PROPERTY: an intact frame is always delivered exactly,
+        // no matter what faults preceded it.
+        if (faults[frame] == Fault::None) {
+            EXPECT_TRUE(frame_exact) << "intact frame " << frame
+                                     << " was not delivered exactly";
+            EXPECT_EQ(am.state(), AmState::RcvCmp)
+                << "frame " << frame;
+        }
+    }
+
+    // After the stream, the consumer pads forever (EOC).
+    am.onNewFrameComputation(num_frames + 1);
+    for (int i = 0; i < 4; ++i)
+        EXPECT_EQ(am.onPop(qm, num_frames + 1).kind,
+                  AmPopResult::Kind::Pad);
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomFaultScripts, RealignmentProperty,
+                         ::testing::Range(0, 24));
+
+/**
+ * Complementary accounting property: over any fault script, items are
+ * conserved — everything the producer emitted is either accepted or
+ * discarded, and every consumer pop is answered by an item or padding.
+ */
+TEST(RealignmentAccounting, ItemsAreConserved)
+{
+    for (int script = 0; script < 10; ++script) {
+        Rng rng(script * 31 + 5);
+        CgCounters counters;
+        WorkingSetQueue queue("q", 1 << 14);
+        QueueManager qm(queue, counters);
+        AlignmentManager am(counters);
+
+        const int num_frames = 40;
+        Count emitted = 0;
+        for (FrameId frame = 1;
+             frame <= static_cast<FrameId>(num_frames); ++frame) {
+            ASSERT_EQ(queue.tryPush(makeHeader(frame)),
+                      QueueOpStatus::Ok);
+            // Random per-frame item count in [0, 2 * nominal].
+            const int emit =
+                static_cast<int>(rng.below(2 * itemsPerFrame + 1));
+            for (int i = 0; i < emit; ++i) {
+                ASSERT_EQ(queue.tryPush(makeItem(rng.next32())),
+                          QueueOpStatus::Ok);
+                ++emitted;
+            }
+        }
+        ASSERT_EQ(queue.tryPush(makeHeader(endOfComputationId)),
+                  QueueOpStatus::Ok);
+
+        Count pops_answered = 0;
+        for (FrameId frame = 1;
+             frame <= static_cast<FrameId>(num_frames); ++frame) {
+            am.onNewFrameComputation(frame);
+            for (int i = 0; i < itemsPerFrame; ++i) {
+                const AmPopResult r = am.onPop(qm, frame);
+                ASSERT_NE(r.kind, AmPopResult::Kind::Blocked);
+                ++pops_answered;
+            }
+        }
+
+        // Consumer side: every pop answered once.
+        EXPECT_EQ(counters.acceptedItems + counters.paddedItems,
+                  pops_answered);
+
+        // Producer side: nothing vanishes silently. Drain whatever is
+        // left and count the items (headers are not items).
+        Count remaining_items = 0;
+        QueueWord w;
+        while (queue.tryPop(w) == QueueOpStatus::Ok) {
+            if (!w.isHeader)
+                ++remaining_items;
+        }
+        EXPECT_EQ(counters.acceptedItems + counters.discardedItems +
+                      remaining_items,
+                  emitted);
+    }
+}
+
+} // namespace
+} // namespace commguard

@@ -1,0 +1,126 @@
+/**
+ * @file
+ * Tests for the deterministic xoshiro128** generator used by error
+ * injectors and workload generators.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.hh"
+
+namespace commguard
+{
+namespace
+{
+
+TEST(Rng, DeterministicPerSeed)
+{
+    Rng a(42);
+    Rng b(42);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.next32(), b.next32());
+}
+
+TEST(Rng, ReseedRestartsSequence)
+{
+    Rng rng(42);
+    const std::uint32_t first = rng.next32();
+    rng.next32();
+    rng.seed(42);
+    EXPECT_EQ(rng.next32(), first);
+}
+
+TEST(Rng, DifferentSeedsDiffer)
+{
+    Rng a(1);
+    Rng b(2);
+    int same = 0;
+    for (int i = 0; i < 64; ++i)
+        same += (a.next32() == b.next32());
+    EXPECT_LT(same, 4);
+}
+
+TEST(Rng, ZeroSeedIsValid)
+{
+    Rng rng(0);
+    std::uint32_t accum = 0;
+    for (int i = 0; i < 16; ++i)
+        accum |= rng.next32();
+    EXPECT_NE(accum, 0u);
+}
+
+TEST(Rng, BelowStaysInBounds)
+{
+    Rng rng(7);
+    for (std::uint32_t bound : {1u, 2u, 3u, 10u, 1000u, 1u << 31}) {
+        for (int i = 0; i < 200; ++i)
+            EXPECT_LT(rng.below(bound), bound);
+    }
+}
+
+TEST(Rng, BelowZeroBoundReturnsZero)
+{
+    Rng rng(7);
+    EXPECT_EQ(rng.below(0), 0u);
+}
+
+TEST(Rng, RangeInclusive)
+{
+    Rng rng(11);
+    bool saw_lo = false;
+    bool saw_hi = false;
+    for (int i = 0; i < 2000; ++i) {
+        const std::uint32_t v = rng.range(3, 6);
+        EXPECT_GE(v, 3u);
+        EXPECT_LE(v, 6u);
+        saw_lo |= (v == 3);
+        saw_hi |= (v == 6);
+    }
+    EXPECT_TRUE(saw_lo);
+    EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, UniformInUnitInterval)
+{
+    Rng rng(13);
+    double sum = 0.0;
+    const int n = 20000;
+    for (int i = 0; i < n; ++i) {
+        const double u = rng.uniform();
+        ASSERT_GE(u, 0.0);
+        ASSERT_LT(u, 1.0);
+        sum += u;
+    }
+    EXPECT_NEAR(sum / n, 0.5, 0.02);
+}
+
+TEST(Rng, ExponentialMeanMatches)
+{
+    Rng rng(17);
+    const double mean = 1000.0;
+    double sum = 0.0;
+    const int n = 20000;
+    for (int i = 0; i < n; ++i) {
+        const double x = rng.exponential(mean);
+        ASSERT_GT(x, 0.0);
+        sum += x;
+    }
+    EXPECT_NEAR(sum / n, mean, mean * 0.05);
+}
+
+TEST(Rng, ExponentialSpreadIsExponential)
+{
+    // For an exponential distribution, P(X > mean) = 1/e.
+    Rng rng(19);
+    const double mean = 50.0;
+    int above = 0;
+    const int n = 20000;
+    for (int i = 0; i < n; ++i)
+        above += (rng.exponential(mean) > mean);
+    EXPECT_NEAR(static_cast<double>(above) / n, std::exp(-1.0), 0.02);
+}
+
+} // namespace
+} // namespace commguard

@@ -1,0 +1,223 @@
+/**
+ * @file
+ * Tests for nested control-flow scopes (paper §4.4: guided execution
+ * management) — the assembler API, static validation, and the PPU's
+ * per-scope budget enforcement in the core.
+ */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "isa/assembler.hh"
+#include "machine/backends.hh"
+#include "machine/multicore.hh"
+#include "queue/io_queue.hh"
+
+namespace commguard
+{
+namespace
+{
+
+using namespace isa;
+
+/** Run a queue-less program once on an error-free core. */
+Core &
+execOn(Multicore &machine, Program program,
+       const PpuConfig *ppu = nullptr)
+{
+    if (ppu)
+        machine.config().ppu = *ppu;
+    Core &core = machine.addCore("t");
+    core.setProgram(std::move(program));
+    CommBackend &backend = machine.addBackend(
+        std::make_unique<RawBackend>(std::vector<QueueBase *>{},
+                                     std::vector<QueueBase *>{}));
+    machine.addRuntime(core, backend, 1);
+    EXPECT_TRUE(machine.run().completed);
+    return core;
+}
+
+// ----------------------------------------------------------------------
+// Assembler API and validation.
+// ----------------------------------------------------------------------
+
+TEST(ScopeAssembler, RecordsScopeTableAndExitPcs)
+{
+    Assembler a("s");
+    const int outer = a.scopeEnter(100);
+    a.addi(R1, R1, 1);
+    const int inner = a.scopeEnter(10);
+    a.addi(R1, R1, 1);
+    a.scopeExit();  // inner
+    a.scopeExit();  // outer
+    const Program p = a.finalize();
+
+    ASSERT_EQ(p.scopes.size(), 2u);
+    EXPECT_EQ(outer, 0);
+    EXPECT_EQ(inner, 1);
+    EXPECT_EQ(p.scopes[0].estimatedInsts, 100u);
+    EXPECT_EQ(p.scopes[1].estimatedInsts, 10u);
+    // Code: enter(0) addi enter(1) addi exit(1) exit(0) halt.
+    EXPECT_EQ(p.code[p.scopes[1].exitPc].op, Op::ScopeExit);
+    EXPECT_EQ(p.code[p.scopes[0].exitPc].op, Op::ScopeExit);
+    EXPECT_LT(p.scopes[1].exitPc, p.scopes[0].exitPc);
+    EXPECT_TRUE(validate(p).ok);
+}
+
+TEST(ScopeAssembler, DisassemblyShowsScopes)
+{
+    Assembler a("s");
+    a.scopeEnter(5);
+    a.scopeExit();
+    const std::string text = disassemble(a.finalize());
+    EXPECT_NE(text.find("scope.enter scope0"), std::string::npos);
+    EXPECT_NE(text.find("scope.exit scope0"), std::string::npos);
+}
+
+TEST(ScopeValidate, RejectsBadScopeIndex)
+{
+    Program p;
+    p.name = "bad";
+    Inst enter;
+    enter.op = Op::ScopeEnter;
+    enter.imm = 3;  // No such scope.
+    p.code.push_back(enter);
+    EXPECT_FALSE(validate(p).ok);
+}
+
+TEST(ScopeValidate, RejectsDanglingExitPc)
+{
+    Program p;
+    p.name = "bad";
+    ScopeInfo info;
+    info.estimatedInsts = 10;
+    info.exitPc = 99;
+    p.scopes.push_back(info);
+    Inst enter;
+    enter.op = Op::ScopeEnter;
+    enter.imm = 0;
+    p.code.push_back(enter);
+    EXPECT_FALSE(validate(p).ok);
+}
+
+// ----------------------------------------------------------------------
+// Core enforcement.
+// ----------------------------------------------------------------------
+
+TEST(ScopeEnforcement, WellBehavedScopeRunsToCompletion)
+{
+    Assembler a("ok");
+    a.scopeEnter(64);
+    a.forDown(R1, 10, [&] { a.addi(R2, R2, 1); });
+    a.scopeExit();
+    a.setEstimatedInsts(64);
+
+    Multicore machine;
+    Core &core = execOn(machine, a.finalize());
+    EXPECT_EQ(core.regs().read(R2), 10u);
+    EXPECT_EQ(core.counters().nestedScopeTrips, 0u);
+}
+
+TEST(ScopeEnforcement, RunawayInnerLoopIsCutAtScopeExit)
+{
+    // The inner scope spins forever; the per-scope budget must force
+    // it to its exit, after which the rest of the program runs.
+    Assembler a("runaway");
+    a.scopeEnter(20);
+    a.label("spin");
+    a.addi(R1, R1, 1);
+    a.jmp("spin");
+    a.scopeExit();
+    a.li(R3, 77);  // Must still execute.
+    a.setEstimatedInsts(4096);
+
+    Multicore machine;
+    Core &core = execOn(machine, a.finalize());
+    EXPECT_EQ(core.regs().read(R3), 77u);
+    EXPECT_EQ(core.counters().nestedScopeTrips, 1u);
+    // The invocation watchdog never had to fire.
+    EXPECT_EQ(core.counters().scopeWatchdogTrips, 0u);
+    // Budget = estimate * multiplier (2), floored at 64.
+    EXPECT_LT(core.counters().committedInsts, 256u);
+}
+
+TEST(ScopeEnforcement, InnerTripDoesNotKillOuterScope)
+{
+    Assembler a("nested");
+    a.scopeEnter(100000);  // Generous outer scope.
+    a.scopeEnter(20);      // Tight inner scope around a spin.
+    a.label("spin");
+    a.addi(R1, R1, 1);
+    a.jmp("spin");
+    a.scopeExit();
+    a.forDown(R2, 50, [&] { a.addi(R3, R3, 1); });  // Outer work.
+    a.scopeExit();
+    a.setEstimatedInsts(100000);
+
+    Multicore machine;
+    Core &core = execOn(machine, a.finalize());
+    EXPECT_EQ(core.counters().nestedScopeTrips, 1u);
+    EXPECT_EQ(core.regs().read(R3), 50u);  // Outer work completed.
+}
+
+TEST(ScopeEnforcement, ReenteredScopeGetsFreshBudget)
+{
+    // A scope inside a loop: each iteration re-enters with a fresh
+    // deadline, so 8 well-behaved iterations never trip.
+    Assembler a("reenter");
+    a.forDown(R1, 8, [&] {
+        a.scopeEnter(32);
+        a.addi(R2, R2, 1);
+        a.scopeExit();
+    });
+    a.setEstimatedInsts(512);
+
+    Multicore machine;
+    Core &core = execOn(machine, a.finalize());
+    EXPECT_EQ(core.regs().read(R2), 8u);
+    EXPECT_EQ(core.counters().nestedScopeTrips, 0u);
+}
+
+TEST(ScopeEnforcement, DisabledScopesFallBackToInvocationWatchdog)
+{
+    Assembler a("disabled");
+    a.scopeEnter(20);
+    a.label("spin");
+    a.addi(R1, R1, 1);
+    a.jmp("spin");
+    a.scopeExit();
+    a.li(R3, 77);
+    a.setEstimatedInsts(500);
+
+    PpuConfig ppu;
+    ppu.enforceNestedScopes = false;
+    Multicore machine;
+    Core &core = execOn(machine, a.finalize(), &ppu);
+    // Without nested enforcement the spin eats the whole invocation
+    // budget: the invocation watchdog fires and R3 is never written.
+    EXPECT_EQ(core.counters().nestedScopeTrips, 0u);
+    EXPECT_EQ(core.counters().scopeWatchdogTrips, 1u);
+    EXPECT_EQ(core.regs().read(R3), 0u);
+}
+
+TEST(ScopeEnforcement, DepthBeyondLimitIsUnguardedButHarmless)
+{
+    PpuConfig ppu;
+    ppu.maxScopeDepth = 2;
+
+    Assembler a("deep");
+    for (int i = 0; i < 4; ++i)
+        a.scopeEnter(1000);
+    a.addi(R1, R1, 1);
+    for (int i = 0; i < 4; ++i)
+        a.scopeExit();
+    a.setEstimatedInsts(64);
+
+    Multicore machine;
+    Core &core = execOn(machine, a.finalize(), &ppu);
+    EXPECT_EQ(core.regs().read(R1), 1u);
+}
+
+} // namespace
+} // namespace commguard

@@ -1,0 +1,167 @@
+/**
+ * @file
+ * Tests for the hierarchical statistics registry.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/sat_counter.hh"
+#include "common/stats.hh"
+
+namespace commguard
+{
+namespace
+{
+
+TEST(StatGroup, MissingCounterReadsZero)
+{
+    StatGroup g;
+    EXPECT_EQ(g.get("nothing"), 0u);
+}
+
+TEST(StatGroup, AddAccumulates)
+{
+    StatGroup g;
+    g.add("x");
+    g.add("x", 4);
+    EXPECT_EQ(g.get("x"), 5u);
+}
+
+TEST(StatGroup, SetOverwrites)
+{
+    StatGroup g;
+    g.add("x", 10);
+    g.set("x", 3);
+    EXPECT_EQ(g.get("x"), 3u);
+}
+
+TEST(StatGroup, ChildrenAreStable)
+{
+    StatGroup g;
+    g.child("a").add("n", 2);
+    g.child("a").add("n", 3);
+    EXPECT_EQ(g.child("a").get("n"), 5u);
+}
+
+TEST(StatGroup, PathLookup)
+{
+    StatGroup g;
+    g.child("a").child("b").set("ctr", 7);
+    EXPECT_EQ(g.getPath("a/b/ctr"), 7u);
+    EXPECT_EQ(g.getPath("a/missing/ctr"), 0u);
+    EXPECT_EQ(g.getPath("nosuch"), 0u);
+}
+
+TEST(StatGroup, SumRecursive)
+{
+    StatGroup g;
+    g.set("n", 1);
+    g.child("a").set("n", 2);
+    g.child("a").child("b").set("n", 4);
+    g.child("c").set("n", 8);
+    EXPECT_EQ(g.sumRecursive("n"), 15u);
+}
+
+TEST(StatGroup, MergeAddsCountersAndChildren)
+{
+    StatGroup a;
+    a.set("x", 1);
+    a.child("k").set("y", 2);
+
+    StatGroup b;
+    b.set("x", 10);
+    b.set("z", 5);
+    b.child("k").set("y", 20);
+
+    a.merge(b);
+    EXPECT_EQ(a.get("x"), 11u);
+    EXPECT_EQ(a.get("z"), 5u);
+    EXPECT_EQ(a.child("k").get("y"), 22u);
+}
+
+TEST(StatGroup, ClearZeroesEverything)
+{
+    StatGroup g;
+    g.set("x", 3);
+    g.child("a").set("y", 4);
+    g.clear();
+    EXPECT_EQ(g.get("x"), 0u);
+    EXPECT_EQ(g.child("a").get("y"), 0u);
+}
+
+TEST(StatGroup, DumpContainsPaths)
+{
+    StatGroup g("root");
+    g.set("x", 3);
+    g.child("a").set("y", 4);
+    std::ostringstream os;
+    g.dump(os);
+    const std::string text = os.str();
+    EXPECT_NE(text.find("root/x = 3"), std::string::npos);
+    EXPECT_NE(text.find("root/a/y = 4"), std::string::npos);
+}
+
+// ----------------------------------------------------------------------
+// Saturating counter (frame-size downscaler, paper §5.4).
+// ----------------------------------------------------------------------
+
+TEST(SaturatingCounter, LimitOneFiresEveryTick)
+{
+    SaturatingCounter c(1);
+    for (int i = 0; i < 5; ++i)
+        EXPECT_TRUE(c.tick());
+}
+
+TEST(SaturatingCounter, FiresOnFirstOfEachGroup)
+{
+    SaturatingCounter c(3);
+    // Ticks 1, 4, 7 fire (frame *starts*).
+    EXPECT_TRUE(c.tick());
+    EXPECT_FALSE(c.tick());
+    EXPECT_FALSE(c.tick());
+    EXPECT_TRUE(c.tick());
+    EXPECT_FALSE(c.tick());
+    EXPECT_FALSE(c.tick());
+    EXPECT_TRUE(c.tick());
+}
+
+TEST(SaturatingCounter, ZeroLimitClampsToOne)
+{
+    SaturatingCounter c(0);
+    EXPECT_EQ(c.limit(), 1u);
+    EXPECT_TRUE(c.tick());
+    EXPECT_TRUE(c.tick());
+}
+
+TEST(SaturatingCounter, ResetRestartsGroup)
+{
+    SaturatingCounter c(4);
+    EXPECT_TRUE(c.tick());
+    EXPECT_FALSE(c.tick());
+    c.reset();
+    EXPECT_TRUE(c.tick());
+}
+
+/** Firing density is exactly 1/limit over long runs. */
+class SatCounterDensity : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(SatCounterDensity, OneFiringPerGroup)
+{
+    const int limit = GetParam();
+    SaturatingCounter c(static_cast<Count>(limit));
+    int fires = 0;
+    const int groups = 17;
+    for (int i = 0; i < limit * groups; ++i)
+        fires += c.tick();
+    EXPECT_EQ(fires, groups);
+}
+
+INSTANTIATE_TEST_SUITE_P(Limits, SatCounterDensity,
+                         ::testing::Values(1, 2, 3, 4, 8, 16, 64));
+
+} // namespace
+} // namespace commguard
