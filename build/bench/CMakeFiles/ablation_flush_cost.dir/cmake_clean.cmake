@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_flush_cost.dir/ablation_flush_cost.cc.o"
+  "CMakeFiles/ablation_flush_cost.dir/ablation_flush_cost.cc.o.d"
+  "ablation_flush_cost"
+  "ablation_flush_cost.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_flush_cost.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

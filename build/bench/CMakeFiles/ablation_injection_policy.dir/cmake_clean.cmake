@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_injection_policy.dir/ablation_injection_policy.cc.o"
+  "CMakeFiles/ablation_injection_policy.dir/ablation_injection_policy.cc.o.d"
+  "ablation_injection_policy"
+  "ablation_injection_policy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_injection_policy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

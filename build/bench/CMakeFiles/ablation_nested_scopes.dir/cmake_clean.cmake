@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_nested_scopes.dir/ablation_nested_scopes.cc.o"
+  "CMakeFiles/ablation_nested_scopes.dir/ablation_nested_scopes.cc.o.d"
+  "ablation_nested_scopes"
+  "ablation_nested_scopes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_nested_scopes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for ablation_nested_scopes.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_output_alignment.dir/ablation_output_alignment.cc.o"
+  "CMakeFiles/ablation_output_alignment.dir/ablation_output_alignment.cc.o.d"
+  "ablation_output_alignment"
+  "ablation_output_alignment.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_output_alignment.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_queue_capacity.dir/ablation_queue_capacity.cc.o"
+  "CMakeFiles/ablation_queue_capacity.dir/ablation_queue_capacity.cc.o.d"
+  "ablation_queue_capacity"
+  "ablation_queue_capacity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_queue_capacity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

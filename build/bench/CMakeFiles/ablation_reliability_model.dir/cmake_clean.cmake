@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_reliability_model.dir/ablation_reliability_model.cc.o"
+  "CMakeFiles/ablation_reliability_model.dir/ablation_reliability_model.cc.o.d"
+  "ablation_reliability_model"
+  "ablation_reliability_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_reliability_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

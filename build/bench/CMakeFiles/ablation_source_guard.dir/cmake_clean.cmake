@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_source_guard.dir/ablation_source_guard.cc.o"
+  "CMakeFiles/ablation_source_guard.dir/ablation_source_guard.cc.o.d"
+  "ablation_source_guard"
+  "ablation_source_guard.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_source_guard.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/ablation_watchdog.cc" "bench/CMakeFiles/ablation_watchdog.dir/ablation_watchdog.cc.o" "gcc" "bench/CMakeFiles/ablation_watchdog.dir/ablation_watchdog.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/cg_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/apps/CMakeFiles/cg_apps.dir/DependInfo.cmake"
+  "/root/repo/build/src/kernels/CMakeFiles/cg_kernels.dir/DependInfo.cmake"
+  "/root/repo/build/src/media/CMakeFiles/cg_media.dir/DependInfo.cmake"
+  "/root/repo/build/src/streamit/CMakeFiles/cg_streamit.dir/DependInfo.cmake"
+  "/root/repo/build/src/machine/CMakeFiles/cg_machine.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/cg_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/commguard/CMakeFiles/cg_commguard.dir/DependInfo.cmake"
+  "/root/repo/build/src/queue/CMakeFiles/cg_queue.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/cg_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

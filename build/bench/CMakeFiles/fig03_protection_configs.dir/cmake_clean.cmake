@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig03_protection_configs.dir/fig03_protection_configs.cc.o"
+  "CMakeFiles/fig03_protection_configs.dir/fig03_protection_configs.cc.o.d"
+  "fig03_protection_configs"
+  "fig03_protection_configs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig03_protection_configs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

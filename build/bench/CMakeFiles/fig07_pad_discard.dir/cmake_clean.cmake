@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig07_pad_discard.dir/fig07_pad_discard.cc.o"
+  "CMakeFiles/fig07_pad_discard.dir/fig07_pad_discard.cc.o.d"
+  "fig07_pad_discard"
+  "fig07_pad_discard.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig07_pad_discard.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig08_data_loss.dir/fig08_data_loss.cc.o"
+  "CMakeFiles/fig08_data_loss.dir/fig08_data_loss.cc.o.d"
+  "fig08_data_loss"
+  "fig08_data_loss.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig08_data_loss.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

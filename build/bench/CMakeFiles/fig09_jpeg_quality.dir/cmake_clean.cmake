@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig09_jpeg_quality.dir/fig09_jpeg_quality.cc.o"
+  "CMakeFiles/fig09_jpeg_quality.dir/fig09_jpeg_quality.cc.o.d"
+  "fig09_jpeg_quality"
+  "fig09_jpeg_quality.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09_jpeg_quality.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_jpeg_mp3_quality.dir/fig10_jpeg_mp3_quality.cc.o"
+  "CMakeFiles/fig10_jpeg_mp3_quality.dir/fig10_jpeg_mp3_quality.cc.o.d"
+  "fig10_jpeg_mp3_quality"
+  "fig10_jpeg_mp3_quality.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_jpeg_mp3_quality.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

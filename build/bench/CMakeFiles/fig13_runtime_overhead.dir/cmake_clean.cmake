@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig13_runtime_overhead.dir/fig13_runtime_overhead.cc.o"
+  "CMakeFiles/fig13_runtime_overhead.dir/fig13_runtime_overhead.cc.o.d"
+  "fig13_runtime_overhead"
+  "fig13_runtime_overhead.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13_runtime_overhead.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig14_suboperations.dir/fig14_suboperations.cc.o"
+  "CMakeFiles/fig14_suboperations.dir/fig14_suboperations.cc.o.d"
+  "fig14_suboperations"
+  "fig14_suboperations.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig14_suboperations.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_commguard.dir/micro_commguard.cc.o"
+  "CMakeFiles/micro_commguard.dir/micro_commguard.cc.o.d"
+  "micro_commguard"
+  "micro_commguard.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_commguard.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

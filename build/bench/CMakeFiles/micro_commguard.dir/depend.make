@@ -1,0 +1,2 @@
+# Empty dependencies file for micro_commguard.
+# This may be replaced when dependencies are built.

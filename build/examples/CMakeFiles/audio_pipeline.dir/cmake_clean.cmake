@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/audio_pipeline.dir/audio_pipeline.cpp.o"
+  "CMakeFiles/audio_pipeline.dir/audio_pipeline.cpp.o.d"
+  "audio_pipeline"
+  "audio_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/audio_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

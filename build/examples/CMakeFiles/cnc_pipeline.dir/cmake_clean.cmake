@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cnc_pipeline.dir/cnc_pipeline.cpp.o"
+  "CMakeFiles/cnc_pipeline.dir/cnc_pipeline.cpp.o.d"
+  "cnc_pipeline"
+  "cnc_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cnc_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fault_playground.dir/fault_playground.cpp.o"
+  "CMakeFiles/fault_playground.dir/fault_playground.cpp.o.d"
+  "fault_playground"
+  "fault_playground.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fault_playground.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

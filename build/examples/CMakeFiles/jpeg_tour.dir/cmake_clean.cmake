@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jpeg_tour.dir/jpeg_tour.cpp.o"
+  "CMakeFiles/jpeg_tour.dir/jpeg_tour.cpp.o.d"
+  "jpeg_tour"
+  "jpeg_tour.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jpeg_tour.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/apps/app_util.cc" "src/apps/CMakeFiles/cg_apps.dir/app_util.cc.o" "gcc" "src/apps/CMakeFiles/cg_apps.dir/app_util.cc.o.d"
+  "/root/repo/src/apps/beamformer_app.cc" "src/apps/CMakeFiles/cg_apps.dir/beamformer_app.cc.o" "gcc" "src/apps/CMakeFiles/cg_apps.dir/beamformer_app.cc.o.d"
+  "/root/repo/src/apps/complexfir_app.cc" "src/apps/CMakeFiles/cg_apps.dir/complexfir_app.cc.o" "gcc" "src/apps/CMakeFiles/cg_apps.dir/complexfir_app.cc.o.d"
+  "/root/repo/src/apps/fft_app.cc" "src/apps/CMakeFiles/cg_apps.dir/fft_app.cc.o" "gcc" "src/apps/CMakeFiles/cg_apps.dir/fft_app.cc.o.d"
+  "/root/repo/src/apps/jpeg_app.cc" "src/apps/CMakeFiles/cg_apps.dir/jpeg_app.cc.o" "gcc" "src/apps/CMakeFiles/cg_apps.dir/jpeg_app.cc.o.d"
+  "/root/repo/src/apps/mp3_app.cc" "src/apps/CMakeFiles/cg_apps.dir/mp3_app.cc.o" "gcc" "src/apps/CMakeFiles/cg_apps.dir/mp3_app.cc.o.d"
+  "/root/repo/src/apps/vocoder_app.cc" "src/apps/CMakeFiles/cg_apps.dir/vocoder_app.cc.o" "gcc" "src/apps/CMakeFiles/cg_apps.dir/vocoder_app.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/streamit/CMakeFiles/cg_streamit.dir/DependInfo.cmake"
+  "/root/repo/build/src/kernels/CMakeFiles/cg_kernels.dir/DependInfo.cmake"
+  "/root/repo/build/src/media/CMakeFiles/cg_media.dir/DependInfo.cmake"
+  "/root/repo/build/src/machine/CMakeFiles/cg_machine.dir/DependInfo.cmake"
+  "/root/repo/build/src/commguard/CMakeFiles/cg_commguard.dir/DependInfo.cmake"
+  "/root/repo/build/src/queue/CMakeFiles/cg_queue.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/cg_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/cg_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

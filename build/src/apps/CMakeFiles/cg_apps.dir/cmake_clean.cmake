@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cg_apps.dir/app_util.cc.o"
+  "CMakeFiles/cg_apps.dir/app_util.cc.o.d"
+  "CMakeFiles/cg_apps.dir/beamformer_app.cc.o"
+  "CMakeFiles/cg_apps.dir/beamformer_app.cc.o.d"
+  "CMakeFiles/cg_apps.dir/complexfir_app.cc.o"
+  "CMakeFiles/cg_apps.dir/complexfir_app.cc.o.d"
+  "CMakeFiles/cg_apps.dir/fft_app.cc.o"
+  "CMakeFiles/cg_apps.dir/fft_app.cc.o.d"
+  "CMakeFiles/cg_apps.dir/jpeg_app.cc.o"
+  "CMakeFiles/cg_apps.dir/jpeg_app.cc.o.d"
+  "CMakeFiles/cg_apps.dir/mp3_app.cc.o"
+  "CMakeFiles/cg_apps.dir/mp3_app.cc.o.d"
+  "CMakeFiles/cg_apps.dir/vocoder_app.cc.o"
+  "CMakeFiles/cg_apps.dir/vocoder_app.cc.o.d"
+  "libcg_apps.a"
+  "libcg_apps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cg_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cg_cnc.dir/cnc.cc.o"
+  "CMakeFiles/cg_cnc.dir/cnc.cc.o.d"
+  "libcg_cnc.a"
+  "libcg_cnc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cg_cnc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cg_commguard.dir/alignment_manager.cc.o"
+  "CMakeFiles/cg_commguard.dir/alignment_manager.cc.o.d"
+  "CMakeFiles/cg_commguard.dir/header_inserter.cc.o"
+  "CMakeFiles/cg_commguard.dir/header_inserter.cc.o.d"
+  "libcg_commguard.a"
+  "libcg_commguard.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cg_commguard.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cg_common.dir/ecc.cc.o"
+  "CMakeFiles/cg_common.dir/ecc.cc.o.d"
+  "CMakeFiles/cg_common.dir/logging.cc.o"
+  "CMakeFiles/cg_common.dir/logging.cc.o.d"
+  "CMakeFiles/cg_common.dir/rng.cc.o"
+  "CMakeFiles/cg_common.dir/rng.cc.o.d"
+  "CMakeFiles/cg_common.dir/stats.cc.o"
+  "CMakeFiles/cg_common.dir/stats.cc.o.d"
+  "libcg_common.a"
+  "libcg_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cg_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cg_isa.dir/assembler.cc.o"
+  "CMakeFiles/cg_isa.dir/assembler.cc.o.d"
+  "CMakeFiles/cg_isa.dir/inst.cc.o"
+  "CMakeFiles/cg_isa.dir/inst.cc.o.d"
+  "CMakeFiles/cg_isa.dir/program.cc.o"
+  "CMakeFiles/cg_isa.dir/program.cc.o.d"
+  "libcg_isa.a"
+  "libcg_isa.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cg_isa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

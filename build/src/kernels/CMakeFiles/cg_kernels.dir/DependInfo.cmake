@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/kernels/audio_kernels.cc" "src/kernels/CMakeFiles/cg_kernels.dir/audio_kernels.cc.o" "gcc" "src/kernels/CMakeFiles/cg_kernels.dir/audio_kernels.cc.o.d"
+  "/root/repo/src/kernels/basic.cc" "src/kernels/CMakeFiles/cg_kernels.dir/basic.cc.o" "gcc" "src/kernels/CMakeFiles/cg_kernels.dir/basic.cc.o.d"
+  "/root/repo/src/kernels/dsp_kernels.cc" "src/kernels/CMakeFiles/cg_kernels.dir/dsp_kernels.cc.o" "gcc" "src/kernels/CMakeFiles/cg_kernels.dir/dsp_kernels.cc.o.d"
+  "/root/repo/src/kernels/fft_kernels.cc" "src/kernels/CMakeFiles/cg_kernels.dir/fft_kernels.cc.o" "gcc" "src/kernels/CMakeFiles/cg_kernels.dir/fft_kernels.cc.o.d"
+  "/root/repo/src/kernels/jpeg_kernels.cc" "src/kernels/CMakeFiles/cg_kernels.dir/jpeg_kernels.cc.o" "gcc" "src/kernels/CMakeFiles/cg_kernels.dir/jpeg_kernels.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/isa/CMakeFiles/cg_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/media/CMakeFiles/cg_media.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/cg_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

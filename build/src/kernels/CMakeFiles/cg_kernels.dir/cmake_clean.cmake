@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cg_kernels.dir/audio_kernels.cc.o"
+  "CMakeFiles/cg_kernels.dir/audio_kernels.cc.o.d"
+  "CMakeFiles/cg_kernels.dir/basic.cc.o"
+  "CMakeFiles/cg_kernels.dir/basic.cc.o.d"
+  "CMakeFiles/cg_kernels.dir/dsp_kernels.cc.o"
+  "CMakeFiles/cg_kernels.dir/dsp_kernels.cc.o.d"
+  "CMakeFiles/cg_kernels.dir/fft_kernels.cc.o"
+  "CMakeFiles/cg_kernels.dir/fft_kernels.cc.o.d"
+  "CMakeFiles/cg_kernels.dir/jpeg_kernels.cc.o"
+  "CMakeFiles/cg_kernels.dir/jpeg_kernels.cc.o.d"
+  "libcg_kernels.a"
+  "libcg_kernels.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cg_kernels.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

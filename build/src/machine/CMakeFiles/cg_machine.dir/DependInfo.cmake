@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/machine/backends.cc" "src/machine/CMakeFiles/cg_machine.dir/backends.cc.o" "gcc" "src/machine/CMakeFiles/cg_machine.dir/backends.cc.o.d"
+  "/root/repo/src/machine/core.cc" "src/machine/CMakeFiles/cg_machine.dir/core.cc.o" "gcc" "src/machine/CMakeFiles/cg_machine.dir/core.cc.o.d"
+  "/root/repo/src/machine/core_runtime.cc" "src/machine/CMakeFiles/cg_machine.dir/core_runtime.cc.o" "gcc" "src/machine/CMakeFiles/cg_machine.dir/core_runtime.cc.o.d"
+  "/root/repo/src/machine/multicore.cc" "src/machine/CMakeFiles/cg_machine.dir/multicore.cc.o" "gcc" "src/machine/CMakeFiles/cg_machine.dir/multicore.cc.o.d"
+  "/root/repo/src/machine/trace.cc" "src/machine/CMakeFiles/cg_machine.dir/trace.cc.o" "gcc" "src/machine/CMakeFiles/cg_machine.dir/trace.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/cg_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/cg_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/queue/CMakeFiles/cg_queue.dir/DependInfo.cmake"
+  "/root/repo/build/src/commguard/CMakeFiles/cg_commguard.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

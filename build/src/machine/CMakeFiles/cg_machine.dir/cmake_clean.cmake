@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cg_machine.dir/backends.cc.o"
+  "CMakeFiles/cg_machine.dir/backends.cc.o.d"
+  "CMakeFiles/cg_machine.dir/core.cc.o"
+  "CMakeFiles/cg_machine.dir/core.cc.o.d"
+  "CMakeFiles/cg_machine.dir/core_runtime.cc.o"
+  "CMakeFiles/cg_machine.dir/core_runtime.cc.o.d"
+  "CMakeFiles/cg_machine.dir/multicore.cc.o"
+  "CMakeFiles/cg_machine.dir/multicore.cc.o.d"
+  "CMakeFiles/cg_machine.dir/trace.cc.o"
+  "CMakeFiles/cg_machine.dir/trace.cc.o.d"
+  "libcg_machine.a"
+  "libcg_machine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cg_machine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/media/audio.cc" "src/media/CMakeFiles/cg_media.dir/audio.cc.o" "gcc" "src/media/CMakeFiles/cg_media.dir/audio.cc.o.d"
+  "/root/repo/src/media/image.cc" "src/media/CMakeFiles/cg_media.dir/image.cc.o" "gcc" "src/media/CMakeFiles/cg_media.dir/image.cc.o.d"
+  "/root/repo/src/media/jpeg_codec.cc" "src/media/CMakeFiles/cg_media.dir/jpeg_codec.cc.o" "gcc" "src/media/CMakeFiles/cg_media.dir/jpeg_codec.cc.o.d"
+  "/root/repo/src/media/quality.cc" "src/media/CMakeFiles/cg_media.dir/quality.cc.o" "gcc" "src/media/CMakeFiles/cg_media.dir/quality.cc.o.d"
+  "/root/repo/src/media/subband_codec.cc" "src/media/CMakeFiles/cg_media.dir/subband_codec.cc.o" "gcc" "src/media/CMakeFiles/cg_media.dir/subband_codec.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/cg_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cg_media.dir/audio.cc.o"
+  "CMakeFiles/cg_media.dir/audio.cc.o.d"
+  "CMakeFiles/cg_media.dir/image.cc.o"
+  "CMakeFiles/cg_media.dir/image.cc.o.d"
+  "CMakeFiles/cg_media.dir/jpeg_codec.cc.o"
+  "CMakeFiles/cg_media.dir/jpeg_codec.cc.o.d"
+  "CMakeFiles/cg_media.dir/quality.cc.o"
+  "CMakeFiles/cg_media.dir/quality.cc.o.d"
+  "CMakeFiles/cg_media.dir/subband_codec.cc.o"
+  "CMakeFiles/cg_media.dir/subband_codec.cc.o.d"
+  "libcg_media.a"
+  "libcg_media.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cg_media.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

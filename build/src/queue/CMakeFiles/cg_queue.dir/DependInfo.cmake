@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/queue/ring_queue.cc" "src/queue/CMakeFiles/cg_queue.dir/ring_queue.cc.o" "gcc" "src/queue/CMakeFiles/cg_queue.dir/ring_queue.cc.o.d"
+  "/root/repo/src/queue/software_queue.cc" "src/queue/CMakeFiles/cg_queue.dir/software_queue.cc.o" "gcc" "src/queue/CMakeFiles/cg_queue.dir/software_queue.cc.o.d"
+  "/root/repo/src/queue/working_set_queue.cc" "src/queue/CMakeFiles/cg_queue.dir/working_set_queue.cc.o" "gcc" "src/queue/CMakeFiles/cg_queue.dir/working_set_queue.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/cg_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

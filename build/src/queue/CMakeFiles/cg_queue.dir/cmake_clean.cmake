@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cg_queue.dir/ring_queue.cc.o"
+  "CMakeFiles/cg_queue.dir/ring_queue.cc.o.d"
+  "CMakeFiles/cg_queue.dir/software_queue.cc.o"
+  "CMakeFiles/cg_queue.dir/software_queue.cc.o.d"
+  "CMakeFiles/cg_queue.dir/working_set_queue.cc.o"
+  "CMakeFiles/cg_queue.dir/working_set_queue.cc.o.d"
+  "libcg_queue.a"
+  "libcg_queue.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cg_queue.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

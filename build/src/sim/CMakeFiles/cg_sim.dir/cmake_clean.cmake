@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cg_sim.dir/experiment.cc.o"
+  "CMakeFiles/cg_sim.dir/experiment.cc.o.d"
+  "CMakeFiles/cg_sim.dir/reliability.cc.o"
+  "CMakeFiles/cg_sim.dir/reliability.cc.o.d"
+  "CMakeFiles/cg_sim.dir/table.cc.o"
+  "CMakeFiles/cg_sim.dir/table.cc.o.d"
+  "libcg_sim.a"
+  "libcg_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cg_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

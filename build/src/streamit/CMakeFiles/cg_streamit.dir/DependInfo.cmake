@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/streamit/graph.cc" "src/streamit/CMakeFiles/cg_streamit.dir/graph.cc.o" "gcc" "src/streamit/CMakeFiles/cg_streamit.dir/graph.cc.o.d"
+  "/root/repo/src/streamit/loader.cc" "src/streamit/CMakeFiles/cg_streamit.dir/loader.cc.o" "gcc" "src/streamit/CMakeFiles/cg_streamit.dir/loader.cc.o.d"
+  "/root/repo/src/streamit/schedule.cc" "src/streamit/CMakeFiles/cg_streamit.dir/schedule.cc.o" "gcc" "src/streamit/CMakeFiles/cg_streamit.dir/schedule.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/machine/CMakeFiles/cg_machine.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/cg_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/commguard/CMakeFiles/cg_commguard.dir/DependInfo.cmake"
+  "/root/repo/build/src/queue/CMakeFiles/cg_queue.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/cg_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

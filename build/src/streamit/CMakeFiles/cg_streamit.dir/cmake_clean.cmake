@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cg_streamit.dir/graph.cc.o"
+  "CMakeFiles/cg_streamit.dir/graph.cc.o.d"
+  "CMakeFiles/cg_streamit.dir/loader.cc.o"
+  "CMakeFiles/cg_streamit.dir/loader.cc.o.d"
+  "CMakeFiles/cg_streamit.dir/schedule.cc.o"
+  "CMakeFiles/cg_streamit.dir/schedule.cc.o.d"
+  "libcg_streamit.a"
+  "libcg_streamit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cg_streamit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,60 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/alignment_manager_test.cc" "tests/CMakeFiles/cg_tests.dir/alignment_manager_test.cc.o" "gcc" "tests/CMakeFiles/cg_tests.dir/alignment_manager_test.cc.o.d"
+  "/root/repo/tests/apps_test.cc" "tests/CMakeFiles/cg_tests.dir/apps_test.cc.o" "gcc" "tests/CMakeFiles/cg_tests.dir/apps_test.cc.o.d"
+  "/root/repo/tests/assembler_test.cc" "tests/CMakeFiles/cg_tests.dir/assembler_test.cc.o" "gcc" "tests/CMakeFiles/cg_tests.dir/assembler_test.cc.o.d"
+  "/root/repo/tests/backends_test.cc" "tests/CMakeFiles/cg_tests.dir/backends_test.cc.o" "gcc" "tests/CMakeFiles/cg_tests.dir/backends_test.cc.o.d"
+  "/root/repo/tests/cnc_test.cc" "tests/CMakeFiles/cg_tests.dir/cnc_test.cc.o" "gcc" "tests/CMakeFiles/cg_tests.dir/cnc_test.cc.o.d"
+  "/root/repo/tests/conservation_test.cc" "tests/CMakeFiles/cg_tests.dir/conservation_test.cc.o" "gcc" "tests/CMakeFiles/cg_tests.dir/conservation_test.cc.o.d"
+  "/root/repo/tests/core_runtime_test.cc" "tests/CMakeFiles/cg_tests.dir/core_runtime_test.cc.o" "gcc" "tests/CMakeFiles/cg_tests.dir/core_runtime_test.cc.o.d"
+  "/root/repo/tests/differential_flow_test.cc" "tests/CMakeFiles/cg_tests.dir/differential_flow_test.cc.o" "gcc" "tests/CMakeFiles/cg_tests.dir/differential_flow_test.cc.o.d"
+  "/root/repo/tests/differential_test.cc" "tests/CMakeFiles/cg_tests.dir/differential_test.cc.o" "gcc" "tests/CMakeFiles/cg_tests.dir/differential_test.cc.o.d"
+  "/root/repo/tests/doall_test.cc" "tests/CMakeFiles/cg_tests.dir/doall_test.cc.o" "gcc" "tests/CMakeFiles/cg_tests.dir/doall_test.cc.o.d"
+  "/root/repo/tests/ecc_test.cc" "tests/CMakeFiles/cg_tests.dir/ecc_test.cc.o" "gcc" "tests/CMakeFiles/cg_tests.dir/ecc_test.cc.o.d"
+  "/root/repo/tests/fatal_paths_test.cc" "tests/CMakeFiles/cg_tests.dir/fatal_paths_test.cc.o" "gcc" "tests/CMakeFiles/cg_tests.dir/fatal_paths_test.cc.o.d"
+  "/root/repo/tests/frame_domains_test.cc" "tests/CMakeFiles/cg_tests.dir/frame_domains_test.cc.o" "gcc" "tests/CMakeFiles/cg_tests.dir/frame_domains_test.cc.o.d"
+  "/root/repo/tests/header_inserter_test.cc" "tests/CMakeFiles/cg_tests.dir/header_inserter_test.cc.o" "gcc" "tests/CMakeFiles/cg_tests.dir/header_inserter_test.cc.o.d"
+  "/root/repo/tests/interpreter_test.cc" "tests/CMakeFiles/cg_tests.dir/interpreter_test.cc.o" "gcc" "tests/CMakeFiles/cg_tests.dir/interpreter_test.cc.o.d"
+  "/root/repo/tests/jpeg_codec_test.cc" "tests/CMakeFiles/cg_tests.dir/jpeg_codec_test.cc.o" "gcc" "tests/CMakeFiles/cg_tests.dir/jpeg_codec_test.cc.o.d"
+  "/root/repo/tests/kernels_test.cc" "tests/CMakeFiles/cg_tests.dir/kernels_test.cc.o" "gcc" "tests/CMakeFiles/cg_tests.dir/kernels_test.cc.o.d"
+  "/root/repo/tests/loader_test.cc" "tests/CMakeFiles/cg_tests.dir/loader_test.cc.o" "gcc" "tests/CMakeFiles/cg_tests.dir/loader_test.cc.o.d"
+  "/root/repo/tests/machine_test.cc" "tests/CMakeFiles/cg_tests.dir/machine_test.cc.o" "gcc" "tests/CMakeFiles/cg_tests.dir/machine_test.cc.o.d"
+  "/root/repo/tests/media_test.cc" "tests/CMakeFiles/cg_tests.dir/media_test.cc.o" "gcc" "tests/CMakeFiles/cg_tests.dir/media_test.cc.o.d"
+  "/root/repo/tests/output_alignment_test.cc" "tests/CMakeFiles/cg_tests.dir/output_alignment_test.cc.o" "gcc" "tests/CMakeFiles/cg_tests.dir/output_alignment_test.cc.o.d"
+  "/root/repo/tests/queue_test.cc" "tests/CMakeFiles/cg_tests.dir/queue_test.cc.o" "gcc" "tests/CMakeFiles/cg_tests.dir/queue_test.cc.o.d"
+  "/root/repo/tests/random_graph_test.cc" "tests/CMakeFiles/cg_tests.dir/random_graph_test.cc.o" "gcc" "tests/CMakeFiles/cg_tests.dir/random_graph_test.cc.o.d"
+  "/root/repo/tests/realignment_property_test.cc" "tests/CMakeFiles/cg_tests.dir/realignment_property_test.cc.o" "gcc" "tests/CMakeFiles/cg_tests.dir/realignment_property_test.cc.o.d"
+  "/root/repo/tests/rng_test.cc" "tests/CMakeFiles/cg_tests.dir/rng_test.cc.o" "gcc" "tests/CMakeFiles/cg_tests.dir/rng_test.cc.o.d"
+  "/root/repo/tests/schedule_test.cc" "tests/CMakeFiles/cg_tests.dir/schedule_test.cc.o" "gcc" "tests/CMakeFiles/cg_tests.dir/schedule_test.cc.o.d"
+  "/root/repo/tests/scope_test.cc" "tests/CMakeFiles/cg_tests.dir/scope_test.cc.o" "gcc" "tests/CMakeFiles/cg_tests.dir/scope_test.cc.o.d"
+  "/root/repo/tests/sim_test.cc" "tests/CMakeFiles/cg_tests.dir/sim_test.cc.o" "gcc" "tests/CMakeFiles/cg_tests.dir/sim_test.cc.o.d"
+  "/root/repo/tests/stats_test.cc" "tests/CMakeFiles/cg_tests.dir/stats_test.cc.o" "gcc" "tests/CMakeFiles/cg_tests.dir/stats_test.cc.o.d"
+  "/root/repo/tests/subband_codec_test.cc" "tests/CMakeFiles/cg_tests.dir/subband_codec_test.cc.o" "gcc" "tests/CMakeFiles/cg_tests.dir/subband_codec_test.cc.o.d"
+  "/root/repo/tests/trace_test.cc" "tests/CMakeFiles/cg_tests.dir/trace_test.cc.o" "gcc" "tests/CMakeFiles/cg_tests.dir/trace_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/cg_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/cnc/CMakeFiles/cg_cnc.dir/DependInfo.cmake"
+  "/root/repo/build/src/apps/CMakeFiles/cg_apps.dir/DependInfo.cmake"
+  "/root/repo/build/src/kernels/CMakeFiles/cg_kernels.dir/DependInfo.cmake"
+  "/root/repo/build/src/media/CMakeFiles/cg_media.dir/DependInfo.cmake"
+  "/root/repo/build/src/streamit/CMakeFiles/cg_streamit.dir/DependInfo.cmake"
+  "/root/repo/build/src/machine/CMakeFiles/cg_machine.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/cg_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/commguard/CMakeFiles/cg_commguard.dir/DependInfo.cmake"
+  "/root/repo/build/src/queue/CMakeFiles/cg_queue.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/cg_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
