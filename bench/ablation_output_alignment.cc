@@ -25,16 +25,18 @@ namespace
 double
 meanQuality(const apps::App &app, Count mtbe, bool aligned)
 {
-    double sum = 0.0;
+    std::vector<sim::RunDescriptor> descriptors;
     for (int seed = 0; seed < bench::seeds(); ++seed) {
-        streamit::LoadOptions options;
-        options.mode = streamit::ProtectionMode::CommGuard;
-        options.injectErrors = true;
-        options.mtbe = static_cast<double>(mtbe);
-        options.seed = static_cast<std::uint64_t>(seed + 1) * 1000003;
-        options.frameAlignedOutput = aligned;
-        sum += sim::runOnce(app, options).qualityDb;
+        sim::RunDescriptor descriptor{
+            &app, sim::sweepOptions(
+                      streamit::ProtectionMode::CommGuard, true,
+                      static_cast<double>(mtbe), seed)};
+        descriptor.options.frameAlignedOutput = aligned;
+        descriptors.push_back(descriptor);
     }
+    double sum = 0.0;
+    for (const sim::RunOutcome &outcome : bench::runSweep(descriptors))
+        sum += outcome.qualityDb;
     return sum / bench::seeds();
 }
 

@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "sim/experiment.hh"
+#include "sim/sweep_runner.hh"
 #include "sim/table.hh"
 
 namespace commguard::bench
@@ -72,22 +73,37 @@ printTable(const sim::Table &table)
     }
 }
 
-/** Run an app over seeds() seeds; returns quality samples. */
+/**
+ * Run an app over seeds() seeds (fanned out over CG_JOBS host
+ * threads; outcomes are seed-ordered and job-count independent);
+ * returns quality samples.
+ */
 inline std::vector<double>
 qualitySamples(const apps::App &app, streamit::ProtectionMode mode,
                bool inject, double mtbe, Count frame_scale = 1)
 {
+    sim::SweepRunner &runner = sim::sharedRunner();
+    for (int seed = 0; seed < seeds(); ++seed)
+        runner.enqueue(app, sim::sweepOptions(mode, inject, mtbe,
+                                              seed, frame_scale));
+
     std::vector<double> samples;
-    for (int seed = 0; seed < seeds(); ++seed) {
-        streamit::LoadOptions options;
-        options.mode = mode;
-        options.injectErrors = inject;
-        options.mtbe = mtbe;
-        options.seed = static_cast<std::uint64_t>(seed + 1) * 1000003;
-        options.frameScale = frame_scale;
-        samples.push_back(sim::runOnce(app, options).qualityDb);
-    }
+    for (const sim::RunOutcome &outcome : runner.runAll())
+        samples.push_back(outcome.qualityDb);
     return samples;
+}
+
+/**
+ * Run every descriptor in @p descriptors through the shared runner;
+ * outcomes in submission order regardless of CG_JOBS.
+ */
+inline std::vector<sim::RunOutcome>
+runSweep(const std::vector<sim::RunDescriptor> &descriptors)
+{
+    sim::SweepRunner &runner = sim::sharedRunner();
+    for (const sim::RunDescriptor &descriptor : descriptors)
+        runner.enqueue(descriptor);
+    return runner.runAll();
 }
 
 } // namespace commguard::bench

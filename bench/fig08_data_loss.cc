@@ -29,18 +29,29 @@ main()
 
     for (const std::string &name : apps::allAppNames()) {
         const apps::App app = apps::makeAppByName(name);
-        std::vector<std::string> row = {name};
+
+        // Fan the whole (mtbe x seed) matrix for this app out across
+        // CG_JOBS host threads; outcomes stay in submission order.
+        std::vector<sim::RunDescriptor> descriptors;
         for (Count mtbe : axis) {
-            double sum = 0.0;
             for (int seed = 0; seed < bench::seeds(); ++seed) {
-                streamit::LoadOptions options;
-                options.mode = streamit::ProtectionMode::CommGuard;
-                options.injectErrors = true;
-                options.mtbe = static_cast<double>(mtbe);
-                options.seed =
-                    static_cast<std::uint64_t>(seed + 1) * 1000003;
-                sum += sim::runOnce(app, options).dataLossRatio();
+                descriptors.push_back(
+                    {&app,
+                     sim::sweepOptions(
+                         streamit::ProtectionMode::CommGuard, true,
+                         static_cast<double>(mtbe), seed)});
             }
+        }
+        const std::vector<sim::RunOutcome> outcomes =
+            bench::runSweep(descriptors);
+
+        std::vector<std::string> row = {name};
+        std::size_t cursor = 0;
+        for (Count mtbe : axis) {
+            (void)mtbe;
+            double sum = 0.0;
+            for (int seed = 0; seed < bench::seeds(); ++seed)
+                sum += outcomes[cursor++].dataLossRatio();
             const double mean =
                 sum / static_cast<double>(bench::seeds());
             char buffer[32];

@@ -28,13 +28,23 @@ main()
     sim::Table table(
         {"MTBE (insts)", "PSNR (dB)", "pad+discard", "image"});
 
-    for (Count mtbe : {512'000u, 2'048'000u, 8'192'000u, 128'000u}) {
+    const std::vector<Count> points = {512'000, 2'048'000, 8'192'000,
+                                       128'000};
+    std::vector<sim::RunDescriptor> descriptors;
+    for (Count mtbe : points) {
         streamit::LoadOptions options;
         options.mode = streamit::ProtectionMode::CommGuard;
         options.injectErrors = true;
         options.mtbe = static_cast<double>(mtbe);
         options.seed = 3;
-        const sim::RunOutcome outcome = sim::runOnce(app, options);
+        descriptors.push_back({&app, options});
+    }
+    const std::vector<sim::RunOutcome> outcomes =
+        bench::runSweep(descriptors);
+
+    for (std::size_t i = 0; i < points.size(); ++i) {
+        const Count mtbe = points[i];
+        const sim::RunOutcome &outcome = outcomes[i];
 
         const std::string path = bench::outputDir() + "/fig09_mtbe" +
                                  std::to_string(mtbe / 1000) + "k.ppm";

@@ -1,0 +1,160 @@
+/**
+ * @file
+ * Sweep-engine throughput benchmark: runs a fig09-style jpeg quality
+ * sweep (MTBE axis x seeds, CommGuard mode) twice — once sequentially
+ * (1 job) and once through the parallel SweepRunner (CG_JOBS, default
+ * hardware_concurrency) — verifies the outcomes are bitwise identical,
+ * and reports aggregate simulated MIPS plus the wall-clock speedup.
+ *
+ * Machine-readable results are written to BENCH_sweep.json in the
+ * working directory so later changes can track the perf trajectory:
+ *   {"jobs": J, "wall_seconds": W, "simulated_mips": M, "speedup": S}
+ *
+ * CG_QUICK=1 shrinks the sweep for smoke runs.
+ */
+
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+
+#include "apps/app.hh"
+#include "bench/bench_util.hh"
+#include "sim/sweep_runner.hh"
+
+using namespace commguard;
+
+namespace
+{
+
+double
+wallSeconds()
+{
+    using clock = std::chrono::steady_clock;
+    return std::chrono::duration<double>(
+               clock::now().time_since_epoch())
+        .count();
+}
+
+std::vector<sim::RunDescriptor>
+fig09StyleSweep(const apps::App &app)
+{
+    std::vector<sim::RunDescriptor> descriptors;
+    for (Count mtbe : bench::mtbeAxis()) {
+        for (int seed = 0; seed < bench::seeds(); ++seed) {
+            descriptors.push_back(
+                {&app,
+                 sim::sweepOptions(streamit::ProtectionMode::CommGuard,
+                                   true, static_cast<double>(mtbe),
+                                   seed)});
+        }
+    }
+    return descriptors;
+}
+
+struct SweepResult
+{
+    std::vector<sim::RunOutcome> outcomes;
+    double wallSecs = 0.0;
+    Count simulatedInsts = 0;
+};
+
+SweepResult
+timedSweep(const std::vector<sim::RunDescriptor> &descriptors,
+           unsigned jobs)
+{
+    sim::SweepRunner runner(jobs);
+    for (const sim::RunDescriptor &descriptor : descriptors)
+        runner.enqueue(descriptor);
+
+    SweepResult result;
+    const double start = wallSeconds();
+    result.outcomes = runner.runAll();
+    result.wallSecs = wallSeconds() - start;
+    for (const sim::RunOutcome &outcome : result.outcomes)
+        result.simulatedInsts += outcome.totalInstructions;
+    return result;
+}
+
+/** Bitwise comparison of the observables the figures consume. */
+bool
+identicalOutcomes(const std::vector<sim::RunOutcome> &a,
+                  const std::vector<sim::RunOutcome> &b)
+{
+    if (a.size() != b.size())
+        return false;
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        if (std::memcmp(&a[i].qualityDb, &b[i].qualityDb,
+                        sizeof(double)) != 0 ||
+            a[i].totalInstructions != b[i].totalInstructions ||
+            a[i].totalCycles != b[i].totalCycles ||
+            a[i].errorsInjected != b[i].errorsInjected ||
+            a[i].paddedItems != b[i].paddedItems ||
+            a[i].discardedItems != b[i].discardedItems ||
+            a[i].output != b[i].output) {
+            return false;
+        }
+    }
+    return true;
+}
+
+} // namespace
+
+int
+main()
+{
+    const bool quick = bench::quick();
+    const apps::App app = quick ? apps::makeJpegApp(128, 96, 50)
+                                : apps::makeJpegApp();
+    const std::vector<sim::RunDescriptor> descriptors =
+        fig09StyleSweep(app);
+    const unsigned jobs = ThreadPool::defaultJobs();
+
+    std::cout << "=== Sweep engine throughput (fig09-style jpeg "
+                 "sweep, "
+              << descriptors.size() << " runs) ===\n\n";
+
+    const SweepResult sequential = timedSweep(descriptors, 1);
+    const SweepResult parallel = timedSweep(descriptors, jobs);
+
+    if (!identicalOutcomes(sequential.outcomes, parallel.outcomes)) {
+        std::cerr << "FAIL: parallel outcomes differ from the "
+                     "sequential baseline\n";
+        return 1;
+    }
+
+    const double speedup = parallel.wallSecs > 0.0
+                               ? sequential.wallSecs / parallel.wallSecs
+                               : 0.0;
+    const double mips =
+        parallel.wallSecs > 0.0
+            ? static_cast<double>(parallel.simulatedInsts) /
+                  parallel.wallSecs / 1e6
+            : 0.0;
+
+    sim::Table table({"jobs", "wall (s)", "simulated MIPS", "speedup"});
+    table.addRow({"1", sim::fmt(sequential.wallSecs, 2),
+                  sim::fmt(static_cast<double>(
+                               sequential.simulatedInsts) /
+                               (sequential.wallSecs > 0.0
+                                    ? sequential.wallSecs
+                                    : 1.0) /
+                               1e6,
+                           1),
+                  "1.00"});
+    table.addRow({std::to_string(jobs), sim::fmt(parallel.wallSecs, 2),
+                  sim::fmt(mips, 1), sim::fmt(speedup, 2)});
+    bench::printTable(table);
+
+    std::cout << "\noutcomes bitwise-identical across job counts: "
+                 "yes\n";
+
+    std::ofstream json("BENCH_sweep.json");
+    json << "{\"jobs\": " << jobs
+         << ", \"wall_seconds\": " << parallel.wallSecs
+         << ", \"simulated_mips\": " << mips
+         << ", \"speedup\": " << speedup << "}\n";
+    std::cout << "wrote BENCH_sweep.json\n";
+    return 0;
+}

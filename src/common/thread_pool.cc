@@ -1,0 +1,93 @@
+#include "common/thread_pool.hh"
+
+#include <cstdlib>
+#include <string>
+
+namespace commguard
+{
+
+ThreadPool::ThreadPool(unsigned threads) : _jobs(threads < 1 ? 1 : threads)
+{
+    if (_jobs <= 1)
+        return;
+    _workers.reserve(_jobs);
+    for (unsigned i = 0; i < _jobs; ++i)
+        _workers.emplace_back([this] { workerLoop(); });
+}
+
+ThreadPool::~ThreadPool()
+{
+    wait();
+    {
+        std::lock_guard<std::mutex> lock(_mutex);
+        _stopping = true;
+    }
+    _workAvailable.notify_all();
+    for (std::thread &worker : _workers)
+        worker.join();
+}
+
+void
+ThreadPool::submit(std::function<void()> job)
+{
+    if (_workers.empty()) {
+        job();
+        return;
+    }
+    {
+        std::lock_guard<std::mutex> lock(_mutex);
+        _queue.push_back(std::move(job));
+    }
+    _workAvailable.notify_one();
+}
+
+void
+ThreadPool::wait()
+{
+    if (_workers.empty())
+        return;
+    std::unique_lock<std::mutex> lock(_mutex);
+    _allIdle.wait(lock,
+                  [this] { return _queue.empty() && _active == 0; });
+}
+
+void
+ThreadPool::workerLoop()
+{
+    for (;;) {
+        std::function<void()> job;
+        {
+            std::unique_lock<std::mutex> lock(_mutex);
+            _workAvailable.wait(lock, [this] {
+                return _stopping || !_queue.empty();
+            });
+            if (_queue.empty())
+                return;  // Stopping with nothing left to run.
+            job = std::move(_queue.front());
+            _queue.pop_front();
+            ++_active;
+        }
+        job();
+        {
+            std::lock_guard<std::mutex> lock(_mutex);
+            --_active;
+            if (_queue.empty() && _active == 0)
+                _allIdle.notify_all();
+        }
+    }
+}
+
+unsigned
+ThreadPool::defaultJobs()
+{
+    if (const char *env = std::getenv("CG_JOBS")) {
+        char *end = nullptr;
+        const long parsed = std::strtol(env, &end, 10);
+        if (end != env && *end == '\0' && parsed >= 1)
+            return static_cast<unsigned>(parsed);
+    }
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw < 1 ? 1 : hw;
+}
+
+} // namespace commguard

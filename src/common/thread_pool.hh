@@ -1,0 +1,89 @@
+/**
+ * @file
+ * A small reusable fixed-size thread pool for embarrassingly parallel
+ * host-side work (the experiment engine's sweep fan-out).
+ *
+ * Design constraints, in order:
+ *  - determinism of the *simulation* must not depend on the pool: jobs
+ *    carry their own seeded RNG state and never share mutable
+ *    simulation objects, so scheduling order only affects wall-clock;
+ *  - a pool of size <= 1 executes jobs inline on the submitting thread
+ *    (no worker threads are ever spawned), so `CG_JOBS=1` restores the
+ *    exact sequential execution environment, stack traces included;
+ *  - the pool owns its worker threads and joins them in the
+ *    destructor; jobs must not outlive the pool.
+ */
+
+#ifndef COMMGUARD_COMMON_THREAD_POOL_HH
+#define COMMGUARD_COMMON_THREAD_POOL_HH
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace commguard
+{
+
+/**
+ * Fixed-size FIFO thread pool.
+ */
+class ThreadPool
+{
+  public:
+    /**
+     * Create a pool with @p threads workers. With @p threads <= 1 no
+     * worker threads are spawned and submit() runs the job inline.
+     */
+    explicit ThreadPool(unsigned threads);
+
+    /** Drains outstanding jobs, then joins the workers. */
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool &) = delete;
+    ThreadPool &operator=(const ThreadPool &) = delete;
+
+    /** Enqueue one job (runs it inline when the pool is sequential). */
+    void submit(std::function<void()> job);
+
+    /** Block until every submitted job has finished. */
+    void wait();
+
+    /** Worker threads backing the pool (0 means inline execution). */
+    unsigned threadCount() const
+    {
+        return static_cast<unsigned>(_workers.size());
+    }
+
+    /**
+     * Job-slot count the pool was created with (>= 1); the effective
+     * parallelism of a sweep run through this pool.
+     */
+    unsigned jobs() const { return _jobs; }
+
+    /**
+     * Default pool width: the CG_JOBS environment variable when set to
+     * a positive integer, otherwise std::thread::hardware_concurrency()
+     * (minimum 1).
+     */
+    static unsigned defaultJobs();
+
+  private:
+    void workerLoop();
+
+    unsigned _jobs;
+    std::vector<std::thread> _workers;
+
+    std::mutex _mutex;
+    std::condition_variable _workAvailable;
+    std::condition_variable _allIdle;
+    std::deque<std::function<void()>> _queue;
+    unsigned _active = 0;  //!< Jobs currently executing on workers.
+    bool _stopping = false;
+};
+
+} // namespace commguard
+
+#endif // COMMGUARD_COMMON_THREAD_POOL_HH

@@ -82,9 +82,11 @@ Assembler::forDown(Reg cnt, Word n, const std::function<void()> &body)
 {
     if (n == 0)
         fatal("assembler: forDown with zero count in " + _prog.name);
-    static int unique = 0;
+    // Per-assembler counter: labels only need to be unique within one
+    // program, and instance state keeps concurrent sweep workers from
+    // racing on a shared static.
     const std::string top =
-        "__loop" + std::to_string(unique++) + "_" + _prog.name;
+        "__loop" + std::to_string(_uniqueLoop++) + "_" + _prog.name;
     li(cnt, n);
     label(top);
     body();

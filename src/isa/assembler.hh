@@ -181,6 +181,7 @@ class Assembler
     std::map<std::string, std::int32_t> _labels;
     // Instruction index -> unresolved label name.
     std::vector<std::pair<std::size_t, std::string>> _fixups;
+    int _uniqueLoop = 0;  //!< forDown() label uniquifier.
     bool _finalized = false;
 };
 

@@ -51,6 +51,7 @@ void
 Core::configureInjector(const ErrorInjector::Config &config)
 {
     _injector.configure(config);
+    reloadErrorCountdown();
 }
 
 void
@@ -102,13 +103,22 @@ Core::flipRandomRegisterBit()
 void
 Core::commit(Cycle extra_cycles, Count next_pc)
 {
-    if (_trace)
+    if (_trace != nullptr) [[unlikely]]
         _trace->onCommit(*this, _pc, _program.code[_pc]);
     _pc = next_pc;
     ++_counters.committedInsts;
     ++_instsThisInvocation;
     _cycles += 1 + extra_cycles;
-    _injector.advance(1, [this] { flipRandomRegisterBit(); });
+    if (--_errorCountdown == 0) [[unlikely]]
+        syncScheduledErrors();
+}
+
+void
+Core::syncScheduledErrors()
+{
+    _injector.advance(_errorCountdownReload,
+                      [this] { flipRandomRegisterBit(); });
+    reloadErrorCountdown();
 }
 
 void
@@ -140,6 +150,16 @@ Core::exposeQueueWindow(Count insts, QueueBase &queue)
 {
     _counters.committedInsts += insts;
     _cycles += insts;
+    // The routine executes inside the current frame computation: its
+    // virtual instructions count against the PPU scope budget, so a
+    // long software-queue window cannot bypass watchdog accounting.
+    _instsThisInvocation += insts;
+
+    // Flush commits the fast-path countdown has absorbed since the
+    // last sync; none of them is past the next scheduled error, so no
+    // flip can fire here.
+    _injector.advance(_errorCountdownReload - _errorCountdown,
+                      [this] { flipRandomRegisterBit(); });
     _injector.advance(insts, [this, &queue] {
         Rng &rng = _injector.rng();
         // The software routine's live registers are roughly half
@@ -150,6 +170,7 @@ Core::exposeQueueWindow(Count insts, QueueBase &queue)
         else
             flipRandomRegisterBit();
     });
+    reloadErrorCountdown();
 }
 
 RunResult
@@ -158,6 +179,10 @@ Core::run(Count max_steps)
     if (_backend == nullptr)
         panic("core " + _name + " has no communication backend");
 
+    // Hot-loop locals: the program, memory, and their sizes are fixed
+    // for the whole slice, so keep them out of member-load territory.
+    const Inst *const code = _program.code.data();
+    Word *const mem = _memory.data();
     const std::size_t mem_words = _memory.size();
     Count executed = 0;
 
@@ -181,7 +206,7 @@ Core::run(Count max_steps)
             _blocked = false;
         }
 
-        const Inst &inst = _program.code[_pc];
+        const Inst &inst = code[_pc];
         Count next_pc = _pc + 1;
 
         switch (inst.op) {
@@ -430,7 +455,7 @@ Core::run(Count max_steps)
           case Op::Lw: {
             const std::size_t addr =
                 (_regs.read(inst.rs1) + inst.imm) % mem_words;
-            _regs.write(inst.rd, _memory[addr]);
+            _regs.write(inst.rd, mem[addr]);
             ++_counters.loads;
             commit(_timing.memExtraCycles, next_pc);
             ++executed;
@@ -439,7 +464,7 @@ Core::run(Count max_steps)
           case Op::Sw: {
             const std::size_t addr =
                 (_regs.read(inst.rs1) + inst.imm) % mem_words;
-            _memory[addr] = _regs.read(inst.rs2);
+            mem[addr] = _regs.read(inst.rs2);
             ++_counters.stores;
             commit(_timing.memExtraCycles, next_pc);
             ++executed;

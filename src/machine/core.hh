@@ -203,6 +203,20 @@ class Core
     /** Commit the instruction at _pc: count, cycle, inject, advance. */
     void commit(Cycle extra_cycles, Count next_pc);
 
+    /**
+     * Fast-path bookkeeping for scheduled errors: the cached integer
+     * countdown hit zero, so exactly _errorCountdownReload commits
+     * have elapsed since the last injector sync. Push them into the
+     * injector (firing the due flips) and recache the countdown.
+     */
+    void syncScheduledErrors();
+
+    /** Recache the injector's integer countdown. */
+    void reloadErrorCountdown()
+    {
+        _errorCountdown = _errorCountdownReload = _injector.countdown();
+    }
+
     CoreId _id;
     std::string _name;
 
@@ -235,6 +249,15 @@ class Core
     Count _pc = 0;
     Count _instsThisInvocation = 0;
     Count _scopeBudget = 0;
+
+    /**
+     * Commits left before the injector must be resynced (see
+     * ErrorInjector::countdown()). The pair of counters replaces a
+     * per-commit floating-point advance with one predictable integer
+     * decrement on the interpreter's hot path.
+     */
+    Count _errorCountdown = ErrorInjector::noErrorScheduled;
+    Count _errorCountdownReload = ErrorInjector::noErrorScheduled;
     std::vector<ScopeFrame> _scopeStack;
     Cycle _cycles = 0;
 

@@ -14,6 +14,7 @@
 #ifndef COMMGUARD_MACHINE_ERROR_INJECTOR_HH
 #define COMMGUARD_MACHINE_ERROR_INJECTOR_HH
 
+#include <cmath>
 #include <functional>
 
 #include "common/rng.hh"
@@ -71,6 +72,31 @@ class ErrorInjector
             ++_errorsInjected;
             _untilNext += _rng.exponential(_config.mtbe);
         }
+    }
+
+    /** Countdown value meaning "no error will ever fire" (disabled). */
+    static constexpr Count noErrorScheduled = ~Count{0};
+
+    /**
+     * Integer commits until the next scheduled error: advancing by
+     * countdown() instructions fires at least one error, while any
+     * smaller advance fires none. Never 0 while enabled (an error due
+     * "now" fires on the next commit, exactly like advance(1) on the
+     * continuous process); noErrorScheduled when disabled.
+     *
+     * This is the interpreter's fast path: Core caches this value and
+     * batch-decrements a plain integer per commit instead of paying a
+     * double subtract + compare, resyncing through advance() only when
+     * the cached countdown reaches zero — the same error schedule,
+     * bit for bit.
+     */
+    Count
+    countdown() const
+    {
+        if (!_config.enabled)
+            return noErrorScheduled;
+        const double next = std::ceil(_untilNext);
+        return next < 1.0 ? 1 : static_cast<Count>(next);
     }
 
     /** RNG used to pick flip targets (shared with the error process). */

@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "queue/working_set_queue.hh"
+#include "sim/sweep_runner.hh"
 
 namespace commguard::sim
 {
@@ -96,18 +97,15 @@ SampleStats
 qualitySweep(const apps::App &app, double mtbe,
              streamit::ProtectionMode mode, Count frame_scale)
 {
+    SweepRunner &runner = sharedRunner();
+    for (int seed = 0; seed < seedsPerPoint; ++seed)
+        runner.enqueue(app, sweepOptions(mode, true, mtbe, seed,
+                                         frame_scale));
+
     std::vector<double> qualities;
     qualities.reserve(seedsPerPoint);
-    for (int seed = 0; seed < seedsPerPoint; ++seed) {
-        streamit::LoadOptions options;
-        options.mode = mode;
-        options.injectErrors = true;
-        options.mtbe = mtbe;
-        options.seed = static_cast<std::uint64_t>(seed + 1) * 1000003;
-        options.frameScale = frame_scale;
-        const RunOutcome outcome = runOnce(app, options);
+    for (const RunOutcome &outcome : runner.runAll())
         qualities.push_back(outcome.qualityDb);
-    }
     return summarize(qualities);
 }
 

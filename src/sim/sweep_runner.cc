@@ -1,0 +1,111 @@
+#include "sim/sweep_runner.hh"
+
+#include <chrono>
+#include <cstdio>
+
+namespace commguard::sim
+{
+
+namespace
+{
+
+double
+monotonicSeconds()
+{
+    using clock = std::chrono::steady_clock;
+    return std::chrono::duration<double>(
+               clock::now().time_since_epoch())
+        .count();
+}
+
+/** Silence threshold before the default printer starts reporting. */
+constexpr double progressQuietSeconds = 2.0;
+
+} // namespace
+
+streamit::LoadOptions
+sweepOptions(streamit::ProtectionMode mode, bool inject_errors,
+             double mtbe, int seed_index, Count frame_scale)
+{
+    streamit::LoadOptions options;
+    options.mode = mode;
+    options.injectErrors = inject_errors;
+    options.mtbe = mtbe;
+    options.seed =
+        static_cast<std::uint64_t>(seed_index + 1) * 1000003;
+    options.frameScale = frame_scale;
+    return options;
+}
+
+SweepRunner::SweepRunner(unsigned jobs)
+    : _pool(jobs == 0 ? ThreadPool::defaultJobs() : jobs)
+{
+}
+
+std::size_t
+SweepRunner::enqueue(const apps::App &app,
+                     const streamit::LoadOptions &options)
+{
+    return enqueue(RunDescriptor{&app, options});
+}
+
+std::size_t
+SweepRunner::enqueue(RunDescriptor descriptor)
+{
+    _queued.push_back(std::move(descriptor));
+    return _queued.size() - 1;
+}
+
+std::vector<RunOutcome>
+SweepRunner::runAll()
+{
+    std::vector<RunDescriptor> batch;
+    batch.swap(_queued);
+
+    _total = batch.size();
+    _completed.store(0, std::memory_order_relaxed);
+    _startSeconds = monotonicSeconds();
+    _lastPrintSeconds = _startSeconds;
+
+    std::vector<RunOutcome> outcomes(batch.size());
+    for (std::size_t i = 0; i < batch.size(); ++i) {
+        const RunDescriptor &descriptor = batch[i];
+        _pool.submit([this, &descriptor, &outcomes, i] {
+            outcomes[i] = runOnce(*descriptor.app, descriptor.options);
+            const std::size_t done =
+                _completed.fetch_add(1, std::memory_order_relaxed) + 1;
+            reportProgress(done);
+        });
+    }
+    _pool.wait();
+    return outcomes;
+}
+
+void
+SweepRunner::reportProgress(std::size_t done)
+{
+    std::lock_guard<std::mutex> lock(_progressMutex);
+    if (_progress) {
+        _progress(done, _total);
+        return;
+    }
+    // Default reporter: silent for quick sweeps, then a line roughly
+    // every two seconds so long benches never look hung.
+    const double now = monotonicSeconds();
+    if (done != _total && now - _lastPrintSeconds < progressQuietSeconds)
+        return;
+    if (now - _startSeconds < progressQuietSeconds)
+        return;
+    _lastPrintSeconds = now;
+    std::fprintf(stderr, "[sweep] %zu/%zu runs (%.0fs, %u jobs)\n",
+                 done, _total, now - _startSeconds, _pool.jobs());
+}
+
+SweepRunner &
+sharedRunner()
+{
+    static SweepRunner runner;
+    return runner;
+}
+
+} // namespace commguard::sim

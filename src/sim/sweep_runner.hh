@@ -1,0 +1,125 @@
+/**
+ * @file
+ * Deterministic parallel experiment engine.
+ *
+ * Every evaluation sweep (figures, ablations, §6 methodology) is a set
+ * of independent runs: each (app, mode, mtbe, seed, frameScale)
+ * descriptor builds its own self-contained Multicore with per-core
+ * seeded RNGs, so runs share no mutable state. SweepRunner fans the
+ * descriptors out across a host thread pool and collects RunOutcomes
+ * in submission order.
+ *
+ * Determinism guarantee: the outcome vector is bitwise identical for
+ * any job count, because all randomness lives in per-run seeded RNGs
+ * and host scheduling only decides *when* a run executes, never what
+ * it computes. `CG_JOBS=1` restores fully sequential execution on the
+ * submitting thread.
+ *
+ * Ownership: a SweepRunner owns its ThreadPool for its whole lifetime
+ * (workers are reused across runAll() calls); descriptors reference
+ * apps::App objects that must outlive runAll().
+ */
+
+#ifndef COMMGUARD_SIM_SWEEP_RUNNER_HH
+#define COMMGUARD_SIM_SWEEP_RUNNER_HH
+
+#include <atomic>
+#include <cstddef>
+#include <functional>
+#include <vector>
+
+#include "common/thread_pool.hh"
+#include "sim/experiment.hh"
+
+namespace commguard::sim
+{
+
+/** One independent run of a sweep. */
+struct RunDescriptor
+{
+    const apps::App *app = nullptr;  //!< Not owned; must outlive run.
+    streamit::LoadOptions options;
+};
+
+/**
+ * Canonical sweep options for seed index @p seed_index (0-based): the
+ * paper methodology's per-seed derivation shared by every bench.
+ */
+streamit::LoadOptions sweepOptions(streamit::ProtectionMode mode,
+                                   bool inject_errors, double mtbe,
+                                   int seed_index,
+                                   Count frame_scale = 1);
+
+/**
+ * Parallel fan-out of independent experiment runs.
+ */
+class SweepRunner
+{
+  public:
+    /** @param jobs Pool width; 0 means ThreadPool::defaultJobs(). */
+    explicit SweepRunner(unsigned jobs = 0);
+
+    /** Queue one run; returns its index in the outcome vector. */
+    std::size_t enqueue(const apps::App &app,
+                        const streamit::LoadOptions &options);
+    std::size_t enqueue(RunDescriptor descriptor);
+
+    /**
+     * Execute every queued descriptor and return their outcomes in
+     * submission order (clears the queue). Long sweeps print periodic
+     * progress lines to stderr; quick ones stay silent.
+     */
+    std::vector<RunOutcome> runAll();
+
+    /** Effective parallelism of this runner. */
+    unsigned jobs() const { return _pool.jobs(); }
+
+    // ------------------------------------------------------------------
+    // Progress (readable from any thread while runAll is executing).
+    // ------------------------------------------------------------------
+
+    /** Descriptors in the current/last runAll batch. */
+    std::size_t total() const { return _total; }
+
+    /** Runs finished so far in the current/last batch. */
+    std::size_t completed() const
+    {
+        return _completed.load(std::memory_order_relaxed);
+    }
+
+    /**
+     * Observer called after each completed run with (done, total);
+     * invoked under an internal mutex, possibly from worker threads.
+     * Replaces the default stderr progress printer.
+     */
+    void setProgress(
+        std::function<void(std::size_t, std::size_t)> callback)
+    {
+        _progress = std::move(callback);
+    }
+
+  private:
+    void reportProgress(std::size_t done);
+
+    ThreadPool _pool;
+    std::vector<RunDescriptor> _queued;
+
+    std::size_t _total = 0;
+    std::atomic<std::size_t> _completed{0};
+    std::function<void(std::size_t, std::size_t)> _progress;
+
+    std::mutex _progressMutex;
+    double _startSeconds = 0.0;      //!< Monotonic batch start.
+    double _lastPrintSeconds = 0.0;  //!< Last progress line.
+};
+
+/**
+ * Process-wide runner shared by qualitySweep() and the bench helpers:
+ * one pool of CG_JOBS workers reused for every sweep. Only for use
+ * from the main thread.
+ */
+SweepRunner &sharedRunner();
+
+} // namespace commguard::sim
+
+#endif // COMMGUARD_SIM_SWEEP_RUNNER_HH

@@ -190,6 +190,22 @@ loadGraph(const StreamGraph &graph, const std::vector<Word> &input,
 
         isa::Program program = spec.buildProgram(
             static_cast<int>(reps.firings[n]));
+
+        // Software-queue routines charge opCost() virtual instructions
+        // per queue op inside the scope (and they count against the
+        // PPU watchdog budget), so fold the exact per-invocation queue
+        // cost into the estimate the budget is derived from.
+        if (program.estimatedInstsPerInvocation > 0) {
+            Count queue_insts = 0;
+            for (std::size_t p = 0; p < ins[n].size(); ++p)
+                queue_insts += ins[n][p]->opCost() *
+                               spec.popRates[p] * reps.firings[n];
+            for (std::size_t p = 0; p < outs[n].size(); ++p)
+                queue_insts += outs[n][p]->opCost() *
+                               spec.pushRates[p] * reps.firings[n];
+            program.estimatedInstsPerInvocation += queue_insts;
+        }
+
         estimated_total +=
             program.estimatedInstsPerInvocation * steady_iterations;
         core.setProgram(std::move(program));

@@ -1,0 +1,289 @@
+/**
+ * @file
+ * Tests for the parallel experiment engine and the interpreter's
+ * error-countdown fast path:
+ *  - a multi-threaded SweepRunner sweep is bitwise identical to the
+ *    sequential path (the determinism guarantee every figure relies
+ *    on),
+ *  - the integer countdown resync reproduces the exact flip schedule
+ *    of stepping ErrorInjector::advance(1, ...) per commit (the
+ *    pre-refactor hot path),
+ *  - the thread pool and progress counters behave.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstring>
+#include <vector>
+
+#include "apps/app.hh"
+#include "common/thread_pool.hh"
+#include "machine/error_injector.hh"
+#include "sim/sweep_runner.hh"
+
+namespace commguard::sim
+{
+namespace
+{
+
+// ----------------------------------------------------------------------
+// ThreadPool.
+// ----------------------------------------------------------------------
+
+TEST(ThreadPool, SequentialPoolRunsInline)
+{
+    ThreadPool pool(1);
+    EXPECT_EQ(pool.threadCount(), 0u);
+    EXPECT_EQ(pool.jobs(), 1u);
+
+    int runs = 0;
+    pool.submit([&runs] { ++runs; });
+    EXPECT_EQ(runs, 1);  // Ran before submit returned.
+    pool.wait();
+    EXPECT_EQ(runs, 1);
+}
+
+TEST(ThreadPool, ParallelPoolRunsEveryJob)
+{
+    ThreadPool pool(4);
+    EXPECT_EQ(pool.threadCount(), 4u);
+
+    std::atomic<int> runs{0};
+    for (int i = 0; i < 64; ++i)
+        pool.submit([&runs] { runs.fetch_add(1); });
+    pool.wait();
+    EXPECT_EQ(runs.load(), 64);
+
+    // The pool is reusable after wait().
+    for (int i = 0; i < 8; ++i)
+        pool.submit([&runs] { runs.fetch_add(1); });
+    pool.wait();
+    EXPECT_EQ(runs.load(), 72);
+}
+
+// ----------------------------------------------------------------------
+// Injector countdown fast path.
+// ----------------------------------------------------------------------
+
+/**
+ * Reference: the pre-refactor per-commit path — advance(1) on every
+ * commit. The callback consumes RNG draws exactly like
+ * Core::flipRandomRegisterBit (target register + bit), which matters
+ * because the error process and the flip targets share one RNG.
+ */
+std::vector<Count>
+scheduleByStepping(ErrorInjector &injector, Count commits)
+{
+    std::vector<Count> fires;
+    for (Count i = 1; i <= commits; ++i) {
+        injector.advance(1, [&] {
+            injector.rng().below(31);
+            injector.rng().below(32);
+            fires.push_back(i);
+        });
+    }
+    return fires;
+}
+
+/** The Core fast path: batch-decrement an integer, resync at zero. */
+std::vector<Count>
+scheduleByCountdown(ErrorInjector &injector, Count commits)
+{
+    std::vector<Count> fires;
+    Count reload = injector.countdown();
+    Count countdown = reload;
+    for (Count i = 1; i <= commits; ++i) {
+        if (--countdown == 0) {
+            injector.advance(reload, [&] {
+                injector.rng().below(31);
+                injector.rng().below(32);
+                fires.push_back(i);
+            });
+            reload = countdown = injector.countdown();
+        }
+    }
+    return fires;
+}
+
+TEST(ErrorCountdown, MatchesSteppedAdvanceSchedule)
+{
+    for (const double mtbe : {2.0, 17.5, 1000.0}) {
+        for (const std::uint64_t seed : {1ull, 42ull, 987654321ull}) {
+            ErrorInjector::Config config;
+            config.enabled = true;
+            config.mtbe = mtbe;
+            config.seed = seed;
+
+            ErrorInjector stepped;
+            stepped.configure(config);
+            ErrorInjector fast;
+            fast.configure(config);
+
+            const Count commits = 20'000;
+            const std::vector<Count> ref =
+                scheduleByStepping(stepped, commits);
+            const std::vector<Count> got =
+                scheduleByCountdown(fast, commits);
+
+            ASSERT_FALSE(ref.empty());
+            EXPECT_EQ(ref, got) << "mtbe=" << mtbe << " seed=" << seed;
+            EXPECT_EQ(stepped.errorsInjected(), fast.errorsInjected());
+        }
+    }
+}
+
+TEST(ErrorCountdown, DisabledInjectorNeverSchedules)
+{
+    ErrorInjector injector;
+    EXPECT_EQ(injector.countdown(), ErrorInjector::noErrorScheduled);
+}
+
+TEST(ErrorCountdown, NeverZeroWhileEnabled)
+{
+    ErrorInjector::Config config;
+    config.enabled = true;
+    config.mtbe = 1.0;  // Sub-instruction inter-arrival draws.
+    config.seed = 7;
+    ErrorInjector injector;
+    injector.configure(config);
+    for (int i = 0; i < 1000; ++i) {
+        const Count countdown = injector.countdown();
+        ASSERT_GE(countdown, 1u);
+        injector.advance(countdown, [] {});
+    }
+}
+
+// ----------------------------------------------------------------------
+// SweepRunner determinism.
+// ----------------------------------------------------------------------
+
+/** The full cross-mode descriptor set of a small fig-style sweep. */
+std::vector<RunDescriptor>
+smallSweep(const apps::App &app)
+{
+    std::vector<RunDescriptor> descriptors;
+    for (const streamit::ProtectionMode mode :
+         {streamit::ProtectionMode::PpuOnly,
+          streamit::ProtectionMode::ReliableQueue,
+          streamit::ProtectionMode::CommGuard}) {
+        for (const double mtbe : {64'000.0, 1'024'000.0}) {
+            for (int seed = 0; seed < 2; ++seed) {
+                descriptors.push_back(
+                    {&app, sweepOptions(mode, true, mtbe, seed)});
+            }
+        }
+    }
+    return descriptors;
+}
+
+void
+expectBitwiseEqual(const RunOutcome &a, const RunOutcome &b)
+{
+    // Quality compared as bits: NaN-safe and rounding-strict.
+    EXPECT_EQ(std::memcmp(&a.qualityDb, &b.qualityDb, sizeof(double)),
+              0);
+    EXPECT_EQ(a.completed, b.completed);
+    EXPECT_EQ(a.totalInstructions, b.totalInstructions);
+    EXPECT_EQ(a.totalCycles, b.totalCycles);
+    EXPECT_EQ(a.errorsInjected, b.errorsInjected);
+    EXPECT_EQ(a.watchdogTrips, b.watchdogTrips);
+    EXPECT_EQ(a.timeoutsFired, b.timeoutsFired);
+    EXPECT_EQ(a.paddedItems, b.paddedItems);
+    EXPECT_EQ(a.discardedItems, b.discardedItems);
+    EXPECT_EQ(a.acceptedItems, b.acceptedItems);
+    EXPECT_EQ(a.output, b.output);
+}
+
+TEST(SweepRunner, ParallelSweepIsBitwiseIdenticalToSequential)
+{
+    const apps::App app = apps::makeFftApp(16);
+    const std::vector<RunDescriptor> descriptors = smallSweep(app);
+
+    SweepRunner sequential(1);
+    EXPECT_EQ(sequential.jobs(), 1u);
+    for (const RunDescriptor &descriptor : descriptors)
+        sequential.enqueue(descriptor);
+    const std::vector<RunOutcome> base = sequential.runAll();
+
+    SweepRunner parallel(4);
+    EXPECT_EQ(parallel.jobs(), 4u);
+    for (const RunDescriptor &descriptor : descriptors)
+        parallel.enqueue(descriptor);
+    const std::vector<RunOutcome> threaded = parallel.runAll();
+
+    ASSERT_EQ(base.size(), descriptors.size());
+    ASSERT_EQ(threaded.size(), descriptors.size());
+    bool any_errors = false;
+    for (std::size_t i = 0; i < base.size(); ++i) {
+        SCOPED_TRACE("descriptor " + std::to_string(i));
+        expectBitwiseEqual(base[i], threaded[i]);
+        any_errors = any_errors || base[i].errorsInjected > 0;
+    }
+    EXPECT_TRUE(any_errors);  // The sweep actually injected.
+}
+
+TEST(SweepRunner, RepeatedParallelRunsAreStable)
+{
+    // Re-running the same descriptors through the same runner must
+    // reproduce the outcomes: per-run seeding leaves no state behind.
+    const apps::App app = apps::makeFftApp(16);
+    SweepRunner runner(4);
+
+    runner.enqueue(app,
+                   sweepOptions(streamit::ProtectionMode::CommGuard,
+                                true, 64'000.0, 0));
+    const std::vector<RunOutcome> first = runner.runAll();
+
+    runner.enqueue(app,
+                   sweepOptions(streamit::ProtectionMode::CommGuard,
+                                true, 64'000.0, 0));
+    const std::vector<RunOutcome> second = runner.runAll();
+
+    ASSERT_EQ(first.size(), 1u);
+    ASSERT_EQ(second.size(), 1u);
+    expectBitwiseEqual(first[0], second[0]);
+}
+
+TEST(SweepRunner, ProgressCounterReachesTotal)
+{
+    const apps::App app = apps::makeFftApp(16);
+    SweepRunner runner(2);
+
+    std::atomic<std::size_t> reports{0};
+    std::atomic<std::size_t> last_done{0};
+    runner.setProgress([&](std::size_t done, std::size_t total) {
+        reports.fetch_add(1);
+        EXPECT_LE(done, total);
+        EXPECT_EQ(total, 3u);
+        // Reports may interleave across workers; track the maximum.
+        if (done > last_done.load())
+            last_done.store(done);
+    });
+
+    for (int seed = 0; seed < 3; ++seed)
+        runner.enqueue(app,
+                       sweepOptions(streamit::ProtectionMode::CommGuard,
+                                    true, 512'000.0, seed));
+    const std::vector<RunOutcome> outcomes = runner.runAll();
+
+    EXPECT_EQ(outcomes.size(), 3u);
+    EXPECT_EQ(runner.total(), 3u);
+    EXPECT_EQ(runner.completed(), 3u);
+    EXPECT_EQ(reports.load(), 3u);
+    EXPECT_EQ(last_done.load(), 3u);
+}
+
+TEST(SweepOptions, MatchPaperSeedDerivation)
+{
+    const streamit::LoadOptions options = sweepOptions(
+        streamit::ProtectionMode::ReliableQueue, true, 128'000.0, 2, 4);
+    EXPECT_EQ(options.mode, streamit::ProtectionMode::ReliableQueue);
+    EXPECT_TRUE(options.injectErrors);
+    EXPECT_EQ(options.mtbe, 128'000.0);
+    EXPECT_EQ(options.seed, 3u * 1000003u);
+    EXPECT_EQ(options.frameScale, 4u);
+}
+
+} // namespace
+} // namespace commguard::sim
