@@ -25,11 +25,14 @@ Cycle
 cyclesFor(const apps::App &app, streamit::ProtectionMode mode,
           Cycle flush)
 {
-    streamit::LoadOptions options;
-    options.mode = mode;
-    options.injectErrors = false;
-    options.machine.timing.frameFlushCycles = flush;
-    return sim::runOnce(app, options).totalCycles;
+    MachineConfig machine;
+    machine.timing.frameFlushCycles = flush;
+    return sim::ExperimentConfig::app(app)
+        .mode(mode)
+        .noErrors()
+        .machine(machine)
+        .run()
+        .totalCycles();
 }
 
 } // namespace
@@ -71,7 +74,7 @@ main()
         gmean.push_back(sim::fmt(std::exp(s / n), 2));
     table.addRow(std::move(gmean));
 
-    bench::printTable(table);
+    bench::printTable("ablation_flush_cost", table);
     std::cout << "\nExpected: overhead at 0 cycles is pure header "
                  "traffic; each added flush cycle hits the one-item-"
                  "frame benchmarks hardest.\n";

@@ -25,12 +25,13 @@ meanQuality(const apps::App &app, Count mtbe, bool flip_all)
 {
     std::vector<sim::RunDescriptor> descriptors;
     for (int seed = 0; seed < bench::seeds(); ++seed) {
-        sim::RunDescriptor descriptor{
-            &app, sim::sweepOptions(
-                      streamit::ProtectionMode::CommGuard, true,
-                      static_cast<double>(mtbe), seed)};
-        descriptor.options.flipAllRegisters = flip_all;
-        descriptors.push_back(descriptor);
+        descriptors.push_back(
+            sim::ExperimentConfig::app(app)
+                .mode(streamit::ProtectionMode::CommGuard)
+                .mtbe(static_cast<double>(mtbe))
+                .seedIndex(seed)
+                .flipAllRegisters(flip_all)
+                .descriptor());
     }
     double sum = 0.0;
     for (const sim::RunOutcome &outcome : bench::runSweep(descriptors))
@@ -56,7 +57,7 @@ main()
                       sim::fmt(meanQuality(app, mtbe, true), 1)});
     }
 
-    bench::printTable(table);
+    bench::printTable("ablation_injection_policy", table);
     std::cout << "\nExpected: all-register flips behave like live-set "
                  "flips at a several-times-larger MTBE (dead-register "
                  "hits are no-ops) — i.e., the right-hand column is "

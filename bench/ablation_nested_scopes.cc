@@ -30,14 +30,16 @@ Point
 measure(const apps::App &app, Count mtbe, bool scopes)
 {
     Point point;
+    MachineConfig machine;
+    machine.ppu.enforceNestedScopes = scopes;
     for (int seed = 0; seed < bench::seeds(); ++seed) {
-        streamit::LoadOptions options;
-        options.mode = streamit::ProtectionMode::CommGuard;
-        options.injectErrors = true;
-        options.mtbe = static_cast<double>(mtbe);
-        options.seed = static_cast<std::uint64_t>(seed + 1) * 1000003;
-        options.machine.ppu.enforceNestedScopes = scopes;
-        const sim::RunOutcome outcome = sim::runOnce(app, options);
+        const sim::RunOutcome outcome =
+            sim::ExperimentConfig::app(app)
+                .mode(streamit::ProtectionMode::CommGuard)
+                .mtbe(static_cast<double>(mtbe))
+                .seedIndex(seed)
+                .machine(machine)
+                .run();
         point.quality += outcome.qualityDb;
         point.loss += outcome.dataLossRatio();
     }
@@ -73,7 +75,7 @@ main()
                       without_loss});
     }
 
-    bench::printTable(table);
+    bench::printTable("ablation_nested_scopes", table);
     std::cout << "\nExpected: per-firing scope budgets cut corrupted "
                  "loops sooner, reducing data loss and improving "
                  "quality at every error rate.\n";

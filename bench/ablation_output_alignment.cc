@@ -27,12 +27,13 @@ meanQuality(const apps::App &app, Count mtbe, bool aligned)
 {
     std::vector<sim::RunDescriptor> descriptors;
     for (int seed = 0; seed < bench::seeds(); ++seed) {
-        sim::RunDescriptor descriptor{
-            &app, sim::sweepOptions(
-                      streamit::ProtectionMode::CommGuard, true,
-                      static_cast<double>(mtbe), seed)};
-        descriptor.options.frameAlignedOutput = aligned;
-        descriptors.push_back(descriptor);
+        descriptors.push_back(
+            sim::ExperimentConfig::app(app)
+                .mode(streamit::ProtectionMode::CommGuard)
+                .mtbe(static_cast<double>(mtbe))
+                .seedIndex(seed)
+                .frameAlignedOutput(aligned)
+                .descriptor());
     }
     double sum = 0.0;
     for (const sim::RunOutcome &outcome : bench::runSweep(descriptors))
@@ -58,7 +59,7 @@ main()
                       sim::fmt(meanQuality(app, mtbe, true), 1)});
     }
 
-    bench::printTable(table);
+    bench::printTable("ablation_output_alignment", table);
     std::cout << "\nExpected: aligned output matches or beats the "
                  "plain stream at every MTBE (it removes positional "
                  "shift artifacts without touching the computation).\n";

@@ -28,32 +28,34 @@ main()
     for (std::size_t capacity :
          {std::size_t{256}, std::size_t{1} << 10, std::size_t{1} << 12,
           std::size_t{1} << 14}) {
-        streamit::LoadOptions clean;
-        clean.mode = streamit::ProtectionMode::CommGuard;
-        clean.injectErrors = false;
-        clean.queueCapacityWords = capacity;
-        const sim::RunOutcome clean_run = sim::runOnce(app, clean);
+        const sim::RunOutcome clean_run =
+            sim::ExperimentConfig::app(app)
+                .mode(streamit::ProtectionMode::CommGuard)
+                .noErrors()
+                .queueCapacityWords(capacity)
+                .run();
 
         double quality_sum = 0.0;
         Count timeouts = 0;
         for (int seed = 0; seed < bench::seeds(); ++seed) {
-            streamit::LoadOptions noisy = clean;
-            noisy.injectErrors = true;
-            noisy.mtbe = 512'000;
-            noisy.seed =
-                static_cast<std::uint64_t>(seed + 1) * 1000003;
-            const sim::RunOutcome outcome = sim::runOnce(app, noisy);
+            const sim::RunOutcome outcome =
+                sim::ExperimentConfig::app(app)
+                    .mode(streamit::ProtectionMode::CommGuard)
+                    .queueCapacityWords(capacity)
+                    .mtbe(512'000)
+                    .seedIndex(seed)
+                    .run();
             quality_sum += outcome.qualityDb;
-            timeouts += outcome.timeoutsFired;
+            timeouts += outcome.timeoutsFired();
         }
 
         table.addRow({std::to_string(capacity),
-                      std::to_string(clean_run.totalCycles),
+                      std::to_string(clean_run.totalCycles()),
                       sim::fmt(quality_sum / bench::seeds(), 1),
                       std::to_string(timeouts)});
     }
 
-    bench::printTable(table);
+    bench::printTable("ablation_queue_capacity", table);
     std::cout << "\nExpected: capacity barely affects error-free "
                  "cycles (cooperative slack), and ample capacity "
                  "keeps the QM timeout machinery idle.\n";

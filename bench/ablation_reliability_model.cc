@@ -44,11 +44,12 @@ main()
               << "M\n\n";
 
     // Error-free reference output for frame-exact comparison.
-    streamit::LoadOptions clean;
-    clean.mode = streamit::ProtectionMode::CommGuard;
-    clean.injectErrors = false;
     const std::vector<Word> reference =
-        sim::runOnce(app, clean).output;
+        sim::ExperimentConfig::app(app)
+            .mode(streamit::ProtectionMode::CommGuard)
+            .noErrors()
+            .run()
+            .output;
 
     sim::Table table({"MTBE", "predicted bound", "measured (mean)",
                       "sensitivity"});
@@ -59,13 +60,12 @@ main()
 
         double sum = 0.0;
         for (int seed = 0; seed < bench::seeds(); ++seed) {
-            streamit::LoadOptions options = clean;
-            options.injectErrors = true;
-            options.mtbe = static_cast<double>(mtbe);
-            options.seed =
-                static_cast<std::uint64_t>(seed + 1) * 1000003;
             const sim::RunOutcome outcome =
-                sim::runOnce(app, options);
+                sim::ExperimentConfig::app(app)
+                    .mode(streamit::ProtectionMode::CommGuard)
+                    .mtbe(static_cast<double>(mtbe))
+                    .seedIndex(seed)
+                    .run();
             sum += sim::corruptedFrameFraction(
                 reference, outcome.output, items_per_frame);
         }
@@ -78,7 +78,7 @@ main()
                                 : "-"});
     }
 
-    bench::printTable(table);
+    bench::printTable("ablation_reliability_model", table);
     std::cout << "\nExpected: measured <= predicted bound at every "
                  "MTBE — the signature of error effects confined to "
                  "frames (the bound counts every injected error; the "

@@ -27,12 +27,13 @@ meanQuality(const apps::App &app, Count mtbe, bool guard_source)
 {
     std::vector<sim::RunDescriptor> descriptors;
     for (int seed = 0; seed < bench::seeds(); ++seed) {
-        sim::RunDescriptor descriptor{
-            &app, sim::sweepOptions(
-                      streamit::ProtectionMode::CommGuard, true,
-                      static_cast<double>(mtbe), seed)};
-        descriptor.options.guardSourceEdge = guard_source;
-        descriptors.push_back(descriptor);
+        descriptors.push_back(
+            sim::ExperimentConfig::app(app)
+                .mode(streamit::ProtectionMode::CommGuard)
+                .mtbe(static_cast<double>(mtbe))
+                .seedIndex(seed)
+                .guardSourceEdge(guard_source)
+                .descriptor());
     }
     double sum = 0.0;
     for (const sim::RunOutcome &outcome : bench::runSweep(descriptors))
@@ -58,7 +59,7 @@ main()
                       sim::fmt(meanQuality(app, mtbe, false), 1)});
     }
 
-    bench::printTable(table);
+    bench::printTable("ablation_source_guard", table);
     std::cout << "\nExpected: without input-edge headers, first-"
                  "filter control-flow errors shift the input stream "
                  "permanently and quality collapses at high error "

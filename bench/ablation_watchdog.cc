@@ -31,18 +31,19 @@ main()
         std::vector<double> qualities;
         double loss_sum = 0.0;
         Count trips = 0;
+        MachineConfig machine;
+        machine.ppu.watchdogMultiplier = margin;
         for (int seed = 0; seed < bench::seeds(); ++seed) {
-            streamit::LoadOptions options;
-            options.mode = streamit::ProtectionMode::CommGuard;
-            options.injectErrors = true;
-            options.mtbe = 512'000;
-            options.seed =
-                static_cast<std::uint64_t>(seed + 1) * 1000003;
-            options.machine.ppu.watchdogMultiplier = margin;
-            const sim::RunOutcome outcome = sim::runOnce(app, options);
+            const sim::RunOutcome outcome =
+                sim::ExperimentConfig::app(app)
+                    .mode(streamit::ProtectionMode::CommGuard)
+                    .mtbe(512'000)
+                    .seedIndex(seed)
+                    .machine(machine)
+                    .run();
             qualities.push_back(outcome.qualityDb);
             loss_sum += outcome.dataLossRatio();
-            trips += outcome.watchdogTrips;
+            trips += outcome.watchdogTrips();
         }
         const sim::SampleStats stats = sim::summarize(qualities);
         char loss[32];
@@ -53,7 +54,7 @@ main()
                       loss, std::to_string(trips)});
     }
 
-    bench::printTable(table);
+    bench::printTable("ablation_watchdog", table);
     std::cout << "\nExpected: data loss grows with the margin "
                  "(runaway scopes push more garbage before being "
                  "cut); very tight margins trade that against "

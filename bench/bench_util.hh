@@ -4,20 +4,24 @@
  *
  * Every bench binary reproduces one table/figure of the paper's
  * evaluation (§7) and prints the same rows/series the paper reports.
- * Set CG_QUICK=1 in the environment to run a reduced sweep (fewer
- * seeds and MTBE points) for smoke-testing.
+ * Environment knobs (sim::EnvOptions): CG_QUICK=1 runs a reduced sweep
+ * (fewer seeds and MTBE points), CG_CSV=1 appends a CSV form of each
+ * table, CG_JSON=1 writes each table as schema-versioned
+ * BENCH_<name>.json, CG_JSONL=<path> streams one JSON record per run.
  */
 
 #ifndef COMMGUARD_BENCH_BENCH_UTIL_HH
 #define COMMGUARD_BENCH_BENCH_UTIL_HH
 
-#include <cstdlib>
 #include <iostream>
 #include <filesystem>
 #include <string>
 #include <vector>
 
+#include "sim/env_options.hh"
 #include "sim/experiment.hh"
+#include "sim/experiment_config.hh"
+#include "sim/run_export.hh"
 #include "sim/sweep_runner.hh"
 #include "sim/table.hh"
 
@@ -28,8 +32,7 @@ namespace commguard::bench
 inline bool
 quick()
 {
-    const char *env = std::getenv("CG_QUICK");
-    return env != nullptr && env[0] != '\0' && env[0] != '0';
+    return sim::EnvOptions::get().quick;
 }
 
 /** Seeds per configuration (paper: 5). */
@@ -59,18 +62,21 @@ outputDir()
 }
 
 /**
- * Print a finished table; when CG_CSV is set, also emit it as CSV
- * (for plotting scripts) after the human-readable form.
+ * Publish a finished table under @p name: always the human-readable
+ * form; CSV after it when CG_CSV is set; BENCH_<name>.json through the
+ * shared schema-versioned writer when CG_JSON is set.
  */
 inline void
-printTable(const sim::Table &table)
+printTable(const std::string &name, const sim::Table &table)
 {
     table.print();
-    const char *env = std::getenv("CG_CSV");
-    if (env != nullptr && env[0] != '\0' && env[0] != '0') {
+    const sim::EnvOptions &env = sim::EnvOptions::get();
+    if (env.csv) {
         std::cout << "\n[csv]\n";
         table.printCsv();
     }
+    if (env.json)
+        sim::writeBenchJson(name, table.toJson());
 }
 
 /**
@@ -84,8 +90,13 @@ qualitySamples(const apps::App &app, streamit::ProtectionMode mode,
 {
     sim::SweepRunner &runner = sim::sharedRunner();
     for (int seed = 0; seed < seeds(); ++seed)
-        runner.enqueue(app, sim::sweepOptions(mode, inject, mtbe,
-                                              seed, frame_scale));
+        runner.enqueue(sim::ExperimentConfig::app(app)
+                           .mode(mode)
+                           .injectErrors(inject)
+                           .mtbe(mtbe)
+                           .seedIndex(seed)
+                           .frameScale(frame_scale)
+                           .descriptor());
 
     std::vector<double> samples;
     for (const sim::RunOutcome &outcome : runner.runAll())

@@ -65,14 +65,13 @@ main()
         bool all_completed = true;
 
         for (int seed = 0; seed < bench::seeds(); ++seed) {
-            streamit::LoadOptions options;
-            options.mode = row.mode;
-            options.injectErrors = row.inject;
-            options.mtbe = mtbe;
-            options.seed =
-                static_cast<std::uint64_t>(seed + 1) * 1000003;
             const sim::RunOutcome outcome =
-                sim::runOnce(app, options);
+                sim::ExperimentConfig::app(app)
+                    .mode(row.mode)
+                    .injectErrors(row.inject)
+                    .mtbe(mtbe)
+                    .seedIndex(seed)
+                    .run();
             samples.push_back(outcome.qualityDb);
             all_completed = all_completed && outcome.completed;
 
@@ -93,7 +92,7 @@ main()
                       all_completed ? "yes" : "no", image_path});
     }
 
-    bench::printTable(table);
+    bench::printTable("fig03_protection_configs", table);
     std::cout << "\nPaper shape: (a) pristine; (b) and (c) collapse; "
                  "(d) sustains acceptable quality.\n";
     return 0;

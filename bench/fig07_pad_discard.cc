@@ -24,13 +24,12 @@ main()
     const int height = 192;
     const apps::App app = apps::makeJpegApp(width, height, 50);
 
-    streamit::LoadOptions options;
-    options.mode = streamit::ProtectionMode::CommGuard;
-    options.injectErrors = true;
-    options.mtbe = 512'000;
-    options.seed = 1;
-
-    const sim::RunOutcome outcome = sim::runOnce(app, options);
+    const sim::RunOutcome outcome =
+        sim::ExperimentConfig::app(app)
+            .mode(streamit::ProtectionMode::CommGuard)
+            .mtbe(512'000)
+            .seed(1)
+            .run();
 
     std::cout << "=== Figure 7: jpeg with CommGuard at MTBE = 512k ===\n";
     sim::Table table({"metric", "value"});
@@ -39,17 +38,18 @@ main()
     table.addRow({"error-free PSNR (dB)",
                   sim::fmt(app.errorFreeQualityDb, 1)});
     table.addRow({"errors injected",
-                  std::to_string(outcome.errorsInjected)});
-    table.addRow({"padded items", std::to_string(outcome.paddedItems)});
+                  std::to_string(outcome.errorsInjected())});
+    table.addRow({"padded items",
+                  std::to_string(outcome.paddedItems())});
     table.addRow(
-        {"discarded items", std::to_string(outcome.discardedItems)});
+        {"discarded items", std::to_string(outcome.discardedItems())});
     table.addRow({"discarded headers",
-                  std::to_string(outcome.discardedHeaders)});
+                  std::to_string(outcome.discardedHeaders())});
     table.addRow({"accepted items",
-                  std::to_string(outcome.acceptedItems)});
+                  std::to_string(outcome.acceptedItems())});
     table.addRow({"watchdog trips",
-                  std::to_string(outcome.watchdogTrips)});
-    bench::printTable(table);
+                  std::to_string(outcome.watchdogTrips())});
+    bench::printTable("fig07_pad_discard", table);
 
     const std::string path = bench::outputDir() + "/fig07.ppm";
     media::writePpm(

@@ -7,6 +7,7 @@
  * losing the most because it has the lowest frame/item ratio.
  */
 
+#include <cstdio>
 #include <iostream>
 
 #include "apps/app.hh"
@@ -36,10 +37,11 @@ main()
         for (Count mtbe : axis) {
             for (int seed = 0; seed < bench::seeds(); ++seed) {
                 descriptors.push_back(
-                    {&app,
-                     sim::sweepOptions(
-                         streamit::ProtectionMode::CommGuard, true,
-                         static_cast<double>(mtbe), seed)});
+                    sim::ExperimentConfig::app(app)
+                        .mode(streamit::ProtectionMode::CommGuard)
+                        .mtbe(static_cast<double>(mtbe))
+                        .seedIndex(seed)
+                        .descriptor());
             }
         }
         const std::vector<sim::RunOutcome> outcomes =
@@ -61,7 +63,7 @@ main()
         table.addRow(std::move(row));
     }
 
-    bench::printTable(table);
+    bench::printTable("fig08_data_loss", table);
     std::cout << "\nPaper shape: loss shrinks with MTBE; jpeg loses "
                  "the most (lowest frame/item ratio).\n";
     return 0;

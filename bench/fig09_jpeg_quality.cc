@@ -32,12 +32,12 @@ main()
                                        128'000};
     std::vector<sim::RunDescriptor> descriptors;
     for (Count mtbe : points) {
-        streamit::LoadOptions options;
-        options.mode = streamit::ProtectionMode::CommGuard;
-        options.injectErrors = true;
-        options.mtbe = static_cast<double>(mtbe);
-        options.seed = 3;
-        descriptors.push_back({&app, options});
+        descriptors.push_back(
+            sim::ExperimentConfig::app(app)
+                .mode(streamit::ProtectionMode::CommGuard)
+                .mtbe(static_cast<double>(mtbe))
+                .seed(3)
+                .descriptor());
     }
     const std::vector<sim::RunOutcome> outcomes =
         bench::runSweep(descriptors);
@@ -53,12 +53,12 @@ main()
             path);
         table.addRow({std::to_string(mtbe / 1000) + "k",
                       sim::fmt(outcome.qualityDb, 1),
-                      std::to_string(outcome.paddedItems +
-                                     outcome.discardedItems),
+                      std::to_string(outcome.paddedItems() +
+                                     outcome.discardedItems()),
                       path});
     }
 
-    bench::printTable(table);
+    bench::printTable("fig09_jpeg_quality", table);
     std::cout << "\nPaper shape: monotone quality improvement with "
                  "MTBE, approaching the error-free PSNR.\n";
     return 0;

@@ -44,7 +44,7 @@ sweepApp(const apps::App &app, const std::vector<Count> &axis,
         }
         table.addRow(std::move(row));
     }
-    bench::printTable(table);
+    bench::printTable("fig10_" + app.name, table);
     std::cout << "\n";
 }
 

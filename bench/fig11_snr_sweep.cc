@@ -49,7 +49,7 @@ sweep(const apps::App &app, const std::vector<Count> &axis,
         }
         table.addRow(std::move(row));
     }
-    bench::printTable(table);
+    bench::printTable("fig11_" + app.name, table);
     std::cout << "\n";
 }
 

@@ -31,19 +31,20 @@ main()
 
     for (const std::string &name : apps::allAppNames()) {
         const apps::App app = apps::makeAppByName(name);
-        streamit::LoadOptions options;
-        options.mode = streamit::ProtectionMode::CommGuard;
-        options.injectErrors = false;
-        const sim::RunOutcome o = sim::runOnce(app, options);
+        const sim::RunOutcome o =
+            sim::ExperimentConfig::app(app)
+                .mode(streamit::ProtectionMode::CommGuard)
+                .noErrors()
+                .run();
 
         const double loads = static_cast<double>(
-            o.coreLoads + o.dataLoads + o.headerLoads);
+            o.coreLoads() + o.dataLoads() + o.headerLoads());
         const double stores = static_cast<double>(
-            o.coreStores + o.dataStores + o.headerStores);
+            o.coreStores() + o.dataStores() + o.headerStores());
         const double load_pct =
-            100.0 * static_cast<double>(o.headerLoads) / loads;
+            100.0 * static_cast<double>(o.headerLoads()) / loads;
         const double store_pct =
-            100.0 * static_cast<double>(o.headerStores) / stores;
+            100.0 * static_cast<double>(o.headerStores()) / stores;
 
         table.addRow({name, sim::fmt(load_pct, 3),
                       sim::fmt(store_pct, 3)});
@@ -57,7 +58,7 @@ main()
     table.addRow({"GMean",
                   sim::fmt(std::exp(load_log_sum / counted), 3),
                   sim::fmt(std::exp(store_log_sum / counted), 3)});
-    bench::printTable(table);
+    bench::printTable("fig12_memory_overhead", table);
     std::cout << "\nPaper shape: well under 1% everywhere; largest "
                  "for the one-item-frame threads (audiobeamformer/"
                  "channelvocoder).\n";

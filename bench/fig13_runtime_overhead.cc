@@ -24,11 +24,12 @@ Cycle
 cyclesFor(const apps::App &app, streamit::ProtectionMode mode,
           Count frame_scale)
 {
-    streamit::LoadOptions options;
-    options.mode = mode;
-    options.injectErrors = false;
-    options.frameScale = frame_scale;
-    return sim::runOnce(app, options).totalCycles;
+    return sim::ExperimentConfig::app(app)
+        .mode(mode)
+        .noErrors()
+        .frameScale(frame_scale)
+        .run()
+        .totalCycles();
 }
 
 } // namespace
@@ -73,7 +74,7 @@ main()
         gmean_row.push_back(sim::fmt(std::exp(log_sum / n), 2));
     table.addRow(std::move(gmean_row));
 
-    bench::printTable(table);
+    bench::printTable("fig13_runtime_overhead", table);
     std::cout << "\nPaper shape: ~1% mean overhead; fine-grained-frame "
                  "benchmarks (audiobeamformer, complex-fir) are the "
                  "worst cases; larger frames shrink the overhead.\n";

@@ -28,21 +28,22 @@ main()
     double total_log_sum = 0.0;
     for (const std::string &name : apps::allAppNames()) {
         const apps::App app = apps::makeAppByName(name);
-        streamit::LoadOptions options;
-        options.mode = streamit::ProtectionMode::CommGuard;
-        options.injectErrors = false;
-        const sim::RunOutcome o = sim::runOnce(app, options);
+        const sim::RunOutcome o =
+            sim::ExperimentConfig::app(app)
+                .mode(streamit::ProtectionMode::CommGuard)
+                .noErrors()
+                .run();
 
         const double insts =
-            static_cast<double>(o.totalInstructions);
+            static_cast<double>(o.totalInstructions());
         const double fsm_pct =
-            100.0 * static_cast<double>(o.fsmCounterOps) / insts;
+            100.0 * static_cast<double>(o.fsmCounterOps()) / insts;
         const double ecc_pct =
-            100.0 * static_cast<double>(o.eccOps) / insts;
+            100.0 * static_cast<double>(o.eccOps()) / insts;
         const double hbit_pct =
-            100.0 * static_cast<double>(o.headerBitOps) / insts;
+            100.0 * static_cast<double>(o.headerBitOps()) / insts;
         const double total_pct =
-            100.0 * static_cast<double>(o.totalCgOps) / insts;
+            100.0 * static_cast<double>(o.totalCgOps()) / insts;
 
         table.addRow({name, sim::fmt(fsm_pct, 3), sim::fmt(ecc_pct, 3),
                       sim::fmt(hbit_pct, 3), sim::fmt(total_pct, 3)});
@@ -52,7 +53,7 @@ main()
     const double n = static_cast<double>(apps::allAppNames().size());
     table.addRow({"GMean", "", "", "",
                   sim::fmt(std::exp(total_log_sum / n), 3)});
-    bench::printTable(table);
+    bench::printTable("fig14_suboperations", table);
     std::cout << "\nPaper shape: a few percent at most; header-bit "
                  "checks are the most frequent suboperation, ECC the "
                  "rarest.\n";

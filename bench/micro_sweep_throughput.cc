@@ -7,8 +7,8 @@
  * and reports aggregate simulated MIPS plus the wall-clock speedup.
  *
  * Machine-readable results are written to BENCH_sweep.json in the
- * working directory so later changes can track the perf trajectory:
- *   {"jobs": J, "wall_seconds": W, "simulated_mips": M, "speedup": S}
+ * working directory (schema-versioned, via sim::writeBenchJson) so
+ * later changes can track the perf trajectory.
  *
  * CG_QUICK=1 shrinks the sweep for smoke runs.
  */
@@ -16,7 +16,6 @@
 #include <chrono>
 #include <cstdio>
 #include <cstring>
-#include <fstream>
 #include <iostream>
 
 #include "apps/app.hh"
@@ -44,10 +43,11 @@ fig09StyleSweep(const apps::App &app)
     for (Count mtbe : bench::mtbeAxis()) {
         for (int seed = 0; seed < bench::seeds(); ++seed) {
             descriptors.push_back(
-                {&app,
-                 sim::sweepOptions(streamit::ProtectionMode::CommGuard,
-                                   true, static_cast<double>(mtbe),
-                                   seed)});
+                sim::ExperimentConfig::app(app)
+                    .mode(streamit::ProtectionMode::CommGuard)
+                    .mtbe(static_cast<double>(mtbe))
+                    .seedIndex(seed)
+                    .descriptor());
         }
     }
     return descriptors;
@@ -73,7 +73,7 @@ timedSweep(const std::vector<sim::RunDescriptor> &descriptors,
     result.outcomes = runner.runAll();
     result.wallSecs = wallSeconds() - start;
     for (const sim::RunOutcome &outcome : result.outcomes)
-        result.simulatedInsts += outcome.totalInstructions;
+        result.simulatedInsts += outcome.totalInstructions();
     return result;
 }
 
@@ -87,11 +87,8 @@ identicalOutcomes(const std::vector<sim::RunOutcome> &a,
     for (std::size_t i = 0; i < a.size(); ++i) {
         if (std::memcmp(&a[i].qualityDb, &b[i].qualityDb,
                         sizeof(double)) != 0 ||
-            a[i].totalInstructions != b[i].totalInstructions ||
-            a[i].totalCycles != b[i].totalCycles ||
-            a[i].errorsInjected != b[i].errorsInjected ||
-            a[i].paddedItems != b[i].paddedItems ||
-            a[i].discardedItems != b[i].discardedItems ||
+            !(a[i].snapshot == b[i].snapshot) ||
+            a[i].completed != b[i].completed ||
             a[i].output != b[i].output) {
             return false;
         }
@@ -145,16 +142,17 @@ main()
                   "1.00"});
     table.addRow({std::to_string(jobs), sim::fmt(parallel.wallSecs, 2),
                   sim::fmt(mips, 1), sim::fmt(speedup, 2)});
-    bench::printTable(table);
+    bench::printTable("micro_sweep_throughput", table);
 
     std::cout << "\noutcomes bitwise-identical across job counts: "
                  "yes\n";
 
-    std::ofstream json("BENCH_sweep.json");
-    json << "{\"jobs\": " << jobs
-         << ", \"wall_seconds\": " << parallel.wallSecs
-         << ", \"simulated_mips\": " << mips
-         << ", \"speedup\": " << speedup << "}\n";
+    Json data = Json::object();
+    data["jobs"] = Json(static_cast<Count>(jobs));
+    data["wall_seconds"] = Json(parallel.wallSecs);
+    data["simulated_mips"] = Json(mips);
+    data["speedup"] = Json(speedup);
+    sim::writeBenchJson("sweep", data);
     std::cout << "wrote BENCH_sweep.json\n";
     return 0;
 }

@@ -13,6 +13,7 @@
 #include "apps/app.hh"
 #include "media/audio.hh"
 #include "sim/experiment.hh"
+#include "sim/experiment_config.hh"
 
 using namespace commguard;
 
@@ -67,12 +68,15 @@ main(int argc, char **argv)
     };
 
     for (const Point &point : points) {
-        streamit::LoadOptions options;
-        options.mode = streamit::ProtectionMode::CommGuard;
-        options.injectErrors = point.inject;
-        options.mtbe = point.mtbe;
-        options.seed = 7;
-        const sim::RunOutcome outcome = sim::runOnce(app, options);
+        sim::ExperimentConfig config =
+            sim::ExperimentConfig::app(app)
+                .mode(streamit::ProtectionMode::CommGuard)
+                .seed(7);
+        if (point.inject)
+            config.mtbe(point.mtbe);
+        else
+            config.noErrors();
+        const sim::RunOutcome outcome = config.run();
 
         const std::string path =
             dir + "/decoded_" + point.label + ".wav";
@@ -80,9 +84,10 @@ main(int argc, char **argv)
         std::printf("%-12s SNR %6.1f dB   padded %6llu  discarded "
                     "%6llu   %s\n",
                     point.label, outcome.qualityDb,
-                    static_cast<unsigned long long>(outcome.paddedItems),
                     static_cast<unsigned long long>(
-                        outcome.discardedItems),
+                        outcome.paddedItems()),
+                    static_cast<unsigned long long>(
+                        outcome.discardedItems()),
                     path.c_str());
     }
 

@@ -17,6 +17,7 @@
 #include "kernels/basic.hh"
 #include "media/quality.hh"
 #include "sim/experiment.hh"
+#include "sim/experiment_config.hh"
 
 using namespace commguard;
 
@@ -115,28 +116,30 @@ main()
 {
     const apps::App app = makeSoftClipApp(8192);
 
-    streamit::LoadOptions clean;
-    clean.mode = streamit::ProtectionMode::CommGuard;
-    clean.injectErrors = false;
-    const sim::RunOutcome clean_run = sim::runOnce(app, clean);
+    const sim::RunOutcome clean_run =
+        sim::ExperimentConfig::app(app)
+            .mode(streamit::ProtectionMode::CommGuard)
+            .noErrors()
+            .run();
     std::printf("error-free: SNR vs host model = %s (bit-exact)\n",
                 std::isinf(clean_run.qualityDb) ? "inf" : "FINITE?!");
 
     for (double mtbe : {1024e3, 256e3, 64e3}) {
-        streamit::LoadOptions noisy = clean;
-        noisy.injectErrors = true;
-        noisy.mtbe = mtbe;
-        noisy.seed = 11;
-        const sim::RunOutcome outcome = sim::runOnce(app, noisy);
+        const sim::RunOutcome outcome =
+            sim::ExperimentConfig::app(app)
+                .mode(streamit::ProtectionMode::CommGuard)
+                .mtbe(mtbe)
+                .seed(11)
+                .run();
         std::printf("mtbe=%5.0fk: SNR %6.1f dB, %llu errors, "
                     "%llu padded, %llu discarded\n",
                     mtbe / 1000, outcome.qualityDb,
                     static_cast<unsigned long long>(
-                        outcome.errorsInjected),
+                        outcome.errorsInjected()),
                     static_cast<unsigned long long>(
-                        outcome.paddedItems),
+                        outcome.paddedItems()),
                     static_cast<unsigned long long>(
-                        outcome.discardedItems));
+                        outcome.discardedItems()));
     }
 
     std::printf("\nTo add your own benchmark: write the kernel with "

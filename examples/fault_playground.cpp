@@ -17,11 +17,13 @@
 #include <cstdio>
 #include <cstdlib>
 #include <iostream>
+#include <stdexcept>
 #include <string>
 
 #include "apps/app.hh"
 #include "isa/program.hh"
 #include "sim/experiment.hh"
+#include "sim/experiment_config.hh"
 
 using namespace commguard;
 
@@ -36,26 +38,36 @@ main(int argc, char **argv)
     const Count frame_scale =
         argc > 5 ? std::strtoull(argv[5], nullptr, 10) : 1;
 
-    streamit::LoadOptions options;
-    options.injectErrors = true;
+    bool inject = true;
+    streamit::ProtectionMode mode = streamit::ProtectionMode::CommGuard;
     if (mode_name == "ppu") {
-        options.mode = streamit::ProtectionMode::PpuOnly;
+        mode = streamit::ProtectionMode::PpuOnly;
     } else if (mode_name == "reliable") {
-        options.mode = streamit::ProtectionMode::ReliableQueue;
+        mode = streamit::ProtectionMode::ReliableQueue;
     } else if (mode_name == "error-free") {
-        options.mode = streamit::ProtectionMode::CommGuard;
-        options.injectErrors = false;
-    } else {
-        options.mode = streamit::ProtectionMode::CommGuard;
+        inject = false;
     }
-    options.mtbe = mtbe;
-    options.seed = seed;
-    options.frameScale = frame_scale;
 
     const apps::App app = apps::makeAppByName(app_name);
+
+    // The builder validates the CLI arguments (mtbe > 0, nonzero
+    // frame scale) before any machine is built.
+    sim::ExperimentConfig config =
+        sim::ExperimentConfig::app(app).mode(mode).seed(seed);
+    try {
+        config.frameScale(frame_scale);
+        if (inject)
+            config.mtbe(mtbe);
+        else
+            config.noErrors();
+    } catch (const std::invalid_argument &error) {
+        std::fprintf(stderr, "invalid arguments: %s\n", error.what());
+        return 1;
+    }
+    const streamit::LoadOptions &options = config.options();
     std::printf("app=%s mode=%s mtbe=%.0f seed=%llu frame_scale=%llu\n",
-                app.name.c_str(),
-                streamit::protectionModeName(options.mode), mtbe,
+                app.name.c_str(), streamit::protectionModeName(mode),
+                mtbe,
                 static_cast<unsigned long long>(seed),
                 static_cast<unsigned long long>(frame_scale));
     std::printf("error-free baseline: %.1f dB\n\n",

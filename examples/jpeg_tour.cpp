@@ -12,6 +12,7 @@
 #include "apps/app.hh"
 #include "media/image.hh"
 #include "sim/experiment.hh"
+#include "sim/experiment_config.hh"
 
 using namespace commguard;
 
@@ -23,18 +24,19 @@ decodeAndSave(const apps::App &app, int width, int height,
               streamit::ProtectionMode mode, bool inject, double mtbe,
               const std::string &path)
 {
-    streamit::LoadOptions options;
-    options.mode = mode;
-    options.injectErrors = inject;
-    options.mtbe = mtbe;
-    options.seed = 2026;
-    const sim::RunOutcome outcome = sim::runOnce(app, options);
+    sim::ExperimentConfig config =
+        sim::ExperimentConfig::app(app).mode(mode).seed(2026);
+    if (inject)
+        config.mtbe(mtbe);
+    else
+        config.noErrors();
+    const sim::RunOutcome outcome = config.run();
     media::writePpm(
         apps::jpegImageFromOutput(outcome.output, width, height), path);
     std::printf("%-34s PSNR %6.1f dB   pad+discard %8llu   %s\n",
                 streamit::protectionModeName(mode), outcome.qualityDb,
-                static_cast<unsigned long long>(outcome.paddedItems +
-                                                outcome.discardedItems),
+                static_cast<unsigned long long>(
+                    outcome.paddedItems() + outcome.discardedItems()),
                 path.c_str());
 }
 

@@ -8,6 +8,7 @@
 
 #include "apps/app.hh"
 #include "sim/experiment.hh"
+#include "sim/experiment_config.hh"
 
 using namespace commguard;
 
@@ -18,26 +19,31 @@ main()
     // error-free first, then with errors under CommGuard.
     apps::App app = apps::makeFftApp(64);
 
-    streamit::LoadOptions clean;
-    clean.mode = streamit::ProtectionMode::CommGuard;
-    clean.injectErrors = false;
-    sim::RunOutcome clean_run = sim::runOnce(app, clean);
+    const sim::RunOutcome clean_run =
+        sim::ExperimentConfig::app(app)
+            .mode(streamit::ProtectionMode::CommGuard)
+            .noErrors()
+            .run();
     std::printf("error-free: completed=%d quality=%.1f dB insts=%llu\n",
                 clean_run.completed, clean_run.qualityDb,
                 static_cast<unsigned long long>(
-                    clean_run.totalInstructions));
+                    clean_run.totalInstructions()));
 
-    streamit::LoadOptions noisy = clean;
-    noisy.injectErrors = true;
-    noisy.mtbe = 256'000;
-    noisy.seed = 42;
-    sim::RunOutcome noisy_run = sim::runOnce(app, noisy);
+    const sim::RunOutcome noisy_run =
+        sim::ExperimentConfig::app(app)
+            .mode(streamit::ProtectionMode::CommGuard)
+            .mtbe(256'000)
+            .seed(42)
+            .run();
     std::printf("mtbe=256k:  completed=%d quality=%.1f dB errors=%llu "
                 "padded=%llu discarded=%llu watchdog=%llu\n",
                 noisy_run.completed, noisy_run.qualityDb,
-                static_cast<unsigned long long>(noisy_run.errorsInjected),
-                static_cast<unsigned long long>(noisy_run.paddedItems),
-                static_cast<unsigned long long>(noisy_run.discardedItems),
-                static_cast<unsigned long long>(noisy_run.watchdogTrips));
+                static_cast<unsigned long long>(
+                    noisy_run.errorsInjected()),
+                static_cast<unsigned long long>(noisy_run.paddedItems()),
+                static_cast<unsigned long long>(
+                    noisy_run.discardedItems()),
+                static_cast<unsigned long long>(
+                    noisy_run.watchdogTrips()));
     return 0;
 }

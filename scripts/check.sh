@@ -1,0 +1,17 @@
+#!/usr/bin/env bash
+# One-stop local gate: configure, build (warnings are the default
+# -Wall -Wextra from the top-level CMakeLists), run the tier-1 test
+# suite, and validate the per-run JSONL export schema.
+#
+# Usage: scripts/check.sh [build-dir]   (default: build)
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+BUILD_DIR="${1:-build}"
+
+cmake -S . -B "$BUILD_DIR"
+cmake --build "$BUILD_DIR" -j "$(nproc)"
+ctest --test-dir "$BUILD_DIR" -L tier1 --output-on-failure
+cmake --build "$BUILD_DIR" --target schema_check
+
+echo "check.sh: all gates passed"

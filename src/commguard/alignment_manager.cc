@@ -73,6 +73,10 @@ AlignmentManager::onPop(QueueManager &qm, FrameId active_fc)
     while (true) {
         fsmOp();
 
+        // Stage profiling: one occupancy tick per FSM evaluation,
+        // bucketed by the state the FSM was in when the pop arrived.
+        _counters.amStateOccupancy.add(static_cast<std::size_t>(_state));
+
         if (_state == AmState::Pdg) {
             // Table 2: "if FSM-check not Pdg do ..." -- in Pdg the pop
             // request is answered with a 0 without touching the queue.

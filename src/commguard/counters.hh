@@ -6,11 +6,17 @@
  * managers, queue managers, and active-fc counter. The fields mirror
  * the suboperations of paper Tables 2-3 so the overhead evaluation
  * (Figs. 12 and 14) reads directly from a run.
+ *
+ * The fields are metrics::Counter values — plain embedded 64-bit
+ * counts on the increment path — and linkTo() publishes them into the
+ * per-run metrics registry, from which every reporting layer (metric
+ * snapshots, RunOutcome, JSONL export) reads.
  */
 
 #ifndef COMMGUARD_COMMGUARD_COUNTERS_HH
 #define COMMGUARD_COMMGUARD_COUNTERS_HH
 
+#include "common/metrics.hh"
 #include "common/stats.hh"
 #include "common/types.hh"
 
@@ -20,28 +26,38 @@ namespace commguard
 /** Per-core CommGuard suboperation counters. */
 struct CgCounters
 {
+    using Counter = metrics::Counter;
+
     // Memory events in the queue substrate (Fig. 12).
-    Count dataStores = 0;    //!< Item pushes.
-    Count dataLoads = 0;     //!< Item pops.
-    Count headerStores = 0;  //!< Header pushes.
-    Count headerLoads = 0;   //!< Header pops.
+    Counter dataStores;    //!< Item pushes.
+    Counter dataLoads;     //!< Item pops.
+    Counter headerStores;  //!< Header pushes.
+    Counter headerLoads;   //!< Header pops.
 
     // Table 3 suboperation classes (Fig. 14).
-    Count headerBitOps = 0;      //!< is-header tag checks.
-    Count eccChecks = 0;         //!< check-ECC for received headers.
-    Count eccComputes = 0;       //!< compute-ECC for inserted headers.
-    Count fsmOps = 0;            //!< FSM-check/update operations.
-    Count counterOps = 0;        //!< active-fc reads/increments.
-    Count prepareHeaderOps = 0;  //!< prepare-header operations.
+    Counter headerBitOps;      //!< is-header tag checks.
+    Counter eccChecks;         //!< check-ECC for received headers.
+    Counter eccComputes;       //!< compute-ECC for inserted headers.
+    Counter fsmOps;            //!< FSM-check/update operations.
+    Counter counterOps;        //!< active-fc reads/increments.
+    Counter prepareHeaderOps;  //!< prepare-header operations.
 
     // Realignment activity (Figs. 7-8).
-    Count paddedItems = 0;
-    Count discardedItems = 0;
-    Count discardedHeaders = 0;
-    Count acceptedItems = 0;
+    Counter paddedItems;
+    Counter discardedItems;
+    Counter discardedHeaders;
+    Counter acceptedItems;
 
     // Timeout recovery.
-    Count headerDropsOnTimeout = 0;
+    Counter headerDropsOnTimeout;
+
+    /**
+     * AM pop-event occupancy per FSM state (bucket order matches
+     * AmState): the per-node hardware-activity breakdown of the
+     * stage-profiling view. Shared by the core's alignment managers.
+     */
+    metrics::Histogram amStateOccupancy{
+        {"RcvCmp", "ExpHdr", "DiscFr", "Disc", "Pdg"}};
 
     /** FSM/Counter class of Fig. 14. */
     Count fsmCounterOps() const { return fsmOps + counterOps; }
@@ -56,6 +72,30 @@ struct CgCounters
     {
         return fsmCounterOps() + eccOps() + headerBitOps +
                prepareHeaderOps;
+    }
+
+    /** Register every counter in @p registry under @p prefix. */
+    void
+    linkTo(metrics::Registry &registry,
+           const std::string &prefix) const
+    {
+        registry.link(prefix + "/dataStores", dataStores);
+        registry.link(prefix + "/dataLoads", dataLoads);
+        registry.link(prefix + "/headerStores", headerStores);
+        registry.link(prefix + "/headerLoads", headerLoads);
+        registry.link(prefix + "/headerBitOps", headerBitOps);
+        registry.link(prefix + "/eccChecks", eccChecks);
+        registry.link(prefix + "/eccComputes", eccComputes);
+        registry.link(prefix + "/fsmOps", fsmOps);
+        registry.link(prefix + "/counterOps", counterOps);
+        registry.link(prefix + "/prepareHeaderOps", prepareHeaderOps);
+        registry.link(prefix + "/paddedItems", paddedItems);
+        registry.link(prefix + "/discardedItems", discardedItems);
+        registry.link(prefix + "/discardedHeaders", discardedHeaders);
+        registry.link(prefix + "/acceptedItems", acceptedItems);
+        registry.link(prefix + "/headerDropsOnTimeout",
+                      headerDropsOnTimeout);
+        registry.link(prefix + "/amState", amStateOccupancy);
     }
 
     /** Publish all counters into @p group. */

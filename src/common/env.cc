@@ -1,0 +1,36 @@
+#include "common/env.hh"
+
+#include <cstdlib>
+
+namespace commguard
+{
+
+bool
+envFlag(const char *name)
+{
+    const char *env = std::getenv(name);
+    return env != nullptr && env[0] != '\0' &&
+           !(env[0] == '0' && env[1] == '\0');
+}
+
+long
+envLong(const char *name, long fallback)
+{
+    const char *env = std::getenv(name);
+    if (env == nullptr || env[0] == '\0')
+        return fallback;
+    char *end = nullptr;
+    const long parsed = std::strtol(env, &end, 10);
+    if (end == env || *end != '\0')
+        return fallback;
+    return parsed;
+}
+
+std::string
+envString(const char *name, std::string fallback)
+{
+    const char *env = std::getenv(name);
+    return env == nullptr ? std::move(fallback) : std::string(env);
+}
+
+} // namespace commguard

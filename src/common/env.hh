@@ -1,0 +1,33 @@
+/**
+ * @file
+ * Environment-variable parsing primitives.
+ *
+ * Every CG_* knob in the project is read through these helpers so the
+ * accepted syntax ("0"/"" mean off, anything else on; strict decimal
+ * integers) is defined exactly once. User-facing documentation of the
+ * knobs lives in sim::EnvOptions and the README.
+ */
+
+#ifndef COMMGUARD_COMMON_ENV_HH
+#define COMMGUARD_COMMON_ENV_HH
+
+#include <string>
+
+namespace commguard
+{
+
+/** True when @p name is set to anything other than "" or "0". */
+bool envFlag(const char *name);
+
+/**
+ * Strict decimal integer value of @p name; @p fallback when the
+ * variable is unset, empty, or not a whole base-10 number.
+ */
+long envLong(const char *name, long fallback);
+
+/** String value of @p name; @p fallback when unset. */
+std::string envString(const char *name, std::string fallback = "");
+
+} // namespace commguard
+
+#endif // COMMGUARD_COMMON_ENV_HH

@@ -1,7 +1,6 @@
 #include "common/thread_pool.hh"
 
-#include <cstdlib>
-#include <string>
+#include "common/env.hh"
 
 namespace commguard
 {
@@ -80,12 +79,9 @@ ThreadPool::workerLoop()
 unsigned
 ThreadPool::defaultJobs()
 {
-    if (const char *env = std::getenv("CG_JOBS")) {
-        char *end = nullptr;
-        const long parsed = std::strtol(env, &end, 10);
-        if (end != env && *end == '\0' && parsed >= 1)
-            return static_cast<unsigned>(parsed);
-    }
+    const long parsed = envLong("CG_JOBS", 0);
+    if (parsed >= 1)
+        return static_cast<unsigned>(parsed);
     const unsigned hw = std::thread::hardware_concurrency();
     return hw < 1 ? 1 : hw;
 }

@@ -130,6 +130,13 @@ class CommGuardBackend : public CommBackend
 
     void exportStats(StatGroup &group) const;
 
+    void
+    linkMetrics(metrics::Registry &registry,
+                const std::string &prefix) override
+    {
+        _counters.linkTo(registry, prefix);
+    }
+
   private:
     CgCounters _counters;
     std::vector<QueueManager> _inQms;

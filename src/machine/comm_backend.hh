@@ -12,6 +12,9 @@
 #ifndef COMMGUARD_MACHINE_COMM_BACKEND_HH
 #define COMMGUARD_MACHINE_COMM_BACKEND_HH
 
+#include <string>
+
+#include "common/metrics.hh"
 #include "common/stats.hh"
 #include "common/types.hh"
 #include "queue/queue_base.hh"
@@ -89,6 +92,14 @@ class CommBackend
     exportStats(StatGroup &group) const
     {
         (void)group;
+    }
+
+    /** Register backend counters with the machine's metric registry. */
+    virtual void
+    linkMetrics(metrics::Registry &registry, const std::string &prefix)
+    {
+        (void)registry;
+        (void)prefix;
     }
 
   protected:

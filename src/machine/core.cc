@@ -108,7 +108,7 @@ Core::commit(Cycle extra_cycles, Count next_pc)
     _pc = next_pc;
     ++_counters.committedInsts;
     ++_instsThisInvocation;
-    _cycles += 1 + extra_cycles;
+    _counters.cycles += 1 + extra_cycles;
     if (--_errorCountdown == 0) [[unlikely]]
         syncScheduledErrors();
 }
@@ -149,7 +149,7 @@ void
 Core::exposeQueueWindow(Count insts, QueueBase &queue)
 {
     _counters.committedInsts += insts;
-    _cycles += insts;
+    _counters.cycles += insts;
     // The routine executes inside the current frame computation: its
     // virtual instructions count against the PPU scope budget, so a
     // long software-queue window cannot bypass watchdog accounting.

@@ -23,6 +23,7 @@
 #include <string>
 #include <vector>
 
+#include "common/metrics.hh"
 #include "common/stats.hh"
 #include "common/types.hh"
 #include "isa/program.hh"
@@ -82,17 +83,48 @@ struct RunResult
 /** Hot-path per-core event counters. */
 struct CoreCounters
 {
-    Count committedInsts = 0;
-    Count loads = 0;
-    Count stores = 0;
-    Count queuePushes = 0;
-    Count queuePops = 0;
-    Count registerFlips = 0;
-    Count scopeWatchdogTrips = 0;
-    Count nestedScopeTrips = 0;
-    Count popTimeouts = 0;
-    Count pushTimeouts = 0;
-    Count invocations = 0;
+    using Counter = metrics::Counter;
+
+    Counter committedInsts;
+    Counter cycles;
+    Counter loads;
+    Counter stores;
+    Counter queuePushes;
+    Counter queuePops;
+    Counter registerFlips;
+    Counter scopeWatchdogTrips;
+    Counter nestedScopeTrips;
+    Counter popTimeouts;
+    Counter pushTimeouts;
+    Counter invocations;
+
+    /**
+     * Scheduling slices this core spent fully blocked on a queue
+     * operation (counted by the scheduler): the per-node queue-stall
+     * share of the stage-profiling view.
+     */
+    Counter blockedSlices;
+
+    /** Register every counter in @p registry under @p prefix. */
+    void
+    linkTo(metrics::Registry &registry,
+           const std::string &prefix) const
+    {
+        registry.link(prefix + "/committedInsts", committedInsts);
+        registry.link(prefix + "/cycles", cycles);
+        registry.link(prefix + "/loads", loads);
+        registry.link(prefix + "/stores", stores);
+        registry.link(prefix + "/queuePushes", queuePushes);
+        registry.link(prefix + "/queuePops", queuePops);
+        registry.link(prefix + "/registerFlips", registerFlips);
+        registry.link(prefix + "/scopeWatchdogTrips",
+                      scopeWatchdogTrips);
+        registry.link(prefix + "/nestedScopeTrips", nestedScopeTrips);
+        registry.link(prefix + "/popTimeouts", popTimeouts);
+        registry.link(prefix + "/pushTimeouts", pushTimeouts);
+        registry.link(prefix + "/invocations", invocations);
+        registry.link(prefix + "/blockedSlices", blockedSlices);
+    }
 
     void
     exportTo(StatGroup &group) const
@@ -108,6 +140,7 @@ struct CoreCounters
         group.set("popTimeouts", popTimeouts);
         group.set("pushTimeouts", pushTimeouts);
         group.set("invocations", invocations);
+        group.set("blockedSlices", blockedSlices);
     }
 };
 
@@ -173,10 +206,14 @@ class Core
     void exposeQueueWindow(Count insts, QueueBase &queue);
 
     /** Charge raw cycles (frame-boundary serialization, ...). */
-    void addCycles(Cycle cycles) { _cycles += cycles; }
+    void addCycles(Cycle cycles) { _counters.cycles += cycles; }
 
     /** Charge the memory-subsystem cost of one queue word transfer. */
-    void chargeQueueTransfer() { _cycles += _timing.queueOpCycles; }
+    void
+    chargeQueueTransfer()
+    {
+        _counters.cycles += _timing.queueOpCycles;
+    }
 
     // ------------------------------------------------------------------
     // Introspection.
@@ -189,7 +226,7 @@ class Core
     ErrorInjector &injector() { return _injector; }
     CoreCounters &counters() { return _counters; }
     const CoreCounters &counters() const { return _counters; }
-    Cycle cycles() const { return _cycles; }
+    Cycle cycles() const { return _counters.cycles; }
     Count pc() const { return _pc; }
     const isa::Program &program() const { return _program; }
 
@@ -259,7 +296,6 @@ class Core
     Count _errorCountdown = ErrorInjector::noErrorScheduled;
     Count _errorCountdownReload = ErrorInjector::noErrorScheduled;
     std::vector<ScopeFrame> _scopeStack;
-    Cycle _cycles = 0;
 
     bool _blocked = false;
     bool _blockedIsPop = false;

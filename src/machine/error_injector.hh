@@ -17,6 +17,7 @@
 #include <cmath>
 #include <functional>
 
+#include "common/metrics.hh"
 #include "common/rng.hh"
 #include "common/types.hh"
 
@@ -107,11 +108,18 @@ class ErrorInjector
     bool flipAllRegisters() const { return _config.flipAllRegisters; }
     Count errorsInjected() const { return _errorsInjected; }
 
+    /** Counter handle for metrics-registry linking. */
+    const metrics::Counter &
+    errorsInjectedCounter() const
+    {
+        return _errorsInjected;
+    }
+
   private:
     Config _config;
     Rng _rng;
     double _untilNext = 0.0;
-    Count _errorsInjected = 0;
+    metrics::Counter _errorsInjected;
 };
 
 } // namespace commguard

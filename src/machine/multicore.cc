@@ -13,6 +13,9 @@ Multicore::addCore(const std::string &name)
     Core &core = *_cores.back();
     core.setTiming(_config.timing);
     core.setPpu(_config.ppu);
+    core.counters().linkTo(_metrics, "node/" + name);
+    _metrics.link("node/" + name + "/errorsInjected",
+                  core.injector().errorsInjectedCounter());
     return core;
 }
 
@@ -20,6 +23,8 @@ QueueBase &
 Multicore::addQueue(std::unique_ptr<QueueBase> queue)
 {
     _queues.push_back(std::move(queue));
+    _queues.back()->counters().linkTo(
+        _metrics, "queue/" + _queues.back()->name());
     return *_queues.back();
 }
 
@@ -35,6 +40,7 @@ Multicore::addRuntime(Core &core, CommBackend &backend,
                       Count total_frames)
 {
     core.setBackend(&backend);
+    backend.linkMetrics(_metrics, "cg/" + core.name());
     _runtimes.push_back(std::make_unique<CoreRuntime>(
         core, backend, total_frames, _config.timing));
     return *_runtimes.back();
@@ -62,10 +68,11 @@ Multicore::run()
                 any_progress = true;
                 blocked_rounds[i] = 0;
             } else if (step.blocked) {
+                ++runtime.core().counters().blockedSlices;
                 if (++blocked_rounds[i] >= _config.timeoutRounds) {
                     // Queue-manager timeout (paper §5.1).
                     runtime.forceTimeout();
-                    ++result.timeoutsFired;
+                    ++_timeoutsFired;
                     blocked_rounds[i] = 0;
                 }
             }
@@ -81,11 +88,11 @@ Multicore::run()
         if (!any_progress) {
             // System-wide deadlock (e.g., corrupted full/empty views,
             // Fig. 3b): break it by timing out every stuck thread.
-            ++result.deadlockBreaks;
+            ++_deadlockBreaks;
             for (auto &runtime : _runtimes) {
                 if (!runtime->finished()) {
                     runtime->forceTimeout();
-                    ++result.timeoutsFired;
+                    ++_timeoutsFired;
                 }
             }
         }
@@ -99,6 +106,8 @@ Multicore::run()
 
     result.totalInstructions = totalCommittedInsts();
     result.totalCycles = totalCycles();
+    result.timeoutsFired = _timeoutsFired;
+    result.deadlockBreaks = _deadlockBreaks;
     return result;
 }
 

@@ -18,6 +18,7 @@
 #include <memory>
 #include <vector>
 
+#include "common/metrics.hh"
 #include "common/stats.hh"
 #include "machine/core.hh"
 #include "machine/core_runtime.hh"
@@ -58,7 +59,11 @@ struct MachineRunResult
 class Multicore
 {
   public:
-    explicit Multicore(MachineConfig config = {}) : _config(config) {}
+    explicit Multicore(MachineConfig config = {})
+        : _config(config),
+          _timeoutsFired(_metrics.counter("machine/timeoutsFired")),
+          _deadlockBreaks(_metrics.counter("machine/deadlockBreaks"))
+    {}
 
     /** Create a new core (owned by the machine). */
     Core &addCore(const std::string &name);
@@ -85,6 +90,14 @@ class Multicore
     /** Export the full statistics tree (cores, backends, queues). */
     StatGroup collectStats() const;
 
+    /**
+     * Per-run metric directory: every component registered its
+     * counters here when it was added to the machine. snapshot() it
+     * after run() for the run's complete observability record.
+     */
+    metrics::Registry &metrics() { return _metrics; }
+    const metrics::Registry &metrics() const { return _metrics; }
+
     MachineConfig &config() { return _config; }
     std::vector<std::unique_ptr<Core>> &cores() { return _cores; }
     std::vector<std::unique_ptr<QueueBase>> &queues() { return _queues; }
@@ -95,6 +108,12 @@ class Multicore
 
   private:
     MachineConfig _config;
+    metrics::Registry _metrics;
+
+    // Scheduler-level counters (owned by the registry).
+    metrics::Counter &_timeoutsFired;
+    metrics::Counter &_deadlockBreaks;
+
     std::vector<std::unique_ptr<Core>> _cores;
     std::vector<std::unique_ptr<QueueBase>> _queues;
     std::vector<std::unique_ptr<CommBackend>> _backends;

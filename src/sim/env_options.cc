@@ -1,0 +1,24 @@
+#include "sim/env_options.hh"
+
+#include "common/env.hh"
+
+namespace commguard::sim
+{
+
+const EnvOptions &
+EnvOptions::get()
+{
+    static const EnvOptions options = [] {
+        EnvOptions parsed;
+        parsed.quick = envFlag("CG_QUICK");
+        const long jobs = envLong("CG_JOBS", 0);
+        parsed.jobs = jobs > 0 ? static_cast<unsigned>(jobs) : 0;
+        parsed.csv = envFlag("CG_CSV");
+        parsed.json = envFlag("CG_JSON");
+        parsed.jsonlPath = envString("CG_JSONL", "");
+        return parsed;
+    }();
+    return options;
+}
+
+} // namespace commguard::sim

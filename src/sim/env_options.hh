@@ -1,0 +1,43 @@
+/**
+ * @file
+ * One place for every CG_* environment knob the benches and the
+ * experiment engine honor. Each knob is parsed once (first access) with
+ * a documented default; bench mains and helpers read the struct instead
+ * of re-parsing getenv() with ad-hoc rules.
+ *
+ * Knobs:
+ *   CG_QUICK  flag,  default off   reduced sweeps (fewer seeds/points)
+ *   CG_JOBS   int,   default 0     host threads for sweeps; 0 = number
+ *                                  of hardware threads; 1 = sequential
+ *   CG_CSV    flag,  default off   also print tables as CSV
+ *   CG_JSON   flag,  default off   write BENCH_<name>.json per table
+ *   CG_JSONL  path,  default ""    append one JSON record per sweep
+ *                                  run to this file ("" disables)
+ *
+ * Flag semantics (common/env.hh): set and neither "" nor "0" means on.
+ */
+
+#ifndef COMMGUARD_SIM_ENV_OPTIONS_HH
+#define COMMGUARD_SIM_ENV_OPTIONS_HH
+
+#include <string>
+
+namespace commguard::sim
+{
+
+/** Parsed CG_* environment options. */
+struct EnvOptions
+{
+    bool quick = false;        //!< CG_QUICK
+    unsigned jobs = 0;         //!< CG_JOBS (0 = hardware threads)
+    bool csv = false;          //!< CG_CSV
+    bool json = false;         //!< CG_JSON
+    std::string jsonlPath;     //!< CG_JSONL ("" = disabled)
+
+    /** The process's options, parsed once on first call. */
+    static const EnvOptions &get();
+};
+
+} // namespace commguard::sim
+
+#endif // COMMGUARD_SIM_ENV_OPTIONS_HH

@@ -2,7 +2,6 @@
 
 #include <cmath>
 
-#include "queue/working_set_queue.hh"
 #include "sim/sweep_runner.hh"
 
 namespace commguard::sim
@@ -18,43 +17,18 @@ runOnce(const apps::App &app, const streamit::LoadOptions &options)
 
     RunOutcome outcome;
     outcome.completed = machine_result.completed;
-    outcome.totalInstructions = machine_result.totalInstructions;
-    outcome.totalCycles = machine_result.totalCycles;
-    outcome.timeoutsFired = machine_result.timeoutsFired;
-    outcome.deadlockBreaks = machine_result.deadlockBreaks;
-
-    for (const auto &core : loaded.machine->cores()) {
-        const CoreCounters &c = core->counters();
-        outcome.coreLoads += c.loads;
-        outcome.coreStores += c.stores;
-        outcome.watchdogTrips += c.scopeWatchdogTrips;
-        outcome.invocations += c.invocations;
-        outcome.errorsInjected += core->injector().errorsInjected();
-    }
-
-    for (const CommGuardBackend *backend : loaded.cgBackends) {
-        const CgCounters &c = backend->counters();
-        outcome.paddedItems += c.paddedItems;
-        outcome.discardedItems += c.discardedItems;
-        outcome.discardedHeaders += c.discardedHeaders;
-        outcome.acceptedItems += c.acceptedItems;
-        outcome.headerLoads += c.headerLoads;
-        outcome.headerStores += c.headerStores;
-        outcome.dataLoads += c.dataLoads;
-        outcome.dataStores += c.dataStores;
-        outcome.fsmCounterOps += c.fsmCounterOps();
-        outcome.eccOps += c.eccOps();
-        outcome.headerBitOps += c.headerBitOps;
-        outcome.totalCgOps += c.totalOps();
-    }
-
-    for (const auto &queue : loaded.machine->queues())
-        outcome.worksetEccOps += queue->counters().worksetEccOps;
-    outcome.eccOps += outcome.worksetEccOps;
-    outcome.totalCgOps += outcome.worksetEccOps;
-
     outcome.output = loaded.collector->items();
     outcome.qualityDb = app.quality(outcome.output);
+
+    // The machine's registry already holds every component counter;
+    // append the harness-level observables so the snapshot is the
+    // run's complete record.
+    outcome.snapshot = loaded.machine->metrics().snapshot();
+    outcome.snapshot.setCounter("run/completed",
+                                machine_result.completed ? 1 : 0);
+    outcome.snapshot.setCounter("run/outputItems",
+                                outcome.output.size());
+    outcome.snapshot.setGauge("run/qualityDb", outcome.qualityDb);
     return outcome;
 }
 
@@ -75,11 +49,18 @@ summarize(const std::vector<double> &samples)
     }
     stats.mean = sum / static_cast<double>(samples.size());
 
+    // One sample has no spread, and a non-finite mean (error-free
+    // runs report +inf dB) would make the variance inf - inf = NaN.
+    if (samples.size() == 1 || !std::isfinite(stats.mean)) {
+        stats.stddev = 0.0;
+        return stats;
+    }
+
     double var = 0.0;
     for (double s : samples)
         var += (s - stats.mean) * (s - stats.mean);
-    stats.stddev =
-        std::sqrt(var / static_cast<double>(samples.size()));
+    var /= static_cast<double>(samples.size());
+    stats.stddev = var > 0.0 ? std::sqrt(var) : 0.0;
     return stats;
 }
 

@@ -4,6 +4,14 @@
  * reproducing the paper's methodology (§6): for every MTBE the
  * application runs 5 times with different random seeds and the mean and
  * deviation of output quality are reported.
+ *
+ * A run's complete observability record is its MetricSnapshot: every
+ * counter any component registered during the run, flattened under the
+ * stable names documented in docs/METRICS.md. RunOutcome is a thin
+ * typed view over that snapshot — the named accessors below are the
+ * aggregations the figures need, each computed by summing one metric
+ * leaf across all components, so no per-field hand-copying exists
+ * between the machine and the reporting layers.
  */
 
 #ifndef COMMGUARD_SIM_EXPERIMENT_HH
@@ -13,56 +21,135 @@
 #include <vector>
 
 #include "apps/app.hh"
+#include "common/metrics.hh"
 #include "streamit/loader.hh"
 
 namespace commguard::sim
 {
 
-/** Aggregated observables of one run. */
+/**
+ * Observables of one run: the full metric snapshot plus the bulk
+ * output stream, with typed accessors for the figure-level aggregates.
+ */
 struct RunOutcome
 {
+    /**
+     * Every metric the machine registered during the run, plus the
+     * harness-level run entries (run/completed, run/outputItems and
+     * the run/qualityDb gauge). Single source for every accessor
+     * below and for the JSONL/BENCH export layers.
+     */
+    metrics::MetricSnapshot snapshot;
+
     double qualityDb = 0.0;
     bool completed = false;
 
-    Count totalInstructions = 0;
-    Cycle totalCycles = 0;
-    Count timeoutsFired = 0;
-    Count deadlockBreaks = 0;
+    /** The collected output stream (moved from the collector). */
+    std::vector<Word> output;
 
-    // Core aggregates.
-    Count coreLoads = 0;
-    Count coreStores = 0;
-    Count errorsInjected = 0;
-    Count watchdogTrips = 0;
-    Count invocations = 0;
+    // ------------------------------------------------------------------
+    // Machine-level aggregates.
+    // ------------------------------------------------------------------
 
+    Count totalInstructions() const
+    {
+        return snapshot.total("committedInsts");
+    }
+    Cycle totalCycles() const { return snapshot.total("cycles"); }
+    Count timeoutsFired() const
+    {
+        return snapshot.get("machine/timeoutsFired");
+    }
+    Count deadlockBreaks() const
+    {
+        return snapshot.get("machine/deadlockBreaks");
+    }
+
+    // ------------------------------------------------------------------
+    // Core aggregates (summed over all nodes).
+    // ------------------------------------------------------------------
+
+    Count coreLoads() const { return snapshot.total("loads"); }
+    Count coreStores() const { return snapshot.total("stores"); }
+    Count errorsInjected() const
+    {
+        return snapshot.total("errorsInjected");
+    }
+    Count watchdogTrips() const
+    {
+        return snapshot.total("scopeWatchdogTrips");
+    }
+    Count invocations() const { return snapshot.total("invocations"); }
+
+    /** Scheduler slices spent fully blocked on queues (stage profile). */
+    Count blockedSlices() const
+    {
+        return snapshot.total("blockedSlices");
+    }
+
+    // ------------------------------------------------------------------
     // CommGuard aggregates (zero unless mode == CommGuard).
-    Count paddedItems = 0;
-    Count discardedItems = 0;
-    Count discardedHeaders = 0;
-    Count acceptedItems = 0;
-    Count headerLoads = 0;
-    Count headerStores = 0;
-    Count dataLoads = 0;
-    Count dataStores = 0;
-    Count fsmCounterOps = 0;
-    Count eccOps = 0;
-    Count headerBitOps = 0;
-    Count totalCgOps = 0;
-    Count worksetEccOps = 0;
+    // ------------------------------------------------------------------
+
+    Count paddedItems() const { return snapshot.total("paddedItems"); }
+    Count discardedItems() const
+    {
+        return snapshot.total("discardedItems");
+    }
+    Count discardedHeaders() const
+    {
+        return snapshot.total("discardedHeaders");
+    }
+    Count acceptedItems() const
+    {
+        return snapshot.total("acceptedItems");
+    }
+    Count headerLoads() const { return snapshot.total("headerLoads"); }
+    Count headerStores() const
+    {
+        return snapshot.total("headerStores");
+    }
+    Count dataLoads() const { return snapshot.total("dataLoads"); }
+    Count dataStores() const { return snapshot.total("dataStores"); }
+    Count headerBitOps() const
+    {
+        return snapshot.total("headerBitOps");
+    }
+    Count worksetEccOps() const
+    {
+        return snapshot.total("worksetEccOps");
+    }
+
+    /** FSM transitions + active-fc counter updates (Table 2). */
+    Count fsmCounterOps() const
+    {
+        return snapshot.total("fsmOps") + snapshot.total("counterOps");
+    }
+
+    /** ECC checks + recomputations, including working-set ECC. */
+    Count eccOps() const
+    {
+        return snapshot.total("eccChecks") +
+               snapshot.total("eccComputes") + worksetEccOps();
+    }
+
+    /** All CommGuard suboperations (Fig. 14's total). */
+    Count totalCgOps() const
+    {
+        return fsmCounterOps() + eccOps() + headerBitOps() +
+               snapshot.total("prepareHeaderOps");
+    }
 
     /** Paper Fig. 8 metric: (padded + discarded) / accepted. */
     double
     dataLossRatio() const
     {
-        if (acceptedItems == 0)
+        const Count accepted = acceptedItems();
+        if (accepted == 0)
             return 0.0;
-        return static_cast<double>(paddedItems + discardedItems) /
-               static_cast<double>(acceptedItems);
+        return static_cast<double>(paddedItems() + discardedItems()) /
+               static_cast<double>(accepted);
     }
-
-    /** The collected output stream (moved from the collector). */
-    std::vector<Word> output;
 };
 
 /** Run one application once under the given options. */
@@ -78,6 +165,12 @@ struct SampleStats
     double max = 0.0;
 };
 
+/**
+ * Population mean/stddev/min/max of @p samples. Well-defined on the
+ * degenerate inputs the sweeps produce: an empty set is all zeros, a
+ * single sample has zero deviation, and a non-finite mean (error-free
+ * runs report +inf dB) yields zero deviation instead of NaN.
+ */
 SampleStats summarize(const std::vector<double> &samples);
 
 /** The paper's MTBE axis: {64, 128, 256, ..., 8192} * 1000 insts. */

@@ -1,0 +1,162 @@
+/**
+ * @file
+ * Validating fluent builder for experiment runs.
+ *
+ * Replaces raw streamit::LoadOptions construction in benches, examples
+ * and tests:
+ *
+ *     const sim::RunOutcome outcome =
+ *         sim::ExperimentConfig::app(jpeg)
+ *             .mode(streamit::ProtectionMode::CommGuard)
+ *             .mtbe(256'000)
+ *             .seedIndex(0)
+ *             .run();
+ *
+ * Nonsense configurations (mtbe <= 0, a zero frame scale, a per-node
+ * frame-scale vector whose length does not match the graph) are
+ * rejected with std::invalid_argument when the option is set — before
+ * any machine is built — instead of surfacing as a mid-run fatal() or
+ * a silently meaningless sweep.
+ */
+
+#ifndef COMMGUARD_SIM_EXPERIMENT_CONFIG_HH
+#define COMMGUARD_SIM_EXPERIMENT_CONFIG_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/experiment.hh"
+#include "sim/sweep_runner.hh"
+
+namespace commguard::sim
+{
+
+/**
+ * A validated (app, LoadOptions) pair under construction. All setters
+ * return *this for chaining; terminal operations are options(),
+ * descriptor() and run().
+ */
+class ExperimentConfig
+{
+  public:
+    /** Start a configuration for @p app (not owned; must outlive it). */
+    static ExperimentConfig
+    app(const apps::App &application)
+    {
+        return ExperimentConfig(application);
+    }
+
+    /** Protection configuration (paper Fig. 3). */
+    ExperimentConfig &
+    mode(streamit::ProtectionMode value)
+    {
+        _options.mode = value;
+        return *this;
+    }
+
+    /** Mean instructions between errors; must be positive. */
+    ExperimentConfig &mtbe(double value);
+
+    /** Disable error injection (error-free / overhead runs). */
+    ExperimentConfig &
+    noErrors()
+    {
+        _options.injectErrors = false;
+        return *this;
+    }
+
+    ExperimentConfig &
+    injectErrors(bool value)
+    {
+        _options.injectErrors = value;
+        return *this;
+    }
+
+    /** Raw base RNG seed. */
+    ExperimentConfig &
+    seed(std::uint64_t value)
+    {
+        _options.seed = value;
+        return *this;
+    }
+
+    /**
+     * Canonical sweep seed for 0-based @p index — the same derivation
+     * sweepOptions() uses, so builder-made runs join sweep batches
+     * bit-identically.
+     */
+    ExperimentConfig &seedIndex(int index);
+
+    /** Uniform frame scale (§5.4); must be nonzero. */
+    ExperimentConfig &frameScale(Count value);
+
+    /**
+     * Per-node frame scales (§5.4); the vector length must equal the
+     * app graph's node count and every entry must be nonzero. An empty
+     * vector restores the uniform frameScale.
+     */
+    ExperimentConfig &perNodeFrameScale(std::vector<Count> scales);
+
+    ExperimentConfig &
+    flipAllRegisters(bool value)
+    {
+        _options.flipAllRegisters = value;
+        return *this;
+    }
+
+    ExperimentConfig &
+    guardSourceEdge(bool value)
+    {
+        _options.guardSourceEdge = value;
+        return *this;
+    }
+
+    ExperimentConfig &
+    frameAlignedOutput(bool value)
+    {
+        _options.frameAlignedOutput = value;
+        return *this;
+    }
+
+    /** Minimum queue capacity in words; must be nonzero. */
+    ExperimentConfig &queueCapacityWords(std::size_t words);
+
+    ExperimentConfig &
+    machine(const MachineConfig &config)
+    {
+        _options.machine = config;
+        return *this;
+    }
+
+    // ------------------------------------------------------------------
+    // Terminal operations.
+    // ------------------------------------------------------------------
+
+    /** The validated loader options. */
+    const streamit::LoadOptions &options() const { return _options; }
+
+    /** The app this configuration targets. */
+    const apps::App &targetApp() const { return *_app; }
+
+    /** As a sweep-queue entry. */
+    RunDescriptor
+    descriptor() const
+    {
+        return RunDescriptor{_app, _options};
+    }
+
+    /** Build the machine and run to completion. */
+    RunOutcome run() const;
+
+  private:
+    explicit ExperimentConfig(const apps::App &application)
+        : _app(&application)
+    {}
+
+    const apps::App *_app;
+    streamit::LoadOptions _options;
+};
+
+} // namespace commguard::sim
+
+#endif // COMMGUARD_SIM_EXPERIMENT_CONFIG_HH

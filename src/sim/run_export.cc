@@ -1,0 +1,59 @@
+#include "sim/run_export.hh"
+
+#include <fstream>
+
+#include "common/logging.hh"
+#include "common/metrics.hh"
+
+namespace commguard::sim
+{
+
+Json
+runRecordJson(const RunDescriptor &descriptor,
+              const RunOutcome &outcome)
+{
+    Json record = metrics::snapshotToJson(outcome.snapshot);
+    record["app"] = Json(descriptor.app->name);
+    record["mode"] =
+        Json(streamit::protectionModeName(descriptor.options.mode));
+    record["inject_errors"] = Json(descriptor.options.injectErrors);
+    record["mtbe"] = Json(descriptor.options.mtbe);
+    record["seed"] = Json(Count{descriptor.options.seed});
+    record["frame_scale"] = Json(descriptor.options.frameScale);
+    return record;
+}
+
+void
+appendJsonl(const std::string &path, const std::vector<Json> &records)
+{
+    std::ofstream out(path, std::ios::app);
+    if (!out) {
+        warn("run_export: cannot open '" + path +
+             "' for appending");
+        return;
+    }
+    for (const Json &record : records) {
+        record.write(out);
+        out << '\n';
+    }
+}
+
+void
+writeBenchJson(const std::string &name, const Json &data)
+{
+    Json document = Json::object();
+    document["schema_version"] = Json(metrics::kSchemaVersion);
+    document["bench"] = Json(name);
+    document["data"] = data;
+
+    const std::string path = "BENCH_" + name + ".json";
+    std::ofstream out(path);
+    if (!out) {
+        warn("run_export: cannot write '" + path + "'");
+        return;
+    }
+    document.write(out);
+    out << '\n';
+}
+
+} // namespace commguard::sim

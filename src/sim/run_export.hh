@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Structured run/figure export: the one place that turns snapshots and
+ * tables into files.
+ *
+ * Two artifact kinds, both carrying metrics::kSchemaVersion as a
+ * "schema_version" field so downstream tooling can reject layouts it
+ * does not understand:
+ *
+ *  - Per-run JSONL: one canonical-JSON line per sweep run (descriptor
+ *    fields + the full MetricSnapshot). SweepRunner appends these after
+ *    each batch, in submission order, when CG_JSONL=<path> is set —
+ *    ordering and content are therefore identical for any CG_JOBS.
+ *
+ *  - BENCH_<name>.json: a figure program's table, written next to the
+ *    run directory through writeBenchJson().
+ *
+ * JSON is canonical (sorted keys, exact 64-bit counters, non-finite
+ * doubles as tagged strings), so equal inputs produce byte-identical
+ * files.
+ */
+
+#ifndef COMMGUARD_SIM_RUN_EXPORT_HH
+#define COMMGUARD_SIM_RUN_EXPORT_HH
+
+#include <string>
+#include <vector>
+
+#include "common/json.hh"
+#include "sim/sweep_runner.hh"
+#include "sim/table.hh"
+
+namespace commguard::sim
+{
+
+/**
+ * The JSONL record of one run: snapshotToJson() of the outcome's
+ * snapshot plus the identifying descriptor fields ("app", "mode",
+ * "inject_errors", "mtbe", "seed", "frame_scale"). snapshotFromJson()
+ * accepts the result unchanged (extra keys are ignored), so a parsed
+ * line round-trips to the exact in-memory snapshot.
+ */
+Json runRecordJson(const RunDescriptor &descriptor,
+                   const RunOutcome &outcome);
+
+/** Append @p records to @p path, one canonical-JSON line each. */
+void appendJsonl(const std::string &path,
+                 const std::vector<Json> &records);
+
+/**
+ * Write BENCH_<name>.json in the working directory:
+ * {"schema_version": ..., "bench": name, "data": data}.
+ */
+void writeBenchJson(const std::string &name, const Json &data);
+
+} // namespace commguard::sim
+
+#endif // COMMGUARD_SIM_RUN_EXPORT_HH

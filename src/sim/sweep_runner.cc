@@ -3,6 +3,9 @@
 #include <chrono>
 #include <cstdio>
 
+#include "sim/env_options.hh"
+#include "sim/run_export.hh"
+
 namespace commguard::sim
 {
 
@@ -78,6 +81,17 @@ SweepRunner::runAll()
         });
     }
     _pool.wait();
+
+    // Per-run JSONL export (CG_JSONL=<path>): written after the batch
+    // in submission order, so file content is independent of CG_JOBS.
+    const std::string &jsonl_path = EnvOptions::get().jsonlPath;
+    if (!jsonl_path.empty() && !batch.empty()) {
+        std::vector<Json> records;
+        records.reserve(batch.size());
+        for (std::size_t i = 0; i < batch.size(); ++i)
+            records.push_back(runRecordJson(batch[i], outcomes[i]));
+        appendJsonl(jsonl_path, records);
+    }
     return outcomes;
 }
 

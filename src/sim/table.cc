@@ -61,6 +61,27 @@ Table::printCsv(std::ostream &os) const
         print_row(row);
 }
 
+Json
+Table::toJson() const
+{
+    Json headers = Json::array();
+    for (const std::string &header : _headers)
+        headers.push(Json(header));
+
+    Json rows = Json::array();
+    for (const auto &row : _rows) {
+        Json cells = Json::array();
+        for (const std::string &cell : row)
+            cells.push(Json(cell));
+        rows.push(std::move(cells));
+    }
+
+    Json table = Json::object();
+    table["headers"] = std::move(headers);
+    table["rows"] = std::move(rows);
+    return table;
+}
+
 std::string
 fmt(double value, int precision)
 {

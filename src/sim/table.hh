@@ -10,6 +10,8 @@
 #include <string>
 #include <vector>
 
+#include "common/json.hh"
+
 namespace commguard::sim
 {
 
@@ -29,6 +31,9 @@ class Table
 
     /** Print as CSV (for plotting). */
     void printCsv(std::ostream &os = std::cout) const;
+
+    /** As {"headers": [...], "rows": [[...], ...]} (BENCH export). */
+    Json toJson() const;
 
   private:
     std::vector<std::string> _headers;

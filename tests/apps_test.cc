@@ -11,6 +11,7 @@
 #include <cmath>
 
 #include "sim/experiment.hh"
+#include "sim/experiment_config.hh"
 
 namespace commguard
 {
@@ -18,16 +19,12 @@ namespace
 {
 
 using apps::App;
-using streamit::LoadOptions;
 using streamit::ProtectionMode;
 
-LoadOptions
-errorFree()
+sim::RunOutcome
+runErrorFree(const App &app, ProtectionMode mode)
 {
-    LoadOptions options;
-    options.mode = ProtectionMode::CommGuard;
-    options.injectErrors = false;
-    return options;
+    return sim::ExperimentConfig::app(app).mode(mode).noErrors().run();
 }
 
 /** Small app variants so the whole suite stays fast. */
@@ -54,7 +51,8 @@ class AppCase : public ::testing::TestWithParam<std::string>
 TEST_P(AppCase, ErrorFreeCommGuardMatchesReference)
 {
     const App app = makeSmallApp(GetParam());
-    const sim::RunOutcome outcome = sim::runOnce(app, errorFree());
+    const sim::RunOutcome outcome =
+        runErrorFree(app, ProtectionMode::CommGuard);
     EXPECT_TRUE(outcome.completed);
     if (std::isinf(app.errorFreeQualityDb)) {
         // SNR apps: bit-exact match with the host model.
@@ -64,18 +62,17 @@ TEST_P(AppCase, ErrorFreeCommGuardMatchesReference)
         EXPECT_NEAR(outcome.qualityDb, app.errorFreeQualityDb, 0.35);
     }
     // No realignment activity without errors.
-    EXPECT_EQ(outcome.paddedItems, 0u);
-    EXPECT_EQ(outcome.discardedItems, 0u);
-    EXPECT_EQ(outcome.timeoutsFired, 0u);
-    EXPECT_EQ(outcome.watchdogTrips, 0u);
+    EXPECT_EQ(outcome.paddedItems(), 0u);
+    EXPECT_EQ(outcome.discardedItems(), 0u);
+    EXPECT_EQ(outcome.timeoutsFired(), 0u);
+    EXPECT_EQ(outcome.watchdogTrips(), 0u);
 }
 
 TEST_P(AppCase, ErrorFreeReliableQueueMatchesToo)
 {
     const App app = makeSmallApp(GetParam());
-    LoadOptions options = errorFree();
-    options.mode = ProtectionMode::ReliableQueue;
-    const sim::RunOutcome outcome = sim::runOnce(app, options);
+    const sim::RunOutcome outcome =
+        runErrorFree(app, ProtectionMode::ReliableQueue);
     EXPECT_TRUE(outcome.completed);
     if (std::isinf(app.errorFreeQualityDb))
         EXPECT_TRUE(std::isinf(outcome.qualityDb));
@@ -94,12 +91,11 @@ TEST_P(AppCase, ExtremeErrorRatesAlwaysComplete)
     for (ProtectionMode mode :
          {ProtectionMode::PpuOnly, ProtectionMode::ReliableQueue,
           ProtectionMode::CommGuard}) {
-        LoadOptions options;
-        options.mode = mode;
-        options.injectErrors = true;
-        options.mtbe = 64'000;
-        options.seed = 11;
-        const sim::RunOutcome outcome = sim::runOnce(app, options);
+        const sim::RunOutcome outcome = sim::ExperimentConfig::app(app)
+                                            .mode(mode)
+                                            .mtbe(64'000)
+                                            .seed(11)
+                                            .run();
         EXPECT_TRUE(outcome.completed)
             << GetParam() << " under "
             << streamit::protectionModeName(mode);
@@ -111,15 +107,15 @@ TEST_P(AppCase, ExtremeErrorRatesAlwaysComplete)
 TEST_P(AppCase, ErrorRunsAreDeterministicPerSeed)
 {
     const App app = makeSmallApp(GetParam());
-    LoadOptions options;
-    options.mode = ProtectionMode::CommGuard;
-    options.injectErrors = true;
-    options.mtbe = 128'000;
-    options.seed = 99;
-    const sim::RunOutcome a = sim::runOnce(app, options);
-    const sim::RunOutcome b = sim::runOnce(app, options);
+    const sim::ExperimentConfig config =
+        sim::ExperimentConfig::app(app)
+            .mode(ProtectionMode::CommGuard)
+            .mtbe(128'000)
+            .seed(99);
+    const sim::RunOutcome a = config.run();
+    const sim::RunOutcome b = config.run();
     EXPECT_EQ(a.output, b.output);
-    EXPECT_EQ(a.errorsInjected, b.errorsInjected);
+    EXPECT_EQ(a.errorsInjected(), b.errorsInjected());
     EXPECT_EQ(a.qualityDb, b.qualityDb);
 }
 
@@ -193,12 +189,12 @@ TEST(Apps, CommGuardRecoversWhereReliableQueueDegrades)
     auto mean_quality = [&](ProtectionMode mode) {
         double sum = 0.0;
         for (std::uint64_t seed = 1; seed <= 5; ++seed) {
-            LoadOptions options;
-            options.mode = mode;
-            options.injectErrors = true;
-            options.mtbe = 128'000;
-            options.seed = seed;
-            sum += sim::runOnce(app, options).qualityDb;
+            sum += sim::ExperimentConfig::app(app)
+                       .mode(mode)
+                       .mtbe(128'000)
+                       .seed(seed)
+                       .run()
+                       .qualityDb;
         }
         return sum / 5.0;
     };
@@ -215,12 +211,12 @@ TEST(Apps, FrameScaleTradesLossGranularity)
     const App app = apps::makeMp3App(2048);
 
     auto headers_at_scale = [&](Count scale) {
-        LoadOptions options;
-        options.mode = ProtectionMode::CommGuard;
-        options.injectErrors = false;
-        options.frameScale = scale;
-        const sim::RunOutcome outcome = sim::runOnce(app, options);
-        return outcome.headerStores;
+        return sim::ExperimentConfig::app(app)
+            .mode(ProtectionMode::CommGuard)
+            .noErrors()
+            .frameScale(scale)
+            .run()
+            .headerStores();
     };
 
     const Count h1 = headers_at_scale(1);

@@ -12,6 +12,7 @@
 #include <gtest/gtest.h>
 
 #include "sim/experiment.hh"
+#include "sim/experiment_config.hh"
 #include "streamit/loader.hh"
 
 namespace commguard
@@ -98,6 +99,53 @@ TEST_P(Conservation, ErroneousQueuesStillBalance)
     }
     // (SoftwareQueue is exempt: pointer corruption *is* word loss —
     // that is the Fig. 3b failure mode.)
+}
+
+/**
+ * Registry-level conservation, through the snapshot every reporting
+ * layer consumes (one MTBE point, every app, every mode): in CommGuard
+ * mode each core pop is answered by exactly one accepted or padded
+ * item, items leave guarded queues only as accepted/discarded data or
+ * header traffic, and realignment counters (padding in particular) are
+ * exclusive to CommGuard mode.
+ */
+TEST_P(Conservation, SnapshotCountersConserve)
+{
+    const apps::App app = makeSmallApp(GetParam());
+    for (ProtectionMode mode :
+         {ProtectionMode::PpuOnly, ProtectionMode::ReliableQueue,
+          ProtectionMode::CommGuard}) {
+        SCOPED_TRACE(streamit::protectionModeName(mode));
+        const sim::RunOutcome outcome = sim::ExperimentConfig::app(app)
+                                            .mode(mode)
+                                            .mtbe(256'000)
+                                            .seed(21)
+                                            .run();
+        const metrics::MetricSnapshot &s = outcome.snapshot;
+        if (mode == ProtectionMode::CommGuard) {
+            // Every consumer pop answered by an accepted item or a
+            // fabricated pad — nothing lost, nothing double-counted.
+            EXPECT_EQ(s.total("queuePops"),
+                      s.total("acceptedItems") + s.total("paddedItems"));
+            // Every data word the AMs consumed was either delivered
+            // or discarded — the producer side of the same ledger.
+            EXPECT_EQ(s.total("dataLoads"),
+                      s.total("acceptedItems") +
+                          s.total("discardedItems"));
+            // Accepted + discarded data came out of producer pushes
+            // (the rest of the pushed words are headers or residue;
+            // the totals include the I/O device queues, which only
+            // widens the bound).
+            EXPECT_LE(s.total("acceptedItems") +
+                          s.total("discardedItems"),
+                      s.total("pushes"));
+        } else {
+            // Realignment metrics exist only under CommGuard.
+            EXPECT_EQ(s.total("paddedItems"), 0u);
+            EXPECT_EQ(s.total("discardedItems"), 0u);
+            EXPECT_EQ(s.total("acceptedItems"), 0u);
+        }
+    }
 }
 
 INSTANTIATE_TEST_SUITE_P(

@@ -10,6 +10,7 @@
 #include <sstream>
 
 #include "sim/experiment.hh"
+#include "sim/experiment_config.hh"
 #include "sim/reliability.hh"
 #include "sim/table.hh"
 
@@ -99,26 +100,26 @@ TEST(Fmt, Precision)
 TEST(RunOnce, OutcomeFieldsAreConsistent)
 {
     const apps::App app = apps::makeFftApp(32);
-    streamit::LoadOptions options;
-    options.mode = streamit::ProtectionMode::CommGuard;
-    options.injectErrors = true;
-    options.mtbe = 200'000;
-    options.seed = 5;
-    const RunOutcome outcome = runOnce(app, options);
+    const RunOutcome outcome =
+        ExperimentConfig::app(app)
+            .mode(streamit::ProtectionMode::CommGuard)
+            .mtbe(200'000)
+            .seed(5)
+            .run();
 
     EXPECT_TRUE(outcome.completed);
-    EXPECT_GT(outcome.totalInstructions, 0u);
-    EXPECT_GE(outcome.totalCycles, outcome.totalInstructions);
+    EXPECT_GT(outcome.totalInstructions(), 0u);
+    EXPECT_GE(outcome.totalCycles(), outcome.totalInstructions());
     // 9 graph nodes x 32 invocations each.
-    EXPECT_EQ(outcome.invocations, 9u * 32u);
+    EXPECT_EQ(outcome.invocations(), 9u * 32u);
     // Every delivered item was accepted or padded; loss ratio is
     // consistent with its components.
-    if (outcome.acceptedItems > 0) {
+    if (outcome.acceptedItems() > 0) {
         EXPECT_DOUBLE_EQ(
             outcome.dataLossRatio(),
-            static_cast<double>(outcome.paddedItems +
-                                outcome.discardedItems) /
-                static_cast<double>(outcome.acceptedItems));
+            static_cast<double>(outcome.paddedItems() +
+                                outcome.discardedItems()) /
+                static_cast<double>(outcome.acceptedItems()));
     }
     // Output stream was collected.
     EXPECT_EQ(outcome.output.size(), 32u * 128u);
@@ -127,15 +128,16 @@ TEST(RunOnce, OutcomeFieldsAreConsistent)
 TEST(RunOnce, ErrorFreeHasNoCommGuardRepairs)
 {
     const apps::App app = apps::makeFftApp(16);
-    streamit::LoadOptions options;
-    options.mode = streamit::ProtectionMode::CommGuard;
-    options.injectErrors = false;
-    const RunOutcome outcome = runOnce(app, options);
-    EXPECT_EQ(outcome.errorsInjected, 0u);
-    EXPECT_EQ(outcome.paddedItems, 0u);
-    EXPECT_EQ(outcome.discardedItems, 0u);
-    EXPECT_GT(outcome.headerStores, 0u);  // Headers still flow.
-    EXPECT_GT(outcome.totalCgOps, 0u);
+    const RunOutcome outcome =
+        ExperimentConfig::app(app)
+            .mode(streamit::ProtectionMode::CommGuard)
+            .noErrors()
+            .run();
+    EXPECT_EQ(outcome.errorsInjected(), 0u);
+    EXPECT_EQ(outcome.paddedItems(), 0u);
+    EXPECT_EQ(outcome.discardedItems(), 0u);
+    EXPECT_GT(outcome.headerStores(), 0u);  // Headers still flow.
+    EXPECT_GT(outcome.totalCgOps(), 0u);
 }
 
 // ----------------------------------------------------------------------
@@ -200,20 +202,23 @@ TEST(Reliability, MeasuredStaysBelowBound)
     const Count items_per_frame = 64 * 8 * 3;
     const ReliabilityModel model = buildReliabilityModel(app);
 
-    streamit::LoadOptions clean;
-    clean.mode = streamit::ProtectionMode::CommGuard;
-    clean.injectErrors = false;
-    const std::vector<Word> reference = runOnce(app, clean).output;
+    const std::vector<Word> reference =
+        ExperimentConfig::app(app)
+            .mode(streamit::ProtectionMode::CommGuard)
+            .noErrors()
+            .run()
+            .output;
 
     for (double mtbe : {512e3, 2048e3}) {
         double measured_sum = 0.0;
         const int seeds = 3;
         for (int seed = 1; seed <= seeds; ++seed) {
-            streamit::LoadOptions noisy = clean;
-            noisy.injectErrors = true;
-            noisy.mtbe = mtbe;
-            noisy.seed = static_cast<std::uint64_t>(seed) * 977;
-            const RunOutcome outcome = runOnce(app, noisy);
+            const RunOutcome outcome =
+                ExperimentConfig::app(app)
+                    .mode(streamit::ProtectionMode::CommGuard)
+                    .mtbe(mtbe)
+                    .seed(static_cast<std::uint64_t>(seed) * 977)
+                    .run();
             measured_sum += corruptedFrameFraction(
                 reference, outcome.output, items_per_frame);
         }

@@ -1,0 +1,112 @@
+/**
+ * @file
+ * JSONL schema self-check: validate a per-run metrics export file
+ * (CG_JSONL output) line by line.
+ *
+ * For every line: it must parse as one canonical JSON object, carry
+ * the current schema_version, the identifying descriptor fields, and
+ * a snapshot that metrics::snapshotFromJson() accepts and that
+ * re-serializes to the same canonical counters/gauges content.
+ *
+ * Usage: jsonl_check <runs.jsonl>
+ * Exit status 0 iff every line validates. Used by the `schema_check`
+ * build target.
+ */
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+
+#include "common/metrics.hh"
+
+using namespace commguard;
+
+namespace
+{
+
+bool
+checkLine(const std::string &line, std::size_t number)
+{
+    const auto fail = [number](const std::string &why) {
+        std::fprintf(stderr, "line %zu: %s\n", number, why.c_str());
+        return false;
+    };
+
+    Json record;
+    std::string error;
+    if (!Json::parse(line, record, &error))
+        return fail("parse error: " + error);
+    if (!record.isObject())
+        return fail("record is not an object");
+
+    for (const char *key : {"app", "mode", "inject_errors", "mtbe",
+                            "seed", "frame_scale"}) {
+        if (record.find(key) == nullptr)
+            return fail(std::string("missing descriptor field '") +
+                        key + "'");
+    }
+
+    const Json *version = record.find("schema_version");
+    if (version == nullptr)
+        return fail("missing schema_version");
+    if (version->counter() !=
+        static_cast<Count>(metrics::kSchemaVersion))
+        return fail("schema_version " + version->dump() +
+                    " != " + std::to_string(metrics::kSchemaVersion));
+
+    metrics::MetricSnapshot snapshot;
+    try {
+        snapshot = metrics::snapshotFromJson(record);
+    } catch (const std::exception &e) {
+        return fail(std::string("snapshot rejected: ") + e.what());
+    }
+
+    // Round-trip stability: re-serializing the parsed snapshot must
+    // reproduce the record's counters/gauges bytes. Compare canonical
+    // text, not Json values — non-finite gauges parse as their tagged
+    // strings but re-encode from doubles.
+    Json reencoded = metrics::snapshotToJson(snapshot);
+    const Json *counters = record.find("counters");
+    const Json *gauges = record.find("gauges");
+    if (counters == nullptr || gauges == nullptr)
+        return fail("missing counters/gauges");
+    if (reencoded.find("counters")->dump() != counters->dump() ||
+        reencoded.find("gauges")->dump() != gauges->dump())
+        return fail("snapshot does not round-trip canonically");
+
+    return true;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    if (argc != 2) {
+        std::fprintf(stderr, "usage: jsonl_check <runs.jsonl>\n");
+        return 2;
+    }
+
+    std::ifstream in(argv[1]);
+    if (!in.good()) {
+        std::fprintf(stderr, "cannot open '%s'\n", argv[1]);
+        return 2;
+    }
+
+    std::size_t lines = 0;
+    std::size_t bad = 0;
+    std::string line;
+    while (std::getline(in, line)) {
+        ++lines;
+        if (!checkLine(line, lines))
+            ++bad;
+    }
+
+    if (lines == 0) {
+        std::fprintf(stderr, "'%s' contains no records\n", argv[1]);
+        return 1;
+    }
+    std::printf("%zu record%s checked, %zu invalid\n", lines,
+                lines == 1 ? "" : "s", bad);
+    return bad == 0 ? 0 : 1;
+}
