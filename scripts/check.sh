@@ -1,7 +1,9 @@
 #!/usr/bin/env bash
 # One-stop local gate: configure, build (warnings are the default
 # -Wall -Wextra from the top-level CMakeLists), run the tier-1 test
-# suite, and validate the per-run JSONL export schema.
+# suite, validate the per-run JSONL export schema, and run one traced
+# quick sweep to validate the Perfetto trace export and the per-run
+# forensics records (docs/TRACING.md).
 #
 # Usage: scripts/check.sh [build-dir]   (default: build)
 set -euo pipefail
@@ -13,5 +15,16 @@ cmake -S . -B "$BUILD_DIR"
 cmake --build "$BUILD_DIR" -j "$(nproc)"
 ctest --test-dir "$BUILD_DIR" -L tier1 --output-on-failure
 cmake --build "$BUILD_DIR" --target schema_check
+
+# Traced quick sweep: every run must emit a valid Perfetto trace file
+# whose event stream tallies against the exact sidecar counts, and a
+# JSONL record with a forensics section and zero conservation errors.
+TRACE_DIR="$BUILD_DIR/trace_check"
+TRACE_JSONL="$BUILD_DIR/trace_check_runs.jsonl"
+rm -rf "$TRACE_DIR" "$TRACE_JSONL"
+CG_QUICK=1 CG_TRACE_EVENTS=1 CG_TRACE_OUT="$TRACE_DIR" \
+    CG_JSONL="$TRACE_JSONL" "$BUILD_DIR/bench/fig08_data_loss"
+"$BUILD_DIR/tools/jsonl_check" --forensics "$TRACE_JSONL"
+"$BUILD_DIR/tools/jsonl_check" --trace "$TRACE_DIR"/*.json
 
 echo "check.sh: all gates passed"

@@ -1,12 +1,103 @@
 #include "common/logging.hh"
 
+#include <mutex>
+#include <unordered_map>
+
 namespace commguard
 {
+
+namespace
+{
+
+std::mutex &
+logMutex()
+{
+    static std::mutex mutex;
+    return mutex;
+}
+
+LogSink &
+sinkSlot()
+{
+    static LogSink sink;
+    return sink;
+}
+
+/**
+ * Per-message repeat counts for the advisory rate limiter. Bounded:
+ * once kMaxTrackedMessages distinct texts are tracked, further new
+ * texts pass through unlimited rather than growing the map without
+ * bound (a sweep emitting unique messages is not the flood case the
+ * limiter exists for).
+ */
+constexpr std::size_t kMaxTrackedMessages = 1024;
+
+std::unordered_map<std::string, unsigned> &
+repeatCounts()
+{
+    static std::unordered_map<std::string, unsigned> counts;
+    return counts;
+}
+
+/** Write through the sink; caller holds the log mutex. */
+void
+emit(const char *prefix, const std::string &msg)
+{
+    if (const LogSink &sink = sinkSlot()) {
+        sink(prefix, msg);
+        return;
+    }
+    std::fprintf(stderr, "%s: %s\n", prefix, msg.c_str());
+}
+
+/** Advisory path: emit unless this exact message is over its limit. */
+void
+emitLimited(const char *prefix, const std::string &msg)
+{
+    std::lock_guard<std::mutex> lock(logMutex());
+    auto &counts = repeatCounts();
+    auto it = counts.find(msg);
+    if (it == counts.end()) {
+        if (counts.size() >= kMaxTrackedMessages) {
+            emit(prefix, msg);
+            return;
+        }
+        it = counts.emplace(msg, 0u).first;
+    }
+    const unsigned seen = ++it->second;
+    if (seen > kLogRepeatLimit)
+        return;
+    if (seen == kLogRepeatLimit) {
+        emit(prefix, msg + " (repeated " +
+                         std::to_string(kLogRepeatLimit) +
+                         " times; further identical messages "
+                         "suppressed)");
+        return;
+    }
+    emit(prefix, msg);
+}
+
+} // namespace
+
+void
+setLogSink(LogSink sink)
+{
+    std::lock_guard<std::mutex> lock(logMutex());
+    sinkSlot() = std::move(sink);
+}
+
+void
+resetLogRateLimits()
+{
+    std::lock_guard<std::mutex> lock(logMutex());
+    repeatCounts().clear();
+}
 
 void
 logMessage(const char *prefix, const std::string &msg)
 {
-    std::fprintf(stderr, "%s: %s\n", prefix, msg.c_str());
+    std::lock_guard<std::mutex> lock(logMutex());
+    emit(prefix, msg);
 }
 
 void
@@ -26,13 +117,13 @@ fatal(const std::string &msg)
 void
 warn(const std::string &msg)
 {
-    logMessage("warn", msg);
+    emitLimited("warn", msg);
 }
 
 void
 inform(const std::string &msg)
 {
-    logMessage("info", msg);
+    emitLimited("info", msg);
 }
 
 } // namespace commguard

@@ -5,6 +5,15 @@
  * panic() is for internal invariant violations (simulator bugs); fatal()
  * is for user-caused conditions (bad configuration). warn()/inform() are
  * advisory and never stop the simulation.
+ *
+ * Every message funnels through one process-wide sink (stderr by
+ * default, replaceable via setLogSink() so tests can capture output).
+ * Advisory messages are rate-limited per distinct message text: after
+ * kLogRepeatLimit repeats a final "suppressed" notice is emitted and
+ * further identical messages are dropped, so a runaway per-slice
+ * warning cannot flood stderr during long sweeps. panic()/fatal() are
+ * never limited. All entry points are thread-safe (sweep workers warn
+ * concurrently).
  */
 
 #ifndef COMMGUARD_COMMON_LOGGING_HH
@@ -12,12 +21,30 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <functional>
 #include <string>
 
 namespace commguard
 {
 
-/** Print a formatted message with a severity prefix to stderr. */
+/** Destination for formatted log messages. */
+using LogSink = std::function<void(const char *prefix,
+                                   const std::string &msg)>;
+
+/**
+ * Replace the process-wide log sink (nullptr restores the default
+ * stderr writer). Returns nothing; tests should restore the default
+ * when done.
+ */
+void setLogSink(LogSink sink);
+
+/** Identical advisory messages printed before suppression kicks in. */
+inline constexpr unsigned kLogRepeatLimit = 10;
+
+/** Forget all per-message repeat counts (test isolation). */
+void resetLogRateLimits();
+
+/** Print a formatted message with a severity prefix to the sink. */
 void logMessage(const char *prefix, const std::string &msg);
 
 /** Abort with a message: an invariant inside the simulator broke. */
@@ -26,10 +53,10 @@ void logMessage(const char *prefix, const std::string &msg);
 /** Exit(1) with a message: the user supplied an impossible config. */
 [[noreturn]] void fatal(const std::string &msg);
 
-/** Advisory warning; execution continues. */
+/** Advisory warning; execution continues. Rate-limited. */
 void warn(const std::string &msg);
 
-/** Informational status message; execution continues. */
+/** Informational status message; execution continues. Rate-limited. */
 void inform(const std::string &msg);
 
 } // namespace commguard

@@ -20,6 +20,10 @@ RawBackend::push(int port, Word value)
         // resident for the duration of the routine (QME exposure).
         _core->exposeQueueWindow(queue.opCost(), queue);
     }
+    if (status == QueueOpStatus::Ok) {
+        if (TraceSink *t = _core->traceSink()) [[unlikely]]
+            t->onQueueDepth(*_core, queue, queue.size());
+    }
     return status;
 }
 
@@ -32,6 +36,8 @@ RawBackend::pop(int port)
         return {true, 0};
     if (queue.opCost() > 0)
         _core->exposeQueueWindow(queue.opCost(), queue);
+    if (TraceSink *t = _core->traceSink()) [[unlikely]]
+        t->onQueueDepth(*_core, queue, queue.size());
     // Headers never reach raw configurations; if one does (miswired
     // test), its raw value passes through as a data item.
     return {false, word.value};
@@ -102,7 +108,14 @@ CommGuardBackend::activeFc()
 QueueOpStatus
 CommGuardBackend::push(int port, Word value)
 {
-    return _outQms[port].pushItem(value);
+    const QueueOpStatus status = _outQms[port].pushItem(value);
+    if (status == QueueOpStatus::Ok) {
+        if (TraceSink *t = _core->traceSink()) [[unlikely]] {
+            QueueBase &queue = _outQms[port].queue();
+            t->onQueueDepth(*_core, queue, queue.size());
+        }
+    }
+    return status;
 }
 
 BackendPopResult
@@ -114,8 +127,20 @@ CommGuardBackend::pop(int port)
         if (_inQms[port].pop(word) == QueueOpStatus::Blocked)
             return {true, 0};
         ++_counters.acceptedItems;
+        if (TraceSink *t = _core->traceSink()) [[unlikely]] {
+            QueueBase &queue = _inQms[port].queue();
+            t->onQueueDepth(*_core, queue, queue.size());
+        }
         return {false, word.value};
     }
+
+    // Snapshot the AM-visible state so an attached tracer can replay
+    // what this evaluation did as per-unit events (counter diffing:
+    // the AM itself stays trace-free).
+    const AmState am_before = _ams[port].state();
+    const Count pads_before = _counters.paddedItems;
+    const Count items_before = _counters.discardedItems;
+    const Count headers_before = _counters.discardedHeaders;
 
     const Count before = _counters.dataLoads + _counters.headerLoads;
     const AmPopResult result =
@@ -128,6 +153,34 @@ CommGuardBackend::pop(int port)
     for (Count i = 1; i < consumed; ++i)
         _core->chargeQueueTransfer();
 
+    if (TraceSink *t = _core->traceSink()) [[unlikely]] {
+        for (Count k = _counters.discardedItems - items_before; k > 0;
+             --k)
+            t->onAmDiscardItem(*_core, port);
+        for (Count k = _counters.discardedHeaders - headers_before;
+             k > 0; --k)
+            t->onAmDiscardHeader(*_core, port);
+        for (Count k = _counters.paddedItems - pads_before; k > 0; --k)
+            t->onAmPad(*_core, port);
+        const AmState am_after = _ams[port].state();
+        if (am_after != am_before) {
+            // Repairs precede the transition so a realignment episode
+            // closes after its pads/discards (forensics join order).
+            const Word info =
+                am_after == AmState::Pdg
+                    ? static_cast<Word>(_ams[port].pendingHeader())
+                    : static_cast<Word>(_inFcs[port].value());
+            t->onAmTransition(*_core, port,
+                              static_cast<std::uint8_t>(am_before),
+                              static_cast<std::uint8_t>(am_after),
+                              info);
+        }
+        if (result.kind != AmPopResult::Kind::Blocked) {
+            QueueBase &queue = _inQms[port].queue();
+            t->onQueueDepth(*_core, queue, queue.size());
+        }
+    }
+
     if (result.kind == AmPopResult::Kind::Blocked)
         return {true, 0};
     return {false, result.value};
@@ -136,6 +189,7 @@ CommGuardBackend::pop(int port)
 QueueOpStatus
 CommGuardBackend::newFrameComputation()
 {
+    TraceSink *t = _core->traceSink();
     if (!_framePending) {
         _framePending = true;
 
@@ -144,8 +198,18 @@ CommGuardBackend::newFrameComputation()
         for (std::size_t i = 0; i < _inFcs.size(); ++i) {
             const ActiveFcCounter::Tick tick =
                 _inFcs[i].onFrameComputation();
-            if (tick.newFrame)
+            if (tick.newFrame) {
+                const AmState am_before = _ams[i].state();
                 _ams[i].onNewFrameComputation(tick.id);
+                if (t != nullptr &&
+                    _ams[i].state() != am_before) [[unlikely]] {
+                    t->onAmTransition(
+                        *_core, static_cast<int>(i),
+                        static_cast<std::uint8_t>(am_before),
+                        static_cast<std::uint8_t>(_ams[i].state()),
+                        static_cast<Word>(tick.id));
+                }
+            }
         }
         for (std::size_t i = 0; i < _outFcs.size(); ++i) {
             const ActiveFcCounter::Tick tick =
@@ -158,10 +222,22 @@ CommGuardBackend::newFrameComputation()
     for (; _nextHeaderEdge < _outQms.size(); ++_nextHeaderEdge) {
         if (!_outNeedsHeader[_nextHeaderEdge])
             continue;
+        // A retry that resumes past a skipped (timed-out) port
+        // completes without storing a header, so the event must track
+        // the counter, not the call.
+        const Count stores_before = _counters.headerStores;
         if (_his[_nextHeaderEdge]->insert(
                 _outFcs[_nextHeaderEdge].value()) ==
             QueueOpStatus::Blocked) {
             return QueueOpStatus::Blocked;
+        }
+        if (t != nullptr &&
+            _counters.headerStores != stores_before) [[unlikely]] {
+            QueueBase &queue = _outQms[_nextHeaderEdge].queue();
+            t->onHeaderInsert(*_core,
+                              static_cast<int>(_nextHeaderEdge), queue,
+                              _outFcs[_nextHeaderEdge].value());
+            t->onQueueDepth(*_core, queue, queue.size());
         }
         // Header pushes are extra memory traffic on the producer core.
         _core->chargeQueueTransfer();
@@ -175,9 +251,18 @@ QueueOpStatus
 CommGuardBackend::endOfComputation()
 {
     for (; _eocEdge < _his.size(); ++_eocEdge) {
+        const Count stores_before = _counters.headerStores;
         if (_his[_eocEdge]->insertEndOfComputation() ==
             QueueOpStatus::Blocked) {
             return QueueOpStatus::Blocked;
+        }
+        if (TraceSink *t = _core->traceSink();
+            t != nullptr && _counters.headerStores != stores_before)
+            [[unlikely]] {
+            QueueBase &queue = _outQms[_eocEdge].queue();
+            t->onHeaderInsert(*_core, static_cast<int>(_eocEdge),
+                              queue, endOfComputationId);
+            t->onQueueDepth(*_core, queue, queue.size());
         }
     }
     return QueueOpStatus::Ok;
@@ -186,23 +271,34 @@ CommGuardBackend::endOfComputation()
 Word
 CommGuardBackend::timeoutPop(int port)
 {
-    (void)port;
     // Paper §5.1: "A timeout may cause incorrect data to be transmitted
     // but frame checking would still ensure alignment at the frame
     // boundaries." Deliver a benign zero; the AM state is untouched and
     // realigns on the next header.
     ++_counters.paddedItems;
+    if (TraceSink *t = _core->traceSink()) [[unlikely]]
+        t->onAmPad(*_core, port);
     return 0;
 }
 
 void
 CommGuardBackend::timeoutFrameEvent()
 {
+    const Count drops_before = _counters.headerDropsOnTimeout;
+    std::size_t edge = 0;
     // Give up on whichever header insertion is currently stalled.
-    if (_framePending && _nextHeaderEdge < _his.size())
+    if (_framePending && _nextHeaderEdge < _his.size()) {
+        edge = _nextHeaderEdge;
         _his[_nextHeaderEdge]->skipBlockedPort();
-    else if (_eocEdge < _his.size())
+    } else if (_eocEdge < _his.size()) {
+        edge = _eocEdge;
         _his[_eocEdge]->skipBlockedPort();
+    }
+    if (TraceSink *t = _core->traceSink();
+        t != nullptr &&
+        _counters.headerDropsOnTimeout != drops_before) [[unlikely]] {
+        t->onHeaderDropped(*_core, static_cast<int>(edge));
+    }
 }
 
 void

@@ -61,6 +61,23 @@ Core::setPpu(const PpuConfig &ppu)
 }
 
 void
+Core::addTraceSink(TraceSink *sink)
+{
+    if (sink == nullptr)
+        return;
+    if (_trace == nullptr) {
+        _trace = sink;
+        return;
+    }
+    if (_fanOut == nullptr) {
+        _fanOut = std::make_unique<FanOutSink>();
+        _fanOut->addSink(_trace);
+        _trace = _fanOut.get();
+    }
+    _fanOut->addSink(sink);
+}
+
+void
 Core::startInvocation()
 {
     _pc = 0;
@@ -130,6 +147,11 @@ Core::resolveBlockedPop(Word value)
     _regs.write(inst.rd, value);
     ++_counters.queuePops;
     ++_counters.popTimeouts;
+    if (_trace != nullptr) [[unlikely]] {
+        _trace->onQueueUnblock(*this, _blockedPort, true);
+        _trace->onPopTimeout(*this, _blockedPort);
+        _trace->onQueuePop(*this, _blockedPort);
+    }
     _blocked = false;
     commit(_timing.queueOpCycles, _pc + 1);
 }
@@ -141,6 +163,11 @@ Core::resolveBlockedPush()
         panic("resolveBlockedPush on a core not blocked on push");
     ++_counters.queuePushes;
     ++_counters.pushTimeouts;
+    if (_trace != nullptr) [[unlikely]] {
+        _trace->onQueueUnblock(*this, _blockedPort, false);
+        _trace->onPushTimeout(*this, _blockedPort);
+        _trace->onQueuePush(*this, _blockedPort);
+    }
     _blocked = false;
     commit(_timing.queueOpCycles, _pc + 1);
 }
@@ -165,10 +192,13 @@ Core::exposeQueueWindow(Count insts, QueueBase &queue)
         // The software routine's live registers are roughly half
         // queue-management state (head/tail/item) and half other
         // thread state.
-        if (rng.below(2) == 0)
+        if (rng.below(2) == 0) {
             queue.corrupt(rng);
-        else
+            if (_trace != nullptr) [[unlikely]]
+                _trace->onQueueCorrupt(*this, queue);
+        } else {
             flipRandomRegisterBit();
+        }
     });
     reloadErrorCountdown();
 }
@@ -191,6 +221,8 @@ Core::run(Count max_steps)
             // PPU watchdog: the scope ran too long (e.g., a corrupted
             // loop counter); force the frame computation to complete.
             ++_counters.scopeWatchdogTrips;
+            if (_trace != nullptr) [[unlikely]]
+                _trace->onWatchdogTrip(*this, false);
             return {RunStatus::Done, executed};
         }
 
@@ -200,9 +232,15 @@ Core::run(Count max_steps)
         if (!_scopeStack.empty() &&
             _instsThisInvocation >= _scopeStack.back().deadline) {
             ++_counters.nestedScopeTrips;
+            if (_trace != nullptr) [[unlikely]] {
+                _trace->onWatchdogTrip(*this, true);
+                // A queue op blocked at the old PC is abandoned with
+                // its scope.
+                if (_blocked)
+                    _trace->onQueueUnblock(*this, _blockedPort,
+                                           _blockedIsPop);
+            }
             _pc = static_cast<Count>(_scopeStack.back().exitPc);
-            // A queue op blocked at the old PC is abandoned with its
-            // scope.
             _blocked = false;
         }
 
@@ -475,13 +513,21 @@ Core::run(Count max_steps)
           // Streaming communication.
           // ----------------------------------------------------------
           case Op::Push: {
-            const QueueOpStatus status = _backend->push(
-                static_cast<int>(inst.imm), _regs.read(inst.rs2));
+            const int port = static_cast<int>(inst.imm);
+            const QueueOpStatus status =
+                _backend->push(port, _regs.read(inst.rs2));
             if (status == QueueOpStatus::Blocked) {
+                if (_trace != nullptr && !_blocked) [[unlikely]]
+                    _trace->onQueueBlock(*this, port, false);
                 _blocked = true;
                 _blockedIsPop = false;
-                _blockedPort = static_cast<int>(inst.imm);
+                _blockedPort = port;
                 return {RunStatus::Blocked, executed};
+            }
+            if (_trace != nullptr) [[unlikely]] {
+                if (_blocked)
+                    _trace->onQueueUnblock(*this, port, false);
+                _trace->onQueuePush(*this, port);
             }
             _blocked = false;
             ++_counters.queuePushes;
@@ -514,13 +560,20 @@ Core::run(Count max_steps)
             break;
 
           case Op::Pop: {
-            const BackendPopResult result =
-                _backend->pop(static_cast<int>(inst.imm));
+            const int port = static_cast<int>(inst.imm);
+            const BackendPopResult result = _backend->pop(port);
             if (result.blocked) {
+                if (_trace != nullptr && !_blocked) [[unlikely]]
+                    _trace->onQueueBlock(*this, port, true);
                 _blocked = true;
                 _blockedIsPop = true;
-                _blockedPort = static_cast<int>(inst.imm);
+                _blockedPort = port;
                 return {RunStatus::Blocked, executed};
+            }
+            if (_trace != nullptr) [[unlikely]] {
+                if (_blocked)
+                    _trace->onQueueUnblock(*this, port, true);
+                _trace->onQueuePop(*this, port);
             }
             _blocked = false;
             _regs.write(inst.rd, result.value);

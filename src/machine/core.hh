@@ -20,6 +20,7 @@
 #ifndef COMMGUARD_MACHINE_CORE_HH
 #define COMMGUARD_MACHINE_CORE_HH
 
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -167,7 +168,22 @@ class Core
     void setPpu(const PpuConfig &ppu);
 
     /** Attach an execution observer (not owned; nullptr disables). */
-    void setTraceSink(TraceSink *sink) { _trace = sink; }
+    void
+    setTraceSink(TraceSink *sink)
+    {
+        _fanOut.reset();
+        _trace = sink;
+    }
+
+    /**
+     * Attach an additional observer: with one sink attached the core
+     * dispatches to it directly; a second sink transparently installs
+     * an owned FanOutSink so all observers share the one hook pointer.
+     */
+    void addTraceSink(TraceSink *sink);
+
+    /** The active observer (a FanOutSink when several are attached). */
+    TraceSink *traceSink() const { return _trace; }
 
     // ------------------------------------------------------------------
     // Execution.
@@ -265,6 +281,9 @@ class Core
     PpuConfig _ppu;
     CommBackend *_backend = nullptr;
     TraceSink *_trace = nullptr;
+
+    /** Created on demand when a second trace sink is attached. */
+    std::unique_ptr<FanOutSink> _fanOut;
 
     /**
      * Registers referenced by the loaded program (excluding the

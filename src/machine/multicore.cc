@@ -5,6 +5,24 @@
 namespace commguard
 {
 
+void
+Multicore::enableEventTrace()
+{
+    if (_eventTrace != nullptr)
+        return;
+    _eventTrace = std::make_shared<trace::EventTrace>(
+        _config.traceCapacityPerTrack);
+    _machineTrack = &_eventTrace->addTrack("machine");
+    // Retro-wire components added before tracing was enabled.
+    for (const auto &queue : _queues)
+        _eventTrace->registerQueue(queue.get(), queue->name());
+    for (const auto &core : _cores) {
+        _tracers.push_back(std::make_unique<EventTracer>(
+            *_eventTrace, _eventTrace->addTrack(core->name())));
+        core->addTraceSink(_tracers.back().get());
+    }
+}
+
 Core &
 Multicore::addCore(const std::string &name)
 {
@@ -16,6 +34,11 @@ Multicore::addCore(const std::string &name)
     core.counters().linkTo(_metrics, "node/" + name);
     _metrics.link("node/" + name + "/errorsInjected",
                   core.injector().errorsInjectedCounter());
+    if (_eventTrace != nullptr) {
+        _tracers.push_back(std::make_unique<EventTracer>(
+            *_eventTrace, _eventTrace->addTrack(name)));
+        core.addTraceSink(_tracers.back().get());
+    }
     return core;
 }
 
@@ -25,6 +48,9 @@ Multicore::addQueue(std::unique_ptr<QueueBase> queue)
     _queues.push_back(std::move(queue));
     _queues.back()->counters().linkTo(
         _metrics, "queue/" + _queues.back()->name());
+    if (_eventTrace != nullptr)
+        _eventTrace->registerQueue(_queues.back().get(),
+                                   _queues.back()->name());
     return *_queues.back();
 }
 
@@ -51,10 +77,14 @@ Multicore::run()
 {
     MachineRunResult result;
     std::vector<Count> blocked_rounds(_runtimes.size(), 0);
+    Count round = 0;
 
     while (true) {
         bool all_finished = true;
         bool any_progress = false;
+        if (_eventTrace != nullptr)
+            _eventTrace->beginSlice(round);
+        ++round;
 
         for (std::size_t i = 0; i < _runtimes.size(); ++i) {
             CoreRuntime &runtime = *_runtimes[i];
@@ -70,7 +100,16 @@ Multicore::run()
             } else if (step.blocked) {
                 ++runtime.core().counters().blockedSlices;
                 if (++blocked_rounds[i] >= _config.timeoutRounds) {
-                    // Queue-manager timeout (paper §5.1).
+                    // Queue-manager timeout (paper §5.1). Recording at
+                    // this one site makes the event count equal
+                    // machine/timeoutsFired by construction.
+                    if (_eventTrace != nullptr) {
+                        _eventTrace->record(
+                            *_machineTrack, runtime.core().cycles(),
+                            trace::EventKind::QmTimeout, 0,
+                            static_cast<std::uint16_t>(i),
+                            static_cast<Word>(runtime.core().id()));
+                    }
                     runtime.forceTimeout();
                     ++_timeoutsFired;
                     blocked_rounds[i] = 0;
@@ -89,8 +128,18 @@ Multicore::run()
             // System-wide deadlock (e.g., corrupted full/empty views,
             // Fig. 3b): break it by timing out every stuck thread.
             ++_deadlockBreaks;
+            if (_eventTrace != nullptr) {
+                _eventTrace->record(*_machineTrack, 0,
+                                    trace::EventKind::DeadlockBreak);
+            }
             for (auto &runtime : _runtimes) {
                 if (!runtime->finished()) {
+                    if (_eventTrace != nullptr) {
+                        _eventTrace->record(
+                            *_machineTrack, runtime->core().cycles(),
+                            trace::EventKind::QmTimeout, 1, 0,
+                            static_cast<Word>(runtime->core().id()));
+                    }
                     runtime->forceTimeout();
                     ++_timeoutsFired;
                 }

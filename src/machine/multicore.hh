@@ -41,6 +41,15 @@ struct MachineConfig
 
     TimingConfig timing;
     PpuConfig ppu;
+
+    /**
+     * Record the frame-lifecycle event trace (docs/TRACING.md). Off by
+     * default; one EventBuffer per core plus a machine track.
+     */
+    bool traceEvents = false;
+
+    /** Ring capacity (events) of each trace track when enabled. */
+    std::size_t traceCapacityPerTrack = 1u << 16;
 };
 
 /** Result of driving a system to completion. */
@@ -63,7 +72,10 @@ class Multicore
         : _config(config),
           _timeoutsFired(_metrics.counter("machine/timeoutsFired")),
           _deadlockBreaks(_metrics.counter("machine/deadlockBreaks"))
-    {}
+    {
+        if (_config.traceEvents)
+            enableEventTrace();
+    }
 
     /** Create a new core (owned by the machine). */
     Core &addCore(const std::string &name);
@@ -98,6 +110,23 @@ class Multicore
     metrics::Registry &metrics() { return _metrics; }
     const metrics::Registry &metrics() const { return _metrics; }
 
+    /**
+     * Start recording the frame-lifecycle event trace: one track per
+     * core (existing cores are wired retroactively; later addCore()
+     * calls attach automatically) plus a machine track for scheduler
+     * events. Idempotent.
+     */
+    void enableEventTrace();
+
+    /**
+     * The run's event trace; nullptr when tracing is off. Shared so a
+     * caller can keep the trace alive past the machine's lifetime.
+     */
+    std::shared_ptr<trace::EventTrace> eventTrace() const
+    {
+        return _eventTrace;
+    }
+
     MachineConfig &config() { return _config; }
     std::vector<std::unique_ptr<Core>> &cores() { return _cores; }
     std::vector<std::unique_ptr<QueueBase>> &queues() { return _queues; }
@@ -118,6 +147,12 @@ class Multicore
     std::vector<std::unique_ptr<QueueBase>> _queues;
     std::vector<std::unique_ptr<CommBackend>> _backends;
     std::vector<std::unique_ptr<CoreRuntime>> _runtimes;
+
+    // Event tracing (null when off). The tracers are the per-core
+    // TraceSink adapters; _machineTrack records scheduler events.
+    std::shared_ptr<trace::EventTrace> _eventTrace;
+    trace::EventBuffer *_machineTrack = nullptr;
+    std::vector<std::unique_ptr<EventTracer>> _tracers;
 };
 
 } // namespace commguard

@@ -1,23 +1,40 @@
 #include "sim/env_options.hh"
 
+#include <cstdlib>
+
 #include "common/env.hh"
+#include "common/logging.hh"
 
 namespace commguard::sim
 {
 
+EnvOptions
+parseEnvOptions()
+{
+    EnvOptions parsed;
+    parsed.quick = envFlag("CG_QUICK");
+    const long jobs = envLong("CG_JOBS", 0);
+    parsed.jobs = jobs > 0 ? static_cast<unsigned>(jobs) : 0;
+    parsed.csv = envFlag("CG_CSV");
+    parsed.json = envFlag("CG_JSON");
+    parsed.jsonlPath = envString("CG_JSONL", "");
+    parsed.traceEvents = envFlag("CG_TRACE_EVENTS");
+
+    if (const char *out = std::getenv("CG_TRACE_OUT")) {
+        if (!parsed.traceEvents)
+            fatal("CG_TRACE_OUT is set but CG_TRACE_EVENTS is not; "
+                  "trace output needs CG_TRACE_EVENTS=1");
+        if (*out == '\0')
+            fatal("CG_TRACE_OUT must name a directory");
+        parsed.traceOut = out;
+    }
+    return parsed;
+}
+
 const EnvOptions &
 EnvOptions::get()
 {
-    static const EnvOptions options = [] {
-        EnvOptions parsed;
-        parsed.quick = envFlag("CG_QUICK");
-        const long jobs = envLong("CG_JOBS", 0);
-        parsed.jobs = jobs > 0 ? static_cast<unsigned>(jobs) : 0;
-        parsed.csv = envFlag("CG_CSV");
-        parsed.json = envFlag("CG_JSON");
-        parsed.jsonlPath = envString("CG_JSONL", "");
-        return parsed;
-    }();
+    static const EnvOptions options = parseEnvOptions();
     return options;
 }
 

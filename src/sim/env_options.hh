@@ -6,15 +6,28 @@
  * of re-parsing getenv() with ad-hoc rules.
  *
  * Knobs:
- *   CG_QUICK  flag,  default off   reduced sweeps (fewer seeds/points)
- *   CG_JOBS   int,   default 0     host threads for sweeps; 0 = number
- *                                  of hardware threads; 1 = sequential
- *   CG_CSV    flag,  default off   also print tables as CSV
- *   CG_JSON   flag,  default off   write BENCH_<name>.json per table
- *   CG_JSONL  path,  default ""    append one JSON record per sweep
- *                                  run to this file ("" disables)
+ *   CG_QUICK         flag, default off  reduced sweeps (fewer seeds /
+ *                                       points)
+ *   CG_JOBS          int,  default 0    host threads for sweeps; 0 =
+ *                                       number of hardware threads;
+ *                                       1 = sequential
+ *   CG_CSV           flag, default off  also print tables as CSV
+ *   CG_JSON          flag, default off  write BENCH_<name>.json per
+ *                                       table
+ *   CG_JSONL         path, default ""   append one JSON record per
+ *                                       sweep run to this file
+ *                                       ("" disables)
+ *   CG_TRACE_EVENTS  flag, default off  record the frame-lifecycle
+ *                                       event trace per run and write
+ *                                       one Perfetto JSON file per run
+ *                                       (docs/TRACING.md)
+ *   CG_TRACE_OUT     dir,  default      directory for the per-run
+ *                         "bench_out"   trace files; only meaningful
+ *                                       with CG_TRACE_EVENTS
  *
  * Flag semantics (common/env.hh): set and neither "" nor "0" means on.
+ * Invalid combinations (CG_TRACE_OUT without CG_TRACE_EVENTS, an empty
+ * CG_TRACE_OUT) are rejected via fatal() at parse time.
  */
 
 #ifndef COMMGUARD_SIM_ENV_OPTIONS_HH
@@ -33,10 +46,20 @@ struct EnvOptions
     bool csv = false;          //!< CG_CSV
     bool json = false;         //!< CG_JSON
     std::string jsonlPath;     //!< CG_JSONL ("" = disabled)
+    bool traceEvents = false;  //!< CG_TRACE_EVENTS
+    std::string traceOut = "bench_out"; //!< CG_TRACE_OUT
 
     /** The process's options, parsed once on first call. */
     static const EnvOptions &get();
 };
+
+/**
+ * Parse the CG_* environment right now (no caching). Validation
+ * failures exit via fatal(). Exposed separately from EnvOptions::get()
+ * so tests can exercise parsing (including the fatal paths, in death
+ * tests) without disturbing the process-wide cached options.
+ */
+EnvOptions parseEnvOptions();
 
 } // namespace commguard::sim
 

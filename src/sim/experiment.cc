@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "sim/env_options.hh"
 #include "sim/sweep_runner.hh"
 
 namespace commguard::sim
@@ -10,8 +11,12 @@ namespace commguard::sim
 RunOutcome
 runOnce(const apps::App &app, const streamit::LoadOptions &options)
 {
+    streamit::LoadOptions effective = options;
+    if (EnvOptions::get().traceEvents)
+        effective.machine.traceEvents = true;
+
     streamit::LoadedApp loaded = streamit::loadGraph(
-        app.graph, app.input, app.steadyIterations, options);
+        app.graph, app.input, app.steadyIterations, effective);
 
     const MachineRunResult machine_result = loaded.run();
 
@@ -29,6 +34,7 @@ runOnce(const apps::App &app, const streamit::LoadOptions &options)
     outcome.snapshot.setCounter("run/outputItems",
                                 outcome.output.size());
     outcome.snapshot.setGauge("run/qualityDb", outcome.qualityDb);
+    outcome.eventTrace = loaded.machine->eventTrace();
     return outcome;
 }
 

@@ -17,10 +17,12 @@
 #ifndef COMMGUARD_SIM_EXPERIMENT_HH
 #define COMMGUARD_SIM_EXPERIMENT_HH
 
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "apps/app.hh"
+#include "common/event_trace.hh"
 #include "common/metrics.hh"
 #include "streamit/loader.hh"
 
@@ -46,6 +48,14 @@ struct RunOutcome
 
     /** The collected output stream (moved from the collector). */
     std::vector<Word> output;
+
+    /**
+     * The run's frame-lifecycle event trace (docs/TRACING.md); nullptr
+     * unless tracing was enabled via MachineConfig::traceEvents or
+     * CG_TRACE_EVENTS. Kept alive past the machine so the export
+     * layers (Perfetto file, forensics record) can consume it.
+     */
+    std::shared_ptr<trace::EventTrace> eventTrace;
 
     // ------------------------------------------------------------------
     // Machine-level aggregates.

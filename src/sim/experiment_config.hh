@@ -128,6 +128,14 @@ class ExperimentConfig
         return *this;
     }
 
+    /** Record the frame-lifecycle event trace (docs/TRACING.md). */
+    ExperimentConfig &
+    traceEvents(bool value)
+    {
+        _options.machine.traceEvents = value;
+        return *this;
+    }
+
     // ------------------------------------------------------------------
     // Terminal operations.
     // ------------------------------------------------------------------

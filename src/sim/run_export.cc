@@ -4,6 +4,7 @@
 
 #include "common/logging.hh"
 #include "common/metrics.hh"
+#include "sim/trace_export.hh"
 
 namespace commguard::sim
 {
@@ -20,6 +21,19 @@ runRecordJson(const RunDescriptor &descriptor,
     record["mtbe"] = Json(descriptor.options.mtbe);
     record["seed"] = Json(Count{descriptor.options.seed});
     record["frame_scale"] = Json(descriptor.options.frameScale);
+
+    // Traced runs carry their realignment forensics and the event/
+    // counter conservation verdict inline. snapshotFromJson() ignores
+    // unknown keys, so untraced consumers are unaffected.
+    if (outcome.eventTrace != nullptr) {
+        Json forensics = forensicsJson(*outcome.eventTrace);
+        Json errors = Json::array();
+        for (const std::string &message : traceConservationErrors(
+                 *outcome.eventTrace, outcome.snapshot))
+            errors.push(message);
+        forensics["conservation_errors"] = errors;
+        record["forensics"] = forensics;
+    }
     return record;
 }
 

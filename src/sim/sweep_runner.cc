@@ -1,10 +1,14 @@
 #include "sim/sweep_runner.hh"
 
+#include <atomic>
 #include <chrono>
 #include <cstdio>
+#include <filesystem>
 
+#include "common/logging.hh"
 #include "sim/env_options.hh"
 #include "sim/run_export.hh"
+#include "sim/trace_export.hh"
 
 namespace commguard::sim
 {
@@ -91,6 +95,35 @@ SweepRunner::runAll()
         for (std::size_t i = 0; i < batch.size(); ++i)
             records.push_back(runRecordJson(batch[i], outcomes[i]));
         appendJsonl(jsonl_path, records);
+    }
+
+    // Per-run Perfetto trace files (CG_TRACE_EVENTS=1): also written
+    // post-batch in submission order, with a process-wide sequence
+    // number so successive batches never collide.
+    const EnvOptions &env = EnvOptions::get();
+    if (env.traceEvents && !batch.empty()) {
+        static std::atomic<Count> trace_serial{0};
+        std::error_code ec;
+        std::filesystem::create_directories(env.traceOut, ec);
+        if (ec) {
+            warn("sweep_runner: cannot create trace directory '" +
+                 env.traceOut + "': " + ec.message());
+        } else {
+            for (std::size_t i = 0; i < batch.size(); ++i) {
+                if (outcomes[i].eventTrace == nullptr)
+                    continue;
+                const Count n = trace_serial.fetch_add(
+                    1, std::memory_order_relaxed);
+                const std::string path =
+                    env.traceOut + "/trace_" + std::to_string(n) +
+                    "_" + batch[i].app->name + "_" +
+                    streamit::protectionModeName(
+                        batch[i].options.mode) +
+                    "_seed" +
+                    std::to_string(batch[i].options.seed) + ".json";
+                writeTraceFile(path, *outcomes[i].eventTrace);
+            }
+        }
     }
     return outcomes;
 }

@@ -1,0 +1,110 @@
+/**
+ * @file
+ * Tests for the logging sink and the advisory rate limiter: warn() and
+ * inform() route through one capturable sink, identical messages stop
+ * after kLogRepeatLimit with an explicit suppression notice, distinct
+ * messages are tracked independently, and resetLogRateLimits()
+ * reopens the gate.
+ */
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/logging.hh"
+
+namespace commguard
+{
+namespace
+{
+
+class LoggingTest : public ::testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        resetLogRateLimits();
+        setLogSink([this](const char *prefix, const std::string &msg) {
+            _captured.emplace_back(prefix, msg);
+        });
+    }
+
+    void
+    TearDown() override
+    {
+        setLogSink(nullptr);
+        resetLogRateLimits();
+    }
+
+    std::vector<std::pair<std::string, std::string>> _captured;
+};
+
+TEST_F(LoggingTest, SinkCapturesPrefixAndMessage)
+{
+    warn("queue overflow");
+    inform("sweep started");
+
+    ASSERT_EQ(_captured.size(), 2u);
+    EXPECT_EQ(_captured[0].first, "warn");
+    EXPECT_EQ(_captured[0].second, "queue overflow");
+    EXPECT_EQ(_captured[1].first, "info");
+    EXPECT_EQ(_captured[1].second, "sweep started");
+}
+
+TEST_F(LoggingTest, RepeatedWarningsAreRateLimited)
+{
+    for (int i = 0; i < 30; ++i)
+        warn("same message");
+
+    // Exactly kLogRepeatLimit lines: limit-1 verbatim plus the final
+    // suppression notice; the remaining 20 calls emit nothing.
+    ASSERT_EQ(_captured.size(), kLogRepeatLimit);
+    for (std::size_t i = 0; i + 1 < _captured.size(); ++i)
+        EXPECT_EQ(_captured[i].second, "same message");
+    EXPECT_NE(_captured.back().second.find("suppressed"),
+              std::string::npos);
+    EXPECT_NE(_captured.back().second.find("same message"),
+              std::string::npos);
+}
+
+TEST_F(LoggingTest, DistinctMessagesAreLimitedIndependently)
+{
+    for (int i = 0; i < 30; ++i) {
+        warn("message A");
+        warn("message B");
+    }
+    EXPECT_EQ(_captured.size(), 2 * kLogRepeatLimit);
+}
+
+TEST_F(LoggingTest, InformSharesTheLimiter)
+{
+    for (int i = 0; i < 30; ++i)
+        inform("chatty");
+    EXPECT_EQ(_captured.size(), kLogRepeatLimit);
+}
+
+TEST_F(LoggingTest, ResetReopensTheGate)
+{
+    for (int i = 0; i < 30; ++i)
+        warn("again");
+    ASSERT_EQ(_captured.size(), kLogRepeatLimit);
+
+    resetLogRateLimits();
+    warn("again");
+    EXPECT_EQ(_captured.size(), kLogRepeatLimit + 1);
+    EXPECT_EQ(_captured.back().second, "again");
+}
+
+TEST_F(LoggingTest, RestoringTheDefaultSinkStopsCapture)
+{
+    setLogSink(nullptr);
+    // Goes to stderr, not the (now cleared) capture vector.
+    warn("not captured");
+    EXPECT_TRUE(_captured.empty());
+}
+
+} // namespace
+} // namespace commguard

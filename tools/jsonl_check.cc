@@ -1,20 +1,36 @@
 /**
  * @file
- * JSONL schema self-check: validate a per-run metrics export file
- * (CG_JSONL output) line by line.
+ * Schema self-checks for the machine-readable run artifacts.
  *
- * For every line: it must parse as one canonical JSON object, carry
- * the current schema_version, the identifying descriptor fields, and
- * a snapshot that metrics::snapshotFromJson() accepts and that
- * re-serializes to the same canonical counters/gauges content.
+ * Default mode validates a per-run metrics export file (CG_JSONL
+ * output) line by line: every line must parse as one canonical JSON
+ * object, carry the current schema_version, the identifying descriptor
+ * fields, and a snapshot that metrics::snapshotFromJson() accepts and
+ * that re-serializes to the same canonical counters/gauges content.
+ * When a record carries a "forensics" section (traced runs) its shape
+ * is validated and its conservation_errors array must be empty.
  *
- * Usage: jsonl_check <runs.jsonl>
- * Exit status 0 iff every line validates. Used by the `schema_check`
- * build target.
+ * Usage:
+ *   jsonl_check <runs.jsonl>               validate records
+ *   jsonl_check --forensics <runs.jsonl>   …and require a forensics
+ *                                          section on every record
+ *   jsonl_check --trace <trace.json>...    validate Perfetto trace
+ *                                          files (CG_TRACE_EVENTS
+ *                                          output): parseable, current
+ *                                          schema, and the instant/
+ *                                          counter events in the
+ *                                          stream tally against the
+ *                                          exact event_counts sidecar
+ *
+ * Exit status 0 iff everything validates. Used by the `schema_check`
+ * build target and scripts/check.sh.
  */
 
 #include <cstdio>
+#include <cstring>
 #include <fstream>
+#include <map>
+#include <sstream>
 #include <string>
 
 #include "common/metrics.hh"
@@ -25,7 +41,58 @@ namespace
 {
 
 bool
-checkLine(const std::string &line, std::size_t number)
+checkForensics(const Json &forensics, std::size_t number)
+{
+    const auto fail = [number](const std::string &why) {
+        std::fprintf(stderr, "line %zu: forensics: %s\n", number,
+                     why.c_str());
+        return false;
+    };
+
+    if (!forensics.isObject())
+        return fail("not an object");
+    for (const char *key :
+         {"errors_injected", "queue_corruptions", "repaired",
+          "unrepaired", "repair_episodes", "eoc_pads",
+          "events_dropped"}) {
+        const Json *value = forensics.find(key);
+        if (value == nullptr || !value->isNumber())
+            return fail(std::string("missing numeric field '") + key +
+                        "'");
+    }
+    for (const char *key :
+         {"ttr_slices", "items_padded", "items_discarded"}) {
+        const Json *dist = forensics.find(key);
+        if (dist == nullptr || !dist->isObject())
+            return fail(std::string("missing distribution '") + key +
+                        "'");
+        for (const char *field : {"count", "max", "mean"}) {
+            const Json *value = dist->find(field);
+            if (value == nullptr || !value->isNumber())
+                return fail(std::string(key) + " lacks numeric '" +
+                            field + "'");
+        }
+        const Json *histogram = dist->find("histogram");
+        if (histogram == nullptr || !histogram->isArray())
+            return fail(std::string(key) + " lacks histogram array");
+        for (const Json &bin : histogram->arr()) {
+            if (!bin.isArray() || bin.arr().size() != 2)
+                return fail(std::string(key) +
+                            " histogram bin is not [value, count]");
+        }
+    }
+
+    const Json *errors = forensics.find("conservation_errors");
+    if (errors == nullptr || !errors->isArray())
+        return fail("missing conservation_errors array");
+    if (!errors->arr().empty())
+        return fail("conservation violated: " + errors->dump());
+    return true;
+}
+
+bool
+checkLine(const std::string &line, std::size_t number,
+          bool require_forensics)
 {
     const auto fail = [number](const std::string &why) {
         std::fprintf(stderr, "line %zu: %s\n", number, why.c_str());
@@ -74,7 +141,102 @@ checkLine(const std::string &line, std::size_t number)
         reencoded.find("gauges")->dump() != gauges->dump())
         return fail("snapshot does not round-trip canonically");
 
+    const Json *forensics = record.find("forensics");
+    if (forensics == nullptr)
+        return require_forensics
+                   ? fail("missing forensics section "
+                          "(was the sweep traced?)")
+                   : true;
+    return checkForensics(*forensics, number);
+}
+
+bool
+checkTraceFile(const char *path)
+{
+    const auto fail = [path](const std::string &why) {
+        std::fprintf(stderr, "%s: %s\n", path, why.c_str());
+        return false;
+    };
+
+    std::ifstream in(path);
+    if (!in.good())
+        return fail("cannot open");
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+
+    Json doc;
+    std::string error;
+    if (!Json::parse(buffer.str(), doc, &error))
+        return fail("parse error: " + error);
+    if (!doc.isObject())
+        return fail("document is not an object");
+
+    const Json *events = doc.find("traceEvents");
+    if (events == nullptr || !events->isArray())
+        return fail("missing traceEvents array");
+
+    const Json *sidecar = doc.find("commguard");
+    if (sidecar == nullptr || !sidecar->isObject())
+        return fail("missing commguard sidecar object");
+    const Json *version = sidecar->find("schema_version");
+    if (version == nullptr ||
+        version->counter() !=
+            static_cast<Count>(metrics::kSchemaVersion))
+        return fail("bad or missing commguard.schema_version");
+    const Json *counts = sidecar->find("event_counts");
+    if (counts == nullptr || !counts->isObject())
+        return fail("missing commguard.event_counts object");
+    const Json *dropped = sidecar->find("dropped");
+    if (dropped == nullptr || !dropped->isNumber())
+        return fail("missing commguard.dropped");
+
+    // Tally the stream: instant events per kind name, counter events
+    // as queueDepth samples.
+    std::map<std::string, Count> tallied;
+    Count depth_samples = 0;
+    for (const Json &event : events->arr()) {
+        if (!event.isObject())
+            return fail("traceEvents entry is not an object");
+        const Json *ph = event.find("ph");
+        const Json *name = event.find("name");
+        if (ph == nullptr || name == nullptr)
+            return fail("traceEvents entry lacks ph/name");
+        if (ph->str() == "i")
+            ++tallied[name->str()];
+        else if (ph->str() == "C")
+            ++depth_samples;
+    }
+
+    // Retained records never exceed the exact counts; with no drops
+    // they must match exactly.
+    const bool exact = dropped->counter() == 0;
+    for (const auto &[kind, declared] : counts->obj()) {
+        const Count expected = declared.counter();
+        const Count seen = kind == "queueDepth" ? depth_samples
+                                                : tallied[kind];
+        if (seen > expected ||
+            (exact && seen != expected)) {
+            return fail("event '" + kind + "': stream has " +
+                        std::to_string(seen) + ", event_counts says " +
+                        std::to_string(expected) +
+                        (exact ? " (no drops)" : ""));
+        }
+    }
+    for (const auto &[kind, seen] : tallied) {
+        if (counts->find(kind) == nullptr)
+            return fail("stream event '" + kind +
+                        "' missing from event_counts");
+    }
     return true;
+}
+
+int
+usage()
+{
+    std::fprintf(stderr,
+                 "usage: jsonl_check [--forensics] <runs.jsonl>\n"
+                 "       jsonl_check --trace <trace.json>...\n");
+    return 2;
 }
 
 } // namespace
@@ -82,14 +244,35 @@ checkLine(const std::string &line, std::size_t number)
 int
 main(int argc, char **argv)
 {
-    if (argc != 2) {
-        std::fprintf(stderr, "usage: jsonl_check <runs.jsonl>\n");
-        return 2;
+    if (argc >= 2 && std::strcmp(argv[1], "--trace") == 0) {
+        if (argc < 3)
+            return usage();
+        std::size_t bad = 0;
+        for (int i = 2; i < argc; ++i) {
+            if (!checkTraceFile(argv[i]))
+                ++bad;
+        }
+        std::printf("%d trace file%s checked, %zu invalid\n", argc - 2,
+                    argc == 3 ? "" : "s", bad);
+        return bad == 0 ? 0 : 1;
     }
 
-    std::ifstream in(argv[1]);
+    bool require_forensics = false;
+    const char *path = nullptr;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--forensics") == 0)
+            require_forensics = true;
+        else if (path == nullptr)
+            path = argv[i];
+        else
+            return usage();
+    }
+    if (path == nullptr)
+        return usage();
+
+    std::ifstream in(path);
     if (!in.good()) {
-        std::fprintf(stderr, "cannot open '%s'\n", argv[1]);
+        std::fprintf(stderr, "cannot open '%s'\n", path);
         return 2;
     }
 
@@ -98,12 +281,12 @@ main(int argc, char **argv)
     std::string line;
     while (std::getline(in, line)) {
         ++lines;
-        if (!checkLine(line, lines))
+        if (!checkLine(line, lines, require_forensics))
             ++bad;
     }
 
     if (lines == 0) {
-        std::fprintf(stderr, "'%s' contains no records\n", argv[1]);
+        std::fprintf(stderr, "'%s' contains no records\n", path);
         return 1;
     }
     std::printf("%zu record%s checked, %zu invalid\n", lines,
