@@ -5,25 +5,26 @@
  * Fig. 13's overhead has two components: header queue traffic and the
  * pipeline flush charged at every frame computation because CommGuard
  * serializes push/pop against the active-fc update (paper §5.3). This
- * bench sweeps the modeled flush depth and reports the geometric-mean
- * execution-time overhead, showing how the paper's ~1% result depends
- * on serialization being nearly free.
+ * scenario sweeps the modeled flush depth and reports the
+ * geometric-mean execution-time overhead, showing how the paper's ~1%
+ * result depends on serialization being nearly free.
  */
 
 #include <cmath>
 #include <iostream>
 
 #include "apps/app.hh"
-#include "bench/bench_util.hh"
+#include "sim/experiment_config.hh"
+#include "sim/scenario.hh"
 
 using namespace commguard;
 
 namespace
 {
 
-Cycle
-cyclesFor(const apps::App &app, streamit::ProtectionMode mode,
-          Cycle flush)
+sim::RunDescriptor
+descriptorFor(const apps::App &app, streamit::ProtectionMode mode,
+              Cycle flush)
 {
     MachineConfig machine;
     machine.timing.frameFlushCycles = flush;
@@ -31,14 +32,11 @@ cyclesFor(const apps::App &app, streamit::ProtectionMode mode,
         .mode(mode)
         .noErrors()
         .machine(machine)
-        .run()
-        .totalCycles();
+        .descriptor();
 }
 
-} // namespace
-
-int
-main()
+void
+runScenario(sim::ScenarioContext &ctx)
 {
     std::cout << "=== Ablation: frame-boundary flush cost vs "
                  "CommGuard runtime overhead ===\n\n";
@@ -49,15 +47,28 @@ main()
         headers.push_back(std::to_string(d) + " cyc (%)");
     sim::Table table(headers);
 
+    std::vector<apps::App> apps_list;
+    for (const std::string &name : apps::allAppNames())
+        apps_list.push_back(apps::makeAppByName(name));
+    std::vector<sim::RunDescriptor> descriptors;
+    for (const apps::App &app : apps_list) {
+        descriptors.push_back(descriptorFor(
+            app, streamit::ProtectionMode::ReliableQueue, 0));
+        for (Cycle depth : depths) {
+            descriptors.push_back(descriptorFor(
+                app, streamit::ProtectionMode::CommGuard, depth));
+        }
+    }
+    const std::vector<sim::RunOutcome> outcomes =
+        ctx.runSweep(descriptors);
+
     std::vector<double> log_sums(depths.size(), 0.0);
-    for (const std::string &name : apps::allAppNames()) {
-        const apps::App app = apps::makeAppByName(name);
-        const Cycle base = cyclesFor(
-            app, streamit::ProtectionMode::ReliableQueue, 0);
-        std::vector<std::string> row = {name};
+    std::size_t cursor = 0;
+    for (const apps::App &app : apps_list) {
+        const Cycle base = outcomes[cursor++].totalCycles();
+        std::vector<std::string> row = {app.name};
         for (std::size_t i = 0; i < depths.size(); ++i) {
-            const Cycle cg = cyclesFor(
-                app, streamit::ProtectionMode::CommGuard, depths[i]);
+            const Cycle cg = outcomes[cursor++].totalCycles();
             const double pct =
                 100.0 *
                 (static_cast<double>(cg) - static_cast<double>(base)) /
@@ -74,9 +85,18 @@ main()
         gmean.push_back(sim::fmt(std::exp(s / n), 2));
     table.addRow(std::move(gmean));
 
-    bench::printTable("ablation_flush_cost", table);
+    ctx.publishTable("ablation_flush_cost", table);
     std::cout << "\nExpected: overhead at 0 cycles is pure header "
                  "traffic; each added flush cycle hits the one-item-"
                  "frame benchmarks hardest.\n";
-    return 0;
 }
+
+const sim::ScenarioRegistrar registrar({
+    "ablation_flush_cost",
+    "frame-boundary flush depth vs CommGuard runtime overhead",
+    "DESIGN.md §7 (calibrates Fig. 13)",
+    {"ablation", "overhead"},
+    runScenario,
+});
+
+} // namespace

@@ -5,7 +5,7 @@
  * The paper injects into an x86 register file whose ~8 registers are
  * essentially all live. Our ISA has 31 registers, most unused by any
  * given kernel; flipping uniformly over all of them dilutes the
- * effective error rate. This bench quantifies the dilution: jpeg
+ * effective error rate. This scenario quantifies the dilution: jpeg
  * quality across MTBEs under live-set targeting (our default,
  * x86-faithful) vs all-register targeting.
  */
@@ -13,7 +13,8 @@
 #include <iostream>
 
 #include "apps/app.hh"
-#include "bench/bench_util.hh"
+#include "sim/experiment_config.hh"
+#include "sim/scenario.hh"
 
 using namespace commguard;
 
@@ -21,10 +22,11 @@ namespace
 {
 
 double
-meanQuality(const apps::App &app, Count mtbe, bool flip_all)
+meanQuality(sim::ScenarioContext &ctx, const apps::App &app,
+            Count mtbe, bool flip_all)
 {
     std::vector<sim::RunDescriptor> descriptors;
-    for (int seed = 0; seed < bench::seeds(); ++seed) {
+    for (int seed = 0; seed < ctx.seeds(); ++seed) {
         descriptors.push_back(
             sim::ExperimentConfig::app(app)
                 .mode(streamit::ProtectionMode::CommGuard)
@@ -34,15 +36,13 @@ meanQuality(const apps::App &app, Count mtbe, bool flip_all)
                 .descriptor());
     }
     double sum = 0.0;
-    for (const sim::RunOutcome &outcome : bench::runSweep(descriptors))
+    for (const sim::RunOutcome &outcome : ctx.runSweep(descriptors))
         sum += outcome.qualityDb;
-    return sum / bench::seeds();
+    return sum / ctx.seeds();
 }
 
-} // namespace
-
-int
-main()
+void
+runScenario(sim::ScenarioContext &ctx)
 {
     std::cout << "=== Ablation: injection target policy (jpeg, "
                  "PSNR dB) ===\n\n";
@@ -51,16 +51,25 @@ main()
     sim::Table table(
         {"MTBE", "live-set flips (default)", "all-register flips"});
 
-    for (Count mtbe : bench::mtbeAxis()) {
+    for (Count mtbe : ctx.mtbeAxis()) {
         table.addRow({std::to_string(mtbe / 1000) + "k",
-                      sim::fmt(meanQuality(app, mtbe, false), 1),
-                      sim::fmt(meanQuality(app, mtbe, true), 1)});
+                      sim::fmt(meanQuality(ctx, app, mtbe, false), 1),
+                      sim::fmt(meanQuality(ctx, app, mtbe, true), 1)});
     }
 
-    bench::printTable("ablation_injection_policy", table);
+    ctx.publishTable("ablation_injection_policy", table);
     std::cout << "\nExpected: all-register flips behave like live-set "
                  "flips at a several-times-larger MTBE (dead-register "
                  "hits are no-ops) — i.e., the right-hand column is "
                  "consistently higher quality at equal MTBE.\n";
-    return 0;
 }
+
+const sim::ScenarioRegistrar registrar({
+    "ablation_injection_policy",
+    "live-set vs all-register error injection on jpeg quality",
+    "DESIGN.md §7",
+    {"ablation", "quality"},
+    runScenario,
+});
+
+} // namespace

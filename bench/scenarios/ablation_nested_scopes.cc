@@ -6,14 +6,17 @@
  * scopes "at the granularity of function calls or loop nests". With
  * per-scope budgets, a corrupted inner loop is force-completed after
  * roughly one firing's worth of work instead of a whole frame
- * computation's, so far less garbage reaches the queues. This bench
- * toggles nested-scope enforcement across the MTBE axis on jpeg.
+ * computation's, so far less garbage reaches the queues. This
+ * scenario toggles nested-scope enforcement across the MTBE axis on
+ * jpeg.
  */
 
+#include <cstdio>
 #include <iostream>
 
 #include "apps/app.hh"
-#include "bench/bench_util.hh"
+#include "sim/experiment_config.hh"
+#include "sim/scenario.hh"
 
 using namespace commguard;
 
@@ -27,31 +30,33 @@ struct Point
 };
 
 Point
-measure(const apps::App &app, Count mtbe, bool scopes)
+measure(sim::ScenarioContext &ctx, const apps::App &app, Count mtbe,
+        bool scopes)
 {
     Point point;
     MachineConfig machine;
     machine.ppu.enforceNestedScopes = scopes;
-    for (int seed = 0; seed < bench::seeds(); ++seed) {
-        const sim::RunOutcome outcome =
+    std::vector<sim::RunDescriptor> descriptors;
+    for (int seed = 0; seed < ctx.seeds(); ++seed) {
+        descriptors.push_back(
             sim::ExperimentConfig::app(app)
                 .mode(streamit::ProtectionMode::CommGuard)
                 .mtbe(static_cast<double>(mtbe))
                 .seedIndex(seed)
                 .machine(machine)
-                .run();
+                .descriptor());
+    }
+    for (const sim::RunOutcome &outcome : ctx.runSweep(descriptors)) {
         point.quality += outcome.qualityDb;
         point.loss += outcome.dataLossRatio();
     }
-    point.quality /= bench::seeds();
-    point.loss /= bench::seeds();
+    point.quality /= ctx.seeds();
+    point.loss /= ctx.seeds();
     return point;
 }
 
-} // namespace
-
-int
-main()
+void
+runScenario(sim::ScenarioContext &ctx)
 {
     std::cout << "=== Ablation: nested scopes (paper SS4.4) on jpeg "
                  "===\n\n";
@@ -60,9 +65,9 @@ main()
     sim::Table table({"MTBE", "PSNR w/ scopes", "PSNR w/o",
                       "loss w/ scopes", "loss w/o"});
 
-    for (Count mtbe : bench::mtbeAxis()) {
-        const Point with_scopes = measure(app, mtbe, true);
-        const Point without = measure(app, mtbe, false);
+    for (Count mtbe : ctx.mtbeAxis()) {
+        const Point with_scopes = measure(ctx, app, mtbe, true);
+        const Point without = measure(ctx, app, mtbe, false);
         char with_loss[32];
         char without_loss[32];
         std::snprintf(with_loss, sizeof(with_loss), "%.2e",
@@ -75,9 +80,18 @@ main()
                       without_loss});
     }
 
-    bench::printTable("ablation_nested_scopes", table);
+    ctx.publishTable("ablation_nested_scopes", table);
     std::cout << "\nExpected: per-firing scope budgets cut corrupted "
                  "loops sooner, reducing data loss and improving "
                  "quality at every error rate.\n";
-    return 0;
 }
+
+const sim::ScenarioRegistrar registrar({
+    "ablation_nested_scopes",
+    "per-firing nested-scope budgets vs invocation-only protection",
+    "Paper §4.4",
+    {"ablation", "quality"},
+    runScenario,
+});
+
+} // namespace

@@ -8,14 +8,15 @@
  * punish even though the data content is fine. Since the header
  * inserter stamps the collector edge too, the device can place each
  * frame's record at its header-indicated offset
- * (`LoadOptions::frameAlignedOutput`). This bench quantifies the
+ * (`LoadOptions::frameAlignedOutput`). This scenario quantifies the
  * effect on jpeg across the MTBE axis.
  */
 
 #include <iostream>
 
 #include "apps/app.hh"
-#include "bench/bench_util.hh"
+#include "sim/experiment_config.hh"
+#include "sim/scenario.hh"
 
 using namespace commguard;
 
@@ -23,10 +24,11 @@ namespace
 {
 
 double
-meanQuality(const apps::App &app, Count mtbe, bool aligned)
+meanQuality(sim::ScenarioContext &ctx, const apps::App &app,
+            Count mtbe, bool aligned)
 {
     std::vector<sim::RunDescriptor> descriptors;
-    for (int seed = 0; seed < bench::seeds(); ++seed) {
+    for (int seed = 0; seed < ctx.seeds(); ++seed) {
         descriptors.push_back(
             sim::ExperimentConfig::app(app)
                 .mode(streamit::ProtectionMode::CommGuard)
@@ -36,15 +38,13 @@ meanQuality(const apps::App &app, Count mtbe, bool aligned)
                 .descriptor());
     }
     double sum = 0.0;
-    for (const sim::RunOutcome &outcome : bench::runSweep(descriptors))
+    for (const sim::RunOutcome &outcome : ctx.runSweep(descriptors))
         sum += outcome.qualityDb;
-    return sum / bench::seeds();
+    return sum / ctx.seeds();
 }
 
-} // namespace
-
-int
-main()
+void
+runScenario(sim::ScenarioContext &ctx)
 {
     std::cout << "=== Ablation: frame-aligned output device (jpeg, "
                  "PSNR dB) ===\n\n";
@@ -53,15 +53,24 @@ main()
     sim::Table table(
         {"MTBE", "stream output (default)", "frame-aligned output"});
 
-    for (Count mtbe : bench::mtbeAxis()) {
+    for (Count mtbe : ctx.mtbeAxis()) {
         table.addRow({std::to_string(mtbe / 1000) + "k",
-                      sim::fmt(meanQuality(app, mtbe, false), 1),
-                      sim::fmt(meanQuality(app, mtbe, true), 1)});
+                      sim::fmt(meanQuality(ctx, app, mtbe, false), 1),
+                      sim::fmt(meanQuality(ctx, app, mtbe, true), 1)});
     }
 
-    bench::printTable("ablation_output_alignment", table);
+    ctx.publishTable("ablation_output_alignment", table);
     std::cout << "\nExpected: aligned output matches or beats the "
                  "plain stream at every MTBE (it removes positional "
                  "shift artifacts without touching the computation).\n";
-    return 0;
 }
+
+const sim::ScenarioRegistrar registrar({
+    "ablation_output_alignment",
+    "frame-aligned vs plain stream output device on jpeg quality",
+    "DESIGN.md §2/§7",
+    {"ablation", "quality"},
+    runScenario,
+});
+
+} // namespace

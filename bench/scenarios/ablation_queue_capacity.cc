@@ -5,19 +5,23 @@
  * The paper's QM uses a 320KB region split into 8 working sets
  * (§5.1). Capacity determines how much slack producers have before
  * blocking — and, under errors, how often the timeout machinery must
- * fire to keep the system live. This bench sweeps the minimum queue
- * capacity on jpeg with and without errors.
+ * fire to keep the system live. This scenario sweeps the minimum
+ * queue capacity on jpeg with and without errors.
  */
 
 #include <iostream>
 
 #include "apps/app.hh"
-#include "bench/bench_util.hh"
+#include "sim/experiment_config.hh"
+#include "sim/scenario.hh"
 
 using namespace commguard;
 
-int
-main()
+namespace
+{
+
+void
+runScenario(sim::ScenarioContext &ctx)
 {
     std::cout << "=== Ablation: queue capacity (jpeg) ===\n\n";
 
@@ -28,36 +32,52 @@ main()
     for (std::size_t capacity :
          {std::size_t{256}, std::size_t{1} << 10, std::size_t{1} << 12,
           std::size_t{1} << 14}) {
-        const sim::RunOutcome clean_run =
+        std::vector<sim::RunDescriptor> descriptors;
+        descriptors.push_back(
             sim::ExperimentConfig::app(app)
                 .mode(streamit::ProtectionMode::CommGuard)
                 .noErrors()
                 .queueCapacityWords(capacity)
-                .run();
-
-        double quality_sum = 0.0;
-        Count timeouts = 0;
-        for (int seed = 0; seed < bench::seeds(); ++seed) {
-            const sim::RunOutcome outcome =
+                .descriptor());
+        for (int seed = 0; seed < ctx.seeds(); ++seed) {
+            descriptors.push_back(
                 sim::ExperimentConfig::app(app)
                     .mode(streamit::ProtectionMode::CommGuard)
                     .queueCapacityWords(capacity)
                     .mtbe(512'000)
                     .seedIndex(seed)
-                    .run();
-            quality_sum += outcome.qualityDb;
-            timeouts += outcome.timeoutsFired();
+                    .descriptor());
+        }
+        const std::vector<sim::RunOutcome> outcomes =
+            ctx.runSweep(descriptors);
+
+        const sim::RunOutcome &clean_run = outcomes.front();
+        double quality_sum = 0.0;
+        Count timeouts = 0;
+        for (std::size_t i = 1; i < outcomes.size(); ++i) {
+            quality_sum += outcomes[i].qualityDb;
+            timeouts += outcomes[i].timeoutsFired();
         }
 
         table.addRow({std::to_string(capacity),
                       std::to_string(clean_run.totalCycles()),
-                      sim::fmt(quality_sum / bench::seeds(), 1),
+                      sim::fmt(quality_sum / ctx.seeds(), 1),
                       std::to_string(timeouts)});
     }
 
-    bench::printTable("ablation_queue_capacity", table);
+    ctx.publishTable("ablation_queue_capacity", table);
     std::cout << "\nExpected: capacity barely affects error-free "
                  "cycles (cooperative slack), and ample capacity "
                  "keeps the QM timeout machinery idle.\n";
-    return 0;
 }
+
+const sim::ScenarioRegistrar registrar({
+    "ablation_queue_capacity",
+    "minimum inter-core queue capacity vs cycles, quality and "
+    "timeouts",
+    "DESIGN.md §7 (paper §5.1)",
+    {"ablation", "overhead"},
+    runScenario,
+});
+
+} // namespace

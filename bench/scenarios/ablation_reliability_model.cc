@@ -7,26 +7,30 @@
  * streaming data: "the reliability analysis can capture that error
  * effects do not propagate across frame boundaries."
  *
- * This bench validates that claim on the jpeg benchmark: a closed-form
- * model (Poisson errors over the instructions each frame spends on
- * every core) predicts an upper bound on the fraction of affected
- * output frames; the measured corrupted-stripe fraction must stay at
- * or below the bound and track its shape across MTBEs. Without frame
- * confinement the measured fraction would approach 1 as soon as any
- * error occurred (every stripe after the first misalignment would be
- * corrupted).
+ * This scenario validates that claim on the jpeg benchmark: a
+ * closed-form model (Poisson errors over the instructions each frame
+ * spends on every core) predicts an upper bound on the fraction of
+ * affected output frames; the measured corrupted-stripe fraction must
+ * stay at or below the bound and track its shape across MTBEs.
+ * Without frame confinement the measured fraction would approach 1 as
+ * soon as any error occurred (every stripe after the first
+ * misalignment would be corrupted).
  */
 
 #include <iostream>
 
 #include "apps/app.hh"
-#include "bench/bench_util.hh"
+#include "sim/experiment_config.hh"
 #include "sim/reliability.hh"
+#include "sim/scenario.hh"
 
 using namespace commguard;
 
-int
-main()
+namespace
+{
+
+void
+runScenario(sim::ScenarioContext &ctx)
 {
     std::cout << "=== Ablation: Rely-style frame reliability model "
                  "(paper SS9) on jpeg ===\n\n";
@@ -45,32 +49,36 @@ main()
 
     // Error-free reference output for frame-exact comparison.
     const std::vector<Word> reference =
-        sim::ExperimentConfig::app(app)
-            .mode(streamit::ProtectionMode::CommGuard)
-            .noErrors()
-            .run()
+        ctx.runOne(sim::ExperimentConfig::app(app)
+                       .mode(streamit::ProtectionMode::CommGuard)
+                       .noErrors()
+                       .descriptor())
             .output;
 
     sim::Table table({"MTBE", "predicted bound", "measured (mean)",
                       "sensitivity"});
 
-    for (Count mtbe : bench::mtbeAxis()) {
+    for (Count mtbe : ctx.mtbeAxis()) {
         const double bound =
             model.frameAffectedBound(static_cast<double>(mtbe));
 
-        double sum = 0.0;
-        for (int seed = 0; seed < bench::seeds(); ++seed) {
-            const sim::RunOutcome outcome =
+        std::vector<sim::RunDescriptor> descriptors;
+        for (int seed = 0; seed < ctx.seeds(); ++seed) {
+            descriptors.push_back(
                 sim::ExperimentConfig::app(app)
                     .mode(streamit::ProtectionMode::CommGuard)
                     .mtbe(static_cast<double>(mtbe))
                     .seedIndex(seed)
-                    .run();
+                    .descriptor());
+        }
+        double sum = 0.0;
+        for (const sim::RunOutcome &outcome :
+             ctx.runSweep(descriptors)) {
             sum += sim::corruptedFrameFraction(
                 reference, outcome.output, items_per_frame);
         }
         const double measured =
-            sum / static_cast<double>(bench::seeds());
+            sum / static_cast<double>(ctx.seeds());
 
         table.addRow({std::to_string(mtbe / 1000) + "k",
                       sim::fmt(bound, 4), sim::fmt(measured, 4),
@@ -78,10 +86,19 @@ main()
                                 : "-"});
     }
 
-    bench::printTable("ablation_reliability_model", table);
+    ctx.publishTable("ablation_reliability_model", table);
     std::cout << "\nExpected: measured <= predicted bound at every "
                  "MTBE — the signature of error effects confined to "
                  "frames (the bound counts every injected error; the "
                  "gap is errors masked before reaching the output).\n";
-    return 0;
 }
+
+const sim::ScenarioRegistrar registrar({
+    "ablation_reliability_model",
+    "Rely-style Poisson bound vs measured corrupted-frame fraction",
+    "Paper §9",
+    {"ablation", "quality"},
+    runScenario,
+});
+
+} // namespace

@@ -9,13 +9,14 @@
  * a raw byte stream), a control-flow error in the first filter shifts
  * its input permanently: nothing downstream can recover data that was
  * consumed from or left in the input stream at the wrong positions.
- * This bench quantifies the decision on jpeg.
+ * This scenario quantifies the decision on jpeg.
  */
 
 #include <iostream>
 
 #include "apps/app.hh"
-#include "bench/bench_util.hh"
+#include "sim/experiment_config.hh"
+#include "sim/scenario.hh"
 
 using namespace commguard;
 
@@ -23,10 +24,11 @@ namespace
 {
 
 double
-meanQuality(const apps::App &app, Count mtbe, bool guard_source)
+meanQuality(sim::ScenarioContext &ctx, const apps::App &app,
+            Count mtbe, bool guard_source)
 {
     std::vector<sim::RunDescriptor> descriptors;
-    for (int seed = 0; seed < bench::seeds(); ++seed) {
+    for (int seed = 0; seed < ctx.seeds(); ++seed) {
         descriptors.push_back(
             sim::ExperimentConfig::app(app)
                 .mode(streamit::ProtectionMode::CommGuard)
@@ -36,15 +38,13 @@ meanQuality(const apps::App &app, Count mtbe, bool guard_source)
                 .descriptor());
     }
     double sum = 0.0;
-    for (const sim::RunOutcome &outcome : bench::runSweep(descriptors))
+    for (const sim::RunOutcome &outcome : ctx.runSweep(descriptors))
         sum += outcome.qualityDb;
-    return sum / bench::seeds();
+    return sum / ctx.seeds();
 }
 
-} // namespace
-
-int
-main()
+void
+runScenario(sim::ScenarioContext &ctx)
 {
     std::cout << "=== Ablation: guarded vs unguarded input edge "
                  "(jpeg, PSNR dB) ===\n\n";
@@ -53,16 +53,25 @@ main()
     sim::Table table({"MTBE", "guarded source (default)",
                       "unguarded source"});
 
-    for (Count mtbe : bench::mtbeAxis()) {
+    for (Count mtbe : ctx.mtbeAxis()) {
         table.addRow({std::to_string(mtbe / 1000) + "k",
-                      sim::fmt(meanQuality(app, mtbe, true), 1),
-                      sim::fmt(meanQuality(app, mtbe, false), 1)});
+                      sim::fmt(meanQuality(ctx, app, mtbe, true), 1),
+                      sim::fmt(meanQuality(ctx, app, mtbe, false), 1)});
     }
 
-    bench::printTable("ablation_source_guard", table);
+    ctx.publishTable("ablation_source_guard", table);
     std::cout << "\nExpected: without input-edge headers, first-"
                  "filter control-flow errors shift the input stream "
                  "permanently and quality collapses at high error "
                  "rates; with them the damage stays frame-local.\n";
-    return 0;
 }
+
+const sim::ScenarioRegistrar registrar({
+    "ablation_source_guard",
+    "guarded vs unguarded external input edge on jpeg quality",
+    "DESIGN.md §2/§7",
+    {"ablation", "quality"},
+    runScenario,
+});
+
+} // namespace

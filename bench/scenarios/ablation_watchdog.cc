@@ -6,19 +6,24 @@
  * margin x static-estimate committed instructions. A loose margin
  * lets a corrupted loop counter flood downstream queues with garbage
  * items before the scope ends (more discarded data, worse quality); a
- * margin of 1 risks cutting legitimate work. This bench sweeps the
+ * margin of 1 risks cutting legitimate work. This scenario sweeps the
  * margin on jpeg at MTBE = 512k.
  */
 
+#include <cstdio>
 #include <iostream>
 
 #include "apps/app.hh"
-#include "bench/bench_util.hh"
+#include "sim/experiment_config.hh"
+#include "sim/scenario.hh"
 
 using namespace commguard;
 
-int
-main()
+namespace
+{
+
+void
+runScenario(sim::ScenarioContext &ctx)
 {
     std::cout << "=== Ablation: PPU watchdog margin (jpeg, "
                  "MTBE = 512k) ===\n\n";
@@ -28,19 +33,24 @@ main()
                       "data loss", "watchdog trips"});
 
     for (Count margin : {1u, 2u, 4u, 8u, 16u}) {
-        std::vector<double> qualities;
-        double loss_sum = 0.0;
-        Count trips = 0;
         MachineConfig machine;
         machine.ppu.watchdogMultiplier = margin;
-        for (int seed = 0; seed < bench::seeds(); ++seed) {
-            const sim::RunOutcome outcome =
+        std::vector<sim::RunDescriptor> descriptors;
+        for (int seed = 0; seed < ctx.seeds(); ++seed) {
+            descriptors.push_back(
                 sim::ExperimentConfig::app(app)
                     .mode(streamit::ProtectionMode::CommGuard)
                     .mtbe(512'000)
                     .seedIndex(seed)
                     .machine(machine)
-                    .run();
+                    .descriptor());
+        }
+
+        std::vector<double> qualities;
+        double loss_sum = 0.0;
+        Count trips = 0;
+        for (const sim::RunOutcome &outcome :
+             ctx.runSweep(descriptors)) {
             qualities.push_back(outcome.qualityDb);
             loss_sum += outcome.dataLossRatio();
             trips += outcome.watchdogTrips();
@@ -48,16 +58,25 @@ main()
         const sim::SampleStats stats = sim::summarize(qualities);
         char loss[32];
         std::snprintf(loss, sizeof(loss), "%.2e",
-                      loss_sum / bench::seeds());
+                      loss_sum / ctx.seeds());
         table.addRow({std::to_string(margin) + "x",
                       sim::fmtMeanDev(stats.mean, stats.stddev, 1),
                       loss, std::to_string(trips)});
     }
 
-    bench::printTable("ablation_watchdog", table);
+    ctx.publishTable("ablation_watchdog", table);
     std::cout << "\nExpected: data loss grows with the margin "
                  "(runaway scopes push more garbage before being "
                  "cut); very tight margins trade that against "
                  "clipping legitimate variance.\n";
-    return 0;
 }
+
+const sim::ScenarioRegistrar registrar({
+    "ablation_watchdog",
+    "PPU scope-watchdog margin vs data loss and quality",
+    "DESIGN.md §7 (paper §4.4)",
+    {"ablation", "quality"},
+    runScenario,
+});
+
+} // namespace

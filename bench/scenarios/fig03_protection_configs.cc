@@ -15,8 +15,9 @@
 #include <iostream>
 
 #include "apps/app.hh"
-#include "bench/bench_util.hh"
 #include "media/image.hh"
+#include "sim/experiment_config.hh"
+#include "sim/scenario.hh"
 
 using namespace commguard;
 
@@ -30,10 +31,8 @@ struct ConfigRow
     bool inject;
 };
 
-} // namespace
-
-int
-main()
+void
+runScenario(sim::ScenarioContext &ctx)
 {
     const int width = 256;
     const int height = 192;
@@ -56,29 +55,38 @@ main()
     std::cout << "error-free lossy baseline PSNR: "
               << sim::fmt(app.errorFreeQualityDb, 1) << " dB\n\n";
 
+    std::vector<sim::RunDescriptor> descriptors;
+    for (const ConfigRow &row : rows) {
+        for (int seed = 0; seed < ctx.seeds(); ++seed) {
+            descriptors.push_back(sim::ExperimentConfig::app(app)
+                                      .mode(row.mode)
+                                      .injectErrors(row.inject)
+                                      .mtbe(mtbe)
+                                      .seedIndex(seed)
+                                      .descriptor());
+        }
+    }
+    const std::vector<sim::RunOutcome> outcomes =
+        ctx.runSweep(descriptors);
+
     sim::Table table({"configuration", "PSNR (dB, mean +- dev)",
                       "completed", "image"});
 
+    std::size_t cursor = 0;
     for (const ConfigRow &row : rows) {
         std::vector<double> samples;
         std::string image_path = "-";
         bool all_completed = true;
 
-        for (int seed = 0; seed < bench::seeds(); ++seed) {
-            const sim::RunOutcome outcome =
-                sim::ExperimentConfig::app(app)
-                    .mode(row.mode)
-                    .injectErrors(row.inject)
-                    .mtbe(mtbe)
-                    .seedIndex(seed)
-                    .run();
+        for (int seed = 0; seed < ctx.seeds(); ++seed) {
+            const sim::RunOutcome &outcome = outcomes[cursor++];
             samples.push_back(outcome.qualityDb);
             all_completed = all_completed && outcome.completed;
 
             if (seed == 0) {
                 std::string name = row.label;
                 const std::string config(1, name[1]);  // a/b/c/d
-                image_path = bench::outputDir() + "/fig03_" + config +
+                image_path = ctx.outputDir() + "/fig03_" + config +
                              ".ppm";
                 media::writePpm(apps::jpegImageFromOutput(
                                     outcome.output, width, height),
@@ -92,8 +100,17 @@ main()
                       all_completed ? "yes" : "no", image_path});
     }
 
-    bench::printTable("fig03_protection_configs", table);
+    ctx.publishTable("fig03_protection_configs", table);
     std::cout << "\nPaper shape: (a) pristine; (b) and (c) collapse; "
                  "(d) sustains acceptable quality.\n";
-    return 0;
 }
+
+const sim::ScenarioRegistrar registrar({
+    "fig03_protection_configs",
+    "jpeg under four protection mechanisms at MTBE = 1M insts/core",
+    "Fig. 3",
+    {"figure", "quality"},
+    runScenario,
+});
+
+} // namespace

@@ -12,24 +12,28 @@
 #include <iostream>
 
 #include "apps/app.hh"
-#include "bench/bench_util.hh"
 #include "media/image.hh"
+#include "sim/experiment_config.hh"
+#include "sim/scenario.hh"
 
 using namespace commguard;
 
-int
-main()
+namespace
+{
+
+void
+runScenario(sim::ScenarioContext &ctx)
 {
     const int width = 256;
     const int height = 192;
     const apps::App app = apps::makeJpegApp(width, height, 50);
 
     const sim::RunOutcome outcome =
-        sim::ExperimentConfig::app(app)
-            .mode(streamit::ProtectionMode::CommGuard)
-            .mtbe(512'000)
-            .seed(1)
-            .run();
+        ctx.runOne(sim::ExperimentConfig::app(app)
+                       .mode(streamit::ProtectionMode::CommGuard)
+                       .mtbe(512'000)
+                       .seed(1)
+                       .descriptor());
 
     std::cout << "=== Figure 7: jpeg with CommGuard at MTBE = 512k ===\n";
     sim::Table table({"metric", "value"});
@@ -49,13 +53,22 @@ main()
                   std::to_string(outcome.acceptedItems())});
     table.addRow({"watchdog trips",
                   std::to_string(outcome.watchdogTrips())});
-    bench::printTable("fig07_pad_discard", table);
+    ctx.publishTable("fig07_pad_discard", table);
 
-    const std::string path = bench::outputDir() + "/fig07.ppm";
+    const std::string path = ctx.outputDir() + "/fig07.ppm";
     media::writePpm(
         apps::jpegImageFromOutput(outcome.output, width, height), path);
     std::cout << "\ndecoded image: " << path
               << " (8-pixel-high stripes are the frames; realigned "
                  "stripes recover cleanly)\n";
-    return 0;
 }
+
+const sim::ScenarioRegistrar registrar({
+    "fig07_pad_discard",
+    "pad/discard realignment operations in one CommGuard jpeg run",
+    "Fig. 7",
+    {"figure", "quality"},
+    runScenario,
+});
+
+} // namespace

@@ -11,17 +11,21 @@
 #include <iostream>
 
 #include "apps/app.hh"
-#include "bench/bench_util.hh"
+#include "sim/experiment_config.hh"
+#include "sim/scenario.hh"
 
 using namespace commguard;
 
-int
-main()
+namespace
+{
+
+void
+runScenario(sim::ScenarioContext &ctx)
 {
     std::cout << "=== Figure 8: data-loss ratio (padded+discarded / "
                  "accepted) vs MTBE ===\n\n";
 
-    const std::vector<Count> axis = bench::mtbeAxis();
+    const std::vector<Count> &axis = ctx.mtbeAxis();
 
     std::vector<std::string> headers = {"benchmark"};
     for (Count mtbe : axis)
@@ -35,7 +39,7 @@ main()
         // CG_JOBS host threads; outcomes stay in submission order.
         std::vector<sim::RunDescriptor> descriptors;
         for (Count mtbe : axis) {
-            for (int seed = 0; seed < bench::seeds(); ++seed) {
+            for (int seed = 0; seed < ctx.seeds(); ++seed) {
                 descriptors.push_back(
                     sim::ExperimentConfig::app(app)
                         .mode(streamit::ProtectionMode::CommGuard)
@@ -45,17 +49,17 @@ main()
             }
         }
         const std::vector<sim::RunOutcome> outcomes =
-            bench::runSweep(descriptors);
+            ctx.runSweep(descriptors);
 
         std::vector<std::string> row = {name};
         std::size_t cursor = 0;
         for (Count mtbe : axis) {
             (void)mtbe;
             double sum = 0.0;
-            for (int seed = 0; seed < bench::seeds(); ++seed)
+            for (int seed = 0; seed < ctx.seeds(); ++seed)
                 sum += outcomes[cursor++].dataLossRatio();
             const double mean =
-                sum / static_cast<double>(bench::seeds());
+                sum / static_cast<double>(ctx.seeds());
             char buffer[32];
             std::snprintf(buffer, sizeof(buffer), "%.2e", mean);
             row.push_back(buffer);
@@ -63,8 +67,18 @@ main()
         table.addRow(std::move(row));
     }
 
-    bench::printTable("fig08_data_loss", table);
+    ctx.publishTable("fig08_data_loss", table);
     std::cout << "\nPaper shape: loss shrinks with MTBE; jpeg loses "
                  "the most (lowest frame/item ratio).\n";
-    return 0;
 }
+
+const sim::ScenarioRegistrar registrar({
+    "fig08_data_loss",
+    "data-loss ratio (padded+discarded / accepted) vs MTBE, 6 "
+    "benchmarks",
+    "Fig. 8",
+    {"figure", "quality"},
+    runScenario,
+});
+
+} // namespace

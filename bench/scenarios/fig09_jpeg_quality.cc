@@ -9,13 +9,17 @@
 #include <iostream>
 
 #include "apps/app.hh"
-#include "bench/bench_util.hh"
 #include "media/image.hh"
+#include "sim/experiment_config.hh"
+#include "sim/scenario.hh"
 
 using namespace commguard;
 
-int
-main()
+namespace
+{
+
+void
+runScenario(sim::ScenarioContext &ctx)
 {
     const int width = 256;
     const int height = 192;
@@ -40,13 +44,13 @@ main()
                 .descriptor());
     }
     const std::vector<sim::RunOutcome> outcomes =
-        bench::runSweep(descriptors);
+        ctx.runSweep(descriptors);
 
     for (std::size_t i = 0; i < points.size(); ++i) {
         const Count mtbe = points[i];
         const sim::RunOutcome &outcome = outcomes[i];
 
-        const std::string path = bench::outputDir() + "/fig09_mtbe" +
+        const std::string path = ctx.outputDir() + "/fig09_mtbe" +
                                  std::to_string(mtbe / 1000) + "k.ppm";
         media::writePpm(
             apps::jpegImageFromOutput(outcome.output, width, height),
@@ -58,8 +62,17 @@ main()
                       path});
     }
 
-    bench::printTable("fig09_jpeg_quality", table);
+    ctx.publishTable("fig09_jpeg_quality", table);
     std::cout << "\nPaper shape: monotone quality improvement with "
                  "MTBE, approaching the error-free PSNR.\n";
-    return 0;
 }
+
+const sim::ScenarioRegistrar registrar({
+    "fig09_jpeg_quality",
+    "jpeg PSNR and decoded images across MTBE under CommGuard",
+    "Fig. 9",
+    {"figure", "quality"},
+    runScenario,
+});
+
+} // namespace

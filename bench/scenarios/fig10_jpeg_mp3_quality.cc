@@ -10,7 +10,7 @@
 #include <iostream>
 
 #include "apps/app.hh"
-#include "bench/bench_util.hh"
+#include "sim/scenario.hh"
 
 using namespace commguard;
 
@@ -18,7 +18,7 @@ namespace
 {
 
 void
-sweepApp(const apps::App &app, const std::vector<Count> &axis,
+sweepApp(sim::ScenarioContext &ctx, const apps::App &app,
          const std::vector<Count> &frame_scales)
 {
     std::cout << "--- " << app.name << " (error-free "
@@ -31,11 +31,11 @@ sweepApp(const apps::App &app, const std::vector<Count> &axis,
                               : std::to_string(scale) + "x frames (dB)");
     sim::Table table(headers);
 
-    for (Count mtbe : axis) {
+    for (Count mtbe : ctx.mtbeAxis()) {
         std::vector<std::string> row = {
             std::to_string(mtbe / 1000) + "k"};
         for (Count scale : frame_scales) {
-            const std::vector<double> samples = bench::qualitySamples(
+            const std::vector<double> samples = ctx.qualitySamples(
                 app, streamit::ProtectionMode::CommGuard, true,
                 static_cast<double>(mtbe), scale);
             const sim::SampleStats stats = sim::summarize(samples);
@@ -44,29 +44,31 @@ sweepApp(const apps::App &app, const std::vector<Count> &axis,
         }
         table.addRow(std::move(row));
     }
-    bench::printTable("fig10_" + app.name, table);
+    ctx.publishTable("fig10_" + app.name, table);
     std::cout << "\n";
 }
 
-} // namespace
-
-int
-main()
+void
+runScenario(sim::ScenarioContext &ctx)
 {
     std::cout << "=== Figure 10: jpeg PSNR and mp3 SNR vs MTBE "
                  "(CommGuard, mean +- dev over seeds) ===\n\n";
 
-    const std::vector<Count> axis = bench::mtbeAxis();
-    const std::vector<Count> scales =
-        bench::quick() ? std::vector<Count>{1}
-                       : std::vector<Count>{1, 2, 4, 8};
-
-    sweepApp(apps::makeJpegApp(), axis, {1});
-    sweepApp(apps::makeMp3App(), axis, scales);
+    sweepApp(ctx, apps::makeJpegApp(), {1});
+    sweepApp(ctx, apps::makeMp3App(), ctx.frameScales());
 
     std::cout << "Paper shape: quality rises monotonically with MTBE "
                  "toward the error-free baseline; larger frames "
                  "realign less often and lose slightly more quality "
                  "per misalignment.\n";
-    return 0;
 }
+
+const sim::ScenarioRegistrar registrar({
+    "fig10_jpeg_mp3_quality",
+    "jpeg PSNR and mp3 SNR vs MTBE with the mp3 frame-size sweep",
+    "Fig. 10",
+    {"figure", "quality"},
+    runScenario,
+});
+
+} // namespace

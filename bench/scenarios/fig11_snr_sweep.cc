@@ -9,7 +9,7 @@
 #include <iostream>
 
 #include "apps/app.hh"
-#include "bench/bench_util.hh"
+#include "sim/scenario.hh"
 
 using namespace commguard;
 
@@ -17,7 +17,7 @@ namespace
 {
 
 void
-sweep(const apps::App &app, const std::vector<Count> &axis,
+sweep(sim::ScenarioContext &ctx, const apps::App &app,
       const std::vector<Count> &frame_scales)
 {
     std::cout << "--- " << app.name
@@ -29,14 +29,14 @@ sweep(const apps::App &app, const std::vector<Count> &axis,
                               : std::to_string(scale) + "x frames (dB)");
     sim::Table table(headers);
 
-    for (Count mtbe : axis) {
+    for (Count mtbe : ctx.mtbeAxis()) {
         std::vector<std::string> row = {
             std::to_string(mtbe / 1000) + "k"};
         for (Count scale : frame_scales) {
             // Cap infinite samples (bit-exact runs) for averaging:
             // report them as a large sentinel, like the paper's
             // near-160 dB channelvocoder points.
-            std::vector<double> samples = bench::qualitySamples(
+            std::vector<double> samples = ctx.qualitySamples(
                 app, streamit::ProtectionMode::CommGuard, true,
                 static_cast<double>(mtbe), scale);
             for (double &s : samples) {
@@ -49,29 +49,32 @@ sweep(const apps::App &app, const std::vector<Count> &axis,
         }
         table.addRow(std::move(row));
     }
-    bench::printTable("fig11_" + app.name, table);
+    ctx.publishTable("fig11_" + app.name, table);
     std::cout << "\n";
 }
 
-} // namespace
-
-int
-main()
+void
+runScenario(sim::ScenarioContext &ctx)
 {
     std::cout << "=== Figure 11: SNR vs MTBE for the remaining four "
                  "benchmarks (CommGuard; 200 dB = bit-exact) ===\n\n";
 
-    const std::vector<Count> axis = bench::mtbeAxis();
-    const std::vector<Count> scales =
-        bench::quick() ? std::vector<Count>{1}
-                       : std::vector<Count>{1, 2, 4, 8};
-
-    sweep(apps::makeBeamformerApp(), axis, {1});
-    sweep(apps::makeChannelVocoderApp(), axis, {1});
-    sweep(apps::makeComplexFirApp(), axis, scales);
-    sweep(apps::makeFftApp(), axis, {1});
+    sweep(ctx, apps::makeBeamformerApp(), {1});
+    sweep(ctx, apps::makeChannelVocoderApp(), {1});
+    sweep(ctx, apps::makeComplexFirApp(), ctx.frameScales());
+    sweep(ctx, apps::makeFftApp(), {1});
 
     std::cout << "Paper shape: SNR climbs with MTBE; channelvocoder "
                  "is the most robust, fft degrades fastest.\n";
-    return 0;
 }
+
+const sim::ScenarioRegistrar registrar({
+    "fig11_snr_sweep",
+    "SNR vs MTBE for audiobeamformer, channelvocoder, complex-fir, "
+    "fft",
+    "Fig. 11",
+    {"figure", "quality"},
+    runScenario,
+});
+
+} // namespace

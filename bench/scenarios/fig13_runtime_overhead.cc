@@ -13,29 +13,16 @@
 #include <iostream>
 
 #include "apps/app.hh"
-#include "bench/bench_util.hh"
+#include "sim/experiment_config.hh"
+#include "sim/scenario.hh"
 
 using namespace commguard;
 
 namespace
 {
 
-Cycle
-cyclesFor(const apps::App &app, streamit::ProtectionMode mode,
-          Count frame_scale)
-{
-    return sim::ExperimentConfig::app(app)
-        .mode(mode)
-        .noErrors()
-        .frameScale(frame_scale)
-        .run()
-        .totalCycles();
-}
-
-} // namespace
-
-int
-main()
+void
+runScenario(sim::ScenarioContext &ctx)
 {
     std::cout << "=== Figure 13: CommGuard execution-time overhead vs "
                  "frame size (error-free; reference is execution "
@@ -48,16 +35,38 @@ main()
                                      : std::to_string(scale) + "x (%)");
     sim::Table table(headers);
 
-    std::vector<double> log_sums(scales.size(), 0.0);
-    for (const std::string &name : apps::allAppNames()) {
-        const apps::App app = apps::makeAppByName(name);
-        const Cycle base = cyclesFor(
-            app, streamit::ProtectionMode::ReliableQueue, 1);
+    // Per benchmark: one no-CommGuard reference plus one CommGuard
+    // run per frame scale, all error-free, fanned out as one batch.
+    std::vector<apps::App> apps_list;
+    for (const std::string &name : apps::allAppNames())
+        apps_list.push_back(apps::makeAppByName(name));
+    std::vector<sim::RunDescriptor> descriptors;
+    for (const apps::App &app : apps_list) {
+        descriptors.push_back(
+            sim::ExperimentConfig::app(app)
+                .mode(streamit::ProtectionMode::ReliableQueue)
+                .noErrors()
+                .descriptor());
+        for (Count scale : scales) {
+            descriptors.push_back(
+                sim::ExperimentConfig::app(app)
+                    .mode(streamit::ProtectionMode::CommGuard)
+                    .noErrors()
+                    .frameScale(scale)
+                    .descriptor());
+        }
+    }
+    const std::vector<sim::RunOutcome> outcomes =
+        ctx.runSweep(descriptors);
 
-        std::vector<std::string> row = {name};
+    std::vector<double> log_sums(scales.size(), 0.0);
+    std::size_t cursor = 0;
+    for (const apps::App &app : apps_list) {
+        const Cycle base = outcomes[cursor++].totalCycles();
+
+        std::vector<std::string> row = {app.name};
         for (std::size_t i = 0; i < scales.size(); ++i) {
-            const Cycle cg = cyclesFor(
-                app, streamit::ProtectionMode::CommGuard, scales[i]);
+            const Cycle cg = outcomes[cursor++].totalCycles();
             const double pct =
                 100.0 *
                 (static_cast<double>(cg) - static_cast<double>(base)) /
@@ -74,9 +83,19 @@ main()
         gmean_row.push_back(sim::fmt(std::exp(log_sum / n), 2));
     table.addRow(std::move(gmean_row));
 
-    bench::printTable("fig13_runtime_overhead", table);
+    ctx.publishTable("fig13_runtime_overhead", table);
     std::cout << "\nPaper shape: ~1% mean overhead; fine-grained-frame "
                  "benchmarks (audiobeamformer, complex-fir) are the "
                  "worst cases; larger frames shrink the overhead.\n";
-    return 0;
 }
+
+const sim::ScenarioRegistrar registrar({
+    "fig13_runtime_overhead",
+    "execution-time overhead vs frame size on the in-order cycle "
+    "model",
+    "Fig. 13",
+    {"figure", "overhead"},
+    runScenario,
+});
+
+} // namespace

@@ -12,12 +12,16 @@
 #include <iostream>
 
 #include "apps/app.hh"
-#include "bench/bench_util.hh"
+#include "sim/experiment_config.hh"
+#include "sim/scenario.hh"
 
 using namespace commguard;
 
-int
-main()
+namespace
+{
+
+void
+runScenario(sim::ScenarioContext &ctx)
 {
     std::cout << "=== Figure 14: CommGuard suboperations relative to "
                  "committed instructions (error-free) ===\n\n";
@@ -25,14 +29,23 @@ main()
     sim::Table table({"benchmark", "FSM/Counter (%)", "ECC (%)",
                       "HeaderBit (%)", "Total (%)"});
 
-    double total_log_sum = 0.0;
-    for (const std::string &name : apps::allAppNames()) {
-        const apps::App app = apps::makeAppByName(name);
-        const sim::RunOutcome o =
+    std::vector<apps::App> apps_list;
+    for (const std::string &name : apps::allAppNames())
+        apps_list.push_back(apps::makeAppByName(name));
+    std::vector<sim::RunDescriptor> descriptors;
+    for (const apps::App &app : apps_list) {
+        descriptors.push_back(
             sim::ExperimentConfig::app(app)
                 .mode(streamit::ProtectionMode::CommGuard)
                 .noErrors()
-                .run();
+                .descriptor());
+    }
+    const std::vector<sim::RunOutcome> outcomes =
+        ctx.runSweep(descriptors);
+
+    double total_log_sum = 0.0;
+    for (std::size_t i = 0; i < apps_list.size(); ++i) {
+        const sim::RunOutcome &o = outcomes[i];
 
         const double insts =
             static_cast<double>(o.totalInstructions());
@@ -45,17 +58,28 @@ main()
         const double total_pct =
             100.0 * static_cast<double>(o.totalCgOps()) / insts;
 
-        table.addRow({name, sim::fmt(fsm_pct, 3), sim::fmt(ecc_pct, 3),
-                      sim::fmt(hbit_pct, 3), sim::fmt(total_pct, 3)});
+        table.addRow({apps_list[i].name, sim::fmt(fsm_pct, 3),
+                      sim::fmt(ecc_pct, 3), sim::fmt(hbit_pct, 3),
+                      sim::fmt(total_pct, 3)});
         total_log_sum += std::log(std::max(total_pct, 1e-9));
     }
 
     const double n = static_cast<double>(apps::allAppNames().size());
     table.addRow({"GMean", "", "", "",
                   sim::fmt(std::exp(total_log_sum / n), 3)});
-    bench::printTable("fig14_suboperations", table);
+    ctx.publishTable("fig14_suboperations", table);
     std::cout << "\nPaper shape: a few percent at most; header-bit "
                  "checks are the most frequent suboperation, ECC the "
                  "rarest.\n";
-    return 0;
 }
+
+const sim::ScenarioRegistrar registrar({
+    "fig14_suboperations",
+    "CommGuard suboperation frequencies relative to committed "
+    "instructions",
+    "Fig. 14 / Tables 2-3",
+    {"figure", "overhead"},
+    runScenario,
+});
+
+} // namespace

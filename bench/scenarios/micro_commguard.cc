@@ -3,14 +3,18 @@
  * Google-benchmark micro suite for CommGuard's reliable modules: ECC
  * codec, header construction, queue push/pop, alignment-manager pop
  * paths, and header insertion. These quantify the per-operation costs
- * behind Table 3.
+ * behind Table 3. The suite registers as scenario `micro_commguard`;
+ * its benchmarks are selected by name prefix from the process-wide
+ * google-benchmark registry.
  */
 
 #include <benchmark/benchmark.h>
 
+#include <iostream>
 #include <memory>
 #include <vector>
 
+#include "bench/scenarios/micro_suite.hh"
 #include "commguard/alignment_manager.hh"
 #include "commguard/header_inserter.hh"
 #include "common/ecc.hh"
@@ -140,7 +144,26 @@ BM_HeaderInsertion(benchmark::State &state)
 }
 BENCHMARK(BM_HeaderInsertion)->Arg(1)->Arg(4);
 
+void
+runScenario(sim::ScenarioContext &ctx)
+{
+    std::cout << "=== Micro: CommGuard reliable-module hot paths "
+                 "(Table 3 per-operation costs) ===\n\n";
+    // Everything registered by this file; excludes the BM_Interpreter*
+    // suite living in micro_machine.cc.
+    bench::runMicroSuite(ctx, "micro_commguard",
+                         "BM_(Ecc|MakeHeader|QueuePushPop|Am|"
+                         "HeaderInsertion)");
+}
+
+const sim::ScenarioRegistrar registrar({
+    "micro_commguard",
+    "per-operation costs of the reliable modules (ECC, headers, "
+    "queues, AM)",
+    "Table 3",
+    {"micro", "perf"},
+    runScenario,
+});
+
 } // namespace
 } // namespace commguard
-
-BENCHMARK_MAIN();

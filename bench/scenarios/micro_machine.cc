@@ -3,13 +3,17 @@
  * Google-benchmark micro suite for the functional simulator itself:
  * interpreter throughput on representative kernels (simulated
  * instructions per second determine how fast the figure sweeps run)
- * and the cost of error injection.
+ * and the cost of error injection. Registers as scenario
+ * `micro_machine`; its benchmarks are selected by the BM_Interpreter
+ * name prefix from the process-wide google-benchmark registry.
  */
 
 #include <benchmark/benchmark.h>
 
+#include <iostream>
 #include <memory>
 
+#include "bench/scenarios/micro_suite.hh"
 #include "isa/assembler.hh"
 #include "kernels/jpeg_kernels.hh"
 #include "machine/backends.hh"
@@ -104,7 +108,22 @@ BM_InterpreterIdctKernel(benchmark::State &state)
 }
 BENCHMARK(BM_InterpreterIdctKernel)->Unit(benchmark::kMicrosecond);
 
+void
+runScenario(sim::ScenarioContext &ctx)
+{
+    std::cout << "=== Micro: functional-simulator interpreter "
+                 "throughput ===\n\n";
+    bench::runMicroSuite(ctx, "micro_machine", "BM_Interpreter");
+}
+
+const sim::ScenarioRegistrar registrar({
+    "micro_machine",
+    "interpreter throughput on representative kernels, with and "
+    "without injection",
+    "§6 methodology (simulator speed)",
+    {"micro", "perf"},
+    runScenario,
+});
+
 } // namespace
 } // namespace commguard
-
-BENCHMARK_MAIN();

@@ -1,0 +1,106 @@
+#include "bench/scenarios/micro_suite.hh"
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <vector>
+
+#include "common/logging.hh"
+#include "sim/table.hh"
+
+namespace commguard::bench
+{
+
+namespace
+{
+
+std::string
+fmtCounter(double value)
+{
+    char buffer[32];
+    std::snprintf(buffer, sizeof(buffer), "%.3g", value);
+    return buffer;
+}
+
+/** Collects per-benchmark results into a sim::Table. */
+class TableReporter : public benchmark::BenchmarkReporter
+{
+  public:
+    explicit TableReporter(sim::Table &table) : _table(table) {}
+
+    bool ReportContext(const Context &) override { return true; }
+
+    void
+    ReportRuns(const std::vector<Run> &reports) override
+    {
+        for (const Run &run : reports) {
+            if (run.error_occurred) {
+                fatal("micro benchmark '" + run.benchmark_name() +
+                      "' failed: " + run.error_message);
+            }
+            const char *unit =
+                benchmark::GetTimeUnitString(run.time_unit);
+            std::string counters;
+            for (const auto &[name, counter] : run.counters) {
+                if (!counters.empty())
+                    counters += " ";
+                counters +=
+                    name + "=" + fmtCounter(counter.value);
+            }
+            _table.addRow(
+                {run.benchmark_name(),
+                 sim::fmt(run.GetAdjustedRealTime(), 1) + " " + unit,
+                 sim::fmt(run.GetAdjustedCPUTime(), 1) + " " + unit,
+                 std::to_string(run.iterations),
+                 counters.empty() ? "-" : counters});
+        }
+    }
+
+  private:
+    sim::Table &_table;
+};
+
+/**
+ * google-benchmark global flag parsing happens once per process; the
+ * quick/full decision is taken from the first suite that runs (the
+ * driver applies one CG_QUICK setting to the whole invocation).
+ */
+void
+initBenchmarkOnce(bool quick)
+{
+    static bool initialized = false;
+    if (initialized)
+        return;
+    initialized = true;
+
+    std::vector<const char *> args = {"cg_bench"};
+    if (quick)
+        args.push_back("--benchmark_min_time=0.01");
+    int argc = static_cast<int>(args.size());
+    std::vector<char *> argv;
+    for (const char *arg : args)
+        argv.push_back(const_cast<char *>(arg));
+    benchmark::Initialize(&argc, argv.data());
+}
+
+} // namespace
+
+void
+runMicroSuite(sim::ScenarioContext &ctx, const std::string &name,
+              const std::string &filter)
+{
+    initBenchmarkOnce(ctx.quick());
+
+    sim::Table table(
+        {"benchmark", "time", "cpu", "iterations", "counters"});
+    TableReporter reporter(table);
+    const std::size_t matched =
+        benchmark::RunSpecifiedBenchmarks(&reporter, filter);
+    if (matched == 0) {
+        fatal("micro suite '" + name +
+              "': no benchmarks match filter '" + filter + "'");
+    }
+    ctx.publishTable(name, table);
+}
+
+} // namespace commguard::bench

@@ -1,0 +1,31 @@
+/**
+ * @file
+ * Bridge from google-benchmark micro suites to the scenario layer:
+ * runs the registered benchmarks matching a filter and publishes the
+ * results as a sim::Table, so the micro suites share the catalogue,
+ * driver and smoke-test machinery of every other scenario.
+ */
+
+#ifndef COMMGUARD_BENCH_SCENARIOS_MICRO_SUITE_HH
+#define COMMGUARD_BENCH_SCENARIOS_MICRO_SUITE_HH
+
+#include <string>
+
+#include "sim/scenario.hh"
+
+namespace commguard::bench
+{
+
+/**
+ * Run every registered google-benchmark benchmark whose name matches
+ * @p filter (a benchmark_filter regex; a leading '-' negates) and
+ * publish one row per benchmark as table @p name through @p ctx.
+ * Quick contexts shrink the per-benchmark measuring time to a smoke
+ * level. Exits via fatal() if a benchmark reports an error.
+ */
+void runMicroSuite(sim::ScenarioContext &ctx, const std::string &name,
+                   const std::string &filter);
+
+} // namespace commguard::bench
+
+#endif // COMMGUARD_BENCH_SCENARIOS_MICRO_SUITE_HH

@@ -1,6 +1,6 @@
 /**
  * @file
- * Sweep-engine throughput benchmark: runs a fig09-style jpeg quality
+ * Sweep-engine throughput scenario: runs a fig09-style jpeg quality
  * sweep (MTBE axis x seeds, CommGuard mode) twice — once sequentially
  * (1 job) and once through the parallel SweepRunner (CG_JOBS, default
  * hardware_concurrency) — verifies the outcomes are bitwise identical,
@@ -14,12 +14,14 @@
  */
 
 #include <chrono>
-#include <cstdio>
 #include <cstring>
 #include <iostream>
 
 #include "apps/app.hh"
-#include "bench/bench_util.hh"
+#include "common/logging.hh"
+#include "sim/experiment_config.hh"
+#include "sim/run_export.hh"
+#include "sim/scenario.hh"
 #include "sim/sweep_runner.hh"
 
 using namespace commguard;
@@ -37,11 +39,11 @@ wallSeconds()
 }
 
 std::vector<sim::RunDescriptor>
-fig09StyleSweep(const apps::App &app)
+fig09StyleSweep(sim::ScenarioContext &ctx, const apps::App &app)
 {
     std::vector<sim::RunDescriptor> descriptors;
-    for (Count mtbe : bench::mtbeAxis()) {
-        for (int seed = 0; seed < bench::seeds(); ++seed) {
+    for (Count mtbe : ctx.mtbeAxis()) {
+        for (int seed = 0; seed < ctx.seeds(); ++seed) {
             descriptors.push_back(
                 sim::ExperimentConfig::app(app)
                     .mode(streamit::ProtectionMode::CommGuard)
@@ -96,16 +98,13 @@ identicalOutcomes(const std::vector<sim::RunOutcome> &a,
     return true;
 }
 
-} // namespace
-
-int
-main()
+void
+runScenario(sim::ScenarioContext &ctx)
 {
-    const bool quick = bench::quick();
-    const apps::App app = quick ? apps::makeJpegApp(128, 96, 50)
-                                : apps::makeJpegApp();
+    const apps::App app = ctx.quick() ? apps::makeJpegApp(128, 96, 50)
+                                      : apps::makeJpegApp();
     const std::vector<sim::RunDescriptor> descriptors =
-        fig09StyleSweep(app);
+        fig09StyleSweep(ctx, app);
     const unsigned jobs = ThreadPool::defaultJobs();
 
     std::cout << "=== Sweep engine throughput (fig09-style jpeg "
@@ -116,9 +115,8 @@ main()
     const SweepResult parallel = timedSweep(descriptors, jobs);
 
     if (!identicalOutcomes(sequential.outcomes, parallel.outcomes)) {
-        std::cerr << "FAIL: parallel outcomes differ from the "
-                     "sequential baseline\n";
-        return 1;
+        fatal("micro_sweep_throughput: parallel outcomes differ from "
+              "the sequential baseline");
     }
 
     const double speedup = parallel.wallSecs > 0.0
@@ -142,7 +140,7 @@ main()
                   "1.00"});
     table.addRow({std::to_string(jobs), sim::fmt(parallel.wallSecs, 2),
                   sim::fmt(mips, 1), sim::fmt(speedup, 2)});
-    bench::printTable("micro_sweep_throughput", table);
+    ctx.publishTable("micro_sweep_throughput", table);
 
     std::cout << "\noutcomes bitwise-identical across job counts: "
                  "yes\n";
@@ -154,5 +152,15 @@ main()
     data["speedup"] = Json(speedup);
     sim::writeBenchJson("sweep", data);
     std::cout << "wrote BENCH_sweep.json\n";
-    return 0;
 }
+
+const sim::ScenarioRegistrar registrar({
+    "micro_sweep_throughput",
+    "parallel sweep engine: simulated MIPS, speedup, bitwise-identity "
+    "check",
+    "§6 methodology (engine perf)",
+    {"micro", "perf"},
+    runScenario,
+});
+
+} // namespace

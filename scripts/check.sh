@@ -1,9 +1,10 @@
 #!/usr/bin/env bash
 # One-stop local gate: configure, build (warnings are the default
 # -Wall -Wextra from the top-level CMakeLists), run the tier-1 test
-# suite, validate the per-run JSONL export schema, and run one traced
-# quick sweep to validate the Perfetto trace export and the per-run
-# forensics records (docs/TRACING.md).
+# suite, validate the per-run JSONL export schema and the scenario
+# catalogue, run the full scenario sweep in quick mode, and run one
+# traced quick sweep to validate the Perfetto trace export and the
+# per-run forensics records (docs/TRACING.md).
 #
 # Usage: scripts/check.sh [build-dir]   (default: build)
 set -euo pipefail
@@ -16,6 +17,17 @@ cmake --build "$BUILD_DIR" -j "$(nproc)"
 ctest --test-dir "$BUILD_DIR" -L tier1 --output-on-failure
 cmake --build "$BUILD_DIR" --target schema_check
 
+CG_BENCH="$BUILD_DIR/tools/cg_bench"
+
+# Scenario catalogue: the machine-readable listing must carry names,
+# descriptions, paper references and tags for every scenario, sorted
+# and unique.
+"$CG_BENCH" list --json > "$BUILD_DIR/scenario_list.json"
+"$BUILD_DIR/tools/jsonl_check" --scenarios "$BUILD_DIR/scenario_list.json"
+
+# Every registered scenario must run end to end in quick mode.
+(cd "$BUILD_DIR" && CG_QUICK=1 "tools/cg_bench" run --all)
+
 # Traced quick sweep: every run must emit a valid Perfetto trace file
 # whose event stream tallies against the exact sidecar counts, and a
 # JSONL record with a forensics section and zero conservation errors.
@@ -23,7 +35,7 @@ TRACE_DIR="$BUILD_DIR/trace_check"
 TRACE_JSONL="$BUILD_DIR/trace_check_runs.jsonl"
 rm -rf "$TRACE_DIR" "$TRACE_JSONL"
 CG_QUICK=1 CG_TRACE_EVENTS=1 CG_TRACE_OUT="$TRACE_DIR" \
-    CG_JSONL="$TRACE_JSONL" "$BUILD_DIR/bench/fig08_data_loss"
+    CG_JSONL="$TRACE_JSONL" "$CG_BENCH" run fig08_data_loss
 "$BUILD_DIR/tools/jsonl_check" --forensics "$TRACE_JSONL"
 "$BUILD_DIR/tools/jsonl_check" --trace "$TRACE_DIR"/*.json
 

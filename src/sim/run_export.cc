@@ -52,14 +52,20 @@ appendJsonl(const std::string &path, const std::vector<Json> &records)
     }
 }
 
-void
-writeBenchJson(const std::string &name, const Json &data)
+Json
+benchDocument(const std::string &name, const Json &data)
 {
     Json document = Json::object();
     document["schema_version"] = Json(metrics::kSchemaVersion);
     document["bench"] = Json(name);
     document["data"] = data;
+    return document;
+}
 
+void
+writeBenchJson(const std::string &name, const Json &data)
+{
+    const Json document = benchDocument(name, data);
     const std::string path = "BENCH_" + name + ".json";
     std::ofstream out(path);
     if (!out) {

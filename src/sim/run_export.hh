@@ -48,9 +48,14 @@ void appendJsonl(const std::string &path,
                  const std::vector<Json> &records);
 
 /**
- * Write BENCH_<name>.json in the working directory:
- * {"schema_version": ..., "bench": name, "data": data}.
+ * The BENCH document for @p name:
+ * {"schema_version": ..., "bench": name, "data": data}. Exposed
+ * separately from writeBenchJson() so the scenario layer and tests
+ * can validate documents without touching the filesystem.
  */
+Json benchDocument(const std::string &name, const Json &data);
+
+/** Write benchDocument() as BENCH_<name>.json in the working dir. */
 void writeBenchJson(const std::string &name, const Json &data);
 
 } // namespace commguard::sim

@@ -35,6 +35,9 @@ class Table
     /** As {"headers": [...], "rows": [[...], ...]} (BENCH export). */
     Json toJson() const;
 
+    /** Rows added so far. */
+    std::size_t rowCount() const { return _rows.size(); }
+
   private:
     std::vector<std::string> _headers;
     std::vector<std::vector<std::string>> _rows;

@@ -1,0 +1,188 @@
+/**
+ * @file
+ * Scenario-layer tests: registry invariants (names unique, sorted,
+ * stable), catalogue JSON shape, the quick-mode axis thinning, and an
+ * end-to-end smoke run of every registered scenario in quick mode —
+ * each must publish at least one table row and a valid
+ * schema-versioned BENCH document.
+ *
+ * The ToyScenario registrar below is also the living demonstration of
+ * the extension contract: adding a workload is exactly one new
+ * translation unit containing a static ScenarioRegistrar — no driver,
+ * registry or CMake-logic change. The toy registers from this file
+ * and shows up in every listing and in the parameterized smoke run.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "common/metrics.hh"
+#include "sim/scenario.hh"
+
+using namespace commguard;
+
+namespace
+{
+
+void
+runToyScenario(sim::ScenarioContext &ctx)
+{
+    sim::Table table({"axis", "value"});
+    table.addRow({"seeds", std::to_string(ctx.seeds())});
+    table.addRow({"mtbe points",
+                  std::to_string(ctx.mtbeAxis().size())});
+    ctx.publishTable("toy_registry_demo", table);
+}
+
+// One static registrar in one translation unit == one new scenario.
+const sim::ScenarioRegistrar toy_registrar({
+    "toy_registry_demo",
+    "minimal scenario used to test the registration contract",
+    "docs/SCENARIOS.md",
+    {"toy"},
+    runToyScenario,
+});
+
+TEST(ScenarioRegistry, NamesUniqueSortedAndStable)
+{
+    const std::vector<std::string> names =
+        sim::ScenarioRegistry::instance().names();
+    ASSERT_FALSE(names.empty());
+
+    EXPECT_TRUE(std::is_sorted(names.begin(), names.end()));
+    const std::set<std::string> unique(names.begin(), names.end());
+    EXPECT_EQ(unique.size(), names.size());
+
+    // The catalogue's stable core: every pre-refactor binary name must
+    // still be present (BENCH_<name>.json filenames depend on it).
+    for (const char *expected :
+         {"ablation_flush_cost", "ablation_injection_policy",
+          "ablation_nested_scopes", "ablation_output_alignment",
+          "ablation_queue_capacity", "ablation_reliability_model",
+          "ablation_source_guard", "ablation_watchdog",
+          "fig03_protection_configs", "fig07_pad_discard",
+          "fig08_data_loss", "fig09_jpeg_quality",
+          "fig10_jpeg_mp3_quality", "fig11_snr_sweep",
+          "fig12_memory_overhead", "fig13_runtime_overhead",
+          "fig14_suboperations", "micro_commguard", "micro_machine",
+          "micro_sweep_throughput", "toy_registry_demo"}) {
+        EXPECT_TRUE(unique.count(expected) == 1)
+            << "scenario '" << expected << "' missing from registry";
+    }
+}
+
+TEST(ScenarioRegistry, LookupAndTagFilter)
+{
+    const sim::ScenarioRegistry &registry =
+        sim::ScenarioRegistry::instance();
+
+    const sim::Scenario *toy = registry.find("toy_registry_demo");
+    ASSERT_NE(toy, nullptr);
+    EXPECT_EQ(toy->paperRef, "docs/SCENARIOS.md");
+    EXPECT_EQ(registry.find("no_such_scenario"), nullptr);
+
+    const std::vector<const sim::Scenario *> figures =
+        registry.withTag("figure");
+    EXPECT_GE(figures.size(), 9u);
+    for (const sim::Scenario *scenario : figures) {
+        EXPECT_NE(std::find(scenario->tags.begin(),
+                            scenario->tags.end(), "figure"),
+                  scenario->tags.end());
+    }
+    EXPECT_TRUE(registry.withTag("no_such_tag").empty());
+}
+
+TEST(ScenarioRegistry, CatalogueJsonShape)
+{
+    const Json doc = sim::scenarioListJson();
+    ASSERT_TRUE(doc.isObject());
+    ASSERT_NE(doc.find("schema_version"), nullptr);
+    EXPECT_EQ(doc.find("schema_version")->counter(),
+              static_cast<Count>(metrics::kSchemaVersion));
+
+    const Json *scenarios = doc.find("scenarios");
+    ASSERT_NE(scenarios, nullptr);
+    ASSERT_TRUE(scenarios->isArray());
+    EXPECT_EQ(scenarios->arr().size(),
+              sim::ScenarioRegistry::instance().names().size());
+
+    std::string previous;
+    for (const Json &entry : scenarios->arr()) {
+        ASSERT_TRUE(entry.isObject());
+        for (const char *key : {"name", "description", "paper_ref"}) {
+            ASSERT_NE(entry.find(key), nullptr);
+            EXPECT_FALSE(entry.find(key)->str().empty())
+                << "empty '" << key << "'";
+        }
+        ASSERT_NE(entry.find("tags"), nullptr);
+        EXPECT_FALSE(entry.find("tags")->arr().empty());
+        const std::string &name = entry.find("name")->str();
+        EXPECT_LT(previous, name) << "names not sorted/unique";
+        previous = name;
+    }
+}
+
+TEST(ScenarioAxes, QuickThinsTheFullSweep)
+{
+    const sim::SweepAxes full = sim::sweepAxes(false);
+    const sim::SweepAxes quick = sim::sweepAxes(true);
+
+    EXPECT_LT(quick.seeds, full.seeds);
+    EXPECT_LT(quick.mtbe.size(), full.mtbe.size());
+    EXPECT_LE(quick.frameScales.size(), full.frameScales.size());
+
+    // Quick points are a subset of the full axis: quick results stay
+    // comparable against full-sweep numbers.
+    for (Count mtbe : quick.mtbe) {
+        EXPECT_NE(std::find(full.mtbe.begin(), full.mtbe.end(), mtbe),
+                  full.mtbe.end());
+    }
+}
+
+/**
+ * End-to-end smoke: run the scenario in quick mode and require at
+ * least one published row plus a valid BENCH document per table.
+ */
+class ScenarioSmoke : public testing::TestWithParam<std::string>
+{
+};
+
+TEST_P(ScenarioSmoke, RunsInQuickModeAndPublishes)
+{
+    const sim::Scenario *scenario =
+        sim::ScenarioRegistry::instance().find(GetParam());
+    ASSERT_NE(scenario, nullptr);
+
+    sim::ScenarioContext::Options options;
+    options.quick = true;
+    options.artifactDir = "bench_out";
+    sim::ScenarioContext ctx(options);
+    scenario->run(ctx);
+
+    EXPECT_GE(ctx.publishedTables(), 1u)
+        << "scenario published no table";
+    EXPECT_GE(ctx.publishedRows(), 1u) << "scenario published no rows";
+    for (const auto &[name, document] : ctx.benchDocuments()) {
+        ASSERT_TRUE(document.isObject()) << name;
+        ASSERT_NE(document.find("schema_version"), nullptr) << name;
+        EXPECT_EQ(document.find("schema_version")->counter(),
+                  static_cast<Count>(metrics::kSchemaVersion))
+            << name;
+        ASSERT_NE(document.find("bench"), nullptr) << name;
+        EXPECT_EQ(document.find("bench")->str(), name);
+        EXPECT_NE(document.find("data"), nullptr) << name;
+    }
+}
+
+// ValuesIn with a generator function: evaluated at test registration,
+// safely after every static ScenarioRegistrar has run.
+INSTANTIATE_TEST_SUITE_P(
+    AllScenarios, ScenarioSmoke,
+    testing::ValuesIn(sim::ScenarioRegistry::instance().names()),
+    [](const testing::TestParamInfo<std::string> &info) {
+        return info.param;
+    });
+
+} // namespace

@@ -1,0 +1,185 @@
+/**
+ * @file
+ * Unified experiment driver: one binary for the whole scenario
+ * catalogue (docs/SCENARIOS.md).
+ *
+ *   cg_bench list [--json]          catalogue (human table or JSON)
+ *   cg_bench run --all              run every scenario
+ *   cg_bench run --tag=<tag>        run every scenario carrying <tag>
+ *   cg_bench run <name> [<name>…]   run scenarios by name
+ *
+ * Behaviour knobs come from the environment, same as the rest of the
+ * toolchain: CG_QUICK (thinned axes), CG_JOBS (sweep parallelism),
+ * CG_CSV (CSV after each table), CG_JSON (BENCH_<name>.json files),
+ * CG_JSONL (per-run records), CG_TRACE_EVENTS (Perfetto traces).
+ *
+ * Exit codes: 0 success, 1 runtime failure (fatal() inside a
+ * scenario), 2 usage error (unknown subcommand, scenario or tag).
+ */
+
+#include <algorithm>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "sim/scenario.hh"
+
+using namespace commguard;
+
+namespace
+{
+
+int
+usage(std::ostream &out, int code)
+{
+    out << "usage: cg_bench <command> [args]\n"
+           "\n"
+           "commands:\n"
+           "  list [--json]            print the scenario catalogue\n"
+           "  run --all                run every scenario\n"
+           "  run --tag=<tag>          run scenarios carrying <tag>\n"
+           "  run <name> [<name>...]   run scenarios by name\n"
+           "\n"
+           "environment: CG_QUICK CG_JOBS CG_CSV CG_JSON CG_JSONL "
+           "CG_TRACE_EVENTS\n";
+    return code;
+}
+
+void
+listAvailable(std::ostream &out)
+{
+    out << "available scenarios:\n";
+    for (const std::string &name : sim::ScenarioRegistry::instance().names())
+        out << "  " << name << "\n";
+}
+
+int
+cmdList(const std::vector<std::string> &args)
+{
+    bool json = false;
+    for (const std::string &arg : args) {
+        if (arg == "--json") {
+            json = true;
+        } else {
+            std::cerr << "cg_bench list: unknown argument '" << arg
+                      << "'\n";
+            return usage(std::cerr, 2);
+        }
+    }
+
+    if (json) {
+        std::cout << sim::scenarioListJson().dump() << "\n";
+        return 0;
+    }
+
+    const std::vector<const sim::Scenario *> scenarios =
+        sim::ScenarioRegistry::instance().all();
+    std::size_t name_width = 4;
+    for (const sim::Scenario *scenario : scenarios)
+        name_width = std::max(name_width, scenario->name.size());
+
+    for (const sim::Scenario *scenario : scenarios) {
+        std::string tags;
+        for (const std::string &tag : scenario->tags)
+            tags += (tags.empty() ? "" : ",") + tag;
+        std::cout << scenario->name
+                  << std::string(name_width - scenario->name.size() + 2,
+                                 ' ')
+                  << "[" << tags << "] " << scenario->description
+                  << " (" << scenario->paperRef << ")\n";
+    }
+    std::cout << "\n" << scenarios.size() << " scenarios. Run with "
+              << "'cg_bench run <name>' or 'cg_bench run --all'.\n";
+    return 0;
+}
+
+int
+cmdRun(const std::vector<std::string> &args)
+{
+    if (args.empty()) {
+        std::cerr << "cg_bench run: expected --all, --tag=<tag> or "
+                     "scenario names\n";
+        return usage(std::cerr, 2);
+    }
+
+    const sim::ScenarioRegistry &registry =
+        sim::ScenarioRegistry::instance();
+    std::vector<const sim::Scenario *> selected;
+
+    if (args[0] == "--all") {
+        if (args.size() != 1) {
+            std::cerr << "cg_bench run: --all takes no further "
+                         "arguments\n";
+            return usage(std::cerr, 2);
+        }
+        selected = registry.all();
+    } else if (args[0].rfind("--tag=", 0) == 0) {
+        if (args.size() != 1) {
+            std::cerr << "cg_bench run: --tag takes no further "
+                         "arguments\n";
+            return usage(std::cerr, 2);
+        }
+        const std::string tag = args[0].substr(6);
+        selected = registry.withTag(tag);
+        if (selected.empty()) {
+            std::cerr << "cg_bench run: no scenario carries tag '"
+                      << tag << "'\n";
+            listAvailable(std::cerr);
+            return 2;
+        }
+    } else {
+        for (const std::string &name : args) {
+            const sim::Scenario *scenario = registry.find(name);
+            if (scenario == nullptr) {
+                std::cerr << "cg_bench run: unknown scenario '" << name
+                          << "'\n";
+                listAvailable(std::cerr);
+                return 2;
+            }
+            selected.push_back(scenario);
+        }
+    }
+
+    std::size_t tables = 0;
+    std::size_t rows = 0;
+    for (std::size_t i = 0; i < selected.size(); ++i) {
+        const sim::Scenario &scenario = *selected[i];
+        if (selected.size() > 1) {
+            std::cout << "[" << (i + 1) << "/" << selected.size()
+                      << "] " << scenario.name << "\n";
+        }
+        sim::ScenarioContext ctx = sim::ScenarioContext::fromEnv();
+        scenario.run(ctx);
+        tables += ctx.publishedTables();
+        rows += ctx.publishedRows();
+        if (i + 1 < selected.size())
+            std::cout << "\n";
+    }
+
+    if (selected.size() > 1) {
+        std::cout << "\nran " << selected.size() << " scenarios ("
+                  << tables << " tables, " << rows << " rows)\n";
+    }
+    return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const std::vector<std::string> args(argv + 1, argv + argc);
+    if (args.empty())
+        return usage(std::cerr, 2);
+    if (args[0] == "--help" || args[0] == "-h" || args[0] == "help")
+        return usage(std::cout, 0);
+
+    const std::vector<std::string> rest(args.begin() + 1, args.end());
+    if (args[0] == "list")
+        return cmdList(rest);
+    if (args[0] == "run")
+        return cmdRun(rest);
+
+    std::cerr << "cg_bench: unknown command '" << args[0] << "'\n";
+    return usage(std::cerr, 2);
+}

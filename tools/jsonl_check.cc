@@ -21,6 +21,12 @@
  *                                          counter events in the
  *                                          stream tally against the
  *                                          exact event_counts sidecar
+ *   jsonl_check --scenarios <list.json>    validate a `cg_bench list
+ *                                          --json` catalogue: current
+ *                                          schema, non-empty names/
+ *                                          descriptions/paper refs/
+ *                                          tags, names sorted and
+ *                                          unique
  *
  * Exit status 0 iff everything validates. Used by the `schema_check`
  * build target and scripts/check.sh.
@@ -230,12 +236,81 @@ checkTraceFile(const char *path)
     return true;
 }
 
+bool
+checkScenarioList(const char *path)
+{
+    const auto fail = [path](const std::string &why) {
+        std::fprintf(stderr, "%s: %s\n", path, why.c_str());
+        return false;
+    };
+
+    std::ifstream in(path);
+    if (!in.good())
+        return fail("cannot open");
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+
+    Json doc;
+    std::string error;
+    if (!Json::parse(buffer.str(), doc, &error))
+        return fail("parse error: " + error);
+    if (!doc.isObject())
+        return fail("document is not an object");
+
+    const Json *version = doc.find("schema_version");
+    if (version == nullptr ||
+        version->counter() !=
+            static_cast<Count>(metrics::kSchemaVersion))
+        return fail("bad or missing schema_version");
+
+    const Json *scenarios = doc.find("scenarios");
+    if (scenarios == nullptr || !scenarios->isArray())
+        return fail("missing scenarios array");
+    if (scenarios->arr().empty())
+        return fail("scenarios array is empty");
+
+    std::string previous;
+    std::size_t index = 0;
+    for (const Json &entry : scenarios->arr()) {
+        const std::string where =
+            "scenario " + std::to_string(index++);
+        if (!entry.isObject())
+            return fail(where + ": not an object");
+        for (const char *key : {"name", "description", "paper_ref"}) {
+            const Json *value = entry.find(key);
+            if (value == nullptr || !value->isString() ||
+                value->str().empty()) {
+                return fail(where + ": missing or empty '" + key +
+                            "'");
+            }
+        }
+        const Json *tags = entry.find("tags");
+        if (tags == nullptr || !tags->isArray() ||
+            tags->arr().empty())
+            return fail(where + ": missing or empty tags array");
+        for (const Json &tag : tags->arr()) {
+            if (!tag.isString() || tag.str().empty())
+                return fail(where + ": tag is not a non-empty string");
+        }
+        const std::string &name = entry.find("name")->str();
+        if (!previous.empty() && name <= previous)
+            return fail("names not sorted/unique: '" + name +
+                        "' after '" + previous + "'");
+        previous = name;
+    }
+    std::printf("%zu scenario entr%s checked, catalogue valid\n",
+                scenarios->arr().size(),
+                scenarios->arr().size() == 1 ? "y" : "ies");
+    return true;
+}
+
 int
 usage()
 {
     std::fprintf(stderr,
                  "usage: jsonl_check [--forensics] <runs.jsonl>\n"
-                 "       jsonl_check --trace <trace.json>...\n");
+                 "       jsonl_check --trace <trace.json>...\n"
+                 "       jsonl_check --scenarios <list.json>\n");
     return 2;
 }
 
@@ -244,6 +319,11 @@ usage()
 int
 main(int argc, char **argv)
 {
+    if (argc >= 2 && std::strcmp(argv[1], "--scenarios") == 0) {
+        if (argc != 3)
+            return usage();
+        return checkScenarioList(argv[2]) ? 0 : 1;
+    }
     if (argc >= 2 && std::strcmp(argv[1], "--trace") == 0) {
         if (argc < 3)
             return usage();
