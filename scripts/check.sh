@@ -2,15 +2,30 @@
 # One-stop local gate: configure, build (warnings are the default
 # -Wall -Wextra from the top-level CMakeLists), run the tier-1 test
 # suite, validate the per-run JSONL export schema and the scenario
-# catalogue, run the full scenario sweep in quick mode, and run one
-# traced quick sweep to validate the Perfetto trace export and the
-# per-run forensics records (docs/TRACING.md).
+# catalogue, run the full scenario sweep in quick mode, run one traced
+# quick sweep to validate the Perfetto trace export and the per-run
+# forensics records (docs/TRACING.md), and run a quick budget of the
+# deterministic stress-fuzz harness including its failure path
+# (docs/FUZZING.md).
 #
-# Usage: scripts/check.sh [build-dir]   (default: build)
+# Usage: scripts/check.sh [--sanitize] [build-dir]   (default: build)
+#
+# --sanitize appends the sanitizer stage: tier-1 + quick fuzz under
+# ASan/UBSan (preset asan), and the sweep-determinism / thread-pool /
+# fuzz tests under TSan (preset tsan). Slow — both presets rebuild the
+# tree instrumented.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
-BUILD_DIR="${1:-build}"
+
+SANITIZE=0
+BUILD_DIR=build
+for arg in "$@"; do
+    case "$arg" in
+        --sanitize) SANITIZE=1 ;;
+        *) BUILD_DIR="$arg" ;;
+    esac
+done
 
 cmake -S . -B "$BUILD_DIR"
 cmake --build "$BUILD_DIR" -j "$(nproc)"
@@ -18,12 +33,14 @@ ctest --test-dir "$BUILD_DIR" -L tier1 --output-on-failure
 cmake --build "$BUILD_DIR" --target schema_check
 
 CG_BENCH="$BUILD_DIR/tools/cg_bench"
+CG_FUZZ="$BUILD_DIR/tools/cg_fuzz"
+JSONL_CHECK="$BUILD_DIR/tools/jsonl_check"
 
 # Scenario catalogue: the machine-readable listing must carry names,
 # descriptions, paper references and tags for every scenario, sorted
 # and unique.
 "$CG_BENCH" list --json > "$BUILD_DIR/scenario_list.json"
-"$BUILD_DIR/tools/jsonl_check" --scenarios "$BUILD_DIR/scenario_list.json"
+"$JSONL_CHECK" --scenarios "$BUILD_DIR/scenario_list.json"
 
 # Every registered scenario must run end to end in quick mode.
 (cd "$BUILD_DIR" && CG_QUICK=1 "tools/cg_bench" run --all)
@@ -36,7 +53,50 @@ TRACE_JSONL="$BUILD_DIR/trace_check_runs.jsonl"
 rm -rf "$TRACE_DIR" "$TRACE_JSONL"
 CG_QUICK=1 CG_TRACE_EVENTS=1 CG_TRACE_OUT="$TRACE_DIR" \
     CG_JSONL="$TRACE_JSONL" "$CG_BENCH" run fig08_data_loss
-"$BUILD_DIR/tools/jsonl_check" --forensics "$TRACE_JSONL"
-"$BUILD_DIR/tools/jsonl_check" --trace "$TRACE_DIR"/*.json
+"$JSONL_CHECK" --forensics "$TRACE_JSONL"
+"$JSONL_CHECK" --trace "$TRACE_DIR"/*.json
+
+# Stress-fuzz, clean path: a quick seeded budget must hold every
+# harness invariant (CG_FUZZ_BUDGET caps the wall clock).
+CG_FUZZ_BUDGET="${CG_FUZZ_BUDGET:-10}" "$CG_FUZZ" run --seed=1
+
+# Stress-fuzz, failure path: a deliberately broken invariant must be
+# caught, shrunk, written as a valid repro bundle, and reproduced by
+# the replay tools with their documented exit codes.
+BUNDLE="$BUILD_DIR/fuzz_check_bundle.json"
+rm -f "$BUNDLE"
+if "$CG_FUZZ" run --cases=1 --break=counter --out="$BUNDLE"; then
+    echo "check.sh: cg_fuzz missed a deliberately broken invariant" >&2
+    exit 1
+fi
+test -s "$BUNDLE"
+"$JSONL_CHECK" --repro "$BUNDLE"
+set +e
+"$CG_FUZZ" replay "$BUNDLE"; FUZZ_REPLAY=$?
+"$CG_BENCH" replay "$BUNDLE"; BENCH_REPLAY=$?
+set -e
+if [ "$FUZZ_REPLAY" -ne 1 ] || [ "$BENCH_REPLAY" -ne 1 ]; then
+    echo "check.sh: repro bundle did not reproduce (cg_fuzz=$FUZZ_REPLAY" \
+         "cg_bench=$BENCH_REPLAY, expected 1)" >&2
+    exit 1
+fi
+
+if [ "$SANITIZE" -eq 1 ]; then
+    # ASan/UBSan: the tier-1 suite plus a quick fuzz budget, with
+    # every error fatal (-fno-sanitize-recover=all at build time).
+    cmake --preset asan
+    cmake --build --preset asan -j "$(nproc)"
+    ctest --preset tier1-asan
+    CG_FUZZ_BUDGET=5 ./build-asan/tools/cg_fuzz run --seed=1
+
+    # TSan: the concurrency surface — sweep determinism, the thread
+    # pool (including the exception path), the fuzz harness's own
+    # jobs=1-vs-jobs=N comparison — plus a quick fuzz budget.
+    cmake --preset tsan
+    cmake --build --preset tsan -j "$(nproc)"
+    ctest --test-dir build-tsan --output-on-failure \
+        -R 'SweepRunner|ThreadPool|Fuzz'
+    CG_FUZZ_BUDGET=5 ./build-tsan/tools/cg_fuzz run --seed=1
+fi
 
 echo "check.sh: all gates passed"

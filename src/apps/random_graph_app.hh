@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Seeded random StreamIt graph generation for stress testing.
+ *
+ * The generator produces rate-consistent pipelines — chains of
+ * pass-through filters with random granularities, interleaved with
+ * duplicate-split/sum-join sandwiches — exactly the shapes
+ * tests/random_graph_test.cc exercises, packaged as a library so the
+ * fuzz harness (src/sim/fuzz.hh, tools/cg_fuzz) can draw the same
+ * graphs. Everything is a pure function of the RNG state and options:
+ * the same seed always produces the same graph, which is what makes a
+ * fuzz case replayable from its seed alone.
+ */
+
+#ifndef COMMGUARD_APPS_RANDOM_GRAPH_APP_HH
+#define COMMGUARD_APPS_RANDOM_GRAPH_APP_HH
+
+#include <cstdint>
+
+#include "apps/app.hh"
+#include "common/rng.hh"
+
+namespace commguard::apps
+{
+
+/** Shape knobs for the random graph generator. */
+struct RandomGraphOptions
+{
+    int stages = 4;          //!< Pipeline stages (>= 1).
+    int maxGranularity = 6;  //!< Max items per pass-through firing.
+    bool allowSplitJoin = true;  //!< Emit split-join sandwiches.
+};
+
+/**
+ * Generate one random rate-consistent stream graph. Consumes RNG
+ * draws; a fixed seed and options yield a bit-identical graph.
+ */
+streamit::StreamGraph randomStreamGraph(Rng &rng,
+                                        const RandomGraphOptions &options);
+
+/**
+ * Package a random graph as a runnable App: deterministic input
+ * stream (@p iterations steady frames), a trivial quality metric (the
+ * fuzz invariants compare raw output words and counters, not dB), and
+ * the name "fuzz_<graph_seed>". When @p expected_output_items is
+ * non-null it receives the error-free output item count
+ * (outputItemsPerFrame * iterations) — the exactness invariant for
+ * error-free runs.
+ */
+App makeRandomGraphApp(std::uint64_t graph_seed,
+                       const RandomGraphOptions &options,
+                       Count iterations,
+                       Count *expected_output_items = nullptr);
+
+} // namespace commguard::apps
+
+#endif // COMMGUARD_APPS_RANDOM_GRAPH_APP_HH

@@ -1,16 +1,47 @@
 #include "common/env.hh"
 
+#include <cctype>
+#include <cerrno>
 #include <cstdlib>
+
+#include "common/logging.hh"
 
 namespace commguard
 {
+
+namespace
+{
+
+/** Case-insensitive comparison against a lowercase literal. */
+bool
+equalsLower(const char *value, const char *lower)
+{
+    for (; *value != '\0' && *lower != '\0'; ++value, ++lower) {
+        if (std::tolower(static_cast<unsigned char>(*value)) != *lower)
+            return false;
+    }
+    return *value == '\0' && *lower == '\0';
+}
+
+} // namespace
 
 bool
 envFlag(const char *name)
 {
     const char *env = std::getenv(name);
-    return env != nullptr && env[0] != '\0' &&
-           !(env[0] == '0' && env[1] == '\0');
+    if (env == nullptr || env[0] == '\0')
+        return false;
+    for (const char *off : {"0", "false", "off", "no"}) {
+        if (equalsLower(env, off))
+            return false;
+    }
+    for (const char *on : {"1", "true", "on", "yes"}) {
+        if (equalsLower(env, on))
+            return true;
+    }
+    fatal(std::string(name) + "='" + env +
+          "' is not a valid flag value (use 1/true/on/yes or "
+          "0/false/off/no)");
 }
 
 long
@@ -20,9 +51,16 @@ envLong(const char *name, long fallback)
     if (env == nullptr || env[0] == '\0')
         return fallback;
     char *end = nullptr;
+    errno = 0;
     const long parsed = std::strtol(env, &end, 10);
-    if (end == env || *end != '\0')
-        return fallback;
+    if (end == env || *end != '\0') {
+        fatal(std::string(name) + "='" + env +
+              "' is not a whole base-10 integer");
+    }
+    if (errno == ERANGE) {
+        fatal(std::string(name) + "='" + env +
+              "' is out of range for a long");
+    }
     return parsed;
 }
 

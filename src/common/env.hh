@@ -3,9 +3,13 @@
  * Environment-variable parsing primitives.
  *
  * Every CG_* knob in the project is read through these helpers so the
- * accepted syntax ("0"/"" mean off, anything else on; strict decimal
- * integers) is defined exactly once. User-facing documentation of the
- * knobs lives in sim::EnvOptions and the README.
+ * accepted syntax is defined exactly once: flags take 1/true/on/yes or
+ * 0/false/off/no (case-insensitive; unset or empty means off), numeric
+ * knobs take a whole base-10 integer. A malformed value is a user
+ * configuration error and exits via fatal() — a typo like CG_JOBS=8k
+ * must never silently fall back to a default and change what an
+ * experiment measures. User-facing documentation of the knobs lives in
+ * sim::EnvOptions and the README.
  */
 
 #ifndef COMMGUARD_COMMON_ENV_HH
@@ -16,12 +20,17 @@
 namespace commguard
 {
 
-/** True when @p name is set to anything other than "" or "0". */
+/**
+ * Boolean flag value of @p name. Unset, "", "0", "false", "off" and
+ * "no" are false; "1", "true", "on" and "yes" are true (both sets
+ * case-insensitive). Any other value exits via fatal().
+ */
 bool envFlag(const char *name);
 
 /**
  * Strict decimal integer value of @p name; @p fallback when the
- * variable is unset, empty, or not a whole base-10 number.
+ * variable is unset or empty. A set-but-malformed value (trailing
+ * garbage, non-numeric text, out-of-range) exits via fatal().
  */
 long envLong(const char *name, long fallback);
 

@@ -1,9 +1,35 @@
 #include "common/thread_pool.hh"
 
+#include <utility>
+
 #include "common/env.hh"
+#include "common/logging.hh"
 
 namespace commguard
 {
+
+/**
+ * RAII bookkeeping for one executing job: decrements the active count
+ * and wakes wait()ers no matter how the job exits. Without this a
+ * throwing job would leave _active forever nonzero and wait() would
+ * hang.
+ */
+class ThreadPool::ActiveGuard
+{
+  public:
+    explicit ActiveGuard(ThreadPool &pool) : _pool(pool) {}
+
+    ~ActiveGuard()
+    {
+        std::lock_guard<std::mutex> lock(_pool._mutex);
+        --_pool._active;
+        if (_pool._queue.empty() && _pool._active == 0)
+            _pool._allIdle.notify_all();
+    }
+
+  private:
+    ThreadPool &_pool;
+};
 
 ThreadPool::ThreadPool(unsigned threads) : _jobs(threads < 1 ? 1 : threads)
 {
@@ -16,10 +42,18 @@ ThreadPool::ThreadPool(unsigned threads) : _jobs(threads < 1 ? 1 : threads)
 
 ThreadPool::~ThreadPool()
 {
-    wait();
     {
-        std::lock_guard<std::mutex> lock(_mutex);
+        std::unique_lock<std::mutex> lock(_mutex);
+        _allIdle.wait(lock,
+                      [this] { return _queue.empty() && _active == 0; });
         _stopping = true;
+        if (_pendingException != nullptr) {
+            // The destructor cannot rethrow; a job failure nobody
+            // wait()ed for is still worth a diagnostic.
+            _pendingException = nullptr;
+            warn("thread_pool: discarding a job exception that was "
+                 "never observed via wait()");
+        }
     }
     _workAvailable.notify_all();
     for (std::thread &worker : _workers)
@@ -30,7 +64,14 @@ void
 ThreadPool::submit(std::function<void()> job)
 {
     if (_workers.empty()) {
-        job();
+        // Inline execution mirrors the worker contract: the exception
+        // is captured and surfaces from wait(), not mid-batch from
+        // whichever submit() happened to run the bad job.
+        try {
+            job();
+        } catch (...) {
+            recordException();
+        }
         return;
     }
     {
@@ -43,11 +84,15 @@ ThreadPool::submit(std::function<void()> job)
 void
 ThreadPool::wait()
 {
-    if (_workers.empty())
-        return;
     std::unique_lock<std::mutex> lock(_mutex);
     _allIdle.wait(lock,
                   [this] { return _queue.empty() && _active == 0; });
+    if (_pendingException != nullptr) {
+        std::exception_ptr pending =
+            std::exchange(_pendingException, nullptr);
+        lock.unlock();
+        std::rethrow_exception(pending);
+    }
 }
 
 void
@@ -66,14 +111,21 @@ ThreadPool::workerLoop()
             _queue.pop_front();
             ++_active;
         }
-        job();
-        {
-            std::lock_guard<std::mutex> lock(_mutex);
-            --_active;
-            if (_queue.empty() && _active == 0)
-                _allIdle.notify_all();
+        ActiveGuard guard(*this);
+        try {
+            job();
+        } catch (...) {
+            recordException();
         }
     }
+}
+
+void
+ThreadPool::recordException()
+{
+    std::lock_guard<std::mutex> lock(_mutex);
+    if (_pendingException == nullptr)
+        _pendingException = std::current_exception();
 }
 
 unsigned

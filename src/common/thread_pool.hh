@@ -19,6 +19,7 @@
 
 #include <condition_variable>
 #include <deque>
+#include <exception>
 #include <functional>
 #include <mutex>
 #include <thread>
@@ -45,10 +46,19 @@ class ThreadPool
     ThreadPool(const ThreadPool &) = delete;
     ThreadPool &operator=(const ThreadPool &) = delete;
 
-    /** Enqueue one job (runs it inline when the pool is sequential). */
+    /**
+     * Enqueue one job (runs it inline when the pool is sequential).
+     * A throwing job never propagates from submit(): the first
+     * exception of the batch is captured — identically for the inline
+     * and the worker path — and rethrown from wait().
+     */
     void submit(std::function<void()> job);
 
-    /** Block until every submitted job has finished. */
+    /**
+     * Block until every submitted job has finished. If any job threw,
+     * rethrows the first captured exception (subsequent exceptions of
+     * the same batch are dropped); the pool stays usable afterwards.
+     */
     void wait();
 
     /** Worker threads backing the pool (0 means inline execution). */
@@ -71,7 +81,12 @@ class ThreadPool
     static unsigned defaultJobs();
 
   private:
+    class ActiveGuard;
+
     void workerLoop();
+
+    /** Capture the in-flight exception as the batch's first, if any. */
+    void recordException();
 
     unsigned _jobs;
     std::vector<std::thread> _workers;
@@ -82,6 +97,7 @@ class ThreadPool
     std::deque<std::function<void()>> _queue;
     unsigned _active = 0;  //!< Jobs currently executing on workers.
     bool _stopping = false;
+    std::exception_ptr _pendingException;  //!< First job failure.
 };
 
 } // namespace commguard

@@ -19,7 +19,8 @@ roundUpPow2(std::size_t x)
 
 RingQueue::RingQueue(std::string name, std::size_t capacity)
     : QueueBase(std::move(name)),
-      _buffer(roundUpPow2(capacity)),
+      _capacity(capacity < 1 ? 1 : capacity),
+      _buffer(roundUpPow2(_capacity)),
       _mask(static_cast<Word>(_buffer.size() - 1))
 {
 }
@@ -27,7 +28,7 @@ RingQueue::RingQueue(std::string name, std::size_t capacity)
 QueueOpStatus
 RingQueue::tryPush(const QueueWord &word)
 {
-    if (size() >= capacity()) {
+    if (size() >= _capacity) {
         ++_counters.pushBlocked;
         return QueueOpStatus::Blocked;
     }

@@ -26,7 +26,13 @@ namespace commguard
 class RingQueue : public QueueBase
 {
   public:
-    /** @param capacity Rounded up to a power of two, minimum 2. */
+    /**
+     * @param capacity Enforced exactly as requested (minimum 1): a
+     * queue built for 48 words blocks the 49th push. Backing storage
+     * is rounded up to a power of two for mask-based indexing only —
+     * a swept capacity axis must mean what it says, so the slack
+     * slots are never made available.
+     */
     RingQueue(std::string name, std::size_t capacity);
 
     QueueOpStatus tryPush(const QueueWord &word) override;
@@ -41,7 +47,11 @@ class RingQueue : public QueueBase
         return static_cast<Word>(_tail - _head);
     }
 
-    std::size_t capacity() const override { return _buffer.size(); }
+    /** The requested capacity, enforced exactly by tryPush(). */
+    std::size_t capacity() const override { return _capacity; }
+
+    /** Pow2 backing-store size (>= capacity); mask-indexed slots. */
+    std::size_t bufferWords() const { return _buffer.size(); }
 
     /** Raw pointer access for corruption modeling and tests. */
     Word head() const { return _head; }
@@ -56,6 +66,7 @@ class RingQueue : public QueueBase
     }
 
   private:
+    std::size_t _capacity;  //!< Requested capacity, gated by tryPush.
     std::vector<QueueWord> _buffer;
     Word _mask;
     Word _head = 0;  //!< Absolute count of completed pops.

@@ -1,0 +1,134 @@
+/**
+ * @file
+ * Tests for the CG_* environment parsing primitives: the accepted
+ * grammar, and — critically — that malformed values are fatal instead
+ * of silently falling back to defaults. A typo like CG_JOBS=8k must
+ * never change what an experiment measures without anyone noticing.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+
+#include "common/env.hh"
+#include "sim/env_options.hh"
+
+namespace commguard
+{
+namespace
+{
+
+/** Scoped setenv: restores the previous state on destruction. */
+class EnvVar
+{
+  public:
+    EnvVar(const char *name, const char *value) : _name(name)
+    {
+        const char *old = std::getenv(name);
+        if (old != nullptr) {
+            _hadOld = true;
+            _old = old;
+        }
+        if (value != nullptr)
+            ::setenv(name, value, 1);
+        else
+            ::unsetenv(name);
+    }
+
+    ~EnvVar()
+    {
+        if (_hadOld)
+            ::setenv(_name, _old.c_str(), 1);
+        else
+            ::unsetenv(_name);
+    }
+
+  private:
+    const char *_name;
+    bool _hadOld = false;
+    std::string _old;
+};
+
+TEST(EnvFlag, UnsetAndEmptyAreFalse)
+{
+    EnvVar unset("CG_TEST_FLAG", nullptr);
+    EXPECT_FALSE(envFlag("CG_TEST_FLAG"));
+    EnvVar empty("CG_TEST_FLAG", "");
+    EXPECT_FALSE(envFlag("CG_TEST_FLAG"));
+}
+
+TEST(EnvFlag, AcceptsTheDocumentedTrueSpellings)
+{
+    for (const char *value : {"1", "true", "TRUE", "on", "On", "yes"}) {
+        EnvVar var("CG_TEST_FLAG", value);
+        EXPECT_TRUE(envFlag("CG_TEST_FLAG")) << value;
+    }
+}
+
+TEST(EnvFlag, AcceptsTheDocumentedFalseSpellings)
+{
+    for (const char *value :
+         {"0", "false", "FALSE", "off", "Off", "no"}) {
+        EnvVar var("CG_TEST_FLAG", value);
+        EXPECT_FALSE(envFlag("CG_TEST_FLAG")) << value;
+    }
+}
+
+TEST(EnvFlag, GarbageValueIsFatal)
+{
+    EnvVar var("CG_TEST_FLAG", "maybe");
+    EXPECT_EXIT(envFlag("CG_TEST_FLAG"),
+                ::testing::ExitedWithCode(1),
+                "not a valid flag value");
+}
+
+TEST(EnvLong, UnsetAndEmptyUseTheFallback)
+{
+    EnvVar unset("CG_TEST_LONG", nullptr);
+    EXPECT_EQ(envLong("CG_TEST_LONG", 42), 42);
+    EnvVar empty("CG_TEST_LONG", "");
+    EXPECT_EQ(envLong("CG_TEST_LONG", 42), 42);
+}
+
+TEST(EnvLong, ParsesWholeDecimalIntegers)
+{
+    EnvVar var("CG_TEST_LONG", "8");
+    EXPECT_EQ(envLong("CG_TEST_LONG", 0), 8);
+    EnvVar negative("CG_TEST_LONG", "-3");
+    EXPECT_EQ(envLong("CG_TEST_LONG", 0), -3);
+}
+
+TEST(EnvLong, TrailingGarbageIsFatal)
+{
+    EnvVar var("CG_TEST_LONG", "8k");
+    EXPECT_EXIT(envLong("CG_TEST_LONG", 0),
+                ::testing::ExitedWithCode(1),
+                "not a whole base-10 integer");
+}
+
+TEST(EnvLong, NonNumericTextIsFatal)
+{
+    EnvVar var("CG_TEST_LONG", "fast");
+    EXPECT_EXIT(envLong("CG_TEST_LONG", 0),
+                ::testing::ExitedWithCode(1),
+                "not a whole base-10 integer");
+}
+
+TEST(EnvLong, OutOfRangeIsFatal)
+{
+    EnvVar var("CG_TEST_LONG", "999999999999999999999999999");
+    EXPECT_EXIT(envLong("CG_TEST_LONG", 0),
+                ::testing::ExitedWithCode(1), "out of range");
+}
+
+TEST(EnvOptions, MalformedJobsIsFatalThroughTheOptionsLayer)
+{
+    // The user-facing path: a CG_JOBS typo must stop the run, not
+    // silently fall back and change the sweep's parallelism.
+    EnvVar var("CG_JOBS", "8k");
+    EXPECT_EXIT(sim::parseEnvOptions(), ::testing::ExitedWithCode(1),
+                "CG_JOBS");
+}
+
+} // namespace
+} // namespace commguard

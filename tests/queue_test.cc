@@ -34,14 +34,34 @@ TEST(RingQueue, FifoOrder)
     EXPECT_EQ(q.tryPop(w), QueueOpStatus::Blocked);
 }
 
-TEST(RingQueue, CapacityRoundsUpToPowerOfTwo)
+TEST(RingQueue, CapacityIsExactlyAsRequested)
 {
-    ReliableQueue q("q", 5);
-    EXPECT_EQ(q.capacity(), 8u);
-    ReliableQueue q2("q2", 8);
-    EXPECT_EQ(q2.capacity(), 8u);
-    ReliableQueue q3("q3", 1);
-    EXPECT_EQ(q3.capacity(), 2u);
+    // The requested capacity is the enforced one; only the backing
+    // buffer rounds up to a power of two (for mask indexing). A sweep
+    // over queue capacity 48 must measure a 48-word queue, not 64.
+    for (const std::size_t capacity : {1u, 5u, 8u, 48u, 1000u}) {
+        ReliableQueue q("q", capacity);
+        EXPECT_EQ(q.capacity(), capacity);
+        EXPECT_GE(q.bufferWords(), capacity);
+        EXPECT_EQ(q.bufferWords() & (q.bufferWords() - 1), 0u)
+            << "backing buffer must stay a power of two";
+    }
+}
+
+TEST(RingQueue, NonPowerOfTwoCapacityBlocksAtExactlyCapacity)
+{
+    ReliableQueue q("q", 48);
+    for (Word i = 0; i < 48; ++i)
+        ASSERT_EQ(q.tryPush(makeItem(i)), QueueOpStatus::Ok);
+    EXPECT_EQ(q.size(), 48u);
+    EXPECT_EQ(q.tryPush(makeItem(99)), QueueOpStatus::Blocked);
+
+    // Drain one slot: exactly one push fits again, FIFO order intact.
+    QueueWord w;
+    ASSERT_EQ(q.tryPop(w), QueueOpStatus::Ok);
+    EXPECT_EQ(w.value, 0u);
+    EXPECT_EQ(q.tryPush(makeItem(48)), QueueOpStatus::Ok);
+    EXPECT_EQ(q.tryPush(makeItem(99)), QueueOpStatus::Blocked);
 }
 
 TEST(RingQueue, BlocksWhenFull)

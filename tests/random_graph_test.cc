@@ -8,15 +8,16 @@
  *       under every protection mode, and
  *  (iii) erroneous execution always completes (the paper's progress
  *        requirement) at an extreme error rate.
+ *
+ * The generator itself lives in apps::randomStreamGraph so the fuzz
+ * harness (src/sim/fuzz.hh, tools/cg_fuzz) draws exactly the graph
+ * shapes this test has hardened.
  */
 
 #include <gtest/gtest.h>
 
-#include <numeric>
-
+#include "apps/random_graph_app.hh"
 #include "common/rng.hh"
-#include "kernels/basic.hh"
-#include "kernels/dsp_kernels.hh"
 #include "sim/experiment.hh"
 #include "streamit/loader.hh"
 
@@ -27,78 +28,6 @@ namespace
 
 using namespace streamit;
 
-FilterSpec
-passFilter(const std::string &name, int items)
-{
-    return FilterSpec{name,
-                      {items},
-                      {items},
-                      [name, items](int firings) {
-                          return kernels::buildPassthrough(
-                              name, items, firings);
-                      }};
-}
-
-/**
- * Build a random pipeline: each stage either passes N items, changes
- * granularity (pops A, pushes A via different firing grouping), or is
- * a duplicate-split/sum-join sandwich.
- */
-StreamGraph
-makeRandomGraph(Rng &rng, Count &expected_scale)
-{
-    StreamGraph g;
-    expected_scale = 1;
-
-    const int stages = 2 + static_cast<int>(rng.below(4));
-    NodeId prev = -1;
-    int node_counter = 0;
-
-    auto fresh_name = [&node_counter](const char *stem) {
-        return std::string(stem) + std::to_string(node_counter++);
-    };
-
-    for (int s = 0; s < stages; ++s) {
-        const int kind = static_cast<int>(rng.below(3));
-        if (kind == 2 && s > 0) {
-            // Split-join sandwich: duplicate to 2 branches, sum.
-            const NodeId split = g.addFilter(
-                {fresh_name("split"), {1}, {1, 1}, [](int firings) {
-                     return kernels::buildSplitDuplicate(2, firings);
-                 }});
-            const NodeId bra =
-                g.addFilter(passFilter(fresh_name("bra"), 1));
-            const NodeId brb =
-                g.addFilter(passFilter(fresh_name("brb"), 1));
-            const NodeId join = g.addFilter(
-                {fresh_name("join"), {1, 1}, {1}, [](int firings) {
-                     return kernels::buildJoinSum(2, firings);
-                 }});
-            g.connect(split, 0, bra, 0);
-            g.connect(split, 1, brb, 0);
-            g.connect(bra, 0, join, 0);
-            g.connect(brb, 0, join, 1);
-            if (prev >= 0)
-                g.connect(prev, 0, split, 0);
-            else
-                g.setExternalInput(split, 0);
-            prev = join;
-        } else {
-            // Pass-through with a random granularity 1..6.
-            const int items = 1 + static_cast<int>(rng.below(6));
-            const NodeId node =
-                g.addFilter(passFilter(fresh_name("p"), items));
-            if (prev >= 0)
-                g.connect(prev, 0, node, 0);
-            else
-                g.setExternalInput(node, 0);
-            prev = node;
-        }
-    }
-    g.setExternalOutput(prev, 0);
-    return g;
-}
-
 class RandomGraph : public ::testing::TestWithParam<int>
 {
 };
@@ -106,8 +35,9 @@ class RandomGraph : public ::testing::TestWithParam<int>
 TEST_P(RandomGraph, SolvesLoadsAndRuns)
 {
     Rng rng(GetParam() * 2654435761u + 17);
-    Count scale = 1;
-    const StreamGraph g = makeRandomGraph(rng, scale);
+    apps::RandomGraphOptions graph_options;
+    graph_options.stages = 2 + static_cast<int>(rng.below(4));
+    const StreamGraph g = apps::randomStreamGraph(rng, graph_options);
 
     ASSERT_EQ(g.validateStructure(), "");
     const RepetitionVector reps = solveRepetitions(g);
@@ -169,6 +99,32 @@ TEST_P(RandomGraph, SolvesLoadsAndRuns)
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, RandomGraph, ::testing::Range(0, 16));
+
+/** makeRandomGraphApp is a pure function of its seed and options. */
+TEST(RandomGraphApp, SameSeedSameApp)
+{
+    apps::RandomGraphOptions options;
+    options.stages = 5;
+    Count expected_a = 0;
+    Count expected_b = 0;
+    const apps::App a =
+        apps::makeRandomGraphApp(1234, options, 6, &expected_a);
+    const apps::App b =
+        apps::makeRandomGraphApp(1234, options, 6, &expected_b);
+
+    EXPECT_EQ(a.name, "fuzz_1234");
+    EXPECT_EQ(expected_a, expected_b);
+    EXPECT_GT(expected_a, 0u);
+    EXPECT_EQ(a.input, b.input);
+    EXPECT_EQ(a.graph.filters().size(), b.graph.filters().size());
+
+    // Error-free execution forwards exactly the announced item count.
+    LoadOptions load;
+    load.injectErrors = false;
+    LoadedApp loaded = loadGraph(a.graph, a.input, 6, load);
+    ASSERT_TRUE(loaded.run().completed);
+    EXPECT_EQ(loaded.output().size(), expected_a);
+}
 
 } // namespace
 } // namespace commguard

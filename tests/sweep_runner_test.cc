@@ -15,11 +15,14 @@
 
 #include <atomic>
 #include <cstring>
+#include <stdexcept>
+#include <string>
 #include <vector>
 
 #include "apps/app.hh"
 #include "common/thread_pool.hh"
 #include "machine/error_injector.hh"
+#include "sim/run_export.hh"
 #include "sim/sweep_runner.hh"
 
 namespace commguard::sim
@@ -60,6 +63,58 @@ TEST(ThreadPool, ParallelPoolRunsEveryJob)
         pool.submit([&runs] { runs.fetch_add(1); });
     pool.wait();
     EXPECT_EQ(runs.load(), 72);
+}
+
+TEST(ThreadPool, InlineJobExceptionRethrownFromWait)
+{
+    ThreadPool pool(1);
+    pool.submit([] { throw std::runtime_error("inline boom"); });
+    EXPECT_THROW(pool.wait(), std::runtime_error);
+
+    // The pool survives and keeps running jobs after the rethrow.
+    int runs = 0;
+    pool.submit([&runs] { ++runs; });
+    pool.wait();
+    EXPECT_EQ(runs, 1);
+}
+
+TEST(ThreadPool, WorkerJobExceptionRethrownFromWait)
+{
+    ThreadPool pool(4);
+    std::atomic<int> runs{0};
+    for (int i = 0; i < 32; ++i) {
+        pool.submit([&runs, i] {
+            if (i == 7)
+                throw std::runtime_error("worker boom");
+            runs.fetch_add(1);
+        });
+    }
+    // A throwing job must neither terminate the process nor hang the
+    // pool: every other job still runs, and wait() reports the error.
+    try {
+        pool.wait();
+        FAIL() << "wait() should have rethrown the job exception";
+    } catch (const std::runtime_error &e) {
+        EXPECT_STREQ(e.what(), "worker boom");
+    }
+    EXPECT_EQ(runs.load(), 31);
+
+    // Only the first exception is kept; the pool stays usable.
+    for (int i = 0; i < 8; ++i)
+        pool.submit([&runs] { runs.fetch_add(1); });
+    pool.wait();
+    EXPECT_EQ(runs.load(), 39);
+}
+
+TEST(ThreadPool, FirstOfSeveralExceptionsWins)
+{
+    ThreadPool pool(2);
+    for (int i = 0; i < 4; ++i) {
+        pool.submit([] { throw std::runtime_error("boom"); });
+    }
+    EXPECT_THROW(pool.wait(), std::runtime_error);
+    // Later exceptions were discarded; a clean wait follows.
+    pool.wait();
 }
 
 // ----------------------------------------------------------------------
@@ -215,6 +270,36 @@ TEST(SweepRunner, ParallelSweepIsBitwiseIdenticalToSequential)
         any_errors = any_errors || base[i].errorsInjected() > 0;
     }
     EXPECT_TRUE(any_errors);  // The sweep actually injected.
+}
+
+TEST(SweepRunner, JobCountsOneTwoEightAgreeBitwiseAndBytewise)
+{
+    // The determinism contract, stated at full strength: the same
+    // batch under jobs=1, 2 and 8 yields bitwise-identical outcomes
+    // AND byte-identical JSONL export records.
+    const apps::App app = apps::makeFftApp(16);
+    const std::vector<RunDescriptor> descriptors = smallSweep(app);
+
+    std::vector<std::vector<RunOutcome>> outcomes;
+    for (const unsigned jobs : {1u, 2u, 8u}) {
+        SweepRunner runner(jobs);
+        for (const RunDescriptor &descriptor : descriptors)
+            runner.enqueue(descriptor);
+        outcomes.push_back(runner.runAll());
+        ASSERT_EQ(outcomes.back().size(), descriptors.size());
+    }
+
+    for (std::size_t i = 0; i < descriptors.size(); ++i) {
+        SCOPED_TRACE("descriptor " + std::to_string(i));
+        const std::string record =
+            runRecordJson(descriptors[i], outcomes[0][i]).dump();
+        for (std::size_t j = 1; j < outcomes.size(); ++j) {
+            expectBitwiseEqual(outcomes[0][i], outcomes[j][i]);
+            EXPECT_EQ(record,
+                      runRecordJson(descriptors[i], outcomes[j][i])
+                          .dump());
+        }
+    }
 }
 
 TEST(SweepRunner, RepeatedParallelRunsAreStable)

@@ -7,6 +7,8 @@
  *   cg_bench run --all              run every scenario
  *   cg_bench run --tag=<tag>        run every scenario carrying <tag>
  *   cg_bench run <name> [<name>…]   run scenarios by name
+ *   cg_bench replay <bundle.json>   re-run a fuzz repro bundle
+ *                                   (docs/FUZZING.md)
  *
  * Behaviour knobs come from the environment, same as the rest of the
  * toolchain: CG_QUICK (thinned axes), CG_JOBS (sweep parallelism),
@@ -14,14 +16,18 @@
  * CG_JSONL (per-run records), CG_TRACE_EVENTS (Perfetto traces).
  *
  * Exit codes: 0 success, 1 runtime failure (fatal() inside a
- * scenario), 2 usage error (unknown subcommand, scenario or tag).
+ * scenario) or a replayed bundle reproducing its failure, 2 usage
+ * error (unknown subcommand, scenario or tag, unreadable bundle).
  */
 
 #include <algorithm>
+#include <fstream>
 #include <iostream>
+#include <sstream>
 #include <string>
 #include <vector>
 
+#include "sim/fuzz.hh"
 #include "sim/scenario.hh"
 
 using namespace commguard;
@@ -39,6 +45,7 @@ usage(std::ostream &out, int code)
            "  run --all                run every scenario\n"
            "  run --tag=<tag>          run scenarios carrying <tag>\n"
            "  run <name> [<name>...]   run scenarios by name\n"
+           "  replay <bundle.json>     re-run a fuzz repro bundle\n"
            "\n"
            "environment: CG_QUICK CG_JOBS CG_CSV CG_JSON CG_JSONL "
            "CG_TRACE_EVENTS\n";
@@ -163,6 +170,52 @@ cmdRun(const std::vector<std::string> &args)
     return 0;
 }
 
+int
+cmdReplay(const std::vector<std::string> &args)
+{
+    if (args.size() != 1) {
+        std::cerr << "cg_bench replay: expected exactly one bundle "
+                     "path\n";
+        return usage(std::cerr, 2);
+    }
+
+    std::ifstream in(args[0]);
+    if (!in.good()) {
+        std::cerr << "cg_bench replay: cannot open '" << args[0]
+                  << "'\n";
+        return 2;
+    }
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+
+    Json bundle;
+    std::string error;
+    if (!Json::parse(buffer.str(), bundle, &error)) {
+        std::cerr << "cg_bench replay: '" << args[0]
+                  << "': parse error: " << error << "\n";
+        return 2;
+    }
+    sim::FuzzCase fuzz_case;
+    if (!sim::reproBundleFromJson(bundle, fuzz_case, &error)) {
+        std::cerr << "cg_bench replay: '" << args[0]
+                  << "': invalid bundle: " << error << "\n";
+        return 2;
+    }
+
+    const sim::FuzzVerdict verdict = sim::checkFuzzCase(fuzz_case);
+    if (!verdict.ok()) {
+        std::cerr << "cg_bench replay: reproduced "
+                  << verdict.failures.size()
+                  << " invariant failure(s):\n";
+        for (const std::string &failure : verdict.failures)
+            std::cerr << "  " << failure << "\n";
+        return 1;
+    }
+    std::cout << "cg_bench replay: bundle case is clean ("
+              << verdict.runs << " sweep runs)\n";
+    return 0;
+}
+
 } // namespace
 
 int
@@ -179,6 +232,8 @@ main(int argc, char **argv)
         return cmdList(rest);
     if (args[0] == "run")
         return cmdRun(rest);
+    if (args[0] == "replay")
+        return cmdReplay(rest);
 
     std::cerr << "cg_bench: unknown command '" << args[0] << "'\n";
     return usage(std::cerr, 2);

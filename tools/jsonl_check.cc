@@ -27,6 +27,11 @@
  *                                          descriptions/paper refs/
  *                                          tags, names sorted and
  *                                          unique
+ *   jsonl_check --repro <bundle.json>...   validate fuzz repro bundles
+ *                                          (docs/FUZZING.md): current
+ *                                          schema, kind "fuzz_repro",
+ *                                          a parseable embedded case,
+ *                                          and a failures string array
  *
  * Exit status 0 iff everything validates. Used by the `schema_check`
  * build target and scripts/check.sh.
@@ -40,6 +45,7 @@
 #include <string>
 
 #include "common/metrics.hh"
+#include "sim/fuzz.hh"
 
 using namespace commguard;
 
@@ -304,13 +310,47 @@ checkScenarioList(const char *path)
     return true;
 }
 
+bool
+checkReproBundle(const char *path)
+{
+    const auto fail = [path](const std::string &why) {
+        std::fprintf(stderr, "%s: %s\n", path, why.c_str());
+        return false;
+    };
+
+    std::ifstream in(path);
+    if (!in.good())
+        return fail("cannot open");
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+
+    Json doc;
+    std::string error;
+    if (!Json::parse(buffer.str(), doc, &error))
+        return fail("parse error: " + error);
+
+    sim::FuzzCase fuzz_case;
+    if (!sim::reproBundleFromJson(doc, fuzz_case, &error))
+        return fail("invalid bundle: " + error);
+
+    // The case must survive its own canonical round-trip, so replay
+    // tools see exactly what the fuzzer saw.
+    const Json canonical = sim::fuzzCaseJson(fuzz_case);
+    sim::FuzzCase reparsed;
+    if (!sim::fuzzCaseFromJson(canonical, reparsed, &error) ||
+        !(reparsed == fuzz_case))
+        return fail("case does not round-trip canonically");
+    return true;
+}
+
 int
 usage()
 {
     std::fprintf(stderr,
                  "usage: jsonl_check [--forensics] <runs.jsonl>\n"
                  "       jsonl_check --trace <trace.json>...\n"
-                 "       jsonl_check --scenarios <list.json>\n");
+                 "       jsonl_check --scenarios <list.json>\n"
+                 "       jsonl_check --repro <bundle.json>...\n");
     return 2;
 }
 
@@ -323,6 +363,18 @@ main(int argc, char **argv)
         if (argc != 3)
             return usage();
         return checkScenarioList(argv[2]) ? 0 : 1;
+    }
+    if (argc >= 2 && std::strcmp(argv[1], "--repro") == 0) {
+        if (argc < 3)
+            return usage();
+        std::size_t bad = 0;
+        for (int i = 2; i < argc; ++i) {
+            if (!checkReproBundle(argv[i]))
+                ++bad;
+        }
+        std::printf("%d repro bundle%s checked, %zu invalid\n",
+                    argc - 2, argc == 3 ? "" : "s", bad);
+        return bad == 0 ? 0 : 1;
     }
     if (argc >= 2 && std::strcmp(argv[1], "--trace") == 0) {
         if (argc < 3)
