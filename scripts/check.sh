@@ -2,7 +2,8 @@
 # One-stop local gate: configure, build (warnings are the default
 # -Wall -Wextra from the top-level CMakeLists), run the tier-1 test
 # suite, validate the per-run JSONL export schema and the scenario
-# catalogue, run the full scenario sweep in quick mode, run one traced
+# catalogue, run the full scenario sweep in quick mode (and gate on
+# the sweep engine's jobs=4 speedup, core-aware), run one traced
 # quick sweep to validate the Perfetto trace export and the per-run
 # forensics records (docs/TRACING.md), and run a quick budget of the
 # deterministic stress-fuzz harness including its failure path
@@ -44,6 +45,38 @@ JSONL_CHECK="$BUILD_DIR/tools/jsonl_check"
 
 # Every registered scenario must run end to end in quick mode.
 (cd "$BUILD_DIR" && CG_QUICK=1 "tools/cg_bench" run --all)
+
+# Sweep-scaling gate: the quick run above wrote BENCH_sweep.json
+# (micro_sweep_throughput) into $BUILD_DIR with the jobs=1,2,4,8
+# speedup curve. The floor is core-aware: a host with >= 4 CPUs must
+# show real scaling at jobs=4; with fewer CPUs the hardware cannot
+# express a parallel speedup, so the bound degrades to a sanity check
+# that the batch path does not regress sequential throughput.
+SWEEP_JSON="$BUILD_DIR/BENCH_sweep.json"
+if [ ! -s "$SWEEP_JSON" ]; then
+    echo "check.sh: missing $SWEEP_JSON (micro_sweep_throughput)" >&2
+    exit 1
+fi
+SPEEDUP4=$(grep -o '"speedup_jobs4":[0-9.eE+-]*' "$SWEEP_JSON" | cut -d: -f2)
+HOST_CPUS=$(grep -o '"host_cpus":[0-9]*' "$SWEEP_JSON" | cut -d: -f2)
+if [ -z "$SPEEDUP4" ] || [ -z "$HOST_CPUS" ]; then
+    echo "check.sh: BENCH_sweep.json lacks speedup_jobs4/host_cpus" >&2
+    exit 1
+fi
+if [ "$HOST_CPUS" -ge 4 ]; then
+    MIN_SPEEDUP=1.5
+elif [ "$HOST_CPUS" -ge 2 ]; then
+    MIN_SPEEDUP=1.0
+else
+    MIN_SPEEDUP=0.7
+fi
+if ! awk -v s="$SPEEDUP4" -v m="$MIN_SPEEDUP" 'BEGIN { exit !(s >= m) }'; then
+    echo "check.sh: sweep jobs=4 speedup $SPEEDUP4 is below the" \
+         "$MIN_SPEEDUP floor for a ${HOST_CPUS}-cpu host" >&2
+    exit 1
+fi
+echo "check.sh: sweep scaling gate ok (jobs=4 speedup $SPEEDUP4," \
+     "$HOST_CPUS cpus, floor $MIN_SPEEDUP)"
 
 # Traced quick sweep: every run must emit a valid Perfetto trace file
 # whose event stream tallies against the exact sidecar counts, and a

@@ -1,0 +1,78 @@
+/**
+ * @file
+ * A freelist of retired std::vector buffers for single-threaded reuse.
+ *
+ * The sweep engine builds and tears down one complete simulated machine
+ * per run; the dominant construction cost is a handful of large buffer
+ * allocations (512 KiB core-local memories, multi-KiB queue rings, the
+ * framed input stream). Those sizes sit above the allocator's mmap
+ * threshold, so every run pays mmap/munmap round trips — and on the
+ * parallel path the workers additionally serialize on the kernel's
+ * address-space lock. RecyclePool keeps retired buffers per *worker*
+ * so the steady state allocates nothing and the workers never meet in
+ * the allocator.
+ *
+ * Determinism: acquire() always returns a buffer of exactly @p n
+ * value-initialized elements — bitwise indistinguishable from a fresh
+ * `std::vector<T>(n)` — so recycled and cold-start runs compute
+ * identical results even when corrupted executions read slots they
+ * never wrote.
+ *
+ * NOT thread-safe by design: one pool belongs to one worker slot.
+ */
+
+#ifndef COMMGUARD_COMMON_RECYCLE_POOL_HH
+#define COMMGUARD_COMMON_RECYCLE_POOL_HH
+
+#include <cstddef>
+#include <vector>
+
+namespace commguard
+{
+
+/** Single-owner freelist of std::vector<T> buffers. */
+template <typename T>
+class RecyclePool
+{
+  public:
+    /**
+     * A vector of @p n value-initialized elements, reusing a retired
+     * buffer's capacity when one is available. acquire(0) hands back
+     * an empty (but possibly roomy) vector for callers that fill via
+     * push_back after a reserve().
+     */
+    std::vector<T>
+    acquire(std::size_t n)
+    {
+        std::vector<T> buffer;
+        if (!_free.empty()) {
+            buffer = std::move(_free.back());
+            _free.pop_back();
+        }
+        // assign() both sizes and zeroes: recycled storage must be
+        // indistinguishable from a fresh allocation.
+        buffer.assign(n, T{});
+        return buffer;
+    }
+
+    /** Retire @p buffer's storage into the freelist. */
+    void
+    release(std::vector<T> &&buffer)
+    {
+        if (buffer.capacity() != 0)
+            _free.push_back(std::move(buffer));
+    }
+
+    /** Buffers currently retired and reusable (tests/diagnostics). */
+    std::size_t retained() const { return _free.size(); }
+
+    /** Drop every retired buffer (frees the memory now). */
+    void clear() { _free.clear(); }
+
+  private:
+    std::vector<std::vector<T>> _free;
+};
+
+} // namespace commguard
+
+#endif // COMMGUARD_COMMON_RECYCLE_POOL_HH

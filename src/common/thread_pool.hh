@@ -12,12 +12,24 @@
  *    exact sequential execution environment, stack traces included;
  *  - the pool owns its worker threads and joins them in the
  *    destructor; jobs must not outlive the pool.
+ *
+ * Two submission paths:
+ *  - submit(): the legacy one-job-at-a-time FIFO (mutex + condvar per
+ *    job). Kept for ad-hoc host work.
+ *  - submitBatch(): the sweep hot path. The batch installs one shared
+ *    body and a single atomic index counter; workers *claim* indices
+ *    with a lock-free fetch_add and never touch the pool mutex between
+ *    indices. One notify_all wakes the pool per batch — no per-job
+ *    heap-allocated std::function, no per-job lock, no thundering
+ *    herd. See DESIGN.md "Sweep scaling".
  */
 
 #ifndef COMMGUARD_COMMON_THREAD_POOL_HH
 #define COMMGUARD_COMMON_THREAD_POOL_HH
 
+#include <atomic>
 #include <condition_variable>
+#include <cstddef>
 #include <deque>
 #include <exception>
 #include <functional>
@@ -25,15 +37,42 @@
 #include <thread>
 #include <vector>
 
+#include "common/types.hh"
+
 namespace commguard
 {
 
 /**
- * Fixed-size FIFO thread pool.
+ * Fixed-size FIFO thread pool with a lock-free batch path.
  */
 class ThreadPool
 {
   public:
+    /**
+     * One batch job: invoked once per index in [0, count) with the
+     * claiming worker's slot id in [0, jobs()) — stable per worker
+     * thread (0 on the inline path), so callers can key per-worker
+     * scratch state off it.
+     */
+    using BatchBody = std::function<void(unsigned worker,
+                                         std::size_t index)>;
+
+    /**
+     * Host-side scheduling counters (see docs/METRICS.md, "pool/").
+     * Monotonic over the pool's lifetime; read via stats(). These are
+     * engine diagnostics — they depend on host scheduling and job
+     * count, so they are *never* folded into per-run MetricSnapshots
+     * (whose bytes must be independent of CG_JOBS).
+     */
+    struct Stats
+    {
+        Count batchesSubmitted = 0;  //!< submitBatch() calls.
+        Count tasksStolen = 0;   //!< Batch indices claimed by workers.
+        Count jobsQueued = 0;    //!< Legacy submit() jobs enqueued.
+        Count queueWaits = 0;    //!< Times a worker blocked for work.
+        Count idleWakeups = 0;   //!< Wakeups that found nothing to do.
+    };
+
     /**
      * Create a pool with @p threads workers. With @p threads <= 1 no
      * worker threads are spawned and submit() runs the job inline.
@@ -55,6 +94,22 @@ class ThreadPool
     void submit(std::function<void()> job);
 
     /**
+     * Run @p body for every index in [0, count) across the pool and
+     * block until all indices completed. Workers claim indices from a
+     * single atomic counter; the submitting thread sleeps (it is not a
+     * worker), so effective parallelism is exactly jobs(). On a
+     * sequential pool the indices run inline, in order, on the calling
+     * thread with worker id 0.
+     *
+     * Exception contract matches submit(): a throwing index never
+     * aborts the batch — the first exception is captured, every other
+     * index still runs, and wait() rethrows. Only one batch can be
+     * active at a time (enforced internally); submit() jobs may be
+     * queued alongside and are picked up when no batch work is open.
+     */
+    void submitBatch(std::size_t count, const BatchBody &body);
+
+    /**
      * Block until every submitted job has finished. If any job threw,
      * rethrows the first captured exception (subsequent exceptions of
      * the same batch are dropped); the pool stays usable afterwards.
@@ -73,6 +128,12 @@ class ThreadPool
      */
     unsigned jobs() const { return _jobs; }
 
+    /** Snapshot of the scheduling counters (any thread, racy-fresh). */
+    Stats stats() const;
+
+    /** Reset the scheduling counters to zero. */
+    void resetStats();
+
     /**
      * Default pool width: the CG_JOBS environment variable when set to
      * a positive integer, otherwise std::thread::hardware_concurrency()
@@ -83,7 +144,23 @@ class ThreadPool
   private:
     class ActiveGuard;
 
-    void workerLoop();
+    void workerLoop(unsigned worker);
+
+    /**
+     * Claim-and-run loop of one worker's share of the open batch.
+     * Called WITHOUT the pool mutex; @p body/@p size were captured
+     * under it and stay valid because submitBatch() cannot clear the
+     * batch until _batchWorkersIn drops back to zero.
+     */
+    void runBatchShare(unsigned worker, const BatchBody &body,
+                       std::size_t size);
+
+    /** Batch indices still unclaimed? (call with _mutex held). */
+    bool batchOpenLocked() const
+    {
+        return _batchBody != nullptr &&
+               _batchNext.load(std::memory_order_relaxed) < _batchSize;
+    }
 
     /** Capture the in-flight exception as the batch's first, if any. */
     void recordException();
@@ -98,6 +175,23 @@ class ThreadPool
     unsigned _active = 0;  //!< Jobs currently executing on workers.
     bool _stopping = false;
     std::exception_ptr _pendingException;  //!< First job failure.
+
+    // ------------------------------------------------------------------
+    // Batch state: installed/cleared by submitBatch() under _mutex;
+    // claimed lock-free by workers through _batchNext.
+    // ------------------------------------------------------------------
+    const BatchBody *_batchBody = nullptr;  //!< Null: no open batch.
+    std::size_t _batchSize = 0;
+    unsigned _batchWorkersIn = 0;  //!< Workers inside runBatchShare().
+    std::atomic<std::size_t> _batchNext{0};     //!< Next unclaimed index.
+    std::atomic<std::size_t> _batchPending{0};  //!< Indices not yet done.
+
+    // Scheduling counters (relaxed; diagnostics only).
+    std::atomic<Count> _statBatches{0};
+    std::atomic<Count> _statStolen{0};
+    std::atomic<Count> _statJobs{0};
+    std::atomic<Count> _statQueueWaits{0};
+    std::atomic<Count> _statIdleWakeups{0};
 };
 
 } // namespace commguard

@@ -15,11 +15,24 @@ Core::Core(CoreId id, std::string name) : _id(id), _name(std::move(name))
 {
 }
 
+Core::~Core()
+{
+    if (_memoryPool != nullptr && _memory.capacity() != 0)
+        _memoryPool->release(std::move(_memory));
+}
+
 void
 Core::setProgram(isa::Program program)
 {
     _program = std::move(program);
-    _memory.assign(_program.memWords, 0);
+    // Core-local memory is the largest per-run allocation (512 KiB at
+    // the default memWords); acquiring it from the per-worker pool
+    // keeps parallel sweeps out of the allocator's mmap path. Either
+    // way the memory starts fully zeroed.
+    if (_memoryPool != nullptr && _memory.capacity() == 0)
+        _memory = _memoryPool->acquire(_program.memWords);
+    else
+        _memory.assign(_program.memWords, 0);
     std::copy(_program.data.begin(), _program.data.end(),
               _memory.begin());
 

@@ -25,6 +25,7 @@
 #include <vector>
 
 #include "common/metrics.hh"
+#include "common/recycle_pool.hh"
 #include "common/stats.hh"
 #include "common/types.hh"
 #include "isa/program.hh"
@@ -153,9 +154,19 @@ class Core
   public:
     Core(CoreId id, std::string name);
 
+    /** Retires the core-local memory to the recycle pool, if bound. */
+    ~Core();
+
     // ------------------------------------------------------------------
     // Configuration (done once by the loader).
     // ------------------------------------------------------------------
+
+    /**
+     * Bind the freelist core-local memory is acquired from and retired
+     * to (sweep hot path; must outlive the core). Call before
+     * setProgram(); null keeps plain allocation.
+     */
+    void setMemoryPool(RecyclePool<Word> *pool) { _memoryPool = pool; }
 
     /** Load the filter program; copies the data segment into memory. */
     void setProgram(isa::Program program);
@@ -274,6 +285,7 @@ class Core
     std::string _name;
 
     isa::Program _program;
+    RecyclePool<Word> *_memoryPool = nullptr;  //!< Not owned; may be null.
     std::vector<Word> _memory;
     RegisterFile _regs;
     ErrorInjector _injector;

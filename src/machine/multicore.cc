@@ -29,6 +29,7 @@ Multicore::addCore(const std::string &name)
     const CoreId id = static_cast<CoreId>(_cores.size());
     _cores.push_back(std::make_unique<Core>(id, name));
     Core &core = *_cores.back();
+    core.setMemoryPool(_coreMemoryPool);
     core.setTiming(_config.timing);
     core.setPpu(_config.ppu);
     core.counters().linkTo(_metrics, "node/" + name);

@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "common/metrics.hh"
+#include "common/recycle_pool.hh"
 #include "common/stats.hh"
 #include "machine/core.hh"
 #include "machine/core_runtime.hh"
@@ -75,6 +76,16 @@ class Multicore
     {
         if (_config.traceEvents)
             enableEventTrace();
+    }
+
+    /**
+     * Bind the freelist cores acquire their local memory from (sweep
+     * hot path; not owned, must outlive the machine). Call before the
+     * first addCore(); null keeps plain allocation.
+     */
+    void setCoreMemoryPool(RecyclePool<Word> *pool)
+    {
+        _coreMemoryPool = pool;
     }
 
     /** Create a new core (owned by the machine). */
@@ -138,6 +149,7 @@ class Multicore
   private:
     MachineConfig _config;
     metrics::Registry _metrics;
+    RecyclePool<Word> *_coreMemoryPool = nullptr;  //!< Not owned.
 
     // Scheduler-level counters (owned by the registry).
     metrics::Counter &_timeoutsFired;

@@ -17,8 +17,10 @@
 #ifndef COMMGUARD_QUEUE_IO_QUEUE_HH
 #define COMMGUARD_QUEUE_IO_QUEUE_HH
 
+#include <utility>
 #include <vector>
 
+#include "common/recycle_pool.hh"
 #include "queue/queue_base.hh"
 
 namespace commguard
@@ -30,9 +32,23 @@ namespace commguard
 class SourceQueue : public QueueBase
 {
   public:
-    SourceQueue(std::string name, std::vector<QueueWord> contents)
-        : QueueBase(std::move(name)), _contents(std::move(contents))
+    /**
+     * @param recycle Optional freelist the contents buffer is retired
+     * to on destruction (sweep hot path; must outlive the queue).
+     * Pair it with building @p contents in a buffer acquired from the
+     * same pool so the stream storage is reused run over run.
+     */
+    SourceQueue(std::string name, std::vector<QueueWord> contents,
+                RecyclePool<QueueWord> *recycle = nullptr)
+        : QueueBase(std::move(name)), _recycle(recycle),
+          _contents(std::move(contents))
     {}
+
+    ~SourceQueue() override
+    {
+        if (_recycle != nullptr)
+            _recycle->release(std::move(_contents));
+    }
 
     /** Input devices are never pushed to by the computation. */
     QueueOpStatus
@@ -65,6 +81,7 @@ class SourceQueue : public QueueBase
     std::size_t remaining() const { return _contents.size() - _next; }
 
   private:
+    RecyclePool<QueueWord> *_recycle;  //!< Not owned; may be null.
     std::vector<QueueWord> _contents;
     std::size_t _next = 0;
 };
@@ -104,6 +121,13 @@ class CollectorQueue : public QueueBase
 
     /** Everything the computation emitted, headers stripped. */
     const std::vector<Word> &items() const { return _items; }
+
+    /**
+     * Move the collected output out of the device (the collector is
+     * left empty). The run harness consumes the output exactly once;
+     * moving avoids deep-copying the full stream per sweep run.
+     */
+    std::vector<Word> takeItems() { return std::move(_items); }
 
   protected:
     std::vector<Word> _items;

@@ -24,8 +24,9 @@ namespace commguard
 class ReliableQueue : public RingQueue
 {
   public:
-    ReliableQueue(std::string name, std::size_t capacity)
-        : RingQueue(std::move(name), capacity)
+    ReliableQueue(std::string name, std::size_t capacity,
+                  RecyclePool<QueueWord> *recycle = nullptr)
+        : RingQueue(std::move(name), capacity, recycle)
     {}
 
     // corrupt() deliberately inherits the no-op default: this queue's

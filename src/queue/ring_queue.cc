@@ -17,12 +17,22 @@ roundUpPow2(std::size_t x)
 
 } // namespace
 
-RingQueue::RingQueue(std::string name, std::size_t capacity)
+RingQueue::RingQueue(std::string name, std::size_t capacity,
+                     RecyclePool<QueueWord> *recycle)
     : QueueBase(std::move(name)),
       _capacity(capacity < 1 ? 1 : capacity),
-      _buffer(roundUpPow2(_capacity)),
+      _recycle(recycle),
+      _buffer(recycle != nullptr
+                  ? recycle->acquire(roundUpPow2(_capacity))
+                  : std::vector<QueueWord>(roundUpPow2(_capacity))),
       _mask(static_cast<Word>(_buffer.size() - 1))
 {
+}
+
+RingQueue::~RingQueue()
+{
+    if (_recycle != nullptr)
+        _recycle->release(std::move(_buffer));
 }
 
 QueueOpStatus

@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "common/logging.hh"
+#include "common/recycle_pool.hh"
 #include "queue/queue_base.hh"
 
 namespace commguard
@@ -32,8 +33,15 @@ class RingQueue : public QueueBase
      * is rounded up to a power of two for mask-based indexing only —
      * a swept capacity axis must mean what it says, so the slack
      * slots are never made available.
+     * @param recycle Optional buffer freelist the backing store is
+     * acquired from and retired to (sweep hot path; must outlive the
+     * queue). Recycled storage is re-zeroed, so behavior is bitwise
+     * identical to a fresh allocation.
      */
-    RingQueue(std::string name, std::size_t capacity);
+    RingQueue(std::string name, std::size_t capacity,
+              RecyclePool<QueueWord> *recycle = nullptr);
+
+    ~RingQueue() override;
 
     QueueOpStatus tryPush(const QueueWord &word) override;
     QueueOpStatus tryPop(QueueWord &word) override;
@@ -67,6 +75,7 @@ class RingQueue : public QueueBase
 
   private:
     std::size_t _capacity;  //!< Requested capacity, gated by tryPush.
+    RecyclePool<QueueWord> *_recycle;  //!< Not owned; may be null.
     std::vector<QueueWord> _buffer;
     Word _mask;
     Word _head = 0;  //!< Absolute count of completed pops.

@@ -31,8 +31,9 @@ class SoftwareQueue : public RingQueue
      *  the StreamIt routine is on the order of a dozen operations). */
     static constexpr Count softwareOpCost = 12;
 
-    SoftwareQueue(std::string name, std::size_t capacity)
-        : RingQueue(std::move(name), capacity)
+    SoftwareQueue(std::string name, std::size_t capacity,
+                  RecyclePool<QueueWord> *recycle = nullptr)
+        : RingQueue(std::move(name), capacity, recycle)
     {}
 
     Count opCost() const override { return softwareOpCost; }

@@ -4,8 +4,9 @@ namespace commguard
 {
 
 WorkingSetQueue::WorkingSetQueue(std::string name, std::size_t capacity,
-                                 unsigned sub_regions)
-    : RingQueue(std::move(name), capacity),
+                                 unsigned sub_regions,
+                                 RecyclePool<QueueWord> *recycle)
+    : RingQueue(std::move(name), capacity, recycle),
       _worksetWords(this->capacity() / (sub_regions ? sub_regions : 1))
 {
     if (_worksetWords == 0)

@@ -34,9 +34,11 @@ class WorkingSetQueue : public RingQueue
     /**
      * @param capacity Queue capacity in words.
      * @param sub_regions Number of working-set sub-regions (paper: 8).
+     * @param recycle Optional backing-store freelist (see RingQueue).
      */
     WorkingSetQueue(std::string name, std::size_t capacity,
-                    unsigned sub_regions = 8);
+                    unsigned sub_regions = 8,
+                    RecyclePool<QueueWord> *recycle = nullptr);
 
     QueueOpStatus tryPush(const QueueWord &word) override;
     QueueOpStatus tryPop(QueueWord &word) override;

@@ -9,20 +9,22 @@ namespace commguard::sim
 {
 
 RunOutcome
-runOnce(const apps::App &app, const streamit::LoadOptions &options)
+runOnce(const apps::App &app, const streamit::LoadOptions &options,
+        RunScratch *scratch)
 {
     streamit::LoadOptions effective = options;
     if (EnvOptions::get().traceEvents)
         effective.machine.traceEvents = true;
 
     streamit::LoadedApp loaded = streamit::loadGraph(
-        app.graph, app.input, app.steadyIterations, effective);
+        app.graph, app.input, app.steadyIterations, effective,
+        scratch != nullptr ? &scratch->loader : nullptr);
 
     const MachineRunResult machine_result = loaded.run();
 
     RunOutcome outcome;
     outcome.completed = machine_result.completed;
-    outcome.output = loaded.collector->items();
+    outcome.output = loaded.collector->takeItems();
     outcome.qualityDb = app.quality(outcome.output);
 
     // The machine's registry already holds every component counter;

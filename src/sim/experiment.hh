@@ -162,9 +162,29 @@ struct RunOutcome
     }
 };
 
-/** Run one application once under the given options. */
+/**
+ * Reusable per-worker run state (sweep hot path). Wraps the loader's
+ * scratch; one per worker thread, never shared. Call beginBatch() at
+ * the start of each batch of runs (it invalidates caches keyed by
+ * graph addresses that may have been reused).
+ */
+struct RunScratch
+{
+    streamit::LoaderScratch loader;
+
+    void beginBatch() { loader.beginBatch(); }
+};
+
+/**
+ * Run one application once under the given options.
+ *
+ * @param scratch Optional reusable state; passing one does not change
+ * the outcome (buffers are re-zeroed and caches copied pristine), it
+ * only removes repeated large allocations from the hot path.
+ */
 RunOutcome runOnce(const apps::App &app,
-                   const streamit::LoadOptions &options);
+                   const streamit::LoadOptions &options,
+                   RunScratch *scratch = nullptr);
 
 /** Mean / deviation summary of a sample set. */
 struct SampleStats

@@ -52,6 +52,23 @@ appendJsonl(const std::string &path, const std::vector<Json> &records)
     }
 }
 
+void
+appendJsonl(const std::string &path,
+            const std::vector<std::string> &lines)
+{
+    std::ofstream out(path, std::ios::app);
+    if (!out) {
+        warn("run_export: cannot open '" + path +
+             "' for appending");
+        return;
+    }
+    for (const std::string &line : lines) {
+        if (line.empty())
+            continue;
+        out << line << '\n';
+    }
+}
+
 Json
 benchDocument(const std::string &name, const Json &data)
 {

@@ -48,6 +48,16 @@ void appendJsonl(const std::string &path,
                  const std::vector<Json> &records);
 
 /**
+ * Append pre-serialized lines to @p path (sweep hot path: workers
+ * dump() their records off the main thread, the barrier just
+ * concatenates). Empty strings are skipped; the others must be
+ * newline-free canonical JSON, typically Json::dump() output — which
+ * is byte-identical to what the Json overload writes.
+ */
+void appendJsonl(const std::string &path,
+                 const std::vector<std::string> &lines);
+
+/**
  * The BENCH document for @p name:
  * {"schema_version": ..., "bench": name, "data": data}. Exposed
  * separately from writeBenchJson() so the scenario layer and tests

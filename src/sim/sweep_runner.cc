@@ -4,6 +4,7 @@
 #include <chrono>
 #include <cstdio>
 #include <filesystem>
+#include <string>
 
 #include "common/logging.hh"
 #include "sim/env_options.hh"
@@ -72,36 +73,60 @@ SweepRunner::runAll()
     _total = batch.size();
     _completed.store(0, std::memory_order_relaxed);
     _startSeconds = monotonicSeconds();
-    _lastPrintSeconds = _startSeconds;
+    _nextPrintSeconds.store(_startSeconds + progressQuietSeconds,
+                            std::memory_order_relaxed);
+    _useCallback = static_cast<bool>(_progress);
+
+    const EnvOptions &env = EnvOptions::get();
+    const bool want_jsonl = !env.jsonlPath.empty();
+    const bool want_traces = env.traceEvents;
+
+    // One scratch per pool job slot, reused batch over batch (the
+    // freelists inside keep the big per-run buffers warm). beginBatch
+    // drops caches keyed by graph addresses that may have been reused
+    // since the last runAll().
+    if (_scratches.size() < _pool.jobs())
+        _scratches.resize(_pool.jobs());
+    for (RunScratch &scratch : _scratches)
+        scratch.beginBatch();
 
     std::vector<RunOutcome> outcomes(batch.size());
-    for (std::size_t i = 0; i < batch.size(); ++i) {
-        const RunDescriptor &descriptor = batch[i];
-        _pool.submit([this, &descriptor, &outcomes, i] {
-            outcomes[i] = runOnce(*descriptor.app, descriptor.options);
-            const std::size_t done =
-                _completed.fetch_add(1, std::memory_order_relaxed) + 1;
-            reportProgress(done);
-        });
-    }
-    _pool.wait();
 
-    // Per-run JSONL export (CG_JSONL=<path>): written after the batch
-    // in submission order, so file content is independent of CG_JOBS.
-    const std::string &jsonl_path = EnvOptions::get().jsonlPath;
-    if (!jsonl_path.empty() && !batch.empty()) {
-        std::vector<Json> records;
-        records.reserve(batch.size());
-        for (std::size_t i = 0; i < batch.size(); ++i)
-            records.push_back(runRecordJson(batch[i], outcomes[i]));
-        appendJsonl(jsonl_path, records);
-    }
+    // Export artifacts are *serialized* on the worker that ran the
+    // run (into its submission-order slot) and *written* after the
+    // barrier: file bytes stay independent of CG_JOBS while the
+    // string building — which dwarfs the final write — runs off the
+    // critical path.
+    std::vector<std::string> jsonl_lines(want_jsonl ? batch.size() : 0);
+    std::vector<std::string> trace_docs(want_traces ? batch.size() : 0);
+
+    _pool.submitBatch(
+        batch.size(), [&](unsigned worker, std::size_t i) {
+            const RunDescriptor &descriptor = batch[i];
+            RunOutcome &outcome = outcomes[i];
+            outcome = runOnce(*descriptor.app, descriptor.options,
+                              &_scratches[worker]);
+            if (want_jsonl)
+                jsonl_lines[i] =
+                    runRecordJson(descriptor, outcome).dump();
+            if (want_traces && outcome.eventTrace != nullptr)
+                trace_docs[i] =
+                    perfettoTraceJson(*outcome.eventTrace).dump();
+            reportProgress(
+                _completed.fetch_add(1, std::memory_order_relaxed) +
+                1);
+        });
+    _pool.wait();  // Rethrows the batch's first exception, if any.
+
+    // Per-run JSONL export (CG_JSONL=<path>): concatenated in
+    // submission order, so file content is independent of CG_JOBS.
+    if (want_jsonl && !batch.empty())
+        appendJsonl(env.jsonlPath, jsonl_lines);
 
     // Per-run Perfetto trace files (CG_TRACE_EVENTS=1): also written
     // post-batch in submission order, with a process-wide sequence
     // number so successive batches never collide.
-    const EnvOptions &env = EnvOptions::get();
-    if (env.traceEvents && !batch.empty()) {
+    if (want_traces && !batch.empty()) {
         static std::atomic<Count> trace_serial{0};
         std::error_code ec;
         std::filesystem::create_directories(env.traceOut, ec);
@@ -110,7 +135,7 @@ SweepRunner::runAll()
                  env.traceOut + "': " + ec.message());
         } else {
             for (std::size_t i = 0; i < batch.size(); ++i) {
-                if (outcomes[i].eventTrace == nullptr)
+                if (trace_docs[i].empty())
                     continue;
                 const Count n = trace_serial.fetch_add(
                     1, std::memory_order_relaxed);
@@ -121,7 +146,7 @@ SweepRunner::runAll()
                         batch[i].options.mode) +
                     "_seed" +
                     std::to_string(batch[i].options.seed) + ".json";
-                writeTraceFile(path, *outcomes[i].eventTrace);
+                writeTraceFile(path, trace_docs[i]);
             }
         }
     }
@@ -131,19 +156,33 @@ SweepRunner::runAll()
 void
 SweepRunner::reportProgress(std::size_t done)
 {
-    std::lock_guard<std::mutex> lock(_progressMutex);
-    if (_progress) {
-        _progress(done, _total);
+    if (_useCallback) {
+        // Observer path: serialized so callbacks never interleave.
+        std::lock_guard<std::mutex> lock(_progressMutex);
+        if (_progress)
+            _progress(done, _total);
         return;
     }
+
     // Default reporter: silent for quick sweeps, then a line roughly
-    // every two seconds so long benches never look hung.
+    // every two seconds so long benches never look hung. Fast path is
+    // one relaxed load + one clock read and NO mutex — the previous
+    // version serialized every run completion on _progressMutex,
+    // which showed up once runs got cheap and jobs high.
     const double now = monotonicSeconds();
-    if (done != _total && now - _lastPrintSeconds < progressQuietSeconds)
+    if (done != _total &&
+        now < _nextPrintSeconds.load(std::memory_order_relaxed))
         return;
     if (now - _startSeconds < progressQuietSeconds)
         return;
-    _lastPrintSeconds = now;
+
+    std::lock_guard<std::mutex> lock(_progressMutex);
+    // Recheck under the lock: a racing worker may have just printed.
+    if (done != _total &&
+        now < _nextPrintSeconds.load(std::memory_order_relaxed))
+        return;
+    _nextPrintSeconds.store(now + progressQuietSeconds,
+                            std::memory_order_relaxed);
     std::fprintf(stderr, "[sweep] %zu/%zu runs (%.0fs, %u jobs)\n",
                  done, _total, now - _startSeconds, _pool.jobs());
 }
@@ -152,6 +191,20 @@ SweepRunner &
 sharedRunner()
 {
     static SweepRunner runner;
+    // The pool width was pinned when the first caller constructed the
+    // runner: a later CG_JOBS change (setenv from test or bench code)
+    // silently does not apply, so surface the mismatch once.
+    const unsigned wanted = ThreadPool::defaultJobs();
+    if (wanted != runner.jobs()) {
+        static std::atomic<bool> warned{false};
+        if (!warned.exchange(true)) {
+            warn("sharedRunner: pool width pinned at " +
+                 std::to_string(runner.jobs()) +
+                 " jobs at first use; current CG_JOBS asks for " +
+                 std::to_string(wanted) +
+                 " — construct a private SweepRunner for that");
+        }
+    }
     return runner;
 }
 

@@ -6,14 +6,22 @@
  * of independent runs: each (app, mode, mtbe, seed, frameScale)
  * descriptor builds its own self-contained Multicore with per-core
  * seeded RNGs, so runs share no mutable state. SweepRunner fans the
- * descriptors out across a host thread pool and collects RunOutcomes
+ * descriptors out through the pool's lock-free batch path (workers
+ * claim run indices from one atomic counter) and collects RunOutcomes
  * in submission order.
  *
  * Determinism guarantee: the outcome vector is bitwise identical for
  * any job count, because all randomness lives in per-run seeded RNGs
  * and host scheduling only decides *when* a run executes, never what
- * it computes. `CG_JOBS=1` restores fully sequential execution on the
- * submitting thread.
+ * it computes. Per-worker RunScratch state preserves this: recycled
+ * buffers are re-zeroed and cached programs copied pristine, so which
+ * worker runs a descriptor cannot leak into its outcome. `CG_JOBS=1`
+ * restores fully sequential execution on the submitting thread.
+ *
+ * Export artifacts (CG_JSONL lines, Perfetto trace documents) are
+ * *serialized* on the worker that ran the run and *written* after the
+ * batch in submission order, so file bytes are also independent of
+ * CG_JOBS while the string building stays off the barrier.
  *
  * Ownership: a SweepRunner owns its ThreadPool for its whole lifetime
  * (workers are reused across runAll() calls); descriptors reference
@@ -74,6 +82,17 @@ class SweepRunner
     /** Effective parallelism of this runner. */
     unsigned jobs() const { return _pool.jobs(); }
 
+    /**
+     * Host-side scheduling counters of the underlying pool (batches,
+     * stolen indices, waits/wakeups). Engine diagnostics only — never
+     * part of per-run snapshots, whose bytes must not depend on the
+     * job count. See docs/METRICS.md, "pool/".
+     */
+    ThreadPool::Stats poolStats() const { return _pool.stats(); }
+
+    /** Reset the scheduling counters (e.g. between bench phases). */
+    void resetPoolStats() { _pool.resetStats(); }
+
     // ------------------------------------------------------------------
     // Progress (readable from any thread while runAll is executing).
     // ------------------------------------------------------------------
@@ -90,7 +109,9 @@ class SweepRunner
     /**
      * Observer called after each completed run with (done, total);
      * invoked under an internal mutex, possibly from worker threads.
-     * Replaces the default stderr progress printer.
+     * Replaces the default stderr progress printer. Install it before
+     * runAll(): the batch latches whether a callback is present at its
+     * start.
      */
     void setProgress(
         std::function<void(std::size_t, std::size_t)> callback)
@@ -104,19 +125,41 @@ class SweepRunner
     ThreadPool _pool;
     std::vector<RunDescriptor> _queued;
 
+    /**
+     * One reusable RunScratch per pool job slot, indexed by the batch
+     * worker id (slot 0 doubles as the inline-path scratch). Grown
+     * lazily on the first runAll(); lives as long as the runner so
+     * recycled buffers survive across batches.
+     */
+    std::vector<RunScratch> _scratches;
+
     std::size_t _total = 0;
     std::atomic<std::size_t> _completed{0};
     std::function<void(std::size_t, std::size_t)> _progress;
+    bool _useCallback = false;  //!< Latched per batch from _progress.
 
-    std::mutex _progressMutex;
+    std::mutex _progressMutex;       //!< Serializes actual printing.
     double _startSeconds = 0.0;      //!< Monotonic batch start.
-    double _lastPrintSeconds = 0.0;  //!< Last progress line.
+
+    /**
+     * Next time the default reporter may print. Checked with one
+     * relaxed load on every completion — the mutex above is only taken
+     * when a print is actually due, so finishing a run costs no lock.
+     */
+    std::atomic<double> _nextPrintSeconds{0.0};
 };
 
 /**
  * Process-wide runner shared by qualitySweep() and the bench helpers:
  * one pool of CG_JOBS workers reused for every sweep. Only for use
  * from the main thread.
+ *
+ * The pool width is pinned when the first caller constructs the
+ * runner; changing CG_JOBS later in the process (e.g. setenv() from
+ * test code) does NOT re-size it. A mismatch between the pinned width
+ * and the current CG_JOBS is reported once via warn() so a silently
+ * ignored setting is at least visible. Construct a private
+ * SweepRunner(jobs) when a specific width is required.
  */
 SweepRunner &sharedRunner();
 

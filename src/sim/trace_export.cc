@@ -418,4 +418,15 @@ writeTraceFile(const std::string &path, const trace::EventTrace &trace)
     out << '\n';
 }
 
+void
+writeTraceFile(const std::string &path, const std::string &serialized)
+{
+    std::ofstream out(path);
+    if (!out) {
+        warn("trace_export: cannot open " + path + " for writing");
+        return;
+    }
+    out << serialized << '\n';
+}
+
 } // namespace commguard::sim

@@ -63,6 +63,15 @@ traceConservationErrors(const trace::EventTrace &trace,
 void writeTraceFile(const std::string &path,
                     const trace::EventTrace &trace);
 
+/**
+ * Write an already-serialized trace document (sweep hot path: workers
+ * dump() the Perfetto JSON off the main thread, the barrier just does
+ * file I/O). @p serialized must be perfettoTraceJson(...).dump(),
+ * which is byte-identical to what the EventTrace overload writes.
+ */
+void writeTraceFile(const std::string &path,
+                    const std::string &serialized);
+
 } // namespace commguard::sim
 
 #endif // COMMGUARD_SIM_TRACE_EXPORT_HH

@@ -40,16 +40,17 @@ coreSeed(std::uint64_t base, int core)
 
 std::unique_ptr<QueueBase>
 makeEdgeQueue(ProtectionMode mode, const std::string &name,
-              std::size_t capacity)
+              std::size_t capacity, RecyclePool<QueueWord> *recycle)
 {
     switch (mode) {
       case ProtectionMode::PpuOnly:
-        return std::make_unique<SoftwareQueue>(name, capacity);
+        return std::make_unique<SoftwareQueue>(name, capacity, recycle);
       case ProtectionMode::ReliableQueue:
-        return std::make_unique<ReliableQueue>(name, capacity);
+        return std::make_unique<ReliableQueue>(name, capacity, recycle);
       case ProtectionMode::CommGuard:
       default:
-        return std::make_unique<WorkingSetQueue>(name, capacity);
+        return std::make_unique<WorkingSetQueue>(name, capacity, 8,
+                                                 recycle);
     }
 }
 
@@ -57,7 +58,8 @@ makeEdgeQueue(ProtectionMode mode, const std::string &name,
 
 LoadedApp
 loadGraph(const StreamGraph &graph, const std::vector<Word> &input,
-          Count steady_iterations, const LoadOptions &options)
+          Count steady_iterations, const LoadOptions &options,
+          LoaderScratch *scratch)
 {
     const std::string structure_error = graph.validateStructure();
     if (!structure_error.empty())
@@ -72,6 +74,10 @@ loadGraph(const StreamGraph &graph, const std::vector<Word> &input,
     app.steadyIterations = steady_iterations;
     app.machine = std::make_unique<Multicore>(options.machine);
     Multicore &machine = *app.machine;
+    RecyclePool<QueueWord> *queue_pool =
+        scratch != nullptr ? &scratch->queueWords : nullptr;
+    machine.setCoreMemoryPool(
+        scratch != nullptr ? &scratch->coreMemory : nullptr);
 
     const int num_nodes = graph.numNodes();
     const bool guarded = options.mode == ProtectionMode::CommGuard;
@@ -97,7 +103,10 @@ loadGraph(const StreamGraph &graph, const std::vector<Word> &input,
     // ------------------------------------------------------------------
     const Count items_per_inv = app.frames.inputItemsPerFrame;
     const Count needed = items_per_inv * steady_iterations;
-    std::vector<Word> padded_input = input;
+    std::vector<Word> local_padded;
+    std::vector<Word> &padded_input =
+        scratch != nullptr ? scratch->paddedInput : local_padded;
+    padded_input.assign(input.begin(), input.end());
     if (padded_input.size() != needed) {
         if (padded_input.size() < needed) {
             warn("loadGraph: input shorter than schedule needs; "
@@ -106,7 +115,9 @@ loadGraph(const StreamGraph &graph, const std::vector<Word> &input,
         padded_input.resize(needed, 0);
     }
 
-    std::vector<QueueWord> source_words;
+    std::vector<QueueWord> source_words =
+        queue_pool != nullptr ? queue_pool->acquire(0)
+                              : std::vector<QueueWord>();
     source_words.reserve(needed + steady_iterations + 1);
     std::size_t cursor = 0;
     for (Count inv = 0; inv < steady_iterations; ++inv) {
@@ -123,7 +134,7 @@ loadGraph(const StreamGraph &graph, const std::vector<Word> &input,
         source_words.push_back(makeHeader(endOfComputationId));
 
     auto source = std::make_unique<SourceQueue>(
-        "source", std::move(source_words));
+        "source", std::move(source_words), queue_pool);
     app.source = source.get();
     machine.addQueue(std::move(source));
 
@@ -157,8 +168,8 @@ loadGraph(const StreamGraph &graph, const std::vector<Word> &input,
         const std::size_t capacity = std::max<std::size_t>(
             options.queueCapacityWords,
             2 * app.frames.edgeItemsPerFrame[e] + 64);
-        edge_queues.push_back(&machine.addQueue(
-            makeEdgeQueue(options.mode, name.str(), capacity)));
+        edge_queues.push_back(&machine.addQueue(makeEdgeQueue(
+            options.mode, name.str(), capacity, queue_pool)));
     }
 
     // ------------------------------------------------------------------
@@ -188,8 +199,26 @@ loadGraph(const StreamGraph &graph, const std::vector<Word> &input,
         const FilterSpec &spec = graph.filters()[n];
         Core &core = machine.addCore(spec.name);
 
-        isa::Program program = spec.buildProgram(
-            static_cast<int>(reps.firings[n]));
+        // Filter programs are pure functions of (graph, node): reuse
+        // the assembled form across a batch of runs. The copy below is
+        // required — queue-cost folding mutates the estimate, and the
+        // op costs depend on the run's protection mode.
+        isa::Program program;
+        if (scratch != nullptr) {
+            const auto key = std::make_pair(&graph, n);
+            auto it = scratch->programs.find(key);
+            if (it == scratch->programs.end()) {
+                it = scratch->programs
+                         .emplace(key,
+                                  spec.buildProgram(static_cast<int>(
+                                      reps.firings[n])))
+                         .first;
+            }
+            program = it->second;
+        } else {
+            program = spec.buildProgram(
+                static_cast<int>(reps.firings[n]));
+        }
 
         // Software-queue routines charge opCost() virtual instructions
         // per queue op inside the scope (and they count against the

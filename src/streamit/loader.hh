@@ -14,9 +14,12 @@
 #ifndef COMMGUARD_STREAMIT_LOADER_HH
 #define COMMGUARD_STREAMIT_LOADER_HH
 
+#include <map>
 #include <memory>
+#include <utility>
 #include <vector>
 
+#include "common/recycle_pool.hh"
 #include "machine/backends.hh"
 #include "machine/multicore.hh"
 #include "queue/io_queue.hh"
@@ -112,15 +115,63 @@ struct LoadedApp
 };
 
 /**
+ * Reusable per-worker loader state (sweep hot path).
+ *
+ * A sweep loads the same handful of graphs thousands of times; without
+ * reuse every load allocates fresh core-local memories (512 KiB per
+ * core), queue rings, and the framed source stream — large enough that
+ * malloc serves them with mmap, and the resulting mmap/munmap churn
+ * serializes parallel workers on the kernel's address-space lock. A
+ * LoaderScratch owns freelists those buffers are drawn from and retired
+ * to, plus caches of pure loader intermediates.
+ *
+ * NOT thread-safe: one LoaderScratch per worker thread.
+ *
+ * Determinism: recycled buffers are re-zeroed on acquisition
+ * (RecyclePool contract) and cached programs are copied pristine before
+ * any per-load mutation, so a load with a scratch is bit-identical to a
+ * load without one.
+ */
+struct LoaderScratch
+{
+    /** Freelist for core-local memories (the dominant allocation). */
+    RecyclePool<Word> coreMemory;
+
+    /** Freelist for edge rings and the framed source stream. */
+    RecyclePool<QueueWord> queueWords;
+
+    /** Reused zero-padding staging buffer for the input stream. */
+    std::vector<Word> paddedInput;
+
+    /**
+     * Pristine per-(graph, node) programs, assembled once and copied
+     * per load (loadGraph folds mode-dependent queue op costs into the
+     * copy, never the cached original). Keyed by graph address: valid
+     * only while the keyed graphs are alive, so call beginBatch() at
+     * the start of each batch of runs to drop entries whose graph
+     * address could be reused by a newer graph.
+     */
+    std::map<std::pair<const StreamGraph *, int>, isa::Program> programs;
+
+    /** Invalidate graph-address-keyed caches (call once per batch). */
+    void beginBatch() { programs.clear(); }
+};
+
+/**
  * Instantiate @p graph for @p steady_iterations steady-state
  * iterations over the given input stream.
  *
  * The input must contain steady_iterations * inputItemsPerFrame words;
  * shorter inputs are zero-padded with a warning.
+ *
+ * @param scratch Optional reusable loader state; must outlive the
+ * returned app (its machine retires buffers back into the scratch on
+ * destruction). Passing one does not change the loaded app's behavior.
  */
 LoadedApp loadGraph(const StreamGraph &graph,
                     const std::vector<Word> &input,
-                    Count steady_iterations, const LoadOptions &options);
+                    Count steady_iterations, const LoadOptions &options,
+                    LoaderScratch *scratch = nullptr);
 
 } // namespace commguard::streamit
 

@@ -20,6 +20,7 @@
 #include <vector>
 
 #include "apps/app.hh"
+#include "common/recycle_pool.hh"
 #include "common/thread_pool.hh"
 #include "machine/error_injector.hh"
 #include "sim/run_export.hh"
@@ -115,6 +116,141 @@ TEST(ThreadPool, FirstOfSeveralExceptionsWins)
     EXPECT_THROW(pool.wait(), std::runtime_error);
     // Later exceptions were discarded; a clean wait follows.
     pool.wait();
+}
+
+// ----------------------------------------------------------------------
+// ThreadPool batch path (the sweep hot path).
+// ----------------------------------------------------------------------
+
+TEST(ThreadPoolBatch, InlineBatchRunsEveryIndexInOrder)
+{
+    ThreadPool pool(1);
+    std::vector<std::size_t> order;
+    pool.submitBatch(16, [&](unsigned worker, std::size_t index) {
+        EXPECT_EQ(worker, 0u);  // Inline path is worker slot 0.
+        order.push_back(index);
+    });
+    pool.wait();
+    ASSERT_EQ(order.size(), 16u);
+    for (std::size_t i = 0; i < order.size(); ++i)
+        EXPECT_EQ(order[i], i);  // Sequential pool: submission order.
+}
+
+TEST(ThreadPoolBatch, ParallelBatchRunsEveryIndexExactlyOnce)
+{
+    ThreadPool pool(4);
+    constexpr std::size_t count = 256;
+    std::vector<std::atomic<int>> hits(count);
+    std::vector<std::atomic<int>> worker_seen(4);
+    pool.submitBatch(count, [&](unsigned worker, std::size_t index) {
+        ASSERT_LT(worker, 4u);
+        ASSERT_LT(index, count);
+        worker_seen[worker].fetch_add(1);
+        hits[index].fetch_add(1);
+    });
+    pool.wait();
+    for (std::size_t i = 0; i < count; ++i)
+        EXPECT_EQ(hits[i].load(), 1) << "index " << i;
+
+    // The pool is reusable: back-to-back batches work.
+    std::atomic<int> runs{0};
+    pool.submitBatch(32, [&](unsigned, std::size_t) {
+        runs.fetch_add(1);
+    });
+    pool.wait();
+    EXPECT_EQ(runs.load(), 32);
+}
+
+TEST(ThreadPoolBatch, EmptyBatchIsANoOp)
+{
+    ThreadPool pool(4);
+    pool.submitBatch(0, [](unsigned, std::size_t) {
+        FAIL() << "empty batch must never invoke the body";
+    });
+    pool.wait();
+}
+
+TEST(ThreadPoolBatch, ThrowingIndexDoesNotAbortTheBatch)
+{
+    for (const unsigned jobs : {1u, 4u}) {
+        SCOPED_TRACE("jobs=" + std::to_string(jobs));
+        ThreadPool pool(jobs);
+        std::atomic<int> runs{0};
+        pool.submitBatch(64, [&](unsigned, std::size_t index) {
+            if (index == 9)
+                throw std::runtime_error("batch boom");
+            runs.fetch_add(1);
+        });
+        // Every other index still ran; wait() reports the failure.
+        try {
+            pool.wait();
+            FAIL() << "wait() should have rethrown the batch exception";
+        } catch (const std::runtime_error &e) {
+            EXPECT_STREQ(e.what(), "batch boom");
+        }
+        EXPECT_EQ(runs.load(), 63);
+
+        // The pool survives: a clean batch follows.
+        pool.submitBatch(8, [&](unsigned, std::size_t) {
+            runs.fetch_add(1);
+        });
+        pool.wait();
+        EXPECT_EQ(runs.load(), 71);
+    }
+}
+
+TEST(ThreadPoolBatch, StatsCountBatchesAndStolenIndices)
+{
+    ThreadPool pool(4);
+    pool.resetStats();
+    pool.submitBatch(100, [](unsigned, std::size_t) {});
+    pool.submitBatch(28, [](unsigned, std::size_t) {});
+    pool.wait();
+
+    const ThreadPool::Stats stats = pool.stats();
+    EXPECT_EQ(stats.batchesSubmitted, 2u);
+    EXPECT_EQ(stats.tasksStolen, 128u);  // Every index claimed once.
+    EXPECT_EQ(stats.jobsQueued, 0u);     // No legacy submit() jobs.
+
+    pool.resetStats();
+    EXPECT_EQ(pool.stats().batchesSubmitted, 0u);
+    EXPECT_EQ(pool.stats().tasksStolen, 0u);
+}
+
+// ----------------------------------------------------------------------
+// RecyclePool: the per-worker buffer freelist under the loader.
+// ----------------------------------------------------------------------
+
+TEST(RecyclePool, RecycledBufferIsRezeroedAndKeepsCapacity)
+{
+    RecyclePool<Word> pool;
+    std::vector<Word> buffer = pool.acquire(64);
+    ASSERT_EQ(buffer.size(), 64u);
+    for (Word &word : buffer)
+        word = 0xdeadbeef;
+    const Word *data = buffer.data();
+    pool.release(std::move(buffer));
+    EXPECT_EQ(pool.retained(), 1u);
+
+    // Reacquisition reuses the storage but must be indistinguishable
+    // from a fresh zero-filled allocation (determinism contract).
+    std::vector<Word> again = pool.acquire(32);
+    EXPECT_EQ(again.data(), data);
+    ASSERT_EQ(again.size(), 32u);
+    for (const Word word : again)
+        EXPECT_EQ(word, 0u);
+    EXPECT_EQ(pool.retained(), 0u);
+}
+
+TEST(RecyclePool, AcquireZeroHandsBackRoomyEmptyBuffer)
+{
+    RecyclePool<Word> pool;
+    std::vector<Word> buffer = pool.acquire(128);
+    pool.release(std::move(buffer));
+
+    std::vector<Word> staged = pool.acquire(0);
+    EXPECT_TRUE(staged.empty());
+    EXPECT_GE(staged.capacity(), 128u);
 }
 
 // ----------------------------------------------------------------------
