@@ -5,9 +5,11 @@
 # catalogue, run the full scenario sweep in quick mode (and gate on
 # the sweep engine's jobs=4 speedup, core-aware), run one traced
 # quick sweep to validate the Perfetto trace export and the per-run
-# forensics records (docs/TRACING.md), and run a quick budget of the
+# forensics records (docs/TRACING.md), run a quick budget of the
 # deterministic stress-fuzz harness including its failure path
-# (docs/FUZZING.md).
+# (docs/FUZZING.md), and run the protection-backend gate: a quick
+# pareto_protection sweep whose JSONL records and BENCH document must
+# validate and cover every built-in protection mode (DESIGN.md §4b).
 #
 # Usage: scripts/check.sh [--sanitize] [build-dir]   (default: build)
 #
@@ -113,6 +115,27 @@ if [ "$FUZZ_REPLAY" -ne 1 ] || [ "$BENCH_REPLAY" -ne 1 ]; then
          "cg_bench=$BENCH_REPLAY, expected 1)" >&2
     exit 1
 fi
+
+# Protection-backend gate: the pareto_protection scenario must sweep
+# every registered backend in quick mode, its per-run JSONL records
+# must validate (protection_mode vocabulary comes from the registry),
+# its BENCH document must be schema-valid, and every built-in mode
+# must appear in the emitted rows.
+PARETO_JSONL="$BUILD_DIR/pareto_check_runs.jsonl"
+PARETO_BENCH="$BUILD_DIR/BENCH_pareto_protection.json"
+rm -f "$PARETO_JSONL" "$PARETO_BENCH"
+(cd "$BUILD_DIR" && CG_QUICK=1 CG_JSON=1 CG_JSONL="pareto_check_runs.jsonl" \
+    "tools/cg_bench" run pareto_protection)
+"$JSONL_CHECK" "$PARETO_JSONL"
+"$JSONL_CHECK" --bench "$PARETO_BENCH"
+for MODE in raw reliable-queue commguard replicate abft; do
+    if ! grep -q "\"$MODE\"" "$PARETO_BENCH"; then
+        echo "check.sh: pareto_protection rows are missing protection" \
+             "mode '$MODE'" >&2
+        exit 1
+    fi
+done
+echo "check.sh: protection-backend gate ok (all registered modes swept)"
 
 if [ "$SANITIZE" -eq 1 ]; then
     # ASan/UBSan: the tier-1 suite plus a quick fuzz budget, with

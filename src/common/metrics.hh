@@ -48,8 +48,12 @@ namespace commguard::metrics
  * Version of the snapshot/JSONL metric schema. Bump when the export
  * layout (key names, nesting, non-finite encoding) changes shape; the
  * schema self-check and parsers reject other versions.
+ *
+ * v2: the run-record descriptor key "mode" became "protection_mode"
+ * (the value vocabulary is the protection registry's name set, which
+ * grew "raw", "replicate" and "abft").
  */
-constexpr int kSchemaVersion = 1;
+constexpr int kSchemaVersion = 2;
 
 /**
  * A monotonically increasing 64-bit event counter.

@@ -134,7 +134,7 @@ class CommGuardBackend : public CommBackend
     linkMetrics(metrics::Registry &registry,
                 const std::string &prefix) override
     {
-        _counters.linkTo(registry, prefix);
+        _counters.linkTo(registry, "cg/" + prefix);
     }
 
   private:

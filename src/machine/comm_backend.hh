@@ -4,9 +4,11 @@
  *
  * The core's ISA-visible PUSH/POP operations and the reliable runtime's
  * frame-computation events are routed through a per-core CommBackend.
- * Implementations model the paper's protection configurations:
- * RawBackend (direct queue access, Figs. 3b/3c) and CommGuardBackend
- * (HI + AM + QM, Fig. 3d).
+ * Implementations model protection configurations: RawBackend (direct
+ * queue access, Figs. 3b/3c), CommGuardBackend (HI + AM + QM,
+ * Fig. 3d), ReplicateBackend (N-modular firing replication with output
+ * voting), and AbftBackend (checksum-augmented streams). The registry
+ * in sim/protection.hh maps mode names to backend factories.
  */
 
 #ifndef COMMGUARD_MACHINE_COMM_BACKEND_HH
@@ -31,6 +33,14 @@ struct BackendPopResult
     Word value = 0;
 };
 
+/** Backend verdict when an invocation's work program completes. */
+enum class InvocationVerdict
+{
+    Commit,   //!< Frame computation done; advance to the next frame.
+    Replay,   //!< Re-execute the same invocation (replication).
+    Blocked,  //!< Commit stalled on a queue; retry invocationDone().
+};
+
 /**
  * Per-core communication endpoint.
  */
@@ -39,8 +49,13 @@ class CommBackend
   public:
     virtual ~CommBackend() = default;
 
-    /** Attach the owning core (used for charging costs and exposure). */
-    void bindCore(Core *core) { _core = core; }
+    /**
+     * Attach the owning core (used for charging costs and exposure).
+     * Overrides must call the base: backends that need core services
+     * beyond cost charging (store journaling for replication rollback)
+     * enable them here.
+     */
+    virtual void bindCore(Core *core) { _core = core; }
 
     /** Core-issued push on a filter-local output port. */
     virtual QueueOpStatus push(int port, Word value) = 0;
@@ -57,6 +72,19 @@ class CommBackend
 
     /** Reliable-runtime event: the thread finished its last frame. */
     virtual QueueOpStatus endOfComputation() = 0;
+
+    /**
+     * Reliable-runtime event: the work program of the current
+     * invocation completed (Halt or watchdog). The backend may demand
+     * a replay (replication), report a stalled commit (buffered output
+     * flushing into a full queue; the runtime retries), or commit.
+     * Must be resumable across Blocked retries.
+     */
+    virtual InvocationVerdict
+    invocationDone()
+    {
+        return InvocationVerdict::Commit;
+    }
 
     /**
      * Timeout recovery for a pop blocked too long (paper §5.1: "the QM

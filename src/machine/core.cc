@@ -98,6 +98,7 @@ Core::startInvocation()
     _regs.clear();
     _blocked = false;
     _scopeStack.clear();
+    _storeJournal.clear();
     ++_counters.invocations;
     if (_trace)
         _trace->onInvocationStart(*this);
@@ -183,6 +184,16 @@ Core::resolveBlockedPush()
     }
     _blocked = false;
     commit(_timing.queueOpCycles, _pc + 1);
+}
+
+void
+Core::rollbackInvocationStores()
+{
+    Word *const mem = _memory.data();
+    for (auto it = _storeJournal.rbegin(); it != _storeJournal.rend();
+         ++it)
+        mem[it->first] = it->second;
+    _storeJournal.clear();
 }
 
 void
@@ -515,6 +526,9 @@ Core::run(Count max_steps)
           case Op::Sw: {
             const std::size_t addr =
                 (_regs.read(inst.rs1) + inst.imm) % mem_words;
+            if (_journalStores) [[unlikely]]
+                _storeJournal.emplace_back(
+                    static_cast<std::uint32_t>(addr), mem[addr]);
             mem[addr] = _regs.read(inst.rs2);
             ++_counters.stores;
             commit(_timing.memExtraCycles, next_pc);

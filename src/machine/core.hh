@@ -20,8 +20,10 @@
 #ifndef COMMGUARD_MACHINE_CORE_HH
 #define COMMGUARD_MACHINE_CORE_HH
 
+#include <cstdint>
 #include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "common/metrics.hh"
@@ -242,6 +244,38 @@ class Core
         _counters.cycles += _timing.queueOpCycles;
     }
 
+    /**
+     * Charge @p insts instructions of *reliable* protection-runtime
+     * work (checksum updates, output voting): counted and cycled like
+     * committed work so overhead comparisons see it, but never exposed
+     * to error injection and never charged against the PPU scope
+     * budget — it runs on the reliable substrate, not inside the
+     * error-prone scope.
+     */
+    void
+    chargeReliableOps(Count insts)
+    {
+        _counters.committedInsts += insts;
+        _counters.cycles += insts;
+    }
+
+    /**
+     * Record (address, old value) for every store of an invocation so
+     * a replicating backend can roll the memory image back before a
+     * replay. Off by default: the journal append sits on the
+     * interpreter's store path.
+     */
+    void setStoreJournaling(bool enabled)
+    {
+        _journalStores = enabled;
+    }
+
+    /**
+     * Undo this invocation's stores in reverse order and clear the
+     * journal. No-op unless journaling is enabled.
+     */
+    void rollbackInvocationStores();
+
     // ------------------------------------------------------------------
     // Introspection.
     // ------------------------------------------------------------------
@@ -331,6 +365,10 @@ class Core
     bool _blocked = false;
     bool _blockedIsPop = false;
     int _blockedPort = 0;
+
+    /** Store journal for replication rollback (see setStoreJournaling). */
+    bool _journalStores = false;
+    std::vector<std::pair<std::uint32_t, Word>> _storeJournal;
 
     CoreCounters _counters;
 };

@@ -43,11 +43,8 @@ CoreRuntime::step(Count max_steps)
                 result.progressed = true;
 
             if (run.status == RunStatus::Done) {
-                ++_framesCompleted;
                 result.progressed = true;
-                _phase = _framesCompleted >= _totalFrames
-                             ? Phase::Ending
-                             : Phase::FrameStart;
+                _phase = Phase::Committing;
                 continue;
             }
             if (run.status == RunStatus::Blocked) {
@@ -56,6 +53,30 @@ CoreRuntime::step(Count max_steps)
             }
             // OutOfSteps: slice exhausted.
             return result;
+          }
+
+          case Phase::Committing: {
+            // The backend rules on the completed invocation: replicate
+            // backends demand replays until every replica has run, and
+            // buffered-output backends may stall flushing voted words
+            // into a full queue.
+            const InvocationVerdict verdict = _backend.invocationDone();
+            if (verdict == InvocationVerdict::Blocked) {
+                result.blocked = true;
+                return result;
+            }
+            if (verdict == InvocationVerdict::Replay) {
+                _core.startInvocation();
+                _phase = Phase::Running;
+                result.progressed = true;
+                continue;
+            }
+            ++_framesCompleted;
+            result.progressed = true;
+            _phase = _framesCompleted >= _totalFrames
+                         ? Phase::Ending
+                         : Phase::FrameStart;
+            continue;
           }
 
           case Phase::Ending: {
@@ -86,7 +107,8 @@ CoreRuntime::forceTimeout()
             _backend.timeoutPush(_core.blockedPort());
             _core.resolveBlockedPush();
         }
-    } else if (_phase == Phase::FrameStart || _phase == Phase::Ending) {
+    } else if (_phase == Phase::FrameStart || _phase == Phase::Ending ||
+               _phase == Phase::Committing) {
         _backend.timeoutFrameEvent();
     }
 }

@@ -30,6 +30,7 @@ class CoreRuntime
     {
         FrameStart,  //!< Signalling the next frame computation.
         Running,     //!< Executing the work program.
+        Committing,  //!< Asking the backend for its invocation verdict.
         Ending,      //!< Emitting the end-of-computation markers.
         Finished,    //!< Thread complete.
     };

@@ -67,7 +67,8 @@ Multicore::addRuntime(Core &core, CommBackend &backend,
                       Count total_frames)
 {
     core.setBackend(&backend);
-    backend.linkMetrics(_metrics, "cg/" + core.name());
+    // Each backend prepends its own namespace ("cg/", "repl/", ...).
+    backend.linkMetrics(_metrics, core.name());
     _runtimes.push_back(std::make_unique<CoreRuntime>(
         core, backend, total_frames, _config.timing));
     return *_runtimes.back();

@@ -4,6 +4,7 @@
 
 #include "common/env.hh"
 #include "common/logging.hh"
+#include "sim/protection.hh"
 
 namespace commguard::sim
 {
@@ -19,6 +20,12 @@ parseEnvOptions()
     parsed.json = envFlag("CG_JSON");
     parsed.jsonlPath = envString("CG_JSONL", "");
     parsed.traceEvents = envFlag("CG_TRACE_EVENTS");
+
+    parsed.modeFilter = envString("CG_MODE", "");
+    if (!parsed.modeFilter.empty()) {
+        // Validate eagerly so a typo dies at startup, not mid-sweep.
+        protection::parseProtectionMode(parsed.modeFilter);
+    }
 
     if (const char *out = std::getenv("CG_TRACE_OUT")) {
         if (!parsed.traceEvents)

@@ -24,6 +24,11 @@
  *   CG_TRACE_OUT     dir,  default      directory for the per-run
  *                         "bench_out"   trace files; only meaningful
  *                                       with CG_TRACE_EVENTS
+ *   CG_MODE          name, default ""   restrict scenario mode axes to
+ *                                       one registered protection mode
+ *                                       ("" = all modes); unknown
+ *                                       names are rejected via fatal()
+ *                                       with the registered-name list
  *
  * Flag semantics (common/env.hh): set and neither "" nor "0" means on.
  * Invalid combinations (CG_TRACE_OUT without CG_TRACE_EVENTS, an empty
@@ -48,6 +53,7 @@ struct EnvOptions
     std::string jsonlPath;     //!< CG_JSONL ("" = disabled)
     bool traceEvents = false;  //!< CG_TRACE_EVENTS
     std::string traceOut = "bench_out"; //!< CG_TRACE_OUT
+    std::string modeFilter;    //!< CG_MODE ("" = all registered modes)
 
     /** The process's options, parsed once on first call. */
     static const EnvOptions &get();

@@ -29,6 +29,17 @@ ExperimentConfig::seedIndex(int index)
 }
 
 ExperimentConfig &
+ExperimentConfig::replicas(int value)
+{
+    if (value < 2)
+        throw std::invalid_argument(
+            "ExperimentConfig: replicas must be >= 2, got " +
+            std::to_string(value));
+    _options.replicas = value;
+    return *this;
+}
+
+ExperimentConfig &
 ExperimentConfig::frameScale(Count value)
 {
     if (value == 0)

@@ -23,9 +23,11 @@
 #define COMMGUARD_SIM_EXPERIMENT_CONFIG_HH
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "sim/experiment.hh"
+#include "sim/protection.hh"
 #include "sim/sweep_runner.hh"
 
 namespace commguard::sim
@@ -53,6 +55,21 @@ class ExperimentConfig
         _options.mode = value;
         return *this;
     }
+
+    /**
+     * Protection mode by registered name ("raw", "commguard",
+     * "replicate", ...). fatal() with the registered-name list on an
+     * unknown name.
+     */
+    ExperimentConfig &
+    mode(const std::string &name)
+    {
+        _options.mode = protection::parseProtectionMode(name);
+        return *this;
+    }
+
+    /** Executions per firing for replicating modes; must be >= 2. */
+    ExperimentConfig &replicas(int value);
 
     /** Mean instructions between errors; must be positive. */
     ExperimentConfig &mtbe(double value);

@@ -9,6 +9,7 @@
 #include "common/logging.hh"
 #include "common/metrics.hh"
 #include "common/rng.hh"
+#include "sim/protection.hh"
 #include "sim/run_export.hh"
 #include "sim/sweep_runner.hh"
 #include "sim/trace_export.hh"
@@ -18,22 +19,6 @@ namespace commguard::sim
 
 namespace
 {
-
-/** Parse a protectionModeName() string back into the enum. */
-bool
-modeFromName(const std::string &name, streamit::ProtectionMode &out)
-{
-    for (const streamit::ProtectionMode mode :
-         {streamit::ProtectionMode::PpuOnly,
-          streamit::ProtectionMode::ReliableQueue,
-          streamit::ProtectionMode::CommGuard}) {
-        if (name == streamit::protectionModeName(mode)) {
-            out = mode;
-            return true;
-        }
-    }
-    return false;
-}
 
 /** The jsonl_check line validation, reusable on an in-memory record. */
 void
@@ -54,8 +39,9 @@ appendSchemaErrors(const Json &record, std::size_t run_index,
         return;
     }
 
-    for (const char *key : {"app", "mode", "inject_errors", "mtbe",
-                            "seed", "frame_scale"}) {
+    for (const char *key :
+         {"app", "protection_mode", "inject_errors", "mtbe", "seed",
+          "frame_scale"}) {
         if (reparsed.find(key) == nullptr) {
             fail(std::string("missing descriptor field '") + key + "'");
             return;
@@ -103,12 +89,11 @@ randomFuzzCase(std::uint64_t case_seed)
     fuzz_case.maxGranularity = 1 + static_cast<int>(rng.below(6));
     fuzz_case.allowSplitJoin = rng.below(4) != 0;
 
-    static constexpr streamit::ProtectionMode modes[] = {
-        streamit::ProtectionMode::PpuOnly,
-        streamit::ProtectionMode::ReliableQueue,
-        streamit::ProtectionMode::CommGuard,
-    };
-    fuzz_case.mode = modes[rng.below(3)];
+    // Every registered protection mode is a fuzz axis point: a new
+    // backend joins the invariant sweep by registering itself.
+    const std::vector<streamit::ProtectionMode> modes =
+        protection::ProtectionRegistry::instance().modes();
+    fuzz_case.mode = modes[rng.below(modes.size())];
     fuzz_case.injectErrors = rng.below(4) != 0;
 
     static constexpr double mtbes[] = {8'000.0, 32'000.0, 128'000.0,
@@ -218,7 +203,7 @@ fuzzCaseFromJson(const Json &json, FuzzCase &out, std::string *error)
 
     const Json *mode = json.find("mode");
     if (mode == nullptr || !mode->isString() ||
-        !modeFromName(mode->str(), parsed.mode))
+        !protection::tryParseProtectionMode(mode->str(), &parsed.mode))
         return fail("'mode' is not a known protection mode name");
 
     const Json *hook = json.find("break_invariant");
@@ -423,7 +408,7 @@ shrinkFuzzCase(const FuzzCase &failing, int max_checks)
         }
         {
             FuzzCase candidate = best;
-            candidate.mode = streamit::ProtectionMode::PpuOnly;
+            candidate.mode = streamit::ProtectionMode::Raw;
             changed |= try_adopt(candidate);
         }
         {

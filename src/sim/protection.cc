@@ -1,0 +1,258 @@
+#include "sim/protection.hh"
+
+#include <utility>
+
+#include "common/logging.hh"
+#include "machine/abft_backend.hh"
+#include "machine/backends.hh"
+#include "machine/replicate_backend.hh"
+#include "queue/reliable_queue.hh"
+#include "queue/software_queue.hh"
+#include "queue/working_set_queue.hh"
+
+namespace commguard::protection
+{
+
+namespace
+{
+
+/** Registered ids fit the uint8 ProtectionMode space. */
+constexpr std::size_t kMaxModes = 256;
+
+std::unique_ptr<QueueBase>
+makeSoftwareQueue(const std::string &name, std::size_t capacity,
+                  RecyclePool<QueueWord> *recycle)
+{
+    return std::make_unique<SoftwareQueue>(name, capacity, recycle);
+}
+
+std::unique_ptr<QueueBase>
+makeReliableQueue(const std::string &name, std::size_t capacity,
+                  RecyclePool<QueueWord> *recycle)
+{
+    return std::make_unique<ReliableQueue>(name, capacity, recycle);
+}
+
+} // namespace
+
+ProtectionRegistry &
+ProtectionRegistry::instance()
+{
+    static ProtectionRegistry registry;
+    return registry;
+}
+
+ProtectionRegistry::ProtectionRegistry()
+{
+    {
+        ModeDescriptor raw;
+        raw.name = "raw";
+        raw.description =
+            "Unprotected StreamIt software queues (error-prone "
+            "communication, PPU-protected cores only)";
+        raw.paperRef = "Paper §3, Fig. 3b";
+        raw.aliases = {"ppu-only"};
+        raw.sourceFraming = SourceFraming::Plain;
+        raw.makeEdgeQueue = makeSoftwareQueue;
+        raw.makeBackend = [](const BackendSpec &spec) {
+            return std::make_unique<RawBackend>(spec.ins, spec.outs);
+        };
+        add(std::move(raw));
+    }
+    {
+        ModeDescriptor reliable;
+        reliable.name = "reliable-queue";
+        reliable.description =
+            "Reliable hardware queues without alignment protection "
+            "(queue state safe, stream alignment exposed)";
+        reliable.paperRef = "Paper §3, Fig. 3c";
+        reliable.sourceFraming = SourceFraming::Plain;
+        reliable.makeEdgeQueue = makeReliableQueue;
+        reliable.makeBackend = [](const BackendSpec &spec) {
+            return std::make_unique<RawBackend>(spec.ins, spec.outs);
+        };
+        add(std::move(reliable));
+    }
+    {
+        ModeDescriptor commguard;
+        commguard.name = "commguard";
+        commguard.description =
+            "Full CommGuard: header inserters, alignment managers, and "
+            "reliable queue managers per core";
+        commguard.paperRef = "Paper §4-5, Fig. 3d";
+        commguard.sourceFraming = SourceFraming::Headers;
+        commguard.makeEdgeQueue =
+            [](const std::string &name, std::size_t capacity,
+               RecyclePool<QueueWord> *recycle) {
+                return std::make_unique<WorkingSetQueue>(name, capacity,
+                                                         8, recycle);
+            };
+        commguard.makeBackend = [](const BackendSpec &spec) {
+            return std::make_unique<CommGuardBackend>(
+                spec.ins, spec.outs, spec.inScales, spec.outScales,
+                spec.inGuarded);
+        };
+        add(std::move(commguard));
+    }
+    {
+        ModeDescriptor replicate;
+        replicate.name = "replicate";
+        replicate.description =
+            "N-modular filter-firing replication with output voting "
+            "over reliable queues (protects computation, not "
+            "communication)";
+        replicate.paperRef =
+            "PAPERS.md: task-replication futures (Fernandes de Oliveira "
+            "et al.)";
+        replicate.sourceFraming = SourceFraming::Plain;
+        replicate.makeEdgeQueue = makeReliableQueue;
+        replicate.makeBackend = [](const BackendSpec &spec) {
+            return std::make_unique<ReplicateBackend>(
+                spec.ins, spec.outs, spec.replicas);
+        };
+        replicate.costScalesWithReplicas = true;
+        add(std::move(replicate));
+    }
+    {
+        ModeDescriptor abft;
+        abft.name = "abft";
+        abft.description =
+            "ABFT checksum-augmented streams over corruptible software "
+            "queues (detects and corrects value corruption per block)";
+        abft.paperRef =
+            "Huang & Abraham ABFT; PAPERS.md FT-GEMM checksum methods";
+        abft.sourceFraming = SourceFraming::Checksums;
+        abft.makeEdgeQueue = makeSoftwareQueue;
+        abft.makeBackend = [](const BackendSpec &spec) {
+            return std::make_unique<AbftBackend>(
+                spec.ins, spec.outs, spec.inGuarded, spec.inBlockItems,
+                spec.outBlockItems, spec.inTotalItems,
+                spec.outTotalItems);
+        };
+        abft.consumerBuffersBlocks = true;
+        add(std::move(abft));
+    }
+}
+
+ProtectionMode
+ProtectionRegistry::add(ModeDescriptor descriptor)
+{
+    if (descriptor.name.empty())
+        fatal("protection registry: mode name must not be empty");
+    if (!descriptor.makeEdgeQueue)
+        fatal("protection mode '" + descriptor.name +
+              "': missing edge-queue factory");
+    if (!descriptor.makeBackend)
+        fatal("protection mode '" + descriptor.name +
+              "': missing backend factory");
+    for (const ModeDescriptor &existing : _descriptors) {
+        auto clashes = [&](const std::string &name) {
+            if (name == existing.name)
+                return true;
+            for (const std::string &alias : existing.aliases)
+                if (name == alias)
+                    return true;
+            return false;
+        };
+        if (clashes(descriptor.name))
+            fatal("protection mode '" + descriptor.name +
+                  "': name already registered");
+        for (const std::string &alias : descriptor.aliases)
+            if (clashes(alias))
+                fatal("protection mode '" + descriptor.name +
+                      "': alias '" + alias + "' already registered");
+    }
+    if (_descriptors.size() >= kMaxModes)
+        fatal("protection registry: mode table full");
+
+    descriptor.mode =
+        static_cast<ProtectionMode>(_descriptors.size());
+    _descriptors.push_back(std::move(descriptor));
+    return _descriptors.back().mode;
+}
+
+const ModeDescriptor &
+ProtectionRegistry::describe(ProtectionMode mode) const
+{
+    const std::size_t index = static_cast<std::size_t>(mode);
+    if (index >= _descriptors.size())
+        fatal("protection registry: unregistered mode id " +
+              std::to_string(index));
+    return _descriptors[index];
+}
+
+bool
+ProtectionRegistry::tryParse(const std::string &name,
+                             ProtectionMode *out) const
+{
+    for (const ModeDescriptor &descriptor : _descriptors) {
+        if (descriptor.name == name) {
+            *out = descriptor.mode;
+            return true;
+        }
+        for (const std::string &alias : descriptor.aliases) {
+            if (alias == name) {
+                *out = descriptor.mode;
+                return true;
+            }
+        }
+    }
+    return false;
+}
+
+std::vector<ProtectionMode>
+ProtectionRegistry::modes() const
+{
+    std::vector<ProtectionMode> result;
+    result.reserve(_descriptors.size());
+    for (const ModeDescriptor &descriptor : _descriptors)
+        result.push_back(descriptor.mode);
+    return result;
+}
+
+std::vector<std::string>
+ProtectionRegistry::names() const
+{
+    std::vector<std::string> result;
+    result.reserve(_descriptors.size());
+    for (const ModeDescriptor &descriptor : _descriptors)
+        result.push_back(descriptor.name);
+    return result;
+}
+
+std::string
+ProtectionRegistry::nameList() const
+{
+    std::string result;
+    for (const ModeDescriptor &descriptor : _descriptors) {
+        if (!result.empty())
+            result += ", ";
+        result += descriptor.name;
+    }
+    return result;
+}
+
+const char *
+protectionModeName(ProtectionMode mode)
+{
+    return ProtectionRegistry::instance().describe(mode).name.c_str();
+}
+
+ProtectionMode
+parseProtectionMode(const std::string &name)
+{
+    ProtectionMode mode{};
+    if (!ProtectionRegistry::instance().tryParse(name, &mode))
+        fatal("unknown protection mode '" + name +
+              "' (registered modes: " +
+              ProtectionRegistry::instance().nameList() + ")");
+    return mode;
+}
+
+bool
+tryParseProtectionMode(const std::string &name, ProtectionMode *out)
+{
+    return ProtectionRegistry::instance().tryParse(name, out);
+}
+
+} // namespace commguard::protection

@@ -15,7 +15,7 @@ runRecordJson(const RunDescriptor &descriptor,
 {
     Json record = metrics::snapshotToJson(outcome.snapshot);
     record["app"] = Json(descriptor.app->name);
-    record["mode"] =
+    record["protection_mode"] =
         Json(streamit::protectionModeName(descriptor.options.mode));
     record["inject_errors"] = Json(descriptor.options.injectErrors);
     record["mtbe"] = Json(descriptor.options.mtbe);

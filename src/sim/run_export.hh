@@ -35,8 +35,9 @@ namespace commguard::sim
 
 /**
  * The JSONL record of one run: snapshotToJson() of the outcome's
- * snapshot plus the identifying descriptor fields ("app", "mode",
- * "inject_errors", "mtbe", "seed", "frame_scale"). snapshotFromJson()
+ * snapshot plus the identifying descriptor fields ("app",
+ * "protection_mode", "inject_errors", "mtbe", "seed", "frame_scale").
+ * snapshotFromJson()
  * accepts the result unchanged (extra keys are ignored), so a parsed
  * line round-trips to the exact in-memory snapshot.
  */

@@ -6,6 +6,7 @@
 #include "common/logging.hh"
 #include "common/metrics.hh"
 #include "sim/env_options.hh"
+#include "sim/protection.hh"
 #include "sim/run_export.hh"
 
 namespace commguard::sim
@@ -32,15 +33,33 @@ ScenarioContext::ScenarioContext(Options options)
 {
 }
 
-ScenarioContext
-ScenarioContext::fromEnv()
+ScenarioContext::Options
+ScenarioContext::optionsFromEnv()
 {
     const EnvOptions &env = EnvOptions::get();
     Options options;
     options.quick = env.quick;
     options.csv = env.csv;
     options.writeJson = env.json;
-    return ScenarioContext(std::move(options));
+    if (!env.modeFilter.empty()) {
+        options.modeFilter = {
+            protection::parseProtectionMode(env.modeFilter)};
+    }
+    return options;
+}
+
+ScenarioContext
+ScenarioContext::fromEnv()
+{
+    return ScenarioContext(optionsFromEnv());
+}
+
+std::vector<streamit::ProtectionMode>
+ScenarioContext::modesToRun() const
+{
+    if (!_options.modeFilter.empty())
+        return _options.modeFilter;
+    return protection::ProtectionRegistry::instance().modes();
 }
 
 std::string

@@ -68,6 +68,13 @@ class ScenarioContext
         bool csv = false;      //!< Print CSV after each table (CG_CSV).
         bool writeJson = false;  //!< Write BENCH_<name>.json (CG_JSON).
         std::string artifactDir = "bench_out";  //!< Images/audio/traces.
+
+        /**
+         * Restrict protection-mode axes to these modes (CG_MODE /
+         * --mode). Empty = every registered mode. Scenarios that sweep
+         * modes must loop over modesToRun(), not the registry.
+         */
+        std::vector<streamit::ProtectionMode> modeFilter;
     };
 
     explicit ScenarioContext(Options options);
@@ -75,7 +82,20 @@ class ScenarioContext
     /** Context configured from the process's CG_* environment. */
     static ScenarioContext fromEnv();
 
+    /**
+     * The CG_* environment as an Options struct, for callers (the
+     * driver's --mode flag) that adjust it before construction.
+     */
+    static Options optionsFromEnv();
+
     bool quick() const { return _options.quick; }
+
+    /**
+     * The protection modes a mode-sweeping scenario should cover: the
+     * modeFilter when set, otherwise every registered mode in registry
+     * (id) order.
+     */
+    std::vector<streamit::ProtectionMode> modesToRun() const;
 
     /** Sweep dimensions for this context's quick/full setting. */
     const SweepAxes &axes() const { return _axes; }

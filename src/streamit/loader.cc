@@ -5,23 +5,9 @@
 #include <sstream>
 
 #include "common/logging.hh"
-#include "queue/reliable_queue.hh"
-#include "queue/software_queue.hh"
-#include "queue/working_set_queue.hh"
 
 namespace commguard::streamit
 {
-
-const char *
-protectionModeName(ProtectionMode mode)
-{
-    switch (mode) {
-      case ProtectionMode::PpuOnly: return "ppu-only";
-      case ProtectionMode::ReliableQueue: return "reliable-queue";
-      case ProtectionMode::CommGuard: return "commguard";
-      default: return "???";
-    }
-}
 
 namespace
 {
@@ -36,22 +22,6 @@ coreSeed(std::uint64_t base, int core)
     x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
     x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
     return x ^ (x >> 31);
-}
-
-std::unique_ptr<QueueBase>
-makeEdgeQueue(ProtectionMode mode, const std::string &name,
-              std::size_t capacity, RecyclePool<QueueWord> *recycle)
-{
-    switch (mode) {
-      case ProtectionMode::PpuOnly:
-        return std::make_unique<SoftwareQueue>(name, capacity, recycle);
-      case ProtectionMode::ReliableQueue:
-        return std::make_unique<ReliableQueue>(name, capacity, recycle);
-      case ProtectionMode::CommGuard:
-      default:
-        return std::make_unique<WorkingSetQueue>(name, capacity, 8,
-                                                 recycle);
-    }
 }
 
 } // namespace
@@ -69,6 +39,14 @@ loadGraph(const StreamGraph &graph, const std::vector<Word> &input,
     if (!reps.ok)
         fatal("loadGraph: " + reps.error);
 
+    // Everything mode-dependent comes from the registry descriptor:
+    // the edge-queue substrate, the backend factory, the source
+    // framing, and the loader cost/capacity hooks.
+    const protection::ModeDescriptor &desc =
+        protection::ProtectionRegistry::instance().describe(
+            options.mode);
+    const int replicas = std::max(options.replicas, 2);
+
     LoadedApp app;
     app.frames = analyzeFrames(graph, reps);
     app.steadyIterations = steady_iterations;
@@ -80,7 +58,6 @@ loadGraph(const StreamGraph &graph, const std::vector<Word> &input,
         scratch != nullptr ? &scratch->coreMemory : nullptr);
 
     const int num_nodes = graph.numNodes();
-    const bool guarded = options.mode == ProtectionMode::CommGuard;
     const Count frame_scale = options.frameScale ? options.frameScale : 1;
 
     // Per-node frame domains (SS5.4); uniform by default.
@@ -98,8 +75,13 @@ loadGraph(const StreamGraph &graph, const std::vector<Word> &input,
     };
     const Count source_scale = node_scale(graph.externalInput().node);
 
+    // The source edge is framed only when it is guarded at all.
+    const protection::SourceFraming framing =
+        options.guardSourceEdge ? desc.sourceFraming
+                                : protection::SourceFraming::Plain;
+
     // ------------------------------------------------------------------
-    // Input device: pre-filled source stream, framed when guarded.
+    // Input device: pre-filled source stream, framed per the mode.
     // ------------------------------------------------------------------
     const Count items_per_inv = app.frames.inputItemsPerFrame;
     const Count needed = items_per_inv * steady_iterations;
@@ -118,20 +100,48 @@ loadGraph(const StreamGraph &graph, const std::vector<Word> &input,
     std::vector<QueueWord> source_words =
         queue_pool != nullptr ? queue_pool->acquire(0)
                               : std::vector<QueueWord>();
-    source_words.reserve(needed + steady_iterations + 1);
+    source_words.reserve(needed + 2 * steady_iterations + 2);
+    const Count source_block = items_per_inv * source_scale;
+    Word source_s = 0;
+    Word source_w = 0;
+    Count source_count = 0;
     std::size_t cursor = 0;
     for (Count inv = 0; inv < steady_iterations; ++inv) {
-        if (guarded && options.guardSourceEdge &&
+        if (framing == protection::SourceFraming::Headers &&
             inv % source_scale == 0) {
             const FrameId id =
                 static_cast<FrameId>(inv / source_scale + 1);
             source_words.push_back(makeHeader(id));
         }
-        for (Count i = 0; i < items_per_inv; ++i)
-            source_words.push_back(makeItem(padded_input[cursor++]));
+        for (Count i = 0; i < items_per_inv; ++i) {
+            const Word value = padded_input[cursor++];
+            source_words.push_back(makeItem(value));
+            if (framing == protection::SourceFraming::Checksums) {
+                source_s += value;
+                source_w +=
+                    static_cast<Word>(source_count + 1) * value;
+                ++source_count;
+                if (source_count == source_block) {
+                    source_words.push_back(makeHeader(
+                        static_cast<FrameId>(source_s)));
+                    source_words.push_back(makeHeader(
+                        static_cast<FrameId>(source_w)));
+                    source_s = 0;
+                    source_w = 0;
+                    source_count = 0;
+                }
+            }
+        }
     }
-    if (guarded && options.guardSourceEdge)
+    if (framing == protection::SourceFraming::Headers) {
         source_words.push_back(makeHeader(endOfComputationId));
+    } else if (framing == protection::SourceFraming::Checksums &&
+               source_count > 0) {
+        source_words.push_back(
+            makeHeader(static_cast<FrameId>(source_s)));
+        source_words.push_back(
+            makeHeader(static_cast<FrameId>(source_w)));
+    }
 
     auto source = std::make_unique<SourceQueue>(
         "source", std::move(source_words), queue_pool);
@@ -139,7 +149,8 @@ loadGraph(const StreamGraph &graph, const std::vector<Word> &input,
     machine.addQueue(std::move(source));
 
     std::unique_ptr<CollectorQueue> collector;
-    if (guarded && options.frameAlignedOutput) {
+    if (framing == protection::SourceFraming::Headers &&
+        options.frameAlignedOutput) {
         const Count out_scale =
             node_scale(graph.externalOutput().node);
         const Count frames =
@@ -156,6 +167,14 @@ loadGraph(const StreamGraph &graph, const std::vector<Word> &input,
     // ------------------------------------------------------------------
     // Edge queues.
     // ------------------------------------------------------------------
+    // Per-edge frame/block scale: an internal edge is guarded at the
+    // coarser (lcm) of its endpoints' domains (§5.4).
+    auto edge_scale_of = [&](std::size_t e) -> Count {
+        const Edge &edge = graph.edges()[e];
+        return std::lcm(node_scale(edge.producer),
+                        node_scale(edge.consumer));
+    };
+
     std::vector<QueueBase *> edge_queues;
     edge_queues.reserve(graph.edges().size());
     for (std::size_t e = 0; e < graph.edges().size(); ++e) {
@@ -165,11 +184,21 @@ loadGraph(const StreamGraph &graph, const std::vector<Word> &input,
              << edge.outPort << "->"
              << graph.filters()[edge.consumer].name << "."
              << edge.inPort;
-        const std::size_t capacity = std::max<std::size_t>(
+        std::size_t capacity = std::max<std::size_t>(
             options.queueCapacityWords,
             2 * app.frames.edgeItemsPerFrame[e] + 64);
-        edge_queues.push_back(&machine.addQueue(makeEdgeQueue(
-            options.mode, name.str(), capacity, queue_pool)));
+        if (desc.consumerBuffersBlocks) {
+            // The consumer holds back a whole protection block (plus
+            // its checksum words) before serving it; the queue must
+            // fit two such blocks or producer and consumer ratchet
+            // into permanent timeout recovery.
+            const std::size_t block =
+                app.frames.edgeItemsPerFrame[e] * edge_scale_of(e);
+            capacity =
+                std::max<std::size_t>(capacity, 2 * (block + 2) + 64);
+        }
+        edge_queues.push_back(&machine.addQueue(
+            desc.makeEdgeQueue(name.str(), capacity, queue_pool)));
     }
 
     // ------------------------------------------------------------------
@@ -190,6 +219,25 @@ loadGraph(const StreamGraph &graph, const std::vector<Word> &input,
         app.source;
     outs[graph.externalOutput().node][graph.externalOutput().port] =
         app.collector;
+
+    // Per-port metadata for the backend spec: the owning edge's frame
+    // scale and its per-(scaled-)frame item count.
+    auto port_scale = [&](QueueBase *queue, int self) -> Count {
+        for (std::size_t e = 0; e < graph.edges().size(); ++e)
+            if (edge_queues[e] == queue)
+                return edge_scale_of(e);
+        return node_scale(self);
+    };
+    auto port_frame_items = [&](QueueBase *queue) -> Count {
+        if (queue == app.source)
+            return app.frames.inputItemsPerFrame;
+        if (queue == app.collector)
+            return app.frames.outputItemsPerFrame;
+        for (std::size_t e = 0; e < graph.edges().size(); ++e)
+            if (edge_queues[e] == queue)
+                return app.frames.edgeItemsPerFrame[e];
+        return 0;
+    };
 
     // ------------------------------------------------------------------
     // Cores, backends, runtimes.
@@ -246,47 +294,39 @@ loadGraph(const StreamGraph &graph, const std::vector<Word> &input,
         injector.flipAllRegisters = options.flipAllRegisters;
         core.configureInjector(injector);
 
-        std::unique_ptr<CommBackend> backend;
-        if (guarded) {
-            // Per-edge frame scales: an internal edge is guarded at
-            // the coarser (lcm) of its endpoints' domains; external
-            // edges use the attached node's domain.
-            auto edge_scale = [&](QueueBase *queue,
-                                  int self) -> Count {
-                if (queue == app.source || queue == app.collector)
-                    return node_scale(self);
-                for (std::size_t e = 0; e < graph.edges().size();
-                     ++e) {
-                    if (edge_queues[e] != queue)
-                        continue;
-                    const Edge &edge = graph.edges()[e];
-                    return std::lcm(node_scale(edge.producer),
-                                    node_scale(edge.consumer));
-                }
-                return node_scale(self);
-            };
-            std::vector<Count> in_scales;
-            for (QueueBase *queue : ins[n])
-                in_scales.push_back(edge_scale(queue, n));
-            std::vector<Count> out_scales;
-            for (QueueBase *queue : outs[n])
-                out_scales.push_back(edge_scale(queue, n));
-            std::vector<bool> in_guarded;
-            for (QueueBase *queue : ins[n]) {
-                in_guarded.push_back(queue != app.source ||
-                                     options.guardSourceEdge);
-            }
-            auto cg = std::make_unique<CommGuardBackend>(
-                ins[n], outs[n], std::move(in_scales),
-                std::move(out_scales), std::move(in_guarded));
-            app.cgBackends.push_back(cg.get());
-            backend = std::move(cg);
-        } else {
-            backend = std::make_unique<RawBackend>(ins[n], outs[n]);
+        protection::BackendSpec backend_spec;
+        backend_spec.ins = ins[n];
+        backend_spec.outs = outs[n];
+        backend_spec.replicas = replicas;
+        for (QueueBase *queue : ins[n]) {
+            const Count scale = port_scale(queue, n);
+            backend_spec.inScales.push_back(scale);
+            backend_spec.inGuarded.push_back(
+                queue != app.source || options.guardSourceEdge);
+            backend_spec.inBlockItems.push_back(
+                port_frame_items(queue) * scale);
+            backend_spec.inTotalItems.push_back(
+                port_frame_items(queue) * steady_iterations);
         }
+        for (QueueBase *queue : outs[n]) {
+            const Count scale = port_scale(queue, n);
+            backend_spec.outScales.push_back(scale);
+            backend_spec.outBlockItems.push_back(
+                port_frame_items(queue) * scale);
+            backend_spec.outTotalItems.push_back(
+                port_frame_items(queue) * steady_iterations);
+        }
+
+        std::unique_ptr<CommBackend> backend =
+            desc.makeBackend(backend_spec);
+        if (auto *cg = dynamic_cast<CommGuardBackend *>(backend.get()))
+            app.cgBackends.push_back(cg);
         CommBackend &bound = machine.addBackend(std::move(backend));
         machine.addRuntime(core, bound, steady_iterations);
     }
+
+    if (desc.costScalesWithReplicas)
+        estimated_total *= static_cast<Count>(replicas);
 
     // Safety net: abort runaway (corrupted) executions well past any
     // plausible completion point.

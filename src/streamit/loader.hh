@@ -5,10 +5,11 @@
  *
  * One filter maps to one core (the paper's cluster backend pins one
  * thread per processor). Each edge becomes a queue whose implementation
- * depends on the protection mode; the external input becomes a reliable
- * pre-filled SourceQueue (with frame headers when CommGuard is active —
- * the reliable input device acts as a header-inserting producer) and
- * the external output becomes a CollectorQueue.
+ * is chosen by the protection mode's registry descriptor; the external
+ * input becomes a reliable pre-filled SourceQueue (framed with headers
+ * or checksums when the mode's consumers expect them — the reliable
+ * input device acts as a framing producer) and the external output
+ * becomes a CollectorQueue.
  */
 
 #ifndef COMMGUARD_STREAMIT_LOADER_HH
@@ -23,21 +24,19 @@
 #include "machine/backends.hh"
 #include "machine/multicore.hh"
 #include "queue/io_queue.hh"
+#include "sim/protection.hh"
 #include "streamit/schedule.hh"
 
 namespace commguard::streamit
 {
 
-/** Inter-core communication substrate (paper Fig. 3 configurations). */
-enum class ProtectionMode
-{
-    PpuOnly,        //!< Corruptible software queues (Fig. 3b).
-    ReliableQueue,  //!< Reliable queues, no CommGuard (Fig. 3c).
-    CommGuard,      //!< Reliable QM + HI + AM (Fig. 3d).
-};
-
-/** Printable mode name. */
-const char *protectionModeName(ProtectionMode mode);
+/**
+ * Deprecated aliases (one PR): ProtectionMode now lives in
+ * sim/protection.hh and is minted by the ProtectionRegistry. Existing
+ * `streamit::ProtectionMode::CommGuard` spellings keep compiling.
+ */
+using ProtectionMode = protection::ProtectionMode;
+using protection::protectionModeName;
 
 /** Loader options. */
 struct LoadOptions
@@ -69,11 +68,11 @@ struct LoadOptions
     std::vector<Count> perNodeFrameScale;
 
     /**
-     * Guard the external input edge with frame headers (the reliable
-     * input device acts as a header-inserting producer, letting the
-     * first filter's alignment manager repair its own input reads).
-     * Disable to quantify that modeling decision
-     * (`bench/ablation_source_guard`).
+     * Guard the external input edge (frame headers or checksums,
+     * depending on the mode's source framing): the reliable input
+     * device acts as a framing producer, letting the first filter's
+     * protection repair its own input reads. Disable to quantify that
+     * modeling decision (`bench/ablation_source_guard`).
      */
     bool guardSourceEdge = true;
 
@@ -84,6 +83,9 @@ struct LoadOptions
      * instead of shifting the rest of the output stream.
      */
     bool frameAlignedOutput = false;
+
+    /** Executions per firing for replicating modes (>= 2). */
+    int replicas = 2;
 
     /** Minimum queue capacity in words. */
     std::size_t queueCapacityWords = 1u << 12;

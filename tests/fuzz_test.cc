@@ -15,6 +15,7 @@
 #include <thread>
 
 #include "sim/fuzz.hh"
+#include "sim/protection.hh"
 
 namespace commguard::sim
 {
@@ -82,6 +83,43 @@ TEST(FuzzCheck, CleanCasesSatisfyEveryInvariant)
         EXPECT_GE(verdict.runs,
                   static_cast<std::size_t>(fuzz_case.sweepSeeds) * 2);
     }
+}
+
+TEST(FuzzCheck, AbftResyncIsBoundedOnACorruptedQueue)
+{
+    // Regression (found by the check.sh fuzz gate): case seed 708 is
+    // an abft run at MTBE 8k whose software-queue pointer corruption
+    // made the queue look non-empty forever; the consumer's
+    // checksum-resync loop drained ~2.5G stray items inside one pop
+    // until the global instruction watchdog aborted the run. The
+    // drain is now budgeted (abftResyncSlack): the block is delivered
+    // unverified and the run completes.
+    const FuzzCase fuzz_case = randomFuzzCase(708);
+    ASSERT_EQ(protection::protectionModeName(fuzz_case.mode),
+              std::string("abft"));
+    const FuzzVerdict verdict = checkFuzzCase(fuzz_case);
+    EXPECT_TRUE(verdict.ok()) << verdict.failures[0];
+}
+
+TEST(FuzzCheck, AbftChargesQueueCostPerServedItemNotPerBlock)
+{
+    // Regression: when a checksum block spans several invocations
+    // (frame scale 4 here), buffering the whole block on its first
+    // pop used to burst every item's exposed queue cost into one
+    // invocation's scope budget — tripping the PPU watchdog and
+    // losing items even error-free. Exactness now holds.
+    FuzzCase fuzz_case = randomFuzzCase(1122);
+    fuzz_case.mode = streamit::ProtectionMode::Abft;
+    fuzz_case.injectErrors = false;
+    fuzz_case.stages = 2;
+    fuzz_case.allowSplitJoin = false;
+    fuzz_case.frameScale = 4;
+    fuzz_case.graphSeed = 10020974086654638089ull;
+    fuzz_case.iterations = 7;
+    fuzz_case.queueCapacityWords = 4096;
+    fuzz_case.sweepSeeds = 1;
+    const FuzzVerdict verdict = checkFuzzCase(fuzz_case);
+    EXPECT_TRUE(verdict.ok()) << verdict.failures[0];
 }
 
 TEST(FuzzCheck, CounterHookTripsOnlyConservation)

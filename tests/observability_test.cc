@@ -49,7 +49,7 @@ TEST(RunRecord, CarriesDescriptorAndSchemaVersion)
     EXPECT_EQ(record["schema_version"].counter(),
               static_cast<Count>(metrics::kSchemaVersion));
     EXPECT_EQ(record["app"].str(), "fft");
-    EXPECT_EQ(record["mode"].str(), "commguard");
+    EXPECT_EQ(record["protection_mode"].str(), "commguard");
     EXPECT_DOUBLE_EQ(record["mtbe"].number(), 256'000.0);
     EXPECT_EQ(record["seed"].counter(), 2u * 1000003u);
 }

@@ -7,6 +7,8 @@
  *   cg_bench run --all              run every scenario
  *   cg_bench run --tag=<tag>        run every scenario carrying <tag>
  *   cg_bench run <name> [<name>…]   run scenarios by name
+ *   cg_bench run --mode=<mode> …    restrict mode-sweeping scenarios
+ *                                   to one registered protection mode
  *   cg_bench replay <bundle.json>   re-run a fuzz repro bundle
  *                                   (docs/FUZZING.md)
  *
@@ -28,6 +30,7 @@
 #include <vector>
 
 #include "sim/fuzz.hh"
+#include "sim/protection.hh"
 #include "sim/scenario.hh"
 
 using namespace commguard;
@@ -45,10 +48,14 @@ usage(std::ostream &out, int code)
            "  run --all                run every scenario\n"
            "  run --tag=<tag>          run scenarios carrying <tag>\n"
            "  run <name> [<name>...]   run scenarios by name\n"
+           "  run --mode=<mode> ...    restrict protection-mode axes\n"
+           "                           (registered modes: "
+        << protection::ProtectionRegistry::instance().nameList()
+        << ")\n"
            "  replay <bundle.json>     re-run a fuzz repro bundle\n"
            "\n"
            "environment: CG_QUICK CG_JOBS CG_CSV CG_JSON CG_JSONL "
-           "CG_TRACE_EVENTS\n";
+           "CG_MODE CG_TRACE_EVENTS\n";
     return code;
 }
 
@@ -101,8 +108,30 @@ cmdList(const std::vector<std::string> &args)
 }
 
 int
-cmdRun(const std::vector<std::string> &args)
+cmdRun(const std::vector<std::string> &raw_args)
 {
+    // --mode=<name> may appear anywhere among the run arguments.
+    std::vector<std::string> args;
+    std::vector<streamit::ProtectionMode> mode_filter;
+    for (const std::string &arg : raw_args) {
+        if (arg.rfind("--mode=", 0) == 0) {
+            const std::string name = arg.substr(7);
+            streamit::ProtectionMode mode{};
+            if (!protection::tryParseProtectionMode(name, &mode)) {
+                std::cerr
+                    << "cg_bench run: unknown protection mode '"
+                    << name << "' (registered modes: "
+                    << protection::ProtectionRegistry::instance()
+                           .nameList()
+                    << ")\n";
+                return 2;
+            }
+            mode_filter.assign(1, mode);
+        } else {
+            args.push_back(arg);
+        }
+    }
+
     if (args.empty()) {
         std::cerr << "cg_bench run: expected --all, --tag=<tag> or "
                      "scenario names\n";
@@ -155,7 +184,11 @@ cmdRun(const std::vector<std::string> &args)
             std::cout << "[" << (i + 1) << "/" << selected.size()
                       << "] " << scenario.name << "\n";
         }
-        sim::ScenarioContext ctx = sim::ScenarioContext::fromEnv();
+        sim::ScenarioContext::Options options =
+            sim::ScenarioContext::optionsFromEnv();
+        if (!mode_filter.empty())
+            options.modeFilter = mode_filter;
+        sim::ScenarioContext ctx(std::move(options));
         scenario.run(ctx);
         tables += ctx.publishedTables();
         rows += ctx.publishedRows();

@@ -3,7 +3,8 @@
  * Deterministic stress-fuzz driver (docs/FUZZING.md).
  *
  *   cg_fuzz run [--cases=N] [--budget-seconds=S] [--seed=BASE]
- *               [--jobs=N] [--break=<hook>] [--out=<bundle.json>]
+ *               [--jobs=N] [--mode=<mode>] [--break=<hook>]
+ *               [--out=<bundle.json>]
  *       Draw seeded FuzzCases and check every harness invariant until
  *       the case count or the wall-clock budget (CG_FUZZ_BUDGET
  *       seconds, default 10) runs out. On the first failing case a
@@ -27,6 +28,7 @@
 
 #include "common/env.hh"
 #include "sim/fuzz.hh"
+#include "sim/protection.hh"
 
 using namespace commguard;
 
@@ -40,10 +42,12 @@ usage()
         stderr,
         "usage: cg_fuzz run [--cases=N] [--budget-seconds=S] "
         "[--seed=BASE]\n"
-        "                   [--jobs=N] [--break=<hook>] "
-        "[--out=<bundle.json>]\n"
+        "                   [--jobs=N] [--mode=<mode>] "
+        "[--break=<hook>]\n"
+        "                   [--out=<bundle.json>]\n"
         "       cg_fuzz replay <bundle.json>\n"
         "\n"
+        "--mode pins every case to one registered protection mode\n"
         "hooks (test-only, corrupt one invariant): counter, "
         "determinism, schema\n"
         "environment: CG_FUZZ_BUDGET (seconds, default 10)\n"
@@ -91,6 +95,8 @@ cmdRun(const std::vector<std::string> &args)
         static_cast<double>(envLong("CG_FUZZ_BUDGET", 10));
     std::uint64_t base_seed = 1;
     long jobs_override = 0;
+    bool mode_pinned = false;
+    streamit::ProtectionMode pinned_mode{};
     std::string break_hook;
     std::string bundle_path = "fuzz_repro.json";
 
@@ -129,6 +135,20 @@ cmdRun(const std::vector<std::string> &args)
                              value.c_str());
                 return usage();
             }
+        } else if (keyValue(arg, "mode", value)) {
+            if (!protection::tryParseProtectionMode(value,
+                                                    &pinned_mode)) {
+                std::fprintf(
+                    stderr,
+                    "cg_fuzz: unknown protection mode '%s' "
+                    "(registered modes: %s)\n",
+                    value.c_str(),
+                    protection::ProtectionRegistry::instance()
+                        .nameList()
+                        .c_str());
+                return 2;
+            }
+            mode_pinned = true;
         } else if (keyValue(arg, "break", value)) {
             break_hook = value;
         } else if (keyValue(arg, "out", value)) {
@@ -165,6 +185,8 @@ cmdRun(const std::vector<std::string> &args)
             sim::randomFuzzCase(base_seed + index);
         if (jobs_override > 0)
             fuzz_case.jobs = static_cast<unsigned>(jobs_override);
+        if (mode_pinned)
+            fuzz_case.mode = pinned_mode;
         fuzz_case.breakInvariant = break_hook;
 
         watchdog.arm(case_budget,

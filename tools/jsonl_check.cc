@@ -32,6 +32,12 @@
  *                                          schema, kind "fuzz_repro",
  *                                          a parseable embedded case,
  *                                          and a failures string array
+ *   jsonl_check --bench <bench.json>...    validate BENCH_<name>.json
+ *                                          documents (CG_JSON output):
+ *                                          current schema, non-empty
+ *                                          bench name, and a data
+ *                                          table whose rows all match
+ *                                          the header width
  *
  * Exit status 0 iff everything validates. Used by the `schema_check`
  * build target and scripts/check.sh.
@@ -46,6 +52,7 @@
 
 #include "common/metrics.hh"
 #include "sim/fuzz.hh"
+#include "sim/protection.hh"
 
 using namespace commguard;
 
@@ -118,11 +125,24 @@ checkLine(const std::string &line, std::size_t number,
     if (!record.isObject())
         return fail("record is not an object");
 
-    for (const char *key : {"app", "mode", "inject_errors", "mtbe",
-                            "seed", "frame_scale"}) {
+    for (const char *key : {"app", "protection_mode", "inject_errors",
+                            "mtbe", "seed", "frame_scale"}) {
         if (record.find(key) == nullptr)
             return fail(std::string("missing descriptor field '") +
                         key + "'");
+    }
+
+    // The mode vocabulary is the protection registry's name set.
+    const Json *mode = record.find("protection_mode");
+    streamit::ProtectionMode parsed_mode{};
+    if (!mode->isString() ||
+        !protection::tryParseProtectionMode(mode->str(),
+                                            &parsed_mode)) {
+        return fail("protection_mode " + mode->dump() +
+                    " is not a registered mode (registered: " +
+                    protection::ProtectionRegistry::instance()
+                        .nameList() +
+                    ")");
     }
 
     const Json *version = record.find("schema_version");
@@ -343,6 +363,64 @@ checkReproBundle(const char *path)
     return true;
 }
 
+bool
+checkBenchDocument(const char *path)
+{
+    const auto fail = [path](const std::string &why) {
+        std::fprintf(stderr, "%s: %s\n", path, why.c_str());
+        return false;
+    };
+
+    std::ifstream in(path);
+    if (!in.good())
+        return fail("cannot open");
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+
+    Json doc;
+    std::string error;
+    if (!Json::parse(buffer.str(), doc, &error))
+        return fail("parse error: " + error);
+    if (!doc.isObject())
+        return fail("document is not an object");
+
+    const Json *version = doc.find("schema_version");
+    if (version == nullptr ||
+        version->counter() !=
+            static_cast<Count>(metrics::kSchemaVersion))
+        return fail("bad or missing schema_version");
+
+    const Json *bench = doc.find("bench");
+    if (bench == nullptr || !bench->isString() ||
+        bench->str().empty())
+        return fail("missing or empty bench name");
+
+    const Json *data = doc.find("data");
+    if (data == nullptr || !data->isObject())
+        return fail("missing data object");
+    const Json *headers = data->find("headers");
+    if (headers == nullptr || !headers->isArray() ||
+        headers->arr().empty())
+        return fail("data lacks a non-empty headers array");
+    const Json *rows = data->find("rows");
+    if (rows == nullptr || !rows->isArray())
+        return fail("data lacks a rows array");
+    const std::size_t width = headers->arr().size();
+    std::size_t index = 0;
+    for (const Json &row : rows->arr()) {
+        const std::string where = "row " + std::to_string(index++);
+        if (!row.isArray())
+            return fail(where + ": not an array");
+        if (row.arr().size() != width) {
+            return fail(where + ": " +
+                        std::to_string(row.arr().size()) +
+                        " cells, headers declare " +
+                        std::to_string(width));
+        }
+    }
+    return true;
+}
+
 int
 usage()
 {
@@ -350,7 +428,8 @@ usage()
                  "usage: jsonl_check [--forensics] <runs.jsonl>\n"
                  "       jsonl_check --trace <trace.json>...\n"
                  "       jsonl_check --scenarios <list.json>\n"
-                 "       jsonl_check --repro <bundle.json>...\n");
+                 "       jsonl_check --repro <bundle.json>...\n"
+                 "       jsonl_check --bench <bench.json>...\n");
     return 2;
 }
 
@@ -373,6 +452,18 @@ main(int argc, char **argv)
                 ++bad;
         }
         std::printf("%d repro bundle%s checked, %zu invalid\n",
+                    argc - 2, argc == 3 ? "" : "s", bad);
+        return bad == 0 ? 0 : 1;
+    }
+    if (argc >= 2 && std::strcmp(argv[1], "--bench") == 0) {
+        if (argc < 3)
+            return usage();
+        std::size_t bad = 0;
+        for (int i = 2; i < argc; ++i) {
+            if (!checkBenchDocument(argv[i]))
+                ++bad;
+        }
+        std::printf("%d bench document%s checked, %zu invalid\n",
                     argc - 2, argc == 3 ? "" : "s", bad);
         return bad == 0 ? 0 : 1;
     }
