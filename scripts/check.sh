@@ -137,6 +137,35 @@ for MODE in raw reliable-queue commguard replicate abft; do
 done
 echo "check.sh: protection-backend gate ok (all registered modes swept)"
 
+# Telemetry gate (docs/TELEMETRY.md): a quick traced+telemetry sweep
+# must emit a schema-valid telemetry stream whose bytes are identical
+# for CG_JOBS=1 and CG_JOBS=8 (run outcomes and export bytes never
+# depend on host parallelism), plus a non-empty HTML run report next
+# to the stream.
+TELEM_A="$BUILD_DIR/telemetry_a.jsonl"
+TELEM_B="$BUILD_DIR/telemetry_b.jsonl"
+TELEM_TRACE_DIR="$BUILD_DIR/telemetry_trace"
+rm -rf "$TELEM_A" "$TELEM_A.html" "$TELEM_B" "$TELEM_B.html" \
+    "$TELEM_TRACE_DIR"
+CG_QUICK=1 CG_JOBS=1 CG_TELEMETRY_SLICES=16 CG_TELEMETRY_OUT="$TELEM_A" \
+    CG_TRACE_EVENTS=1 CG_TRACE_OUT="$TELEM_TRACE_DIR" \
+    "$CG_BENCH" run fig08_data_loss
+CG_QUICK=1 CG_JOBS=8 CG_TELEMETRY_SLICES=16 CG_TELEMETRY_OUT="$TELEM_B" \
+    "$CG_BENCH" run fig08_data_loss
+"$JSONL_CHECK" --telemetry "$TELEM_A"
+if ! cmp -s "$TELEM_A" "$TELEM_B"; then
+    echo "check.sh: telemetry stream bytes depend on CG_JOBS" >&2
+    exit 1
+fi
+for REPORT in "$TELEM_A.html" "$TELEM_B.html"; do
+    if [ ! -s "$REPORT" ]; then
+        echo "check.sh: missing or empty telemetry report $REPORT" >&2
+        exit 1
+    fi
+done
+echo "check.sh: telemetry gate ok (stream byte-stable across jobs," \
+     "reports emitted)"
+
 if [ "$SANITIZE" -eq 1 ]; then
     # ASan/UBSan: the tier-1 suite plus a quick fuzz budget, with
     # every error fatal (-fno-sanitize-recover=all at build time).

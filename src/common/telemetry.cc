@@ -1,0 +1,67 @@
+#include "common/telemetry.hh"
+
+#include "common/logging.hh"
+
+namespace commguard::telemetry
+{
+
+void
+TelemetryRecorder::sample(const metrics::Registry &registry,
+                          Count slice, Cycle cycles, bool final)
+{
+    const metrics::MetricSnapshot snapshot = registry.snapshot();
+    const auto &counters = snapshot.counters();
+
+    if (_names.empty()) {
+        _names.reserve(counters.size());
+        for (const auto &[name, value] : counters) {
+            (void)value;
+            _names.push_back(name);
+        }
+        _previous.assign(_names.size(), 0);
+        _base.assign(_names.size(), 0);
+    } else if (counters.size() != _names.size()) {
+        // The registry's binding set is fixed once the machine is
+        // assembled; a mid-run change would desynchronize the deltas.
+        fatal("telemetry: registry changed shape mid-run (" +
+              std::to_string(counters.size()) + " counters, table has " +
+              std::to_string(_names.size()) + ")");
+    }
+
+    TelemetrySample interval;
+    interval.index = _taken++;
+    interval.slice = slice;
+    interval.cycles = cycles;
+    interval.final = final;
+    for (std::size_t i = 0; i < counters.size(); ++i) {
+        const Count value = counters[i].second;
+        if (value != _previous[i]) {
+            interval.deltas.emplace_back(
+                static_cast<std::uint32_t>(i), value - _previous[i]);
+            _previous[i] = value;
+        }
+    }
+    _samples.push_back(std::move(interval));
+
+    // Bounded memory: fold the oldest sample into the base instead of
+    // discarding it, preserving base + retained == current.
+    while (_samples.size() > _config.ringCapacity) {
+        for (const auto &[index, delta] : _samples.front().deltas)
+            _base[index] += delta;
+        _samples.pop_front();
+        ++_dropped;
+    }
+}
+
+std::vector<Count>
+TelemetryRecorder::cumulative() const
+{
+    std::vector<Count> totals = _base;
+    for (const TelemetrySample &interval : _samples) {
+        for (const auto &[index, delta] : interval.deltas)
+            totals[index] += delta;
+    }
+    return totals;
+}
+
+} // namespace commguard::telemetry

@@ -23,6 +23,18 @@ Multicore::enableEventTrace()
     }
 }
 
+void
+Multicore::enableTelemetry()
+{
+    if (_telemetry != nullptr)
+        return;
+    if (_config.telemetrySlices == 0)
+        _config.telemetrySlices = 1;
+    _telemetry = std::make_shared<telemetry::TelemetryRecorder>(
+        telemetry::TelemetryConfig{_config.telemetrySlices,
+                                   _config.telemetryRingCapacity});
+}
+
 Core &
 Multicore::addCore(const std::string &name)
 {
@@ -86,6 +98,12 @@ Multicore::run()
         bool any_progress = false;
         if (_eventTrace != nullptr)
             _eventTrace->beginSlice(round);
+        // Simulated-time sampling cadence: keyed on the deterministic
+        // round counter so the series is independent of CG_JOBS.
+        if (_telemetry != nullptr && round > 0 &&
+            round % _config.telemetrySlices == 0) {
+            _telemetry->sample(_metrics, round, totalCycles());
+        }
         ++round;
 
         for (std::size_t i = 0; i < _runtimes.size(); ++i) {
@@ -154,6 +172,11 @@ Multicore::run()
             break;
         }
     }
+
+    // End-of-run sample: makes the recorder's cumulative view
+    // reconcile 1:1 with the run's MetricSnapshot.
+    if (_telemetry != nullptr)
+        _telemetry->sample(_metrics, round, totalCycles(), true);
 
     result.totalInstructions = totalCommittedInsts();
     result.totalCycles = totalCycles();

@@ -21,6 +21,7 @@
 #include "common/metrics.hh"
 #include "common/recycle_pool.hh"
 #include "common/stats.hh"
+#include "common/telemetry.hh"
 #include "machine/core.hh"
 #include "machine/core_runtime.hh"
 #include "queue/queue_base.hh"
@@ -51,6 +52,18 @@ struct MachineConfig
 
     /** Ring capacity (events) of each trace track when enabled. */
     std::size_t traceCapacityPerTrack = 1u << 16;
+
+    /**
+     * Sample the metric registry every N scheduler rounds into the
+     * run's TelemetryRecorder (docs/TELEMETRY.md). 0 disables
+     * sampling. The cadence is simulated time, so the recorded series
+     * is independent of host scheduling and CG_JOBS.
+     */
+    Count telemetrySlices = 0;
+
+    /** Retained interval samples per run before the delta ring folds
+     *  the oldest into its base (bounded memory). */
+    std::size_t telemetryRingCapacity = 512;
 };
 
 /** Result of driving a system to completion. */
@@ -76,6 +89,8 @@ class Multicore
     {
         if (_config.traceEvents)
             enableEventTrace();
+        if (_config.telemetrySlices > 0)
+            enableTelemetry();
     }
 
     /**
@@ -138,6 +153,25 @@ class Multicore
         return _eventTrace;
     }
 
+    /**
+     * Start in-run metric sampling (docs/TELEMETRY.md): the scheduler
+     * loop snapshots the registry every config().telemetrySlices
+     * rounds into a bounded delta ring, plus one final end-of-run
+     * sample. Idempotent.
+     */
+    void enableTelemetry();
+
+    /**
+     * The run's telemetry recorder; nullptr when sampling is off.
+     * Shared so a caller can keep the series alive past the machine's
+     * lifetime (same contract as eventTrace()).
+     */
+    std::shared_ptr<telemetry::TelemetryRecorder>
+    telemetryRecorder() const
+    {
+        return _telemetry;
+    }
+
     MachineConfig &config() { return _config; }
     std::vector<std::unique_ptr<Core>> &cores() { return _cores; }
     std::vector<std::unique_ptr<QueueBase>> &queues() { return _queues; }
@@ -165,6 +199,9 @@ class Multicore
     std::shared_ptr<trace::EventTrace> _eventTrace;
     trace::EventBuffer *_machineTrack = nullptr;
     std::vector<std::unique_ptr<EventTracer>> _tracers;
+
+    // In-run metric sampling (null when off).
+    std::shared_ptr<telemetry::TelemetryRecorder> _telemetry;
 };
 
 } // namespace commguard

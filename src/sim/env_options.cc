@@ -1,17 +1,90 @@
 #include "sim/env_options.hh"
 
 #include <cstdlib>
+#include <cstring>
+#include <set>
 
 #include "common/env.hh"
 #include "common/logging.hh"
 #include "sim/protection.hh"
 
+extern char **environ;
+
 namespace commguard::sim
 {
+
+namespace
+{
+
+/** Knobs parsed here plus test-only keys common/env.hh tests use. */
+const std::set<std::string> &
+builtinEnvKeys()
+{
+    static const std::set<std::string> keys = {
+        "CG_QUICK",           "CG_JOBS",
+        "CG_CSV",             "CG_JSON",
+        "CG_JSONL",           "CG_TRACE_EVENTS",
+        "CG_TRACE_OUT",       "CG_MODE",
+        "CG_TELEMETRY_SLICES", "CG_TELEMETRY_OUT",
+        "CG_BOARD",
+        "CG_TEST_FLAG",       "CG_TEST_LONG",
+    };
+    return keys;
+}
+
+std::set<std::string> &
+registeredEnvKeys()
+{
+    static std::set<std::string> keys;
+    return keys;
+}
+
+/**
+ * Reject any CG_* variable that is neither a built-in knob nor
+ * registered via allowEnvKey(): a typo'd knob silently no-opping would
+ * change what an experiment measures.
+ */
+void
+rejectUnknownEnvKeys()
+{
+    for (char **entry = environ; entry != nullptr && *entry != nullptr;
+         ++entry) {
+        if (std::strncmp(*entry, "CG_", 3) != 0)
+            continue;
+        const char *eq = std::strchr(*entry, '=');
+        const std::string key =
+            eq != nullptr
+                ? std::string(*entry,
+                              static_cast<std::size_t>(eq - *entry))
+                : std::string(*entry);
+        if (!isKnownEnvKey(key)) {
+            fatal("unknown CG_ environment variable " + key +
+                  " (typo? see sim/env_options.hh for the knob list; "
+                  "tools register extra keys via sim::allowEnvKey)");
+        }
+    }
+}
+
+} // namespace
+
+void
+allowEnvKey(const std::string &key)
+{
+    registeredEnvKeys().insert(key);
+}
+
+bool
+isKnownEnvKey(const std::string &key)
+{
+    return builtinEnvKeys().count(key) > 0 ||
+           registeredEnvKeys().count(key) > 0;
+}
 
 EnvOptions
 parseEnvOptions()
 {
+    rejectUnknownEnvKeys();
+
     EnvOptions parsed;
     parsed.quick = envFlag("CG_QUICK");
     const long jobs = envLong("CG_JOBS", 0);
@@ -35,6 +108,25 @@ parseEnvOptions()
             fatal("CG_TRACE_OUT must name a directory");
         parsed.traceOut = out;
     }
+
+    const long slices = envLong("CG_TELEMETRY_SLICES", 0);
+    if (slices < 0)
+        fatal("CG_TELEMETRY_SLICES must be >= 0 (0 disables sampling)");
+    parsed.telemetrySlices = static_cast<Count>(slices);
+
+    if (const char *out = std::getenv("CG_TELEMETRY_OUT")) {
+        if (parsed.telemetrySlices == 0)
+            fatal("CG_TELEMETRY_OUT is set but CG_TELEMETRY_SLICES is "
+                  "not; the telemetry stream needs a sampling cadence "
+                  "(CG_TELEMETRY_SLICES=N)");
+        if (*out == '\0')
+            fatal("CG_TELEMETRY_OUT must name a file");
+        parsed.telemetryOut = out;
+    }
+
+    if (std::getenv("CG_BOARD") != nullptr)
+        parsed.healthBoard = envFlag("CG_BOARD") ? 1 : 0;
+
     return parsed;
 }
 

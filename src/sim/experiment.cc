@@ -15,6 +15,9 @@ runOnce(const apps::App &app, const streamit::LoadOptions &options,
     streamit::LoadOptions effective = options;
     if (EnvOptions::get().traceEvents)
         effective.machine.traceEvents = true;
+    if (effective.machine.telemetrySlices == 0)
+        effective.machine.telemetrySlices =
+            EnvOptions::get().telemetrySlices;
 
     streamit::LoadedApp loaded = streamit::loadGraph(
         app.graph, app.input, app.steadyIterations, effective,
@@ -37,6 +40,7 @@ runOnce(const apps::App &app, const streamit::LoadOptions &options,
                                 outcome.output.size());
     outcome.snapshot.setGauge("run/qualityDb", outcome.qualityDb);
     outcome.eventTrace = loaded.machine->eventTrace();
+    outcome.telemetry = loaded.machine->telemetryRecorder();
     return outcome;
 }
 

@@ -24,6 +24,7 @@
 #include "apps/app.hh"
 #include "common/event_trace.hh"
 #include "common/metrics.hh"
+#include "common/telemetry.hh"
 #include "streamit/loader.hh"
 
 namespace commguard::sim
@@ -56,6 +57,14 @@ struct RunOutcome
      * layers (Perfetto file, forensics record) can consume it.
      */
     std::shared_ptr<trace::EventTrace> eventTrace;
+
+    /**
+     * The run's in-run metric time series (docs/TELEMETRY.md); nullptr
+     * unless sampling was enabled via MachineConfig::telemetrySlices
+     * or CG_TELEMETRY_SLICES. Like the trace, kept alive past the
+     * machine so the export layers can serialize it.
+     */
+    std::shared_ptr<telemetry::TelemetryRecorder> telemetry;
 
     // ------------------------------------------------------------------
     // Machine-level aggregates.

@@ -153,6 +153,20 @@ class ExperimentConfig
         return *this;
     }
 
+    /**
+     * Sample the metric registry every @p sample_slices scheduler
+     * rounds into the run's TelemetryRecorder, retaining at most
+     * @p ring_capacity interval samples (docs/TELEMETRY.md). 0 slices
+     * disables sampling.
+     */
+    ExperimentConfig &
+    telemetry(Count sample_slices, std::size_t ring_capacity = 512)
+    {
+        _options.machine.telemetrySlices = sample_slices;
+        _options.machine.telemetryRingCapacity = ring_capacity;
+        return *this;
+    }
+
     // ------------------------------------------------------------------
     // Terminal operations.
     // ------------------------------------------------------------------

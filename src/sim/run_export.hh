@@ -51,9 +51,11 @@ void appendJsonl(const std::string &path,
 /**
  * Append pre-serialized lines to @p path (sweep hot path: workers
  * dump() their records off the main thread, the barrier just
- * concatenates). Empty strings are skipped; the others must be
- * newline-free canonical JSON, typically Json::dump() output — which
- * is byte-identical to what the Json overload writes.
+ * concatenates). Empty strings are skipped; each of the others is
+ * canonical-JSON Json::dump() output — either one record, or several
+ * records newline-joined without a trailing newline (the telemetry
+ * path's per-run chunks). The bytes written equal what the Json
+ * overload would write record by record.
  */
 void appendJsonl(const std::string &path,
                  const std::vector<std::string> &lines);

@@ -9,6 +9,7 @@
 #include "common/logging.hh"
 #include "sim/env_options.hh"
 #include "sim/run_export.hh"
+#include "sim/telemetry_export.hh"
 #include "sim/trace_export.hh"
 
 namespace commguard::sim
@@ -76,10 +77,13 @@ SweepRunner::runAll()
     _nextPrintSeconds.store(_startSeconds + progressQuietSeconds,
                             std::memory_order_relaxed);
     _useCallback = static_cast<bool>(_progress);
+    _useOutcomeObserver = static_cast<bool>(_outcomeObserver);
 
     const EnvOptions &env = EnvOptions::get();
     const bool want_jsonl = !env.jsonlPath.empty();
     const bool want_traces = env.traceEvents;
+    const bool want_telemetry =
+        env.telemetrySlices > 0 && !env.telemetryOut.empty();
 
     // One scratch per pool job slot, reused batch over batch (the
     // freelists inside keep the big per-run buffers warm). beginBatch
@@ -99,6 +103,17 @@ SweepRunner::runAll()
     // critical path.
     std::vector<std::string> jsonl_lines(want_jsonl ? batch.size() : 0);
     std::vector<std::string> trace_docs(want_traces ? batch.size() : 0);
+    std::vector<std::string> telemetry_chunks(
+        want_telemetry ? batch.size() : 0);
+
+    // Stream-wide run index base, taken on the submitting thread:
+    // batch composition never depends on the job count, so run_index
+    // assignment (and with it the stream's bytes) stays deterministic.
+    static std::atomic<Count> telemetry_run_serial{0};
+    const Count telemetry_base =
+        want_telemetry ? telemetry_run_serial.fetch_add(
+                             batch.size(), std::memory_order_relaxed)
+                       : 0;
 
     _pool.submitBatch(
         batch.size(), [&](unsigned worker, std::size_t i) {
@@ -112,9 +127,18 @@ SweepRunner::runAll()
             if (want_traces && outcome.eventTrace != nullptr)
                 trace_docs[i] =
                     perfettoTraceJson(*outcome.eventTrace).dump();
-            reportProgress(
+            if (want_telemetry)
+                telemetry_chunks[i] = telemetryLines(
+                    descriptor, outcome, telemetry_base + i);
+            const std::size_t done =
                 _completed.fetch_add(1, std::memory_order_relaxed) +
-                1);
+                1;
+            if (_useOutcomeObserver) {
+                std::lock_guard<std::mutex> lock(_progressMutex);
+                _outcomeObserver(done, _total, descriptor, outcome);
+            } else {
+                reportProgress(done);
+            }
         });
     _pool.wait();  // Rethrows the batch's first exception, if any.
 
@@ -122,6 +146,19 @@ SweepRunner::runAll()
     // submission order, so file content is independent of CG_JOBS.
     if (want_jsonl && !batch.empty())
         appendJsonl(env.jsonlPath, jsonl_lines);
+
+    // Telemetry stream (CG_TELEMETRY_OUT=<path>): each chunk is one
+    // run's newline-joined sample records, concatenated in submission
+    // order — bytes independent of CG_JOBS, like the run JSONL. The
+    // HTML report next to it is rewritten after every batch so it is
+    // live mid-sweep (host-side content, so jobs-dependent).
+    if (want_telemetry && !batch.empty()) {
+        appendJsonl(env.telemetryOut, telemetry_chunks);
+        telemetryReportAdd(batch, outcomes, _pool.stats(),
+                           _pool.jobs(),
+                           monotonicSeconds() - _startSeconds);
+        writeTelemetryReport(env.telemetryOut + ".html");
+    }
 
     // Per-run Perfetto trace files (CG_TRACE_EVENTS=1): also written
     // post-batch in submission order, with a process-wide sequence

@@ -119,6 +119,22 @@ class SweepRunner
         _progress = std::move(callback);
     }
 
+    /**
+     * Observer called after each completed run with (done, total,
+     * descriptor, outcome) — the sweep health board's hook
+     * (sim/telemetry_export.hh). Invoked under an internal mutex,
+     * possibly from worker threads; it takes precedence over both
+     * setProgress() and the default printer. Like setProgress(), the
+     * batch latches its presence at runAll() start.
+     */
+    using OutcomeObserver = std::function<void(
+        std::size_t, std::size_t, const RunDescriptor &,
+        const RunOutcome &)>;
+    void setOutcomeObserver(OutcomeObserver observer)
+    {
+        _outcomeObserver = std::move(observer);
+    }
+
   private:
     void reportProgress(std::size_t done);
 
@@ -137,6 +153,8 @@ class SweepRunner
     std::atomic<std::size_t> _completed{0};
     std::function<void(std::size_t, std::size_t)> _progress;
     bool _useCallback = false;  //!< Latched per batch from _progress.
+    OutcomeObserver _outcomeObserver;
+    bool _useOutcomeObserver = false;  //!< Latched per batch.
 
     std::mutex _progressMutex;       //!< Serializes actual printing.
     double _startSeconds = 0.0;      //!< Monotonic batch start.

@@ -271,16 +271,26 @@ loadGraph(const StreamGraph &graph, const std::vector<Word> &input,
         // Software-queue routines charge opCost() virtual instructions
         // per queue op inside the scope (and they count against the
         // PPU watchdog budget), so fold the exact per-invocation queue
-        // cost into the estimate the budget is derived from.
+        // cost into the estimate the budget is derived from. The same
+        // cost has to reach the *nested* scope budgets: each kernel's
+        // declared scope wraps one firing, whose pops/pushes charge
+        // the same op cost against the nested deadline — without the
+        // fold, error-free fft/jpeg/mp3 runs on software queues
+        // collapse into watchdog-timeout thrash.
         if (program.estimatedInstsPerInvocation > 0) {
-            Count queue_insts = 0;
+            Count per_firing_insts = 0;
             for (std::size_t p = 0; p < ins[n].size(); ++p)
-                queue_insts += ins[n][p]->opCost() *
-                               spec.popRates[p] * reps.firings[n];
+                per_firing_insts +=
+                    ins[n][p]->opCost() * spec.popRates[p];
             for (std::size_t p = 0; p < outs[n].size(); ++p)
-                queue_insts += outs[n][p]->opCost() *
-                               spec.pushRates[p] * reps.firings[n];
-            program.estimatedInstsPerInvocation += queue_insts;
+                per_firing_insts +=
+                    outs[n][p]->opCost() * spec.pushRates[p];
+            program.estimatedInstsPerInvocation +=
+                per_firing_insts * reps.firings[n];
+            for (isa::ScopeInfo &scope : program.scopes) {
+                if (scope.estimatedInsts > 0)
+                    scope.estimatedInsts += per_firing_insts;
+            }
         }
 
         estimated_total +=

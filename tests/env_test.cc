@@ -130,5 +130,67 @@ TEST(EnvOptions, MalformedJobsIsFatalThroughTheOptionsLayer)
                 "CG_JOBS");
 }
 
+TEST(EnvOptions, UnknownCgVariableIsFatal)
+{
+    // The paradigmatic typo: CG_TELEMTRY_OUT must die at startup
+    // instead of silently no-opping while the user believes telemetry
+    // is being recorded.
+    EnvVar var("CG_TELEMTRY_OUT", "stream.jsonl");
+    EXPECT_EXIT(sim::parseEnvOptions(), ::testing::ExitedWithCode(1),
+                "unknown CG_ environment variable CG_TELEMTRY_OUT");
+}
+
+TEST(EnvOptions, AllowEnvKeyRegistersToolKnobs)
+{
+    // Tools layer their own knobs on the shared set (cg_fuzz's
+    // CG_FUZZ_BUDGET); after registration the scan accepts them.
+    EnvVar var("CG_ENV_TEST_EXTRA", "7");
+    EXPECT_FALSE(sim::isKnownEnvKey("CG_ENV_TEST_EXTRA"));
+    sim::allowEnvKey("CG_ENV_TEST_EXTRA");
+    EXPECT_TRUE(sim::isKnownEnvKey("CG_ENV_TEST_EXTRA"));
+    const sim::EnvOptions options = sim::parseEnvOptions();
+    EXPECT_EQ(options.telemetrySlices, 0u);
+}
+
+TEST(EnvOptions, TelemetrySlicesParsesAndRejectsNegatives)
+{
+    {
+        EnvVar var("CG_TELEMETRY_SLICES", "128");
+        EXPECT_EQ(sim::parseEnvOptions().telemetrySlices, 128u);
+    }
+    EnvVar var("CG_TELEMETRY_SLICES", "-4");
+    EXPECT_EXIT(sim::parseEnvOptions(), ::testing::ExitedWithCode(1),
+                "CG_TELEMETRY_SLICES");
+}
+
+TEST(EnvOptions, TelemetryOutWithoutSlicesIsFatal)
+{
+    // Mirrors the CG_TRACE_OUT/CG_TRACE_EVENTS pairing: an output
+    // path with no sampling cadence records nothing, which is a
+    // configuration error, not a silent no-op.
+    EnvVar out("CG_TELEMETRY_OUT", "stream.jsonl");
+    EXPECT_EXIT(sim::parseEnvOptions(), ::testing::ExitedWithCode(1),
+                "CG_TELEMETRY_OUT");
+
+    EnvVar slices("CG_TELEMETRY_SLICES", "64");
+    const sim::EnvOptions options = sim::parseEnvOptions();
+    EXPECT_EQ(options.telemetrySlices, 64u);
+    EXPECT_EQ(options.telemetryOut, "stream.jsonl");
+}
+
+TEST(EnvOptions, BoardIsTriState)
+{
+    {
+        EnvVar unset("CG_BOARD", nullptr);
+        EXPECT_EQ(sim::parseEnvOptions().healthBoard, -1);
+    }
+    {
+        EnvVar on("CG_BOARD", "1");
+        EXPECT_EQ(sim::parseEnvOptions().healthBoard, 1);
+    }
+    EnvVar off("CG_BOARD", "0");
+    EXPECT_EQ(sim::parseEnvOptions().healthBoard, 0);
+}
+
 } // namespace
 } // namespace commguard

@@ -7,11 +7,13 @@
 
 #include <gtest/gtest.h>
 
+#include "apps/app.hh"
 #include "kernels/basic.hh"
 #include "queue/reliable_queue.hh"
 #include "queue/software_queue.hh"
 #include "queue/working_set_queue.hh"
 #include "sim/experiment.hh"
+#include "sim/experiment_config.hh"
 #include "streamit/loader.hh"
 
 namespace commguard::streamit
@@ -206,6 +208,41 @@ TEST(Loader, FrameAnalysisIsExposed)
     EXPECT_EQ(app.frames.outputItemsPerFrame, 4u);
     EXPECT_EQ(app.frames.firingsPerFrame,
               (std::vector<Count>{1, 1}));
+}
+
+TEST(Loader, SoftwareQueueAppsRunCleanWithoutWatchdogTrips)
+{
+    // Regression: the loader must fold each filter's per-firing queue
+    // operation cost into its kernel nested-scope budgets. Without
+    // that, the pop/push-heavy fft/jpeg/mp3 filters blow their scope
+    // watchdog budget on every firing under the software queue ("raw")
+    // substrate and the run degenerates into timeout thrash.
+    struct Case
+    {
+        const char *name;
+        apps::App app;
+    };
+    const Case cases[] = {
+        {"fft", apps::makeFftApp(16)},
+        {"jpeg", apps::makeJpegApp(64, 32, 50)},
+        {"mp3", apps::makeMp3App(2048)},
+    };
+    for (const Case &c : cases) {
+        const sim::RunOutcome outcome =
+            sim::ExperimentConfig::app(c.app)
+                .mode("raw")
+                .noErrors()
+                .run();
+        EXPECT_TRUE(outcome.completed) << c.name;
+        bool any_nonzero = false;
+        for (Word w : outcome.output)
+            any_nonzero = any_nonzero || w != 0;
+        EXPECT_TRUE(any_nonzero) << c.name;
+        EXPECT_EQ(outcome.watchdogTrips(), 0u) << c.name;
+        EXPECT_EQ(outcome.snapshot.total("nestedScopeTrips"), 0u)
+            << c.name;
+        EXPECT_EQ(outcome.timeoutsFired(), 0u) << c.name;
+    }
 }
 
 TEST(Loader, CgBackendsOnlyInCommGuardMode)

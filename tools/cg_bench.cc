@@ -29,9 +29,11 @@
 #include <string>
 #include <vector>
 
+#include "sim/env_options.hh"
 #include "sim/fuzz.hh"
 #include "sim/protection.hh"
 #include "sim/scenario.hh"
+#include "sim/telemetry_export.hh"
 
 using namespace commguard;
 
@@ -55,7 +57,8 @@ usage(std::ostream &out, int code)
            "  replay <bundle.json>     re-run a fuzz repro bundle\n"
            "\n"
            "environment: CG_QUICK CG_JOBS CG_CSV CG_JSON CG_JSONL "
-           "CG_MODE CG_TRACE_EVENTS\n";
+           "CG_MODE CG_TRACE_EVENTS CG_TELEMETRY_SLICES "
+           "CG_TELEMETRY_OUT CG_BOARD\n";
     return code;
 }
 
@@ -176,6 +179,14 @@ cmdRun(const std::vector<std::string> &raw_args)
         }
     }
 
+    // Sweep health board (docs/TELEMETRY.md): live status line over
+    // the shared runner's batches when stderr is a TTY (or CG_BOARD=1
+    // forces it). Scenarios with private runners keep the default
+    // progress reporter.
+    sim::SweepHealthBoard board;
+    if (sim::SweepHealthBoard::enabledFromEnv())
+        board.attach(sim::sharedRunner());
+
     std::size_t tables = 0;
     std::size_t rows = 0;
     for (std::size_t i = 0; i < selected.size(); ++i) {
@@ -254,6 +265,10 @@ cmdReplay(const std::vector<std::string> &args)
 int
 main(int argc, char **argv)
 {
+    // Validate the CG_* environment up front so a typo'd knob is
+    // fatal on every subcommand, not just the ones that read it.
+    (void)sim::EnvOptions::get();
+
     const std::vector<std::string> args(argv + 1, argv + argc);
     if (args.empty())
         return usage(std::cerr, 2);

@@ -27,8 +27,10 @@
 #include <vector>
 
 #include "common/env.hh"
+#include "sim/env_options.hh"
 #include "sim/fuzz.hh"
 #include "sim/protection.hh"
+#include "sim/telemetry_export.hh"
 
 using namespace commguard;
 
@@ -173,6 +175,10 @@ cmdRun(const std::vector<std::string> &args)
             .count();
     };
 
+    // Per-case health board: a live line over the case loop, enabled
+    // by the same CG_BOARD/TTY rule as cg_bench's sweep board.
+    sim::StatusLine status(sim::SweepHealthBoard::enabledFromEnv());
+
     std::size_t checked = 0;
     std::size_t runs = 0;
     for (std::uint64_t index = 0;; ++index) {
@@ -195,6 +201,16 @@ cmdRun(const std::vector<std::string> &args)
         watchdog.disarm();
         ++checked;
         runs += verdict.runs;
+
+        {
+            char line[160];
+            std::snprintf(line, sizeof line,
+                          "[fuzz] %zu case%s, %zu sweep runs, %.1fs "
+                          "(budget %.0fs)",
+                          checked, checked == 1 ? "" : "s", runs,
+                          elapsed(), budget_seconds);
+            status.update(line);
+        }
 
         if (!verdict.ok()) {
             std::fprintf(stderr,
@@ -227,6 +243,7 @@ cmdRun(const std::vector<std::string> &args)
         }
     }
 
+    status.finish("");
     std::printf("cg_fuzz: %zu case%s (%zu sweep runs) clean in %.1fs\n",
                 checked, checked == 1 ? "" : "s", runs, elapsed());
     return 0;
@@ -283,6 +300,13 @@ cmdReplay(const std::vector<std::string> &args)
 int
 main(int argc, char **argv)
 {
+    // cg_fuzz layers its own knob on the shared CG_* set; register it
+    // before anything triggers the unknown-variable scan, then
+    // validate the environment up front so a typo'd knob is fatal on
+    // every subcommand.
+    sim::allowEnvKey("CG_FUZZ_BUDGET");
+    (void)sim::EnvOptions::get();
+
     const std::vector<std::string> args(argv + 1, argv + argc);
     if (args.empty())
         return usage();

@@ -38,6 +38,19 @@
  *                                          bench name, and a data
  *                                          table whose rows all match
  *                                          the header width
+ *   jsonl_check --telemetry <runs.jsonl>   validate a telemetry stream
+ *                                          (CG_TELEMETRY_OUT output,
+ *                                          docs/TELEMETRY.md): current
+ *                                          telemetry schema, per-run
+ *                                          contiguous records with
+ *                                          consecutive sample indices
+ *                                          and strictly increasing
+ *                                          slices, exactly one final
+ *                                          record per run, and — when
+ *                                          no samples were dropped —
+ *                                          delta sums that reconcile
+ *                                          1:1 with the final record's
+ *                                          cumulative totals
  *
  * Exit status 0 iff everything validates. Used by the `schema_check`
  * build target and scripts/check.sh.
@@ -46,11 +59,14 @@
 #include <cstdio>
 #include <cstring>
 #include <fstream>
+#include <functional>
 #include <map>
+#include <set>
 #include <sstream>
 #include <string>
 
 #include "common/metrics.hh"
+#include "common/telemetry.hh"
 #include "sim/fuzz.hh"
 #include "sim/protection.hh"
 
@@ -421,6 +437,218 @@ checkBenchDocument(const char *path)
     return true;
 }
 
+/**
+ * State of the telemetry run whose records are currently streaming
+ * past (runs are contiguous in the file, so one suffices).
+ */
+struct TelemetryRunState
+{
+    bool active = false;
+    Count runIndex = 0;
+    Count records = 0;
+    Count nextSample = 0;
+    Count lastSlice = 0;
+    Count lastCycles = 0;
+    std::map<std::string, Count> deltaSums;
+};
+
+bool
+finishTelemetryRun(TelemetryRunState &run, const Json &record,
+                   const std::function<bool(const std::string &)> &fail)
+{
+    // The final record must reconcile: sample accounting, and — when
+    // nothing was folded out of the ring — conservation of every
+    // counter (sum of streamed deltas == final cumulative totals).
+    const Json *taken = record.find("samples_taken");
+    const Json *dropped = record.find("samples_dropped");
+    const Json *cumulative = record.find("cumulative");
+    if (taken == nullptr || !taken->isNumber())
+        return fail("final record lacks numeric samples_taken");
+    if (dropped == nullptr || !dropped->isNumber())
+        return fail("final record lacks numeric samples_dropped");
+    if (cumulative == nullptr || !cumulative->isObject())
+        return fail("final record lacks cumulative object");
+    if (taken->counter() != dropped->counter() + run.records) {
+        return fail("samples_taken " + taken->dump() + " != dropped " +
+                    dropped->dump() + " + " +
+                    std::to_string(run.records) + " streamed records");
+    }
+    if (dropped->counter() != 0) {
+        run.active = false;
+        return true;
+    }
+
+    for (const auto &[name, total] : cumulative->obj()) {
+        if (!total.isNumber())
+            return fail("cumulative['" + name + "'] is not a number");
+        const auto it = run.deltaSums.find(name);
+        const Count summed = it == run.deltaSums.end() ? 0 : it->second;
+        if (summed != total.counter()) {
+            return fail("conservation violated for '" + name +
+                        "': deltas sum to " + std::to_string(summed) +
+                        ", cumulative says " + total.dump());
+        }
+    }
+    for (const auto &[name, summed] : run.deltaSums) {
+        if (summed != 0 && cumulative->find(name) == nullptr) {
+            return fail("counter '" + name + "' has streamed deltas (" +
+                        std::to_string(summed) +
+                        ") but no cumulative entry");
+        }
+    }
+    run.active = false;
+    return true;
+}
+
+bool
+checkTelemetryLine(const std::string &line, std::size_t number,
+                   TelemetryRunState &run, std::set<Count> &finished)
+{
+    const std::function<bool(const std::string &)> fail =
+        [number](const std::string &why) {
+            std::fprintf(stderr, "line %zu: %s\n", number,
+                         why.c_str());
+            return false;
+        };
+
+    Json record;
+    std::string error;
+    if (!Json::parse(line, record, &error))
+        return fail("parse error: " + error);
+    if (!record.isObject())
+        return fail("record is not an object");
+
+    const Json *version = record.find("telemetry_schema_version");
+    if (version == nullptr ||
+        version->counter() !=
+            static_cast<Count>(telemetry::kTelemetrySchemaVersion)) {
+        return fail("bad or missing telemetry_schema_version "
+                    "(expected " +
+                    std::to_string(telemetry::kTelemetrySchemaVersion) +
+                    ")");
+    }
+
+    for (const char *key : {"app", "protection_mode", "inject_errors",
+                            "mtbe", "seed", "frame_scale"}) {
+        if (record.find(key) == nullptr)
+            return fail(std::string("missing descriptor field '") +
+                        key + "'");
+    }
+    const Json *mode = record.find("protection_mode");
+    streamit::ProtectionMode parsed_mode{};
+    if (!mode->isString() ||
+        !protection::tryParseProtectionMode(mode->str(),
+                                            &parsed_mode)) {
+        return fail("protection_mode " + mode->dump() +
+                    " is not a registered mode");
+    }
+
+    for (const char *key : {"run_index", "sample", "slice", "cycles"}) {
+        const Json *value = record.find(key);
+        if (value == nullptr || !value->isNumber())
+            return fail(std::string("missing numeric field '") + key +
+                        "'");
+    }
+    const Json *final_flag = record.find("final");
+    if (final_flag == nullptr || !final_flag->isBool())
+        return fail("missing boolean field 'final'");
+    const Json *deltas = record.find("deltas");
+    if (deltas == nullptr || !deltas->isObject())
+        return fail("missing deltas object");
+
+    const Count run_index = record.find("run_index")->counter();
+    const Count sample = record.find("sample")->counter();
+    const Count slice = record.find("slice")->counter();
+    const Count cycles = record.find("cycles")->counter();
+
+    if (!run.active || run_index != run.runIndex) {
+        // A new run begins; the previous one must have been closed by
+        // its final record, and run indices must never interleave.
+        if (run.active)
+            return fail("run " + std::to_string(run.runIndex) +
+                        " has no final record before run " +
+                        std::to_string(run_index) + " starts");
+        if (finished.count(run_index) > 0)
+            return fail("run " + std::to_string(run_index) +
+                        " reappears after its final record "
+                        "(records must be contiguous per run)");
+        run = TelemetryRunState{};
+        run.active = true;
+        run.runIndex = run_index;
+        run.nextSample = sample;
+    } else {
+        if (slice <= run.lastSlice)
+            return fail("slice " + std::to_string(slice) +
+                        " does not increase over " +
+                        std::to_string(run.lastSlice));
+        if (cycles < run.lastCycles)
+            return fail("cycles " + std::to_string(cycles) +
+                        " decreases below " +
+                        std::to_string(run.lastCycles));
+    }
+    if (sample != run.nextSample)
+        return fail("sample index " + std::to_string(sample) +
+                    " is not consecutive (expected " +
+                    std::to_string(run.nextSample) + ")");
+    ++run.nextSample;
+    ++run.records;
+    run.lastSlice = slice;
+    run.lastCycles = cycles;
+
+    for (const auto &[name, delta] : deltas->obj()) {
+        if (!delta.isNumber())
+            return fail("deltas['" + name + "'] is not a number");
+        if (delta.counter() == 0)
+            return fail("deltas['" + name +
+                        "'] is zero (deltas are sparse)");
+        run.deltaSums[name] += delta.counter();
+    }
+
+    if (final_flag->boolean()) {
+        if (!finishTelemetryRun(run, record, fail))
+            return false;
+        finished.insert(run_index);
+    }
+    return true;
+}
+
+bool
+checkTelemetryFile(const char *path)
+{
+    std::ifstream in(path);
+    if (!in.good()) {
+        std::fprintf(stderr, "cannot open '%s'\n", path);
+        return false;
+    }
+
+    TelemetryRunState run;
+    std::set<Count> finished;
+    std::size_t lines = 0;
+    std::size_t bad = 0;
+    std::string line;
+    while (std::getline(in, line)) {
+        ++lines;
+        if (!checkTelemetryLine(line, lines, run, finished))
+            ++bad;
+    }
+    if (lines == 0) {
+        std::fprintf(stderr, "'%s' contains no telemetry records\n",
+                     path);
+        return false;
+    }
+    if (run.active) {
+        std::fprintf(stderr,
+                     "run %llu is missing its final record at EOF\n",
+                     static_cast<unsigned long long>(run.runIndex));
+        ++bad;
+    }
+    std::printf("%zu telemetry record%s over %zu run%s checked, "
+                "%zu invalid\n",
+                lines, lines == 1 ? "" : "s", finished.size(),
+                finished.size() == 1 ? "" : "s", bad);
+    return bad == 0;
+}
+
 int
 usage()
 {
@@ -429,7 +657,8 @@ usage()
                  "       jsonl_check --trace <trace.json>...\n"
                  "       jsonl_check --scenarios <list.json>\n"
                  "       jsonl_check --repro <bundle.json>...\n"
-                 "       jsonl_check --bench <bench.json>...\n");
+                 "       jsonl_check --bench <bench.json>...\n"
+                 "       jsonl_check --telemetry <runs.jsonl>\n");
     return 2;
 }
 
@@ -466,6 +695,11 @@ main(int argc, char **argv)
         std::printf("%d bench document%s checked, %zu invalid\n",
                     argc - 2, argc == 3 ? "" : "s", bad);
         return bad == 0 ? 0 : 1;
+    }
+    if (argc >= 2 && std::strcmp(argv[1], "--telemetry") == 0) {
+        if (argc != 3)
+            return usage();
+        return checkTelemetryFile(argv[2]) ? 0 : 1;
     }
     if (argc >= 2 && std::strcmp(argv[1], "--trace") == 0) {
         if (argc < 3)
