@@ -79,7 +79,9 @@ SweepResult
 timedSweep(const std::vector<sim::RunDescriptor> &descriptors,
            unsigned jobs)
 {
-    sim::SweepRunner runner(jobs);
+    // Caching off: this scenario reports MIPS; a replayed result
+    // would measure the result cache instead of the machine.
+    sim::SweepRunner runner(jobs, sim::SweepRunner::Caching::Off);
     for (const sim::RunDescriptor &descriptor : descriptors)
         runner.enqueue(descriptor);
 

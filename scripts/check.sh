@@ -166,6 +166,77 @@ done
 echo "check.sh: telemetry gate ok (stream byte-stable across jobs," \
      "reports emitted)"
 
+# Sharding + cache gate (docs/SHARDING.md): the same quick sweep run
+# in-process, under --shards=1 and under --shards=4 must emit
+# byte-identical JSONL and BENCH documents (merged output is
+# independent of the shard count); a warm rerun against a populated
+# CG_CACHE_DIR must reproduce the cold run's bytes; and the merged
+# JSONL must validate. Finally the --bench duplicate-run detector must
+# catch a handcrafted double-counted table.
+SHARD_BASE="$BUILD_DIR/shard_base.jsonl"
+SHARD_ONE="$BUILD_DIR/shard_one.jsonl"
+SHARD_FOUR="$BUILD_DIR/shard_four.jsonl"
+SHARD_WARM="$BUILD_DIR/shard_warm.jsonl"
+SHARD_CACHE="$BUILD_DIR/shard_cache"
+SHARD_BENCH="$BUILD_DIR/BENCH_fig08_data_loss.json"
+rm -rf "$SHARD_BASE" "$SHARD_ONE" "$SHARD_FOUR" "$SHARD_WARM" \
+    "$SHARD_CACHE" "$SHARD_BENCH"
+(cd "$BUILD_DIR" && CG_QUICK=1 CG_JSON=1 CG_JSONL="shard_base.jsonl" \
+    "tools/cg_bench" run fig08_data_loss)
+mv "$SHARD_BENCH" "$SHARD_BENCH.base"
+(cd "$BUILD_DIR" && CG_QUICK=1 CG_JSON=1 CG_JSONL="shard_one.jsonl" \
+    "tools/cg_bench" run --shards=1 fig08_data_loss)
+mv "$SHARD_BENCH" "$SHARD_BENCH.one"
+(cd "$BUILD_DIR" && CG_QUICK=1 CG_JSON=1 CG_JSONL="shard_four.jsonl" \
+    "tools/cg_bench" run --shards=4 fig08_data_loss)
+mv "$SHARD_BENCH" "$SHARD_BENCH.four"
+for VARIANT in "$SHARD_ONE" "$SHARD_FOUR"; do
+    if ! cmp -s "$SHARD_BASE" "$VARIANT"; then
+        echo "check.sh: sharded JSONL $VARIANT differs from the" \
+             "in-process run" >&2
+        exit 1
+    fi
+done
+for VARIANT in "$SHARD_BENCH.one" "$SHARD_BENCH.four"; do
+    if ! cmp -s "$SHARD_BENCH.base" "$VARIANT"; then
+        echo "check.sh: sharded BENCH document $VARIANT differs from" \
+             "the in-process run" >&2
+        exit 1
+    fi
+done
+"$JSONL_CHECK" "$SHARD_FOUR"
+"$JSONL_CHECK" --bench "$SHARD_BENCH.four"
+
+# Cold run populates the cache; the warm rerun must replay
+# byte-identically.
+(cd "$BUILD_DIR" && CG_QUICK=1 CG_CACHE_DIR="shard_cache" \
+    CG_JSONL="shard_warm.jsonl" "tools/cg_bench" run fig08_data_loss)
+if [ -z "$(ls -A "$SHARD_CACHE")" ]; then
+    echo "check.sh: cold sweep left CG_CACHE_DIR empty" >&2
+    exit 1
+fi
+rm -f "$SHARD_WARM"
+(cd "$BUILD_DIR" && CG_QUICK=1 CG_CACHE_DIR="shard_cache" \
+    CG_JSONL="shard_warm.jsonl" "tools/cg_bench" run fig08_data_loss)
+if ! cmp -s "$SHARD_BASE" "$SHARD_WARM"; then
+    echo "check.sh: warm cache rerun bytes differ from the cold" \
+         "run" >&2
+    exit 1
+fi
+
+# Negative path: a table that double-counts a run configuration must
+# be rejected.
+DUP_BENCH="$BUILD_DIR/dup_bench.json"
+printf '%s\n' '{"bench":"dup","data":{"headers":["app","mode","mtbe","seed"],"rows":[["jpeg","raw",1000,1],["jpeg","raw",1000,1]]},"schema_version":2}' \
+    > "$DUP_BENCH"
+if "$JSONL_CHECK" --bench "$DUP_BENCH" 2>/dev/null; then
+    echo "check.sh: jsonl_check --bench missed a duplicated run" \
+         "row" >&2
+    exit 1
+fi
+echo "check.sh: sharding gate ok (shards=1/4 and warm-cache reruns" \
+     "byte-identical, duplicate rows rejected)"
+
 if [ "$SANITIZE" -eq 1 ]; then
     # ASan/UBSan: the tier-1 suite plus a quick fuzz budget, with
     # every error fatal (-fno-sanitize-recover=all at build time).

@@ -22,6 +22,7 @@
 #include <string>
 #include <vector>
 
+#include "common/json.hh"
 #include "common/types.hh"
 #include "media/image.hh"
 #include "streamit/graph.hh"
@@ -42,6 +43,17 @@ struct App
 
     /** Quality of an error-free execution (the paper's baselines). */
     double errorFreeQualityDb = 0.0;
+
+    /**
+     * Canonical-JSON construction recipe ("{\"factory\":...}"), set by
+     * every parameterized factory so another process can rebuild a
+     * bit-identical App via makeAppFromSpec() — the basis of sharded
+     * sweep execution and of result-cache keys (docs/SHARDING.md).
+     * Empty means the app is not reconstructable from a spec (hand-
+     * assembled graphs); such descriptors always execute locally and
+     * are never cached.
+     */
+    std::string spec;
 };
 
 /** The paper's jpeg benchmark (10-node graph of Fig. 1). */
@@ -65,8 +77,29 @@ App makeFftApp(int blocks = 1024);
 /** Factory by benchmark name (paper naming); fatal on unknown names. */
 App makeAppByName(const std::string &name);
 
+/**
+ * Rebuild an App from an App::spec recipe produced by any factory in
+ * this header (or the random-graph generator). The result is
+ * bit-identical to the original factory call: same graph, input,
+ * quality baseline and name. fatal() on an unparseable spec or an
+ * unknown factory name.
+ */
+App makeAppFromSpec(const std::string &spec);
+
 /** All six benchmark names in the paper's order. */
 const std::vector<std::string> &allAppNames();
+
+namespace detail
+{
+
+/**
+ * Canonical App::spec text: {"factory": factory, ...params} dumped as
+ * canonical JSON (sorted keys), so equal recipes are equal strings and
+ * spec text can key maps and hashes directly.
+ */
+std::string specJson(const std::string &factory, Json::Object params);
+
+} // namespace detail
 
 // ----------------------------------------------------------------------
 // Output decoding helpers.

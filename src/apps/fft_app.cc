@@ -126,6 +126,7 @@ makeFftApp(int blocks)
 {
     App app;
     app.name = "fft";
+    app.spec = detail::specJson("fft", {{"blocks", Json(blocks)}});
 
     const std::vector<float> input = makeFftInput(blocks);
     auto reference =

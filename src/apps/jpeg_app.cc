@@ -18,6 +18,10 @@ makeJpegApp(int width, int height, int quality)
 {
     App app;
     app.name = "jpeg";
+    app.spec = detail::specJson(
+        "jpeg", {{"height", Json(height)},
+                 {"quality", Json(quality)},
+                 {"width", Json(width)}});
 
     auto original = std::make_shared<media::Image>(
         media::makeFlowerImage(width, height));

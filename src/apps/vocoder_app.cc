@@ -135,6 +135,8 @@ makeChannelVocoderApp(int samples)
 {
     App app;
     app.name = "channelvocoder";
+    app.spec = detail::specJson("channelvocoder",
+                                {{"samples", Json(samples)}});
 
     const std::vector<float> input = media::makeMusicAudio(samples);
     auto reference =

@@ -49,8 +49,17 @@
  * rejected via fatal() at parse time — and so is any CG_* variable
  * that is not a known knob, so typos like CG_TELEMTRY_OUT die at
  * startup instead of silently no-opping. Tools with their own knobs
- * (e.g. cg_fuzz's CG_FUZZ_BUDGET) register them via allowEnvKey()
- * before the first parse.
+ * register them via allowEnvKey() before the first parse:
+ * cg_fuzz's CG_FUZZ_BUDGET, and cg_bench's sharding/caching pair
+ * (docs/SHARDING.md) —
+ *   CG_SHARDS     int,  default unset  worker-process count for
+ *                                      `cg_bench run` (same strict
+ *                                      parse as --shards; the flag
+ *                                      wins when both are given)
+ *   CG_CACHE_DIR  dir,  default unset  result-cache directory; the
+ *                                      tools probe writability up
+ *                                      front and exit 2 on an
+ *                                      unusable path
  */
 
 #ifndef COMMGUARD_SIM_ENV_OPTIONS_HH

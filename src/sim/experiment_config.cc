@@ -3,6 +3,8 @@
 #include <stdexcept>
 #include <string>
 
+#include "sim/result_cache.hh"
+
 namespace commguard::sim
 {
 
@@ -82,6 +84,12 @@ RunOutcome
 ExperimentConfig::run() const
 {
     return runOnce(*_app, _options);
+}
+
+std::string
+ExperimentConfig::cacheKey() const
+{
+    return ResultCache::keyFor(descriptor());
 }
 
 } // namespace commguard::sim

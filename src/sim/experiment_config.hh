@@ -187,6 +187,14 @@ class ExperimentConfig
     /** Build the machine and run to completion. */
     RunOutcome run() const;
 
+    /**
+     * The run's content address in the CG_CACHE_DIR result cache: 16
+     * hex digits hashing the canonical descriptor JSON, the metric
+     * schema version, and the build stamp (docs/SHARDING.md). Requires
+     * a spec-carrying app (every factory-built app); fatal otherwise.
+     */
+    std::string cacheKey() const;
+
   private:
     explicit ExperimentConfig(const apps::App &application)
         : _app(&application)

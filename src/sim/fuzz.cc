@@ -242,7 +242,10 @@ checkFuzzCase(const FuzzCase &fuzz_case)
     }
 
     const auto run_batch = [&](unsigned jobs) {
-        SweepRunner runner(jobs);
+        // Caching off: the whole point is comparing two *executions*
+        // (jobs=1 vs jobs=N); a cache would serve the second batch
+        // from the first and the comparison would test nothing.
+        SweepRunner runner(jobs, SweepRunner::Caching::Off);
         runner.setProgress([](std::size_t, std::size_t) {});
         for (const RunDescriptor &descriptor : descriptors)
             runner.enqueue(descriptor);

@@ -1,0 +1,188 @@
+#include "sim/result_cache.hh"
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <unistd.h>
+#include <utility>
+
+#include "common/logging.hh"
+#include "common/metrics.hh"
+#include "sim/run_codec.hh"
+
+namespace commguard::sim
+{
+
+namespace
+{
+
+std::string
+fnv1a64Hex(const std::string &bytes)
+{
+    std::uint64_t hash = 1469598103934665603ull;
+    for (unsigned char c : bytes) {
+        hash ^= c;
+        hash *= 1099511628211ull;
+    }
+    static const char digits[] = "0123456789abcdef";
+    std::string hex(16, '0');
+    for (int i = 15; i >= 0; --i) {
+        hex[static_cast<std::size_t>(i)] = digits[hash & 0xF];
+        hash >>= 4;
+    }
+    return hex;
+}
+
+} // namespace
+
+ResultCache::ResultCache(std::string directory)
+    : _directory(std::move(directory))
+{
+}
+
+std::string
+ResultCache::keyFor(const RunDescriptor &descriptor)
+{
+    std::string preimage = descriptorJson(descriptor).dump();
+    preimage += '\n';
+    preimage += std::to_string(metrics::kSchemaVersion);
+    preimage += '\n';
+    preimage += buildStamp();
+    return fnv1a64Hex(preimage);
+}
+
+bool
+ResultCache::lookup(const RunDescriptor &descriptor, ExecutedRun *out)
+{
+    const std::string path =
+        _directory + "/" + keyFor(descriptor) + ".json";
+    std::ifstream in(path, std::ios::binary);
+    if (!in) {
+        stats().misses.fetch_add(1, std::memory_order_relaxed);
+        return false;
+    }
+    std::ostringstream text;
+    text << in.rdbuf();
+
+    // Anything structurally wrong from here on counts as `invalid`:
+    // the entry exists but cannot be trusted, so it degrades to a
+    // miss and the run executes normally (overwriting the entry).
+    const auto reject = [&](const std::string &why) {
+        warn("result_cache: ignoring entry '" + path + "': " + why);
+        stats().invalid.fetch_add(1, std::memory_order_relaxed);
+        stats().misses.fetch_add(1, std::memory_order_relaxed);
+        return false;
+    };
+
+    Json entry;
+    std::string error;
+    if (!Json::parse(text.str(), entry, &error) || !entry.isObject())
+        return reject("unparseable: " + error);
+
+    const Json *schema = entry.find("schema_version");
+    if (schema == nullptr || !schema->isNumber() ||
+        schema->counter() != Count{metrics::kSchemaVersion})
+        return reject("schema version mismatch");
+
+    // Collision guard: the stored descriptor must be byte-equal to
+    // the requested one, not merely hash-equal.
+    const Json *stored = entry.find("descriptor");
+    if (stored == nullptr ||
+        stored->dump() != descriptorJson(descriptor).dump())
+        return reject("descriptor mismatch");
+
+    const Json *record = entry.find("record");
+    const Json *output = entry.find("output");
+    if (record == nullptr || !record->isObject() ||
+        output == nullptr || !output->isString())
+        return reject("missing record/output");
+
+    std::vector<Word> words;
+    if (!decodeWords(output->str(), &words))
+        return reject("corrupt output encoding");
+
+    try {
+        out->outcome = outcomeFromRecord(*record, std::move(words));
+    } catch (const std::exception &e) {
+        return reject(std::string("corrupt record: ") + e.what());
+    }
+    out->recordLine = record->dump();
+    out->traceDoc.clear();
+    out->telemetryChunk.clear();
+    stats().hits.fetch_add(1, std::memory_order_relaxed);
+    return true;
+}
+
+void
+ResultCache::store(const RunDescriptor &descriptor,
+                   const ExecutedRun &run)
+{
+    Json record;
+    std::string error;
+    if (!Json::parse(run.recordLine, record, &error)) {
+        warn("result_cache: run record unparseable, not storing: " +
+             error);
+        return;
+    }
+
+    Json entry = Json::object();
+    entry["descriptor"] = descriptorJson(descriptor);
+    entry["output"] = Json(encodeWords(run.outcome.output));
+    entry["record"] = std::move(record);
+    entry["schema_version"] = Json(metrics::kSchemaVersion);
+
+    const std::string path =
+        _directory + "/" + keyFor(descriptor) + ".json";
+    const std::string tmp =
+        path + ".tmp." + std::to_string(::getpid());
+    {
+        std::ofstream outFile(tmp, std::ios::binary | std::ios::trunc);
+        if (!outFile) {
+            warn("result_cache: cannot write '" + tmp + "'");
+            return;
+        }
+        entry.write(outFile);
+        outFile << '\n';
+        if (!outFile) {
+            warn("result_cache: short write to '" + tmp + "'");
+            outFile.close();
+            std::remove(tmp.c_str());
+            return;
+        }
+    }
+    if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+        warn("result_cache: cannot publish '" + path + "'");
+        std::remove(tmp.c_str());
+        return;
+    }
+    stats().stores.fetch_add(1, std::memory_order_relaxed);
+}
+
+ResultCacheStats &
+ResultCache::stats()
+{
+    static ResultCacheStats instance;
+    return instance;
+}
+
+ResultCache *
+ResultCache::process()
+{
+    static ResultCache *instance = []() -> ResultCache * {
+        const char *dir = std::getenv("CG_CACHE_DIR");
+        if (dir == nullptr || *dir == '\0')
+            return nullptr;
+        return new ResultCache(dir);
+    }();
+    return instance;
+}
+
+bool
+runCacheable(const RunDescriptor &descriptor)
+{
+    return runShippable(descriptor);
+}
+
+} // namespace commguard::sim

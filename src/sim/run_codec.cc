@@ -1,0 +1,346 @@
+#include "sim/run_codec.hh"
+
+#include <utility>
+
+#include "apps/app.hh"
+#include "common/logging.hh"
+#include "common/metrics.hh"
+#include "sim/protection.hh"
+
+namespace commguard::sim
+{
+
+namespace
+{
+
+/** Strict helpers mirroring apps::makeAppFromSpec's: a wire
+ *  descriptor with a missing or mistyped field is a protocol error,
+ *  reported through descriptorFromJson's (false, *error) channel. */
+const Json *
+findField(const Json &object, const std::string &key,
+          std::string *error)
+{
+    const Json *value = object.find(key);
+    if (value == nullptr)
+        *error = "descriptor lacks '" + key + "'";
+    return value;
+}
+
+bool
+fieldCount(const Json &object, const std::string &key, Count *out,
+           std::string *error)
+{
+    const Json *value = findField(object, key, error);
+    if (value == nullptr || !value->isNumber()) {
+        *error = "descriptor field '" + key + "' is not a number";
+        return false;
+    }
+    *out = value->counter();
+    return true;
+}
+
+bool
+fieldDouble(const Json &object, const std::string &key, double *out,
+            std::string *error)
+{
+    const Json *value = findField(object, key, error);
+    if (value == nullptr || !value->isNumber()) {
+        *error = "descriptor field '" + key + "' is not a number";
+        return false;
+    }
+    *out = value->number();
+    return true;
+}
+
+bool
+fieldBool(const Json &object, const std::string &key, bool *out,
+          std::string *error)
+{
+    const Json *value = findField(object, key, error);
+    if (value == nullptr || !value->isBool()) {
+        *error = "descriptor field '" + key + "' is not a boolean";
+        return false;
+    }
+    *out = value->boolean();
+    return true;
+}
+
+bool
+fieldString(const Json &object, const std::string &key,
+            std::string *out, std::string *error)
+{
+    const Json *value = findField(object, key, error);
+    if (value == nullptr || !value->isString()) {
+        *error = "descriptor field '" + key + "' is not a string";
+        return false;
+    }
+    *out = value->str();
+    return true;
+}
+
+int
+hexNibble(char c)
+{
+    if (c >= '0' && c <= '9')
+        return c - '0';
+    if (c >= 'a' && c <= 'f')
+        return c - 'a' + 10;
+    return -1;
+}
+
+} // namespace
+
+Json
+descriptorJson(const RunDescriptor &descriptor)
+{
+    const apps::App &app = *descriptor.app;
+    if (app.spec.empty())
+        fatal("descriptorJson: app '" + app.name +
+              "' carries no spec (gate on runShippable() first)");
+    Json app_spec;
+    std::string error;
+    if (!Json::parse(app.spec, app_spec, &error))
+        fatal("descriptorJson: unparseable App::spec '" + app.spec +
+              "': " + error);
+
+    const streamit::LoadOptions &o = descriptor.options;
+    const MachineConfig &m = o.machine;
+
+    Json per_node = Json::array();
+    for (Count scale : o.perNodeFrameScale)
+        per_node.push(Json(scale));
+
+    Json timing = Json::object();
+    timing["frame_flush_cycles"] = Json(Count{m.timing.frameFlushCycles});
+    timing["mem_extra_cycles"] = Json(Count{m.timing.memExtraCycles});
+    timing["queue_op_cycles"] = Json(Count{m.timing.queueOpCycles});
+
+    Json ppu = Json::object();
+    ppu["default_scope_budget"] = Json(m.ppu.defaultScopeBudget);
+    ppu["enforce_nested_scopes"] = Json(m.ppu.enforceNestedScopes);
+    ppu["max_scope_budget"] = Json(m.ppu.maxScopeBudget);
+    ppu["max_scope_depth"] =
+        Json(static_cast<std::int64_t>(m.ppu.maxScopeDepth));
+    ppu["watchdog_multiplier"] = Json(m.ppu.watchdogMultiplier);
+
+    Json machine = Json::object();
+    machine["global_watchdog_insts"] = Json(m.globalWatchdogInsts);
+    machine["ppu"] = std::move(ppu);
+    machine["slice_instructions"] = Json(m.sliceInstructions);
+    machine["timeout_rounds"] = Json(m.timeoutRounds);
+    machine["timing"] = std::move(timing);
+
+    Json json = Json::object();
+    json["app"] = Json(app.name);
+    json["app_spec"] = std::move(app_spec);
+    json["flip_all_registers"] = Json(o.flipAllRegisters);
+    json["frame_aligned_output"] = Json(o.frameAlignedOutput);
+    json["frame_scale"] = Json(o.frameScale);
+    json["guard_source_edge"] = Json(o.guardSourceEdge);
+    json["inject_errors"] = Json(o.injectErrors);
+    json["machine"] = std::move(machine);
+    json["mtbe"] = Json(o.mtbe);
+    json["per_node_frame_scale"] = std::move(per_node);
+    json["protection_mode"] = Json(protection::protectionModeName(o.mode));
+    json["queue_capacity_words"] = Json(Count{o.queueCapacityWords});
+    json["replicas"] = Json(static_cast<std::int64_t>(o.replicas));
+    json["seed"] = Json(Count{o.seed});
+    return json;
+}
+
+const apps::App &
+AppCache::fromSpec(const std::string &spec)
+{
+    auto it = _bySpec.find(spec);
+    if (it == _bySpec.end())
+        it = _bySpec.emplace(spec, apps::makeAppFromSpec(spec)).first;
+    return it->second;
+}
+
+bool
+descriptorFromJson(const Json &json, AppCache &apps,
+                   RunDescriptor *out, std::string *error)
+{
+    if (!json.isObject()) {
+        *error = "descriptor is not a JSON object";
+        return false;
+    }
+
+    const Json *app_spec = json.find("app_spec");
+    if (app_spec == nullptr || !app_spec->isObject()) {
+        *error = "descriptor field 'app_spec' is not an object";
+        return false;
+    }
+    const apps::App &app = apps.fromSpec(app_spec->dump());
+
+    std::string app_name;
+    if (!fieldString(json, "app", &app_name, error))
+        return false;
+    if (app_name != app.name) {
+        *error = "descriptor app '" + app_name +
+                 "' does not match spec-built app '" + app.name + "'";
+        return false;
+    }
+
+    streamit::LoadOptions o;
+    std::string mode_name;
+    if (!fieldString(json, "protection_mode", &mode_name, error))
+        return false;
+    if (!protection::tryParseProtectionMode(mode_name, &o.mode)) {
+        *error = "unknown protection mode '" + mode_name + "'";
+        return false;
+    }
+
+    Count count = 0;
+    if (!fieldBool(json, "inject_errors", &o.injectErrors, error) ||
+        !fieldDouble(json, "mtbe", &o.mtbe, error) ||
+        !fieldCount(json, "seed", &count, error))
+        return false;
+    o.seed = count;
+    if (!fieldBool(json, "flip_all_registers", &o.flipAllRegisters,
+                   error) ||
+        !fieldCount(json, "frame_scale", &o.frameScale, error) ||
+        !fieldBool(json, "guard_source_edge", &o.guardSourceEdge,
+                   error) ||
+        !fieldBool(json, "frame_aligned_output", &o.frameAlignedOutput,
+                   error))
+        return false;
+
+    const Json *per_node = json.find("per_node_frame_scale");
+    if (per_node == nullptr || !per_node->isArray()) {
+        *error = "descriptor field 'per_node_frame_scale' is not an "
+                 "array";
+        return false;
+    }
+    o.perNodeFrameScale.clear();
+    for (const Json &scale : per_node->arr()) {
+        if (!scale.isNumber()) {
+            *error = "per_node_frame_scale entry is not a number";
+            return false;
+        }
+        o.perNodeFrameScale.push_back(scale.counter());
+    }
+
+    double replicas = 0.0;
+    if (!fieldDouble(json, "replicas", &replicas, error))
+        return false;
+    o.replicas = static_cast<int>(replicas);
+    if (!fieldCount(json, "queue_capacity_words", &count, error))
+        return false;
+    o.queueCapacityWords = static_cast<std::size_t>(count);
+
+    const Json *machine = json.find("machine");
+    if (machine == nullptr || !machine->isObject()) {
+        *error = "descriptor field 'machine' is not an object";
+        return false;
+    }
+    MachineConfig &m = o.machine;
+    if (!fieldCount(*machine, "slice_instructions",
+                    &m.sliceInstructions, error) ||
+        !fieldCount(*machine, "timeout_rounds", &m.timeoutRounds,
+                    error) ||
+        !fieldCount(*machine, "global_watchdog_insts",
+                    &m.globalWatchdogInsts, error))
+        return false;
+
+    const Json *timing = machine->find("timing");
+    if (timing == nullptr || !timing->isObject()) {
+        *error = "descriptor field 'machine.timing' is not an object";
+        return false;
+    }
+    if (!fieldCount(*timing, "mem_extra_cycles", &count, error))
+        return false;
+    m.timing.memExtraCycles = count;
+    if (!fieldCount(*timing, "queue_op_cycles", &count, error))
+        return false;
+    m.timing.queueOpCycles = count;
+    if (!fieldCount(*timing, "frame_flush_cycles", &count, error))
+        return false;
+    m.timing.frameFlushCycles = count;
+
+    const Json *ppu = machine->find("ppu");
+    if (ppu == nullptr || !ppu->isObject()) {
+        *error = "descriptor field 'machine.ppu' is not an object";
+        return false;
+    }
+    if (!fieldCount(*ppu, "watchdog_multiplier",
+                    &m.ppu.watchdogMultiplier, error) ||
+        !fieldCount(*ppu, "default_scope_budget",
+                    &m.ppu.defaultScopeBudget, error) ||
+        !fieldCount(*ppu, "max_scope_budget", &m.ppu.maxScopeBudget,
+                    error) ||
+        !fieldBool(*ppu, "enforce_nested_scopes",
+                   &m.ppu.enforceNestedScopes, error))
+        return false;
+    double depth = 0.0;
+    if (!fieldDouble(*ppu, "max_scope_depth", &depth, error))
+        return false;
+    m.ppu.maxScopeDepth = static_cast<int>(depth);
+
+    out->app = &app;
+    out->options = std::move(o);
+    return true;
+}
+
+bool
+runShippable(const RunDescriptor &descriptor)
+{
+    return !descriptor.app->spec.empty() &&
+           !descriptor.options.machine.traceEvents &&
+           descriptor.options.machine.telemetrySlices == 0;
+}
+
+std::string
+encodeWords(const std::vector<Word> &words)
+{
+    static const char digits[] = "0123456789abcdef";
+    std::string hex;
+    hex.reserve(words.size() * 8);
+    for (Word word : words)
+        for (int shift = 28; shift >= 0; shift -= 4)
+            hex.push_back(digits[(word >> shift) & 0xF]);
+    return hex;
+}
+
+bool
+decodeWords(const std::string &hex, std::vector<Word> *out)
+{
+    if (hex.size() % 8 != 0)
+        return false;
+    out->clear();
+    out->reserve(hex.size() / 8);
+    for (std::size_t i = 0; i < hex.size(); i += 8) {
+        Word word = 0;
+        for (std::size_t j = 0; j < 8; ++j) {
+            const int nibble = hexNibble(hex[i + j]);
+            if (nibble < 0)
+                return false;
+            word = (word << 4) | static_cast<Word>(nibble);
+        }
+        out->push_back(word);
+    }
+    return true;
+}
+
+RunOutcome
+outcomeFromRecord(const Json &record, std::vector<Word> output)
+{
+    RunOutcome outcome;
+    outcome.snapshot = metrics::snapshotFromJson(record);
+    outcome.completed = outcome.snapshot.get("run/completed") != 0;
+    outcome.qualityDb = outcome.snapshot.gauge("run/qualityDb");
+    outcome.output = std::move(output);
+    return outcome;
+}
+
+const std::string &
+buildStamp()
+{
+    // __DATE__/__TIME__ of the sim library build: every binary linking
+    // cg_sim (cg_bench, cg_tests, ...) shares one stamp, so a serve
+    // process accepts workers spawned from any same-build binary.
+    static const std::string stamp = __DATE__ " " __TIME__;
+    return stamp;
+}
+
+} // namespace commguard::sim

@@ -1,0 +1,52 @@
+#include "sim/run_executor.hh"
+
+#include "sim/run_export.hh"
+#include "sim/telemetry_export.hh"
+#include "sim/trace_export.hh"
+
+namespace commguard::sim
+{
+
+LocalExecutor::LocalExecutor(unsigned jobs)
+    : _pool(jobs == 0 ? ThreadPool::defaultJobs() : jobs)
+{
+}
+
+void
+LocalExecutor::execute(const std::vector<RunDescriptor> &batch,
+                       const ExecutionRequest &request,
+                       std::vector<ExecutedRun> &out)
+{
+    // One scratch per pool job slot, reused batch over batch (the
+    // freelists inside keep the big per-run buffers warm). beginBatch
+    // drops caches keyed by graph addresses that may have been reused
+    // since the last execute().
+    if (_scratches.size() < _pool.jobs())
+        _scratches.resize(_pool.jobs());
+    for (RunScratch &scratch : _scratches)
+        scratch.beginBatch();
+
+    _pool.submitBatch(
+        batch.size(), [&](unsigned worker, std::size_t i) {
+            const RunDescriptor &descriptor = batch[i];
+            ExecutedRun &run = out[i];
+            run.outcome = runOnce(*descriptor.app, descriptor.options,
+                                  &_scratches[worker]);
+            if (request.wantRecords)
+                run.recordLine =
+                    runRecordJson(descriptor, run.outcome).dump();
+            if (request.wantTraceDocs &&
+                run.outcome.eventTrace != nullptr)
+                run.traceDoc =
+                    perfettoTraceJson(*run.outcome.eventTrace).dump();
+            if (request.wantTelemetry)
+                run.telemetryChunk = telemetryLines(
+                    descriptor, run.outcome,
+                    request.telemetryBase + i);
+            if (request.onRunDone)
+                request.onRunDone(i, descriptor, run.outcome);
+        });
+    _pool.wait();  // Rethrows the batch's first exception, if any.
+}
+
+} // namespace commguard::sim

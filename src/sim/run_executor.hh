@@ -1,0 +1,158 @@
+/**
+ * @file
+ * The "how does a run get executed" seam of the sweep engine.
+ *
+ * SweepRunner decides *what* to run (the queued descriptors), in what
+ * order results are reported (submission order), and which artifacts
+ * each run must yield (outcome, JSONL record, trace document,
+ * telemetry chunk). A RunExecutor decides *where* the work happens:
+ *
+ *  - LocalExecutor: the in-process ThreadPool batch path (workers
+ *    claim run indices lock-free from one atomic counter) — the
+ *    default, byte-identical to the pre-seam engine for any CG_JOBS.
+ *
+ *  - ShardExecutor (sim/shard.hh): OS worker processes fed over a
+ *    length-prefixed pipe protocol, for sweeps that outgrow one
+ *    address space (docs/SHARDING.md).
+ *
+ * The executor contract is the determinism keystone: out[i] depends
+ * only on batch[i], never on which worker/process/cache served it, so
+ * the merged artifact bytes are independent of job count, shard count
+ * and scheduling. Executors report completions through
+ * ExecutionRequest::onRunDone as runs finish (any thread, any order);
+ * slot placement is always by submission index.
+ */
+
+#ifndef COMMGUARD_SIM_RUN_EXECUTOR_HH
+#define COMMGUARD_SIM_RUN_EXECUTOR_HH
+
+#include <cstddef>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/thread_pool.hh"
+#include "sim/experiment.hh"
+
+namespace commguard::sim
+{
+
+/** One independent run of a sweep. */
+struct RunDescriptor
+{
+    const apps::App *app = nullptr;  //!< Not owned; must outlive run.
+    streamit::LoadOptions options;
+};
+
+/**
+ * Everything one executed run hands back to the engine. The string
+ * artifacts are serialized where the run executed (worker thread or
+ * worker process) so the post-batch barrier only concatenates; empty
+ * strings mean the artifact was not requested (or the run produced
+ * none, e.g. an untraced run has no trace document).
+ */
+struct ExecutedRun
+{
+    RunOutcome outcome;
+
+    /** runRecordJson(descriptor, outcome).dump() (one JSONL line). */
+    std::string recordLine;
+
+    /** perfettoTraceJson(...).dump() for traced runs. */
+    std::string traceDoc;
+
+    /** telemetryLines(...) chunk for telemetry-sampled runs. */
+    std::string telemetryChunk;
+};
+
+/** What the engine needs from each run of a batch. */
+struct ExecutionRequest
+{
+    bool wantRecords = false;    //!< Fill ExecutedRun::recordLine.
+    bool wantTraceDocs = false;  //!< Fill ExecutedRun::traceDoc.
+    bool wantTelemetry = false;  //!< Fill ExecutedRun::telemetryChunk.
+
+    /** Stream-wide run_index base for telemetry records (chunk i uses
+     *  telemetryBase + i, so stream bytes stay deterministic). */
+    Count telemetryBase = 0;
+
+    /**
+     * Called once per finished run with (batch index, descriptor,
+     * outcome) — possibly from a worker thread, in completion order.
+     * May be empty. Used for progress reporting and the sweep health
+     * board; must not assume any ordering.
+     */
+    std::function<void(std::size_t, const RunDescriptor &,
+                       const RunOutcome &)>
+        onRunDone;
+};
+
+/** Abstract run-execution backend. */
+class RunExecutor
+{
+  public:
+    virtual ~RunExecutor() = default;
+
+    /** Stable backend name ("local", "shard") for logs and boards. */
+    virtual const char *name() const = 0;
+
+    /** Effective parallelism (pool width or worker-process count). */
+    virtual unsigned jobs() const = 0;
+
+    /**
+     * Host-side scheduling counters of an in-process pool, when the
+     * backend has one; zeroes otherwise. Engine diagnostics only —
+     * never part of per-run snapshots (docs/METRICS.md, "pool/").
+     */
+    virtual ThreadPool::Stats poolStats() const { return {}; }
+    virtual void resetPoolStats() {}
+
+    /**
+     * Execute every descriptor of @p batch and fill @p out (resized by
+     * the caller to batch.size()) by submission index. Rethrows the
+     * first run exception after the batch completes, matching the
+     * ThreadPool contract.
+     */
+    virtual void execute(const std::vector<RunDescriptor> &batch,
+                         const ExecutionRequest &request,
+                         std::vector<ExecutedRun> &out) = 0;
+};
+
+/**
+ * The in-process executor: the ThreadPool batch path with one
+ * reusable RunScratch per pool job slot (buffers recycled across
+ * batches; re-zeroed so recycled storage cannot leak into outcomes).
+ */
+class LocalExecutor : public RunExecutor
+{
+  public:
+    /** @param jobs Pool width; 0 means ThreadPool::defaultJobs(). */
+    explicit LocalExecutor(unsigned jobs = 0);
+
+    const char *name() const override { return "local"; }
+    unsigned jobs() const override { return _pool.jobs(); }
+    ThreadPool::Stats poolStats() const override
+    {
+        return _pool.stats();
+    }
+    void resetPoolStats() override { _pool.resetStats(); }
+
+    void execute(const std::vector<RunDescriptor> &batch,
+                 const ExecutionRequest &request,
+                 std::vector<ExecutedRun> &out) override;
+
+  private:
+    ThreadPool _pool;
+
+    /**
+     * One reusable RunScratch per pool job slot, indexed by the batch
+     * worker id (slot 0 doubles as the inline-path scratch). Grown
+     * lazily on the first execute(); lives as long as the executor so
+     * recycled buffers survive across batches.
+     */
+    std::vector<RunScratch> _scratches;
+};
+
+} // namespace commguard::sim
+
+#endif // COMMGUARD_SIM_RUN_EXECUTOR_HH

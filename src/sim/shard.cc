@@ -1,0 +1,520 @@
+#include "sim/shard.hh"
+
+#include <cerrno>
+#include <csignal>
+#include <cstring>
+#include <fcntl.h>
+#include <poll.h>
+#include <sys/wait.h>
+#include <unistd.h>
+#include <utility>
+
+#include "common/logging.hh"
+#include "common/metrics.hh"
+#include "sim/run_codec.hh"
+#include "sim/run_export.hh"
+#include "sim/telemetry_export.hh"
+#include "sim/trace_export.hh"
+
+namespace commguard::sim
+{
+
+namespace
+{
+
+/** Frames above this are a protocol error, not a real payload. */
+constexpr std::size_t kMaxFrameBytes = 1u << 30;
+
+bool
+writeAll(int fd, const char *data, std::size_t size)
+{
+    while (size > 0) {
+        const ssize_t n = ::write(fd, data, size);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            return false;
+        }
+        data += n;
+        size -= static_cast<std::size_t>(n);
+    }
+    return true;
+}
+
+bool
+readAll(int fd, char *data, std::size_t size)
+{
+    while (size > 0) {
+        const ssize_t n = ::read(fd, data, size);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            return false;
+        }
+        if (n == 0)
+            return false;  // EOF mid-frame: peer died.
+        data += n;
+        size -= static_cast<std::size_t>(n);
+    }
+    return true;
+}
+
+Json
+helloFrame()
+{
+    Json hello = Json::object();
+    hello["build_stamp"] = Json(buildStamp());
+    hello["protocol_version"] = Json(kShardProtocolVersion);
+    hello["schema_version"] = Json(metrics::kSchemaVersion);
+    hello["type"] = Json("hello");
+    return hello;
+}
+
+/** Parse a frame payload; empty Json (null) on failure. */
+bool
+parseFrame(const std::string &payload, Json *out, std::string *error)
+{
+    return Json::parse(payload, *out, error) && out->isObject();
+}
+
+} // namespace
+
+bool
+writeFrame(int fd, const std::string &payload)
+{
+    if (payload.size() > kMaxFrameBytes)
+        return false;
+    unsigned char prefix[4];
+    const std::size_t size = payload.size();
+    prefix[0] = static_cast<unsigned char>(size & 0xFF);
+    prefix[1] = static_cast<unsigned char>((size >> 8) & 0xFF);
+    prefix[2] = static_cast<unsigned char>((size >> 16) & 0xFF);
+    prefix[3] = static_cast<unsigned char>((size >> 24) & 0xFF);
+    return writeAll(fd, reinterpret_cast<const char *>(prefix), 4) &&
+           writeAll(fd, payload.data(), payload.size());
+}
+
+bool
+readFrame(int fd, std::string *payload)
+{
+    unsigned char prefix[4];
+    if (!readAll(fd, reinterpret_cast<char *>(prefix), 4))
+        return false;
+    const std::size_t size =
+        static_cast<std::size_t>(prefix[0]) |
+        (static_cast<std::size_t>(prefix[1]) << 8) |
+        (static_cast<std::size_t>(prefix[2]) << 16) |
+        (static_cast<std::size_t>(prefix[3]) << 24);
+    if (size > kMaxFrameBytes)
+        return false;
+    payload->resize(size);
+    return size == 0 || readAll(fd, payload->data(), size);
+}
+
+ShardStats &
+shardStats()
+{
+    static ShardStats instance;
+    return instance;
+}
+
+namespace
+{
+ShardPlan g_plan;
+bool g_planSet = false;
+} // namespace
+
+void
+setProcessShardPlan(ShardPlan plan)
+{
+    g_plan = std::move(plan);
+    g_planSet = true;
+}
+
+const ShardPlan *
+processShardPlan()
+{
+    return g_planSet ? &g_plan : nullptr;
+}
+
+int
+shardWorkerLoop(int in_fd, int out_fd)
+{
+    if (!writeFrame(out_fd, helloFrame().dump()))
+        return 1;
+
+    AppCache apps;
+    RunScratch scratch;
+    scratch.beginBatch();
+
+    std::string payload;
+    while (readFrame(in_fd, &payload)) {
+        Json frame;
+        std::string error;
+        if (!parseFrame(payload, &frame, &error)) {
+            warn("shard worker: bad frame: " + error);
+            return 1;
+        }
+        const Json *type = frame.find("type");
+        if (type == nullptr || !type->isString()) {
+            warn("shard worker: frame lacks a type");
+            return 1;
+        }
+        if (type->str() == "exit")
+            return 0;
+        if (type->str() != "run") {
+            warn("shard worker: unexpected frame type '" +
+                 type->str() + "'");
+            return 1;
+        }
+
+        const Json *id = frame.find("id");
+        const Json *descriptor_json = frame.find("descriptor");
+        if (id == nullptr || !id->isNumber() ||
+            descriptor_json == nullptr) {
+            warn("shard worker: malformed run frame");
+            return 1;
+        }
+        RunDescriptor descriptor;
+        if (!descriptorFromJson(*descriptor_json, apps, &descriptor,
+                                &error)) {
+            // Report the reason before dying so the serve side can
+            // distinguish a protocol bug from a crash.
+            Json reply = Json::object();
+            reply["id"] = Json(id->counter());
+            reply["message"] = Json(error);
+            reply["type"] = Json("error");
+            writeFrame(out_fd, reply.dump());
+            return 1;
+        }
+
+        const RunOutcome outcome =
+            runOnce(*descriptor.app, descriptor.options, &scratch);
+        Json reply = Json::object();
+        reply["id"] = Json(id->counter());
+        reply["output"] = Json(encodeWords(outcome.output));
+        reply["record"] = runRecordJson(descriptor, outcome);
+        reply["type"] = Json("result");
+        if (!writeFrame(out_fd, reply.dump()))
+            return 1;
+    }
+    // EOF without an exit frame: the serve side died; just stop.
+    return 0;
+}
+
+ShardExecutor::ShardExecutor(ShardPlan plan) : _plan(std::move(plan))
+{
+    if (_plan.shards == 0)
+        fatal("ShardExecutor: shard count must be >= 1");
+    if (_plan.workerArgv.empty())
+        fatal("ShardExecutor: no worker command line configured");
+    // A worker death surfaces as a failed pipe write/read, not a
+    // process-killing signal.
+    std::signal(SIGPIPE, SIG_IGN);
+}
+
+ShardExecutor::~ShardExecutor()
+{
+    for (Worker &worker : _workers) {
+        if (!worker.live)
+            continue;
+        writeFrame(worker.toWorker, "{\"type\":\"exit\"}");
+        retireWorker(worker);
+        int status = 0;
+        ::waitpid(worker.pid, &status, 0);
+    }
+}
+
+void
+ShardExecutor::spawnWorker()
+{
+    int to_worker[2];
+    int from_worker[2];
+    if (::pipe(to_worker) != 0 || ::pipe(from_worker) != 0)
+        fatal("shard: pipe failed: " +
+              std::string(std::strerror(errno)));
+    // CLOEXEC on every end: a worker must not inherit its siblings'
+    // pipe ends, or their EOF-based death detection breaks. The child
+    // dup2()s its own two ends, which clears the flag on the copies.
+    for (int fd : {to_worker[0], to_worker[1], from_worker[0],
+                   from_worker[1]})
+        if (::fcntl(fd, F_SETFD, FD_CLOEXEC) != 0)
+            fatal("shard: fcntl(FD_CLOEXEC) failed: " +
+                  std::string(std::strerror(errno)));
+
+    const pid_t pid = ::fork();
+    if (pid < 0)
+        fatal("shard: fork failed: " +
+              std::string(std::strerror(errno)));
+    if (pid == 0) {
+        // Child: frames arrive on stdin, leave on stdout (dup2 clears
+        // O_CLOEXEC on the duplicates), then become the worker tool.
+        if (::dup2(to_worker[0], 0) < 0 ||
+            ::dup2(from_worker[1], 1) < 0)
+            ::_exit(127);
+        std::vector<char *> argv;
+        argv.reserve(_plan.workerArgv.size() + 1);
+        for (const std::string &arg : _plan.workerArgv)
+            argv.push_back(const_cast<char *>(arg.c_str()));
+        argv.push_back(nullptr);
+        ::execv(argv[0], argv.data());
+        ::_exit(127);
+    }
+
+    ::close(to_worker[0]);
+    ::close(from_worker[1]);
+
+    Worker worker;
+    worker.pid = pid;
+    worker.toWorker = to_worker[1];
+    worker.fromWorker = from_worker[0];
+    worker.live = true;
+    worker.inflight = -1;
+
+    // The handshake rejects a worker from a different build or
+    // protocol before any run is entrusted to it.
+    std::string payload;
+    Json hello;
+    std::string error;
+    if (!readFrame(worker.fromWorker, &payload) ||
+        !parseFrame(payload, &hello, &error))
+        fatal("shard: worker failed to start (no hello frame); "
+              "worker argv[0] = " +
+              _plan.workerArgv[0]);
+    if (hello.dump() != helloFrame().dump())
+        fatal("shard: worker handshake mismatch (build or protocol "
+              "skew): got " +
+              hello.dump() + ", want " + helloFrame().dump());
+
+    shardStats().workersSpawned.fetch_add(1,
+                                          std::memory_order_relaxed);
+    _workers.push_back(worker);
+}
+
+void
+ShardExecutor::retireWorker(Worker &worker)
+{
+    if (worker.toWorker >= 0)
+        ::close(worker.toWorker);
+    if (worker.fromWorker >= 0)
+        ::close(worker.fromWorker);
+    worker.toWorker = -1;
+    worker.fromWorker = -1;
+    worker.live = false;
+}
+
+void
+ShardExecutor::onWorkerDeath(Worker &worker,
+                             std::deque<std::size_t> &pending,
+                             std::vector<int> &attempts)
+{
+    warn("shard: worker pid " + std::to_string(worker.pid) +
+         " died; reassigning its work");
+    retireWorker(worker);
+    int status = 0;
+    ::waitpid(worker.pid, &status, 0);
+    shardStats().workersLost.fetch_add(1, std::memory_order_relaxed);
+
+    if (worker.inflight >= 0) {
+        const std::size_t index =
+            static_cast<std::size_t>(worker.inflight);
+        worker.inflight = -1;
+        if (++attempts[index] >= _plan.maxAttempts)
+            fatal("shard: run " + std::to_string(index) +
+                  " lost its worker " +
+                  std::to_string(_plan.maxAttempts) +
+                  " times; aborting the sweep");
+        // Front of the queue: the retried run goes out next, so a
+        // flaky run fails fast instead of at the end of the sweep.
+        pending.push_front(index);
+    }
+
+    bool any_live = false;
+    for (const Worker &w : _workers)
+        any_live |= w.live;
+    if (!any_live) {
+        if (_respawns >= _plan.maxRespawns)
+            fatal("shard: worker pool exhausted after " +
+                  std::to_string(_respawns) + " respawns");
+        ++_respawns;
+        spawnWorker();
+    }
+}
+
+void
+ShardExecutor::runInline(std::size_t index,
+                         const RunDescriptor &descriptor,
+                         const ExecutionRequest &request,
+                         ExecutedRun &run)
+{
+    // Mirrors LocalExecutor's per-run body exactly, so a batch's
+    // bytes do not depend on which side executed each run.
+    run.outcome =
+        runOnce(*descriptor.app, descriptor.options, &_inlineScratch);
+    if (request.wantRecords)
+        run.recordLine = runRecordJson(descriptor, run.outcome).dump();
+    if (request.wantTraceDocs && run.outcome.eventTrace != nullptr)
+        run.traceDoc = perfettoTraceJson(*run.outcome.eventTrace).dump();
+    if (request.wantTelemetry)
+        run.telemetryChunk = telemetryLines(
+            descriptor, run.outcome, request.telemetryBase + index);
+    if (request.onRunDone)
+        request.onRunDone(index, descriptor, run.outcome);
+    shardStats().localFallbackRuns.fetch_add(
+        1, std::memory_order_relaxed);
+}
+
+void
+ShardExecutor::execute(const std::vector<RunDescriptor> &batch,
+                       const ExecutionRequest &request,
+                       std::vector<ExecutedRun> &out)
+{
+    if (_workers.empty()) {
+        for (unsigned i = 0; i < _plan.shards; ++i)
+            spawnWorker();
+        _inlineScratch.beginBatch();
+    }
+
+    std::deque<std::size_t> pending;
+    std::vector<std::size_t> inline_runs;
+    for (std::size_t i = 0; i < batch.size(); ++i) {
+        if (runShippable(batch[i]))
+            pending.push_back(i);
+        else
+            inline_runs.push_back(i);
+    }
+    std::size_t remaining = pending.size();
+    std::vector<int> attempts(batch.size(), 0);
+
+    const auto assign = [&](Worker &worker) {
+        const std::size_t index = pending.front();
+        pending.pop_front();
+        worker.inflight = static_cast<int>(index);
+
+        Json frame = Json::object();
+        frame["descriptor"] = descriptorJson(batch[index]);
+        frame["id"] = Json(Count{index});
+        frame["type"] = Json("run");
+        if (!writeFrame(worker.toWorker, frame.dump())) {
+            onWorkerDeath(worker, pending, attempts);
+            return;
+        }
+        shardStats().runsAssigned.fetch_add(1,
+                                            std::memory_order_relaxed);
+        if (attempts[index] > 0)
+            shardStats().runsReassigned.fetch_add(
+                1, std::memory_order_relaxed);
+
+        ++_assignedTotal;
+        if (_plan.testKillAfterAssignments > 0 && !_testKillDone &&
+            _assignedTotal >= _plan.testKillAfterAssignments) {
+            // Test hook: take down the worker we just loaded, forcing
+            // the death-detection and reassignment path.
+            _testKillDone = true;
+            ::kill(worker.pid, SIGKILL);
+        }
+    };
+
+    while (remaining > 0) {
+        // Top up: every idle live worker gets the next pending run.
+        for (std::size_t w = 0;
+             w < _workers.size() && !pending.empty(); ++w) {
+            if (_workers[w].live && _workers[w].inflight < 0)
+                assign(_workers[w]);
+        }
+
+        std::vector<struct pollfd> fds;
+        std::vector<std::size_t> fd_owner;
+        for (std::size_t w = 0; w < _workers.size(); ++w) {
+            if (!_workers[w].live || _workers[w].inflight < 0)
+                continue;
+            fds.push_back({_workers[w].fromWorker, POLLIN, 0});
+            fd_owner.push_back(w);
+        }
+        if (fds.empty()) {
+            if (pending.empty())
+                fatal("shard: runs outstanding but none in flight");
+            continue;  // A respawned worker picks them up next pass.
+        }
+
+        int ready = ::poll(fds.data(), fds.size(), -1);
+        if (ready < 0) {
+            if (errno == EINTR)
+                continue;
+            fatal("shard: poll failed: " +
+                  std::string(std::strerror(errno)));
+        }
+
+        for (std::size_t f = 0; f < fds.size(); ++f) {
+            if (fds[f].revents == 0)
+                continue;
+            Worker &worker = _workers[fd_owner[f]];
+            if (!worker.live)
+                continue;  // Already retired this pass.
+
+            std::string payload;
+            if (!readFrame(worker.fromWorker, &payload)) {
+                onWorkerDeath(worker, pending, attempts);
+                continue;
+            }
+            Json frame;
+            std::string error;
+            if (!parseFrame(payload, &frame, &error))
+                fatal("shard: undecodable worker frame: " + error);
+            const Json *type = frame.find("type");
+            if (type == nullptr || !type->isString())
+                fatal("shard: worker frame lacks a type");
+            if (type->str() == "error") {
+                const Json *message = frame.find("message");
+                fatal("shard: worker rejected a run: " +
+                      (message != nullptr && message->isString()
+                           ? message->str()
+                           : payload));
+            }
+            if (type->str() != "result")
+                fatal("shard: unexpected worker frame type '" +
+                      type->str() + "'");
+
+            const Json *id = frame.find("id");
+            const Json *record = frame.find("record");
+            const Json *output = frame.find("output");
+            if (id == nullptr || !id->isNumber() ||
+                record == nullptr || !record->isObject() ||
+                output == nullptr || !output->isString())
+                fatal("shard: malformed result frame");
+            const std::size_t index =
+                static_cast<std::size_t>(id->counter());
+            if (worker.inflight < 0 ||
+                static_cast<std::size_t>(worker.inflight) != index)
+                fatal("shard: result id " + std::to_string(index) +
+                      " does not match the worker's in-flight run");
+            worker.inflight = -1;
+
+            std::vector<Word> words;
+            if (!decodeWords(output->str(), &words))
+                fatal("shard: corrupt output encoding in result " +
+                      std::to_string(index));
+            ExecutedRun &run = out[index];
+            run.outcome = outcomeFromRecord(*record, std::move(words));
+            if (request.wantRecords)
+                run.recordLine = record->dump();
+            if (request.wantTelemetry)
+                run.telemetryChunk =
+                    telemetryLines(batch[index], run.outcome,
+                                   request.telemetryBase + index);
+            if (request.onRunDone)
+                request.onRunDone(index, batch[index], run.outcome);
+            shardStats().resultFrames.fetch_add(
+                1, std::memory_order_relaxed);
+            --remaining;
+        }
+    }
+
+    // Descriptors that cannot ship (hand-assembled graphs, traced or
+    // telemetry-sampled runs) execute on this side, same bytes as the
+    // local path.
+    for (std::size_t index : inline_runs)
+        runInline(index, batch[index], request, out[index]);
+}
+
+} // namespace commguard::sim

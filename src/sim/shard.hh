@@ -1,0 +1,170 @@
+/**
+ * @file
+ * Multi-process sharded sweep execution (docs/SHARDING.md).
+ *
+ * A ShardExecutor partitions a sweep batch across OS worker processes
+ * (`cg_bench worker`) connected by pipes. Each frame on the wire is a
+ * 4-byte little-endian length prefix followed by one canonical-JSON
+ * document:
+ *
+ *   worker -> serve   {"type":"hello", "protocol_version", ...}
+ *   serve  -> worker  {"type":"run", "id", "descriptor"}
+ *   worker -> serve   {"type":"result", "id", "record", "output"}
+ *   serve  -> worker  {"type":"exit"}
+ *
+ * Scheduling is self-balancing: every worker holds at most one
+ * in-flight run and is handed the next pending one when its result
+ * arrives (the depth-1 discipline also makes pipe deadlock impossible
+ * — the serve side only writes to a worker that is idle and reading).
+ * A worker death is detected by its pipe closing; its in-flight run is
+ * reassigned, each run surviving at most ShardPlan::maxAttempts
+ * assignments before the sweep aborts. Descriptors that cannot cross a
+ * process boundary (runShippable() false: no App::spec, or tracing/
+ * telemetry requested) execute inline on the serve side.
+ *
+ * Determinism: results land in ExecutedRun slots by submission index,
+ * so the merged artifact bytes are independent of the shard count,
+ * worker scheduling, and any deaths/reassignments along the way —
+ * byte-identical to LocalExecutor output for the same batch.
+ */
+
+#ifndef COMMGUARD_SIM_SHARD_HH
+#define COMMGUARD_SIM_SHARD_HH
+
+#include <atomic>
+#include <deque>
+#include <string>
+#include <sys/types.h>
+#include <vector>
+
+#include "sim/run_executor.hh"
+
+namespace commguard::sim
+{
+
+/** Bumped on any wire-format change; hello frames must match. */
+constexpr int kShardProtocolVersion = 1;
+
+/**
+ * Write one length-prefixed frame to @p fd (blocking, EINTR-safe).
+ * False on any write failure (e.g. EPIPE after a peer death).
+ */
+bool writeFrame(int fd, const std::string &payload);
+
+/**
+ * Read one length-prefixed frame from @p fd (blocking, EINTR-safe).
+ * False on EOF before a complete frame or an oversized length.
+ */
+bool readFrame(int fd, std::string *payload);
+
+/** Process-wide shard traffic counters (sweep health board). */
+struct ShardStats
+{
+    std::atomic<Count> workersSpawned{0};
+    std::atomic<Count> workersLost{0};      //!< Deaths detected.
+    std::atomic<Count> runsAssigned{0};     //!< Run frames sent.
+    std::atomic<Count> runsReassigned{0};   //!< Re-sent after a death.
+    std::atomic<Count> resultFrames{0};     //!< Results received.
+    std::atomic<Count> localFallbackRuns{0};//!< Ran inline (unshippable).
+};
+
+/** The process-wide counters every ShardExecutor reports into. */
+ShardStats &shardStats();
+
+/** How `cg_bench run --shards=N` configures its ShardExecutor. */
+struct ShardPlan
+{
+    /** Worker-process count (>= 1). */
+    unsigned shards = 1;
+
+    /** Worker command line, e.g. {"/path/to/cg_bench", "worker"}. */
+    std::vector<std::string> workerArgv;
+
+    /** Assignment attempts per run before the sweep aborts. */
+    int maxAttempts = 3;
+
+    /** Replacement workers spawned when the pool would go empty. */
+    unsigned maxRespawns = 4;
+
+    /**
+     * Test hook: SIGKILL one live worker once this many runs have
+     * been assigned (0 = never). Exercises the death-detection and
+     * reassignment path deterministically; never set in production.
+     */
+    Count testKillAfterAssignments = 0;
+};
+
+/**
+ * Install/read the process shard plan. sharedRunner() builds a
+ * ShardExecutor-backed engine when a plan is set (cg_bench does so
+ * while parsing --shards) and the default local engine otherwise.
+ */
+void setProcessShardPlan(ShardPlan plan);
+const ShardPlan *processShardPlan();
+
+/**
+ * The `cg_bench worker` body: speak the protocol over @p in_fd /
+ * @p out_fd until an exit frame or EOF. Returns a process exit code
+ * (0 on a clean exit; 1 on a protocol violation, which the serve side
+ * observes as a worker death).
+ */
+int shardWorkerLoop(int in_fd, int out_fd);
+
+/**
+ * The serve-side executor: spawns ShardPlan::shards worker processes
+ * on first use, keeps them across batches (their app caches and run
+ * scratches stay warm), and dispatches each batch per the protocol
+ * above. fatal() when a run exhausts maxAttempts or the worker pool
+ * cannot be refilled.
+ */
+class ShardExecutor : public RunExecutor
+{
+  public:
+    explicit ShardExecutor(ShardPlan plan);
+    ~ShardExecutor() override;
+
+    ShardExecutor(const ShardExecutor &) = delete;
+    ShardExecutor &operator=(const ShardExecutor &) = delete;
+
+    const char *name() const override { return "shard"; }
+    unsigned jobs() const override { return _plan.shards; }
+
+    void execute(const std::vector<RunDescriptor> &batch,
+                 const ExecutionRequest &request,
+                 std::vector<ExecutedRun> &out) override;
+
+  private:
+    struct Worker
+    {
+        pid_t pid = -1;
+        int toWorker = -1;    //!< Serve writes run/exit frames here.
+        int fromWorker = -1;  //!< Serve reads hello/result frames.
+        bool live = false;
+        int inflight = -1;    //!< Batch index in flight, -1 if idle.
+    };
+
+    void spawnWorker();
+    void retireWorker(Worker &worker);
+
+    /** Handle a detected death: reassign, respawn, or fatal. */
+    void onWorkerDeath(Worker &worker,
+                       std::deque<std::size_t> &pending,
+                       std::vector<int> &attempts);
+
+    /** Run one unshippable descriptor on the serve side. */
+    void runInline(std::size_t index, const RunDescriptor &descriptor,
+                   const ExecutionRequest &request, ExecutedRun &run);
+
+    ShardPlan _plan;
+    std::vector<Worker> _workers;
+    unsigned _respawns = 0;
+    Count _assignedTotal = 0;
+    bool _testKillDone = false;
+
+    /** Scratch for inline (unshippable) runs. */
+    RunScratch _inlineScratch;
+};
+
+} // namespace commguard::sim
+
+#endif // COMMGUARD_SIM_SHARD_HH

@@ -5,10 +5,13 @@
 #include <cstdio>
 #include <filesystem>
 #include <string>
+#include <utility>
 
 #include "common/logging.hh"
 #include "sim/env_options.hh"
+#include "sim/result_cache.hh"
 #include "sim/run_export.hh"
+#include "sim/shard.hh"
 #include "sim/telemetry_export.hh"
 #include "sim/trace_export.hh"
 
@@ -46,8 +49,15 @@ sweepOptions(streamit::ProtectionMode mode, bool inject_errors,
     return options;
 }
 
-SweepRunner::SweepRunner(unsigned jobs)
-    : _pool(jobs == 0 ? ThreadPool::defaultJobs() : jobs)
+SweepRunner::SweepRunner(unsigned jobs, Caching caching)
+    : _executor(std::make_unique<LocalExecutor>(jobs)),
+      _caching(caching)
+{
+}
+
+SweepRunner::SweepRunner(std::unique_ptr<RunExecutor> executor,
+                         Caching caching)
+    : _executor(std::move(executor)), _caching(caching)
 {
 }
 
@@ -85,67 +95,97 @@ SweepRunner::runAll()
     const bool want_telemetry =
         env.telemetrySlices > 0 && !env.telemetryOut.empty();
 
-    // One scratch per pool job slot, reused batch over batch (the
-    // freelists inside keep the big per-run buffers warm). beginBatch
-    // drops caches keyed by graph addresses that may have been reused
-    // since the last runAll().
-    if (_scratches.size() < _pool.jobs())
-        _scratches.resize(_pool.jobs());
-    for (RunScratch &scratch : _scratches)
-        scratch.beginBatch();
+    // Cached entries carry no trace or telemetry artifacts, so any
+    // env-level observability request disables the cache for the
+    // whole batch (runOnce() applies those knobs to every run).
+    ResultCache *cache =
+        (_caching == Caching::Auto && !env.traceEvents &&
+         env.telemetrySlices == 0)
+            ? ResultCache::process()
+            : nullptr;
 
-    std::vector<RunOutcome> outcomes(batch.size());
+    std::vector<ExecutedRun> runs(batch.size());
 
-    // Export artifacts are *serialized* on the worker that ran the
-    // run (into its submission-order slot) and *written* after the
-    // barrier: file bytes stay independent of CG_JOBS while the
-    // string building — which dwarfs the final write — runs off the
-    // critical path.
-    std::vector<std::string> jsonl_lines(want_jsonl ? batch.size() : 0);
-    std::vector<std::string> trace_docs(want_traces ? batch.size() : 0);
-    std::vector<std::string> telemetry_chunks(
-        want_telemetry ? batch.size() : 0);
+    ExecutionRequest request;
+    request.wantRecords = want_jsonl || cache != nullptr;
+    request.wantTraceDocs = want_traces;
+    request.wantTelemetry = want_telemetry;
+    request.onRunDone = [this](std::size_t,
+                               const RunDescriptor &descriptor,
+                               const RunOutcome &outcome) {
+        finishRun(descriptor, outcome);
+    };
 
     // Stream-wide run index base, taken on the submitting thread:
     // batch composition never depends on the job count, so run_index
     // assignment (and with it the stream's bytes) stays deterministic.
     static std::atomic<Count> telemetry_run_serial{0};
-    const Count telemetry_base =
+    request.telemetryBase =
         want_telemetry ? telemetry_run_serial.fetch_add(
                              batch.size(), std::memory_order_relaxed)
                        : 0;
 
-    _pool.submitBatch(
-        batch.size(), [&](unsigned worker, std::size_t i) {
-            const RunDescriptor &descriptor = batch[i];
-            RunOutcome &outcome = outcomes[i];
-            outcome = runOnce(*descriptor.app, descriptor.options,
-                              &_scratches[worker]);
-            if (want_jsonl)
-                jsonl_lines[i] =
-                    runRecordJson(descriptor, outcome).dump();
-            if (want_traces && outcome.eventTrace != nullptr)
-                trace_docs[i] =
-                    perfettoTraceJson(*outcome.eventTrace).dump();
-            if (want_telemetry)
-                telemetry_chunks[i] = telemetryLines(
-                    descriptor, outcome, telemetry_base + i);
-            const std::size_t done =
-                _completed.fetch_add(1, std::memory_order_relaxed) +
-                1;
-            if (_useOutcomeObserver) {
-                std::lock_guard<std::mutex> lock(_progressMutex);
-                _outcomeObserver(done, _total, descriptor, outcome);
-            } else {
-                reportProgress(done);
+    // Cache replay pass: hits fill their submission-order slot
+    // directly (the stored recordLine is the very dump() a fresh run
+    // would produce, so downstream bytes cannot tell the difference);
+    // misses execute on the backend.
+    std::vector<char> from_cache(batch.size(), 0);
+    if (cache != nullptr) {
+        for (std::size_t i = 0; i < batch.size(); ++i) {
+            if (runCacheable(batch[i]) &&
+                cache->lookup(batch[i], &runs[i])) {
+                from_cache[i] = 1;
+                finishRun(batch[i], runs[i].outcome);
             }
-        });
-    _pool.wait();  // Rethrows the batch's first exception, if any.
+        }
+    }
+
+    std::vector<std::size_t> pending;
+    pending.reserve(batch.size());
+    for (std::size_t i = 0; i < batch.size(); ++i)
+        if (!from_cache[i])
+            pending.push_back(i);
+
+    if (pending.size() == batch.size()) {
+        // Nothing replayed: hand the batch over untouched (the common
+        // path, and the one where sub-indices must equal submission
+        // indices for telemetryBase + i to be right — telemetry-on
+        // batches always take it, since telemetry disables the cache).
+        _executor->execute(batch, request, runs);
+    } else if (!pending.empty()) {
+        std::vector<RunDescriptor> sub_batch;
+        sub_batch.reserve(pending.size());
+        for (std::size_t i : pending)
+            sub_batch.push_back(batch[i]);
+        std::vector<ExecutedRun> sub_runs(pending.size());
+        _executor->execute(sub_batch, request, sub_runs);
+        for (std::size_t s = 0; s < pending.size(); ++s)
+            runs[pending[s]] = std::move(sub_runs[s]);
+    }
+
+    if (cache != nullptr) {
+        for (std::size_t i : pending)
+            if (runCacheable(batch[i]))
+                cache->store(batch[i], runs[i]);
+    }
+
+    // Results move out of their slots before the artifact writes so
+    // the telemetry report sees the final outcome vector.
+    std::vector<RunOutcome> outcomes;
+    outcomes.reserve(runs.size());
+    for (ExecutedRun &run : runs)
+        outcomes.push_back(std::move(run.outcome));
 
     // Per-run JSONL export (CG_JSONL=<path>): concatenated in
-    // submission order, so file content is independent of CG_JOBS.
-    if (want_jsonl && !batch.empty())
+    // submission order, so file content is independent of the
+    // backend, its job count, and the cache hit pattern.
+    if (want_jsonl && !batch.empty()) {
+        std::vector<std::string> jsonl_lines;
+        jsonl_lines.reserve(runs.size());
+        for (ExecutedRun &run : runs)
+            jsonl_lines.push_back(std::move(run.recordLine));
         appendJsonl(env.jsonlPath, jsonl_lines);
+    }
 
     // Telemetry stream (CG_TELEMETRY_OUT=<path>): each chunk is one
     // run's newline-joined sample records, concatenated in submission
@@ -153,9 +193,13 @@ SweepRunner::runAll()
     // HTML report next to it is rewritten after every batch so it is
     // live mid-sweep (host-side content, so jobs-dependent).
     if (want_telemetry && !batch.empty()) {
+        std::vector<std::string> telemetry_chunks;
+        telemetry_chunks.reserve(runs.size());
+        for (ExecutedRun &run : runs)
+            telemetry_chunks.push_back(std::move(run.telemetryChunk));
         appendJsonl(env.telemetryOut, telemetry_chunks);
-        telemetryReportAdd(batch, outcomes, _pool.stats(),
-                           _pool.jobs(),
+        telemetryReportAdd(batch, outcomes, _executor->poolStats(),
+                           _executor->jobs(),
                            monotonicSeconds() - _startSeconds);
         writeTelemetryReport(env.telemetryOut + ".html");
     }
@@ -172,7 +216,7 @@ SweepRunner::runAll()
                  env.traceOut + "': " + ec.message());
         } else {
             for (std::size_t i = 0; i < batch.size(); ++i) {
-                if (trace_docs[i].empty())
+                if (runs[i].traceDoc.empty())
                     continue;
                 const Count n = trace_serial.fetch_add(
                     1, std::memory_order_relaxed);
@@ -183,11 +227,25 @@ SweepRunner::runAll()
                         batch[i].options.mode) +
                     "_seed" +
                     std::to_string(batch[i].options.seed) + ".json";
-                writeTraceFile(path, trace_docs[i]);
+                writeTraceFile(path, runs[i].traceDoc);
             }
         }
     }
     return outcomes;
+}
+
+void
+SweepRunner::finishRun(const RunDescriptor &descriptor,
+                       const RunOutcome &outcome)
+{
+    const std::size_t done =
+        _completed.fetch_add(1, std::memory_order_relaxed) + 1;
+    if (_useOutcomeObserver) {
+        std::lock_guard<std::mutex> lock(_progressMutex);
+        _outcomeObserver(done, _total, descriptor, outcome);
+    } else {
+        reportProgress(done);
+    }
 }
 
 void
@@ -221,28 +279,38 @@ SweepRunner::reportProgress(std::size_t done)
     _nextPrintSeconds.store(now + progressQuietSeconds,
                             std::memory_order_relaxed);
     std::fprintf(stderr, "[sweep] %zu/%zu runs (%.0fs, %u jobs)\n",
-                 done, _total, now - _startSeconds, _pool.jobs());
+                 done, _total, now - _startSeconds,
+                 _executor->jobs());
 }
 
 SweepRunner &
 sharedRunner()
 {
-    static SweepRunner runner;
-    // The pool width was pinned when the first caller constructed the
-    // runner: a later CG_JOBS change (setenv from test or bench code)
-    // silently does not apply, so surface the mismatch once.
-    const unsigned wanted = ThreadPool::defaultJobs();
-    if (wanted != runner.jobs()) {
-        static std::atomic<bool> warned{false};
-        if (!warned.exchange(true)) {
-            warn("sharedRunner: pool width pinned at " +
-                 std::to_string(runner.jobs()) +
-                 " jobs at first use; current CG_JOBS asks for " +
-                 std::to_string(wanted) +
-                 " — construct a private SweepRunner for that");
+    static SweepRunner *runner = []() {
+        if (const ShardPlan *plan = processShardPlan())
+            return new SweepRunner(
+                std::make_unique<ShardExecutor>(*plan));
+        return new SweepRunner();
+    }();
+
+    if (std::string(runner->executorName()) == "local") {
+        // The pool width was pinned when the first caller constructed
+        // the runner: a later CG_JOBS change (setenv from test or
+        // bench code) silently does not apply, so surface the
+        // mismatch once.
+        const unsigned wanted = ThreadPool::defaultJobs();
+        if (wanted != runner->jobs()) {
+            static std::atomic<bool> warned{false};
+            if (!warned.exchange(true)) {
+                warn("sharedRunner: pool width pinned at " +
+                     std::to_string(runner->jobs()) +
+                     " jobs at first use; current CG_JOBS asks for " +
+                     std::to_string(wanted) +
+                     " — construct a private SweepRunner for that");
+            }
         }
     }
-    return runner;
+    return *runner;
 }
 
 } // namespace commguard::sim

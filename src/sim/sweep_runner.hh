@@ -5,27 +5,25 @@
  * Every evaluation sweep (figures, ablations, §6 methodology) is a set
  * of independent runs: each (app, mode, mtbe, seed, frameScale)
  * descriptor builds its own self-contained Multicore with per-core
- * seeded RNGs, so runs share no mutable state. SweepRunner fans the
- * descriptors out through the pool's lock-free batch path (workers
- * claim run indices from one atomic counter) and collects RunOutcomes
- * in submission order.
+ * seeded RNGs, so runs share no mutable state. SweepRunner owns the
+ * *what* of a sweep — the queued descriptors, submission-order result
+ * collection, progress reporting, artifact writes — and delegates the
+ * *where* to a RunExecutor (sim/run_executor.hh): the in-process
+ * ThreadPool by default, OS worker processes when a shard plan is
+ * installed (sim/shard.hh), with an optional content-addressed result
+ * cache in front of either (sim/result_cache.hh, CG_CACHE_DIR).
  *
  * Determinism guarantee: the outcome vector is bitwise identical for
- * any job count, because all randomness lives in per-run seeded RNGs
- * and host scheduling only decides *when* a run executes, never what
- * it computes. Per-worker RunScratch state preserves this: recycled
- * buffers are re-zeroed and cached programs copied pristine, so which
- * worker runs a descriptor cannot leak into its outcome. `CG_JOBS=1`
- * restores fully sequential execution on the submitting thread.
+ * any job count, shard count, and cache hit/miss history, because all
+ * randomness lives in per-run seeded RNGs and the engine only decides
+ * *when/where* a run executes, never what it computes. Export
+ * artifacts (CG_JSONL lines, Perfetto trace documents) are *serialized*
+ * where the run executed and *written* after the batch in submission
+ * order, so file bytes carry the same independence.
  *
- * Export artifacts (CG_JSONL lines, Perfetto trace documents) are
- * *serialized* on the worker that ran the run and *written* after the
- * batch in submission order, so file bytes are also independent of
- * CG_JOBS while the string building stays off the barrier.
- *
- * Ownership: a SweepRunner owns its ThreadPool for its whole lifetime
- * (workers are reused across runAll() calls); descriptors reference
- * apps::App objects that must outlive runAll().
+ * Ownership: a SweepRunner owns its executor for its whole lifetime
+ * (pool workers / shard processes are reused across runAll() calls);
+ * descriptors reference apps::App objects that must outlive runAll().
  */
 
 #ifndef COMMGUARD_SIM_SWEEP_RUNNER_HH
@@ -34,20 +32,16 @@
 #include <atomic>
 #include <cstddef>
 #include <functional>
+#include <memory>
+#include <mutex>
 #include <vector>
 
 #include "common/thread_pool.hh"
 #include "sim/experiment.hh"
+#include "sim/run_executor.hh"
 
 namespace commguard::sim
 {
-
-/** One independent run of a sweep. */
-struct RunDescriptor
-{
-    const apps::App *app = nullptr;  //!< Not owned; must outlive run.
-    streamit::LoadOptions options;
-};
 
 /**
  * Canonical sweep options for seed index @p seed_index (0-based): the
@@ -64,8 +58,26 @@ streamit::LoadOptions sweepOptions(streamit::ProtectionMode mode,
 class SweepRunner
 {
   public:
+    /**
+     * Whether this runner may consult the CG_CACHE_DIR result cache.
+     * Off exists for callers whose point is to *execute* (timing
+     * measurements in micro_sweep_throughput, determinism comparisons
+     * in the fuzz harness): a replayed result would measure the cache,
+     * not the machine.
+     */
+    enum class Caching
+    {
+        Auto,  //!< Use the process cache when CG_CACHE_DIR is set.
+        Off,   //!< Never look up or store, cache or not.
+    };
+
     /** @param jobs Pool width; 0 means ThreadPool::defaultJobs(). */
-    explicit SweepRunner(unsigned jobs = 0);
+    explicit SweepRunner(unsigned jobs = 0,
+                         Caching caching = Caching::Auto);
+
+    /** A runner on an explicit execution backend (e.g. shards). */
+    explicit SweepRunner(std::unique_ptr<RunExecutor> executor,
+                         Caching caching = Caching::Auto);
 
     /** Queue one run; returns its index in the outcome vector. */
     std::size_t enqueue(const apps::App &app,
@@ -79,19 +91,25 @@ class SweepRunner
      */
     std::vector<RunOutcome> runAll();
 
-    /** Effective parallelism of this runner. */
-    unsigned jobs() const { return _pool.jobs(); }
+    /** Effective parallelism of this runner's backend. */
+    unsigned jobs() const { return _executor->jobs(); }
+
+    /** Backend name ("local", "shard") for logs and boards. */
+    const char *executorName() const { return _executor->name(); }
 
     /**
-     * Host-side scheduling counters of the underlying pool (batches,
-     * stolen indices, waits/wakeups). Engine diagnostics only — never
-     * part of per-run snapshots, whose bytes must not depend on the
-     * job count. See docs/METRICS.md, "pool/".
+     * Host-side scheduling counters of the backend's in-process pool,
+     * when it has one (batches, stolen indices, waits/wakeups). Engine
+     * diagnostics only — never part of per-run snapshots, whose bytes
+     * must not depend on the job count. See docs/METRICS.md, "pool/".
      */
-    ThreadPool::Stats poolStats() const { return _pool.stats(); }
+    ThreadPool::Stats poolStats() const
+    {
+        return _executor->poolStats();
+    }
 
     /** Reset the scheduling counters (e.g. between bench phases). */
-    void resetPoolStats() { _pool.resetStats(); }
+    void resetPoolStats() { _executor->resetPoolStats(); }
 
     // ------------------------------------------------------------------
     // Progress (readable from any thread while runAll is executing).
@@ -125,7 +143,8 @@ class SweepRunner
      * (sim/telemetry_export.hh). Invoked under an internal mutex,
      * possibly from worker threads; it takes precedence over both
      * setProgress() and the default printer. Like setProgress(), the
-     * batch latches its presence at runAll() start.
+     * batch latches its presence at runAll() start. Cache hits report
+     * through it too (from the submitting thread).
      */
     using OutcomeObserver = std::function<void(
         std::size_t, std::size_t, const RunDescriptor &,
@@ -136,18 +155,13 @@ class SweepRunner
     }
 
   private:
+    void finishRun(const RunDescriptor &descriptor,
+                   const RunOutcome &outcome);
     void reportProgress(std::size_t done);
 
-    ThreadPool _pool;
+    std::unique_ptr<RunExecutor> _executor;
+    Caching _caching = Caching::Auto;
     std::vector<RunDescriptor> _queued;
-
-    /**
-     * One reusable RunScratch per pool job slot, indexed by the batch
-     * worker id (slot 0 doubles as the inline-path scratch). Grown
-     * lazily on the first runAll(); lives as long as the runner so
-     * recycled buffers survive across batches.
-     */
-    std::vector<RunScratch> _scratches;
 
     std::size_t _total = 0;
     std::atomic<std::size_t> _completed{0};
@@ -168,11 +182,13 @@ class SweepRunner
 };
 
 /**
- * Process-wide runner shared by qualitySweep() and the bench helpers:
- * one pool of CG_JOBS workers reused for every sweep. Only for use
- * from the main thread.
+ * Process-wide runner shared by qualitySweep() and the bench helpers,
+ * reused for every sweep. Only for use from the main thread. Backed by
+ * a ShardExecutor when a process shard plan is installed
+ * (setProcessShardPlan — `cg_bench run --shards=N`), by the default
+ * local pool otherwise.
  *
- * The pool width is pinned when the first caller constructs the
+ * The local pool width is pinned when the first caller constructs the
  * runner; changing CG_JOBS later in the process (e.g. setenv() from
  * test code) does NOT re-size it. A mismatch between the pinned width
  * and the current CG_JOBS is reported once via warn() so a silently

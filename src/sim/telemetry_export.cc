@@ -14,6 +14,8 @@
 #include "common/logging.hh"
 #include "common/telemetry.hh"
 #include "sim/env_options.hh"
+#include "sim/result_cache.hh"
+#include "sim/shard.hh"
 
 namespace commguard::sim
 {
@@ -633,6 +635,33 @@ SweepHealthBoard::observe(std::size_t done, std::size_t total,
          << " idle "
          << delta(stats.idleWakeups, _batchBaseStats.idleWakeups)
          << " |";
+
+    // Cache and shard traffic (docs/METRICS.md "cache/", "shard/"):
+    // process-wide totals, shown only when the subsystem is active so
+    // plain local sweeps keep the familiar line.
+    const ResultCacheStats &cache = ResultCache::stats();
+    if (ResultCache::process() != nullptr) {
+        text << " cache "
+             << cache.hits.load(std::memory_order_relaxed) << " hit "
+             << cache.misses.load(std::memory_order_relaxed)
+             << " miss |";
+    }
+    const ShardStats &shard = shardStats();
+    const Count workers =
+        shard.workersSpawned.load(std::memory_order_relaxed);
+    if (workers > 0) {
+        text << " shard " << workers << " workers "
+             << shard.resultFrames.load(std::memory_order_relaxed)
+             << " results";
+        const Count lost =
+            shard.workersLost.load(std::memory_order_relaxed);
+        if (lost > 0)
+            text << " " << lost << " lost "
+                 << shard.runsReassigned.load(
+                        std::memory_order_relaxed)
+                 << " reassigned";
+        text << " |";
+    }
     for (const auto &[mode, entry] : _modes) {
         std::snprintf(buffer, sizeof buffer, " %s %.1f rep/run",
                       mode.c_str(),

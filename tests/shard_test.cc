@@ -1,0 +1,507 @@
+/**
+ * @file
+ * Tests for the process-boundary layers of the sweep engine
+ * (docs/SHARDING.md):
+ *  - the run codec: canonical descriptor JSON round-trips through
+ *    descriptorFromJson, word streams round-trip through hex, and a
+ *    JSONL run record rebuilds the exact RunOutcome,
+ *  - the content-addressed result cache: store/lookup replays the
+ *    exact record bytes, corrupt or mismatched entries degrade to
+ *    misses, and the key is descriptor-sensitive,
+ *  - the shard frame protocol over a real pipe,
+ *  - ShardExecutor end to end against real `cg_bench worker`
+ *    processes: merged results byte-identical to the local executor,
+ *    including when a worker is killed mid-sweep and its run is
+ *    reassigned (the recovery path).
+ */
+
+#include <gtest/gtest.h>
+
+#include <csignal>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <memory>
+#include <string>
+#include <unistd.h>
+#include <vector>
+
+#include "apps/app.hh"
+#include "sim/experiment_config.hh"
+#include "sim/result_cache.hh"
+#include "sim/run_codec.hh"
+#include "sim/run_export.hh"
+#include "sim/shard.hh"
+#include "sim/sweep_runner.hh"
+
+namespace commguard::sim
+{
+namespace
+{
+
+namespace fs = std::filesystem;
+
+void
+expectBitwiseEqual(const RunOutcome &a, const RunOutcome &b)
+{
+    EXPECT_EQ(std::memcmp(&a.qualityDb, &b.qualityDb, sizeof(double)),
+              0);
+    EXPECT_EQ(a.completed, b.completed);
+    EXPECT_TRUE(a.snapshot == b.snapshot);
+    EXPECT_EQ(a.output, b.output);
+}
+
+/** A small cross-mode sweep over the fft app (mirrors
+ *  sweep_runner_test.cc's batch shape). */
+std::vector<RunDescriptor>
+smallSweep(const apps::App &app)
+{
+    std::vector<RunDescriptor> descriptors;
+    for (const streamit::ProtectionMode mode :
+         {streamit::ProtectionMode::ReliableQueue,
+          streamit::ProtectionMode::CommGuard}) {
+        for (const double mtbe : {64'000.0, 1'024'000.0}) {
+            for (int seed = 0; seed < 2; ++seed) {
+                descriptors.push_back(
+                    {&app, sweepOptions(mode, true, mtbe, seed)});
+            }
+        }
+    }
+    return descriptors;
+}
+
+// ----------------------------------------------------------------------
+// Frame protocol.
+// ----------------------------------------------------------------------
+
+TEST(ShardFrames, RoundTripOverAPipe)
+{
+    int fds[2];
+    ASSERT_EQ(::pipe(fds), 0);
+
+    // Total stays under the 64 KiB pipe buffer: all frames are
+    // written before any is read back.
+    const std::vector<std::string> payloads = {
+        "", "{}", std::string(30'000, 'x')};
+    for (const std::string &payload : payloads)
+        ASSERT_TRUE(writeFrame(fds[1], payload));
+    for (const std::string &payload : payloads) {
+        std::string got;
+        ASSERT_TRUE(readFrame(fds[0], &got));
+        EXPECT_EQ(got, payload);
+    }
+
+    // A closed write end is EOF, not garbage.
+    ::close(fds[1]);
+    std::string got;
+    EXPECT_FALSE(readFrame(fds[0], &got));
+    ::close(fds[0]);
+}
+
+TEST(ShardFrames, TruncatedFrameIsEof)
+{
+    int fds[2];
+    ASSERT_EQ(::pipe(fds), 0);
+    // A length prefix promising more bytes than ever arrive.
+    const unsigned char prefix[4] = {16, 0, 0, 0};
+    ASSERT_EQ(::write(fds[1], prefix, 4), 4);
+    ASSERT_EQ(::write(fds[1], "abc", 3), 3);
+    ::close(fds[1]);
+    std::string got;
+    EXPECT_FALSE(readFrame(fds[0], &got));
+    ::close(fds[0]);
+}
+
+// ----------------------------------------------------------------------
+// Run codec.
+// ----------------------------------------------------------------------
+
+TEST(RunCodec, WordHexRoundTrip)
+{
+    const std::vector<Word> words = {0u, 1u, 0xdeadbeefu, 0xffffffffu};
+    const std::string hex = encodeWords(words);
+    EXPECT_EQ(hex, "0000000000000001deadbeefffffffff");
+
+    std::vector<Word> back;
+    ASSERT_TRUE(decodeWords(hex, &back));
+    EXPECT_EQ(back, words);
+
+    EXPECT_TRUE(decodeWords("", &back));
+    EXPECT_TRUE(back.empty());
+
+    EXPECT_FALSE(decodeWords("0000000", &back));   // Not 8-aligned.
+    EXPECT_FALSE(decodeWords("0000000g", &back));  // Non-hex.
+}
+
+TEST(RunCodec, DescriptorRoundTripsThroughJson)
+{
+    const apps::App app = apps::makeFftApp(16);
+    std::vector<RunDescriptor> descriptors = smallSweep(app);
+
+    // Exercise the non-default fields too.
+    RunDescriptor tweaked = descriptors.front();
+    tweaked.options.frameScale = 3;
+    tweaked.options.perNodeFrameScale.assign(
+        static_cast<std::size_t>(app.graph.numNodes()), 2);
+    tweaked.options.queueCapacityWords = 512;
+    tweaked.options.flipAllRegisters = true;
+    tweaked.options.guardSourceEdge = false;
+    tweaked.options.frameAlignedOutput = true;
+    tweaked.options.machine.timing.memExtraCycles = 7;
+    tweaked.options.machine.ppu.maxScopeDepth = 5;
+    descriptors.push_back(tweaked);
+
+    AppCache apps_cache;
+    for (std::size_t i = 0; i < descriptors.size(); ++i) {
+        SCOPED_TRACE("descriptor " + std::to_string(i));
+        const Json encoded = descriptorJson(descriptors[i]);
+
+        RunDescriptor decoded;
+        std::string error;
+        ASSERT_TRUE(descriptorFromJson(encoded, apps_cache, &decoded,
+                                       &error))
+            << error;
+
+        // Byte-level fixed point: re-encoding reproduces the bytes,
+        // so the cache key and the wire frame agree across hops.
+        EXPECT_EQ(descriptorJson(decoded).dump(), encoded.dump());
+        EXPECT_EQ(decoded.app->name, descriptors[i].app->name);
+        EXPECT_EQ(decoded.options.seed, descriptors[i].options.seed);
+        EXPECT_EQ(decoded.options.mtbe, descriptors[i].options.mtbe);
+    }
+}
+
+TEST(RunCodec, RejectsMalformedDescriptorJson)
+{
+    const apps::App app = apps::makeFftApp(16);
+    const RunDescriptor descriptor = {
+        &app,
+        sweepOptions(streamit::ProtectionMode::CommGuard, true,
+                     64'000.0, 0)};
+    AppCache apps_cache;
+    RunDescriptor decoded;
+    std::string error;
+
+    {
+        Json bad = descriptorJson(descriptor);
+        bad.obj().erase("seed");
+        EXPECT_FALSE(
+            descriptorFromJson(bad, apps_cache, &decoded, &error));
+        EXPECT_NE(error.find("seed"), std::string::npos);
+    }
+    {
+        Json bad = descriptorJson(descriptor);
+        bad["protection_mode"] = Json("no-such-mode");
+        EXPECT_FALSE(
+            descriptorFromJson(bad, apps_cache, &decoded, &error));
+    }
+    {
+        Json bad = descriptorJson(descriptor);
+        bad["mtbe"] = Json("fast");
+        EXPECT_FALSE(
+            descriptorFromJson(bad, apps_cache, &decoded, &error));
+    }
+}
+
+TEST(RunCodec, ShippabilityTracksSpecAndObservability)
+{
+    const apps::App app = apps::makeFftApp(16);
+    RunDescriptor descriptor = {
+        &app,
+        sweepOptions(streamit::ProtectionMode::CommGuard, true,
+                     64'000.0, 0)};
+    EXPECT_TRUE(runShippable(descriptor));
+    EXPECT_TRUE(runCacheable(descriptor));
+
+    // Observability artifacts cannot cross the process boundary.
+    descriptor.options.machine.traceEvents = true;
+    EXPECT_FALSE(runShippable(descriptor));
+    descriptor.options.machine.traceEvents = false;
+    descriptor.options.machine.telemetrySlices = 8;
+    EXPECT_FALSE(runShippable(descriptor));
+    descriptor.options.machine.telemetrySlices = 0;
+    EXPECT_TRUE(runShippable(descriptor));
+
+    // A hand-built app without a reconstruction spec stays local.
+    apps::App bare = apps::makeFftApp(16);
+    bare.spec.clear();
+    const RunDescriptor unshippable = {&bare, descriptor.options};
+    EXPECT_FALSE(runShippable(unshippable));
+    EXPECT_FALSE(runCacheable(unshippable));
+}
+
+TEST(RunCodec, OutcomeRebuildsFromRecord)
+{
+    const apps::App app = apps::makeFftApp(16);
+    const RunDescriptor descriptor = {
+        &app,
+        sweepOptions(streamit::ProtectionMode::CommGuard, true,
+                     64'000.0, 1)};
+    const RunOutcome outcome =
+        runOnce(*descriptor.app, descriptor.options);
+
+    const Json record = runRecordJson(descriptor, outcome);
+    const RunOutcome rebuilt =
+        outcomeFromRecord(record, outcome.output);
+    expectBitwiseEqual(outcome, rebuilt);
+}
+
+TEST(RunCodec, AppCacheReusesConstructedApps)
+{
+    const apps::App fft = apps::makeFftApp(16);
+    AppCache cache;
+    const apps::App &first = cache.fromSpec(fft.spec);
+    const apps::App &again = cache.fromSpec(fft.spec);
+    EXPECT_EQ(&first, &again);
+    EXPECT_EQ(first.name, fft.name);
+
+    const apps::App other = apps::makeFftApp(32);
+    EXPECT_NE(&cache.fromSpec(other.spec), &first);
+}
+
+// ----------------------------------------------------------------------
+// Result cache.
+// ----------------------------------------------------------------------
+
+/** A fresh cache directory under the test's scratch space. */
+class ResultCacheTest : public ::testing::Test
+{
+  protected:
+    void SetUp() override
+    {
+        _dir = fs::path(::testing::TempDir()) /
+               ("cg_cache_" + std::to_string(::getpid()) + "_" +
+                ::testing::UnitTest::GetInstance()
+                    ->current_test_info()
+                    ->name());
+        fs::remove_all(_dir);
+        fs::create_directories(_dir);
+    }
+    void TearDown() override { fs::remove_all(_dir); }
+
+    fs::path _dir;
+    const apps::App _app = apps::makeFftApp(16);
+};
+
+TEST_F(ResultCacheTest, StoreThenLookupReplaysExactRecordBytes)
+{
+    const RunDescriptor descriptor = {
+        &_app,
+        sweepOptions(streamit::ProtectionMode::CommGuard, true,
+                     64'000.0, 0)};
+    ExecutedRun executed;
+    executed.outcome = runOnce(*descriptor.app, descriptor.options);
+    executed.recordLine =
+        runRecordJson(descriptor, executed.outcome).dump();
+
+    ResultCache cache(_dir.string());
+    ExecutedRun replayed;
+    EXPECT_FALSE(cache.lookup(descriptor, &replayed));  // Cold.
+
+    cache.store(descriptor, executed);
+    ASSERT_TRUE(cache.lookup(descriptor, &replayed));
+    EXPECT_EQ(replayed.recordLine, executed.recordLine);
+    expectBitwiseEqual(replayed.outcome, executed.outcome);
+    EXPECT_TRUE(replayed.traceDoc.empty());
+    EXPECT_TRUE(replayed.telemetryChunk.empty());
+}
+
+TEST_F(ResultCacheTest, CorruptEntriesDegradeToMisses)
+{
+    const RunDescriptor descriptor = {
+        &_app,
+        sweepOptions(streamit::ProtectionMode::CommGuard, true,
+                     64'000.0, 0)};
+    ExecutedRun executed;
+    executed.outcome = runOnce(*descriptor.app, descriptor.options);
+    executed.recordLine =
+        runRecordJson(descriptor, executed.outcome).dump();
+
+    ResultCache cache(_dir.string());
+    cache.store(descriptor, executed);
+    const fs::path entry =
+        _dir / (ResultCache::keyFor(descriptor) + ".json");
+    ASSERT_TRUE(fs::exists(entry));
+
+    const Count invalid_before =
+        ResultCache::stats().invalid.load();
+    std::ofstream(entry) << "not json at all";
+    ExecutedRun replayed;
+    EXPECT_FALSE(cache.lookup(descriptor, &replayed));
+    EXPECT_GT(ResultCache::stats().invalid.load(), invalid_before);
+
+    // A syntactically valid entry keyed from a different descriptor
+    // (hash-collision stand-in) is rejected by the descriptor
+    // comparison, not trusted.
+    RunDescriptor other = descriptor;
+    other.options.seed += 1;
+    ExecutedRun other_run;
+    other_run.outcome = runOnce(*other.app, other.options);
+    other_run.recordLine =
+        runRecordJson(other, other_run.outcome).dump();
+    cache.store(other, other_run);
+    fs::copy_file(
+        _dir / (ResultCache::keyFor(other) + ".json"), entry,
+        fs::copy_options::overwrite_existing);
+    EXPECT_FALSE(cache.lookup(descriptor, &replayed));
+}
+
+TEST_F(ResultCacheTest, KeyIsStableAndDescriptorSensitive)
+{
+    const ExperimentConfig config =
+        ExperimentConfig::app(_app)
+            .mode(streamit::ProtectionMode::CommGuard)
+            .mtbe(128'000)
+            .seedIndex(2);
+    const std::string key = config.cacheKey();
+    EXPECT_EQ(key.size(), 16u);
+    EXPECT_EQ(key.find_first_not_of("0123456789abcdef"),
+              std::string::npos);
+    EXPECT_EQ(key, ResultCache::keyFor(config.descriptor()));
+
+    const std::string other =
+        ExperimentConfig::app(_app)
+            .mode(streamit::ProtectionMode::CommGuard)
+            .mtbe(128'000)
+            .seedIndex(3)
+            .cacheKey();
+    EXPECT_NE(key, other);
+}
+
+// ----------------------------------------------------------------------
+// ShardExecutor against real worker processes.
+// ----------------------------------------------------------------------
+
+ShardPlan
+testPlan(unsigned shards)
+{
+    ShardPlan plan;
+    plan.shards = shards;
+    plan.workerArgv = {CG_BENCH_PATH, "worker"};
+    return plan;
+}
+
+std::vector<ExecutedRun>
+runThrough(RunExecutor &executor,
+           const std::vector<RunDescriptor> &batch)
+{
+    ExecutionRequest request;
+    request.wantRecords = true;
+    std::vector<ExecutedRun> out(batch.size());
+    executor.execute(batch, request, out);
+    return out;
+}
+
+TEST(ShardExecutor, MergedResultsMatchLocalExecutorBytes)
+{
+    const apps::App app = apps::makeFftApp(16);
+    const std::vector<RunDescriptor> batch = smallSweep(app);
+
+    LocalExecutor local(1);
+    const std::vector<ExecutedRun> base = runThrough(local, batch);
+
+    ShardExecutor sharded(testPlan(2));
+    EXPECT_STREQ(sharded.name(), "shard");
+    EXPECT_EQ(sharded.jobs(), 2u);
+    const std::vector<ExecutedRun> shard = runThrough(sharded, batch);
+
+    ASSERT_EQ(shard.size(), base.size());
+    for (std::size_t i = 0; i < base.size(); ++i) {
+        SCOPED_TRACE("run " + std::to_string(i));
+        expectBitwiseEqual(base[i].outcome, shard[i].outcome);
+        EXPECT_EQ(base[i].recordLine, shard[i].recordLine);
+    }
+
+    // Workers persist across batches (warm app caches): a second
+    // batch through the same executor still matches.
+    const std::vector<ExecutedRun> again = runThrough(sharded, batch);
+    for (std::size_t i = 0; i < base.size(); ++i)
+        EXPECT_EQ(base[i].recordLine, again[i].recordLine);
+}
+
+TEST(ShardExecutor, UnshippableRunsExecuteInline)
+{
+    apps::App bare = apps::makeFftApp(16);
+    bare.spec.clear();  // Not reconstructable in a worker.
+    const apps::App app = apps::makeFftApp(16);
+
+    std::vector<RunDescriptor> batch = {
+        {&app, sweepOptions(streamit::ProtectionMode::CommGuard, true,
+                            64'000.0, 0)},
+        {&bare, sweepOptions(streamit::ProtectionMode::CommGuard,
+                             true, 64'000.0, 1)},
+    };
+
+    LocalExecutor local(1);
+    const std::vector<ExecutedRun> base = runThrough(local, batch);
+
+    const Count inline_before =
+        shardStats().localFallbackRuns.load();
+    ShardExecutor sharded(testPlan(1));
+    const std::vector<ExecutedRun> shard = runThrough(sharded, batch);
+    EXPECT_GT(shardStats().localFallbackRuns.load(), inline_before);
+
+    for (std::size_t i = 0; i < base.size(); ++i) {
+        SCOPED_TRACE("run " + std::to_string(i));
+        expectBitwiseEqual(base[i].outcome, shard[i].outcome);
+    }
+}
+
+TEST(ShardExecutor, KilledWorkerRunIsReassignedWithoutCorruption)
+{
+    const apps::App app = apps::makeFftApp(16);
+    const std::vector<RunDescriptor> batch = smallSweep(app);
+
+    LocalExecutor local(1);
+    const std::vector<ExecutedRun> base = runThrough(local, batch);
+
+    // Kill the first worker immediately after its first assignment:
+    // its in-flight run must be detected as lost and reassigned, and
+    // the merged document must still be byte-identical.
+    ShardPlan plan = testPlan(2);
+    plan.testKillAfterAssignments = 1;
+
+    const Count lost_before = shardStats().workersLost.load();
+    const Count reassigned_before =
+        shardStats().runsReassigned.load();
+
+    ShardExecutor sharded(plan);
+    const std::vector<ExecutedRun> shard = runThrough(sharded, batch);
+
+    EXPECT_GT(shardStats().workersLost.load(), lost_before);
+    EXPECT_GT(shardStats().runsReassigned.load(), reassigned_before);
+
+    ASSERT_EQ(shard.size(), base.size());
+    for (std::size_t i = 0; i < base.size(); ++i) {
+        SCOPED_TRACE("run " + std::to_string(i));
+        expectBitwiseEqual(base[i].outcome, shard[i].outcome);
+        EXPECT_EQ(base[i].recordLine, shard[i].recordLine);
+    }
+}
+
+TEST(ShardExecutor, SweepRunnerOverShardsMatchesLocalRunner)
+{
+    const apps::App app = apps::makeFftApp(16);
+    const std::vector<RunDescriptor> batch = smallSweep(app);
+
+    SweepRunner local(1, SweepRunner::Caching::Off);
+    for (const RunDescriptor &descriptor : batch)
+        local.enqueue(descriptor);
+    const std::vector<RunOutcome> base = local.runAll();
+
+    SweepRunner sharded(std::make_unique<ShardExecutor>(testPlan(2)),
+                        SweepRunner::Caching::Off);
+    EXPECT_STREQ(sharded.executorName(), "shard");
+    for (const RunDescriptor &descriptor : batch)
+        sharded.enqueue(descriptor);
+    const std::vector<RunOutcome> shard = sharded.runAll();
+
+    ASSERT_EQ(shard.size(), base.size());
+    for (std::size_t i = 0; i < base.size(); ++i) {
+        SCOPED_TRACE("run " + std::to_string(i));
+        expectBitwiseEqual(base[i], shard[i]);
+    }
+}
+
+} // namespace
+} // namespace commguard::sim

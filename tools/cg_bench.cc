@@ -11,34 +11,68 @@
  *                                   to one registered protection mode
  *   cg_bench replay <bundle.json>   re-run a fuzz repro bundle
  *                                   (docs/FUZZING.md)
+ *   cg_bench run --shards=<n> …     execute the sweeps across <n>
+ *                                   worker processes (docs/SHARDING.md)
+ *   cg_bench serve …                like run, with sharding on by
+ *                                   default (CG_SHARDS or one worker
+ *                                   per host core)
+ *   cg_bench worker                 internal: serve-spawned worker
+ *                                   speaking the shard protocol on
+ *                                   stdin/stdout
  *
  * Behaviour knobs come from the environment, same as the rest of the
  * toolchain: CG_QUICK (thinned axes), CG_JOBS (sweep parallelism),
  * CG_CSV (CSV after each table), CG_JSON (BENCH_<name>.json files),
- * CG_JSONL (per-run records), CG_TRACE_EVENTS (Perfetto traces).
+ * CG_JSONL (per-run records), CG_TRACE_EVENTS (Perfetto traces),
+ * CG_SHARDS (default worker-process count), CG_CACHE_DIR (result
+ * cache directory).
  *
  * Exit codes: 0 success, 1 runtime failure (fatal() inside a
  * scenario) or a replayed bundle reproducing its failure, 2 usage
- * error (unknown subcommand, scenario or tag, unreadable bundle).
+ * error (unknown subcommand, scenario or tag, unreadable bundle, bad
+ * --shards value, unusable CG_CACHE_DIR).
  */
 
+#include <unistd.h>
+
 #include <algorithm>
+#include <cstdlib>
+#include <filesystem>
 #include <fstream>
 #include <iostream>
 #include <sstream>
 #include <string>
 #include <vector>
 
+#include "common/thread_pool.hh"
 #include "sim/env_options.hh"
 #include "sim/fuzz.hh"
 #include "sim/protection.hh"
 #include "sim/scenario.hh"
+#include "sim/shard.hh"
 #include "sim/telemetry_export.hh"
 
 using namespace commguard;
 
 namespace
 {
+
+/** argv[0], for respawning ourselves as shard workers. */
+std::string g_argv0 = "cg_bench";
+
+/** The path workers are spawned from: /proc/self/exe when the kernel
+ *  provides it (robust against PATH games and cwd changes), argv[0]
+ *  otherwise. */
+std::string
+selfExePath()
+{
+    std::error_code ec;
+    const std::filesystem::path exe =
+        std::filesystem::read_symlink("/proc/self/exe", ec);
+    if (!ec && !exe.empty())
+        return exe.string();
+    return g_argv0;
+}
 
 int
 usage(std::ostream &out, int code)
@@ -54,12 +88,40 @@ usage(std::ostream &out, int code)
            "                           (registered modes: "
         << protection::ProtectionRegistry::instance().nameList()
         << ")\n"
+           "  run --shards=<n> ...     execute sweeps across <n> "
+           "worker processes\n"
+           "  serve ...                run with sharding on by "
+           "default\n"
+           "  worker                   internal: shard worker on "
+           "stdin/stdout\n"
            "  replay <bundle.json>     re-run a fuzz repro bundle\n"
            "\n"
            "environment: CG_QUICK CG_JOBS CG_CSV CG_JSON CG_JSONL "
            "CG_MODE CG_TRACE_EVENTS CG_TELEMETRY_SLICES "
-           "CG_TELEMETRY_OUT CG_BOARD\n";
+           "CG_TELEMETRY_OUT CG_BOARD CG_SHARDS CG_CACHE_DIR\n";
     return code;
+}
+
+/**
+ * Strict shard-count parse: decimal digits only, >= 1. The same rule
+ * covers --shards=<n> and CG_SHARDS, so "--shards=0", "--shards=4x"
+ * and friends are usage errors, never silent fallbacks.
+ */
+bool
+parseShards(const std::string &text, unsigned *out)
+{
+    if (text.empty() || text.size() > 4)
+        return false;
+    unsigned value = 0;
+    for (char c : text) {
+        if (c < '0' || c > '9')
+            return false;
+        value = value * 10 + static_cast<unsigned>(c - '0');
+    }
+    if (value == 0)
+        return false;
+    *out = value;
+    return true;
 }
 
 void
@@ -111,13 +173,23 @@ cmdList(const std::vector<std::string> &args)
 }
 
 int
-cmdRun(const std::vector<std::string> &raw_args)
+cmdRun(const std::vector<std::string> &raw_args, bool serve)
 {
-    // --mode=<name> may appear anywhere among the run arguments.
+    // --mode=<name> and --shards=<n> may appear anywhere among the
+    // run arguments.
     std::vector<std::string> args;
     std::vector<streamit::ProtectionMode> mode_filter;
+    unsigned shards = 0;  // 0 = not requested via flag.
     for (const std::string &arg : raw_args) {
-        if (arg.rfind("--mode=", 0) == 0) {
+        if (arg.rfind("--shards=", 0) == 0) {
+            const std::string value = arg.substr(9);
+            if (!parseShards(value, &shards)) {
+                std::cerr << "cg_bench run: invalid shard count '"
+                          << value
+                          << "' (expected a decimal integer >= 1)\n";
+                return usage(std::cerr, 2);
+            }
+        } else if (arg.rfind("--mode=", 0) == 0) {
             const std::string name = arg.substr(7);
             streamit::ProtectionMode mode{};
             if (!protection::tryParseProtectionMode(name, &mode)) {
@@ -177,6 +249,39 @@ cmdRun(const std::vector<std::string> &raw_args)
             }
             selected.push_back(scenario);
         }
+    }
+
+    // Sharding (docs/SHARDING.md): --shards=<n> wins; otherwise
+    // CG_SHARDS; `serve` without either defaults to one worker per
+    // host core. Installed before the first sharedRunner() touch so
+    // the shared engine is built on a ShardExecutor.
+    if (shards == 0) {
+        if (const char *env_shards = std::getenv("CG_SHARDS");
+            env_shards != nullptr && *env_shards != '\0') {
+            if (!parseShards(env_shards, &shards)) {
+                std::cerr << "cg_bench run: invalid CG_SHARDS value '"
+                          << env_shards
+                          << "' (expected a decimal integer >= 1)\n";
+                return usage(std::cerr, 2);
+            }
+        } else if (serve) {
+            shards = ThreadPool::defaultJobs();
+        }
+    }
+    if (shards > 0) {
+        const sim::EnvOptions &env = sim::EnvOptions::get();
+        if (env.traceEvents || env.telemetrySlices > 0) {
+            std::cerr
+                << "cg_bench run: --shards is incompatible with "
+                   "CG_TRACE_EVENTS / CG_TELEMETRY_SLICES (traces "
+                   "and telemetry rings cannot cross the worker "
+                   "process boundary)\n";
+            return usage(std::cerr, 2);
+        }
+        sim::ShardPlan plan;
+        plan.shards = shards;
+        plan.workerArgv = {selfExePath(), "worker"};
+        sim::setProcessShardPlan(std::move(plan));
     }
 
     // Sweep health board (docs/TELEMETRY.md): live status line over
@@ -260,14 +365,51 @@ cmdReplay(const std::vector<std::string> &args)
     return 0;
 }
 
+/**
+ * CG_CACHE_DIR must be usable before any sweep consults it: create it
+ * if missing and prove writability with a probe file. A bad directory
+ * is a usage error (exit 2), not a mid-sweep warning storm.
+ */
+int
+checkCacheDir()
+{
+    const char *dir = std::getenv("CG_CACHE_DIR");
+    if (dir == nullptr || *dir == '\0')
+        return 0;
+
+    std::error_code ec;
+    std::filesystem::create_directories(dir, ec);
+    const std::string probe_path =
+        std::string(dir) + "/.cg_probe." + std::to_string(::getpid());
+    std::ofstream probe(probe_path);
+    probe << "probe\n";
+    probe.close();
+    if (!probe) {
+        std::cerr << "cg_bench: CG_CACHE_DIR '" << dir
+                  << "' is not a writable directory\n";
+        return usage(std::cerr, 2);
+    }
+    std::filesystem::remove(probe_path, ec);
+    return 0;
+}
+
 } // namespace
 
 int
 main(int argc, char **argv)
 {
+    if (argc > 0)
+        g_argv0 = argv[0];
+
+    // Tool-specific knobs, registered before the strict env scan.
+    sim::allowEnvKey("CG_SHARDS");
+    sim::allowEnvKey("CG_CACHE_DIR");
+
     // Validate the CG_* environment up front so a typo'd knob is
     // fatal on every subcommand, not just the ones that read it.
     (void)sim::EnvOptions::get();
+    if (const int code = checkCacheDir(); code != 0)
+        return code;
 
     const std::vector<std::string> args(argv + 1, argv + argc);
     if (args.empty())
@@ -279,7 +421,17 @@ main(int argc, char **argv)
     if (args[0] == "list")
         return cmdList(rest);
     if (args[0] == "run")
-        return cmdRun(rest);
+        return cmdRun(rest, /*serve=*/false);
+    if (args[0] == "serve")
+        return cmdRun(rest, /*serve=*/true);
+    if (args[0] == "worker") {
+        if (!rest.empty()) {
+            std::cerr << "cg_bench worker: takes no arguments\n";
+            return usage(std::cerr, 2);
+        }
+        // Frames on stdin/stdout, diagnostics on stderr.
+        return sim::shardWorkerLoop(0, 1);
+    }
     if (args[0] == "replay")
         return cmdReplay(rest);
 

@@ -37,7 +37,13 @@
  *                                          current schema, non-empty
  *                                          bench name, and a data
  *                                          table whose rows all match
- *                                          the header width
+ *                                          the header width; tables
+ *                                          keyed by run descriptors
+ *                                          (app/mtbe/seed columns)
+ *                                          must not repeat a
+ *                                          configuration — a duplicate
+ *                                          row means a sweep merge
+ *                                          double-counted a run
  *   jsonl_check --telemetry <runs.jsonl>   validate a telemetry stream
  *                                          (CG_TELEMETRY_OUT output,
  *                                          docs/TELEMETRY.md): current
@@ -64,6 +70,7 @@
 #include <set>
 #include <sstream>
 #include <string>
+#include <vector>
 
 #include "common/metrics.hh"
 #include "common/telemetry.hh"
@@ -432,6 +439,48 @@ checkBenchDocument(const char *path)
                         std::to_string(row.arr().size()) +
                         " cells, headers declare " +
                         std::to_string(width));
+        }
+    }
+
+    // Duplicate-run detection: a table keyed by run descriptors must
+    // name each configuration once — a repeat means a sweep merge
+    // double-counted a run (e.g. a sharded sweep re-admitting a
+    // reassigned shard). Engages only on tables carrying the full
+    // descriptor key ("app", "mtbe", "seed"); summary tables keyed
+    // otherwise are exempt.
+    const std::vector<std::string> descriptor_columns = {
+        "app",  "mode", "protection_mode",
+        "mtbe", "seed", "frame_scale",
+        "inject_errors"};
+    std::vector<std::size_t> key_columns;
+    bool has_app = false, has_mtbe = false, has_seed = false;
+    for (std::size_t h = 0; h < headers->arr().size(); ++h) {
+        const Json &header = headers->arr()[h];
+        if (!header.isString())
+            return fail("header " + std::to_string(h) +
+                        " is not a string");
+        for (const std::string &column : descriptor_columns) {
+            if (header.str() == column) {
+                key_columns.push_back(h);
+                has_app |= column == "app";
+                has_mtbe |= column == "mtbe";
+                has_seed |= column == "seed";
+            }
+        }
+    }
+    if (has_app && has_mtbe && has_seed) {
+        std::set<std::string> seen;
+        index = 0;
+        for (const Json &row : rows->arr()) {
+            std::string key;
+            for (std::size_t column : key_columns)
+                key += row.arr()[column].dump() + "\x1f";
+            if (!seen.insert(key).second)
+                return fail("row " + std::to_string(index) +
+                            " duplicates an earlier run "
+                            "configuration: " +
+                            row.dump());
+            ++index;
         }
     }
     return true;
