@@ -9,7 +9,9 @@
 # deterministic stress-fuzz harness including its failure path
 # (docs/FUZZING.md), and run the protection-backend gate: a quick
 # pareto_protection sweep whose JSONL records and BENCH document must
-# validate and cover every built-in protection mode (DESIGN.md §4b).
+# validate and cover every built-in protection mode (DESIGN.md §4b),
+# and the service gate: serve-run byte-stable across invocations and
+# job counts with a schema-valid stream (docs/SERVICE.md).
 #
 # Usage: scripts/check.sh [--sanitize] [build-dir]   (default: build)
 #
@@ -237,6 +239,28 @@ fi
 echo "check.sh: sharding gate ok (shards=1/4 and warm-cache reruns" \
      "byte-identical, duplicate rows rejected)"
 
+# Service gate (docs/SERVICE.md): the long-lived streaming driver must
+# be bitwise deterministic — the same config yields identical JSONL and
+# summary bytes across invocations and CG_JOBS settings — and its
+# stream must validate against the service schema (meta first, exactly
+# one summary, consecutive snapshots, monotone admission).
+SERVICE_A="$BUILD_DIR/service_a.jsonl"
+SERVICE_B="$BUILD_DIR/service_b.jsonl"
+rm -f "$SERVICE_A" "$SERVICE_A.summary" "$SERVICE_B" "$SERVICE_B.summary"
+"$CG_BENCH" serve-run --frames=4000 --mtbe=64000 --snapshot-frames=1000 \
+    --degrade=1000:1:8 --remap=2000:1 --out="$SERVICE_A" \
+    > "$SERVICE_A.summary"
+CG_JOBS=8 "$CG_BENCH" serve-run --frames=4000 --mtbe=64000 \
+    --snapshot-frames=1000 --degrade=1000:1:8 --remap=2000:1 \
+    --out="$SERVICE_B" > "$SERVICE_B.summary"
+if ! cmp -s "$SERVICE_A" "$SERVICE_B" || \
+   ! cmp -s "$SERVICE_A.summary" "$SERVICE_B.summary"; then
+    echo "check.sh: serve-run bytes differ across invocations/CG_JOBS" >&2
+    exit 1
+fi
+"$JSONL_CHECK" --service "$SERVICE_A"
+echo "check.sh: service gate ok (serve-run byte-stable, stream valid)"
+
 if [ "$SANITIZE" -eq 1 ]; then
     # ASan/UBSan: the tier-1 suite plus a quick fuzz budget, with
     # every error fatal (-fno-sanitize-recover=all at build time).
@@ -244,6 +268,32 @@ if [ "$SANITIZE" -eq 1 ]; then
     cmake --build --preset asan -j "$(nproc)"
     ctest --preset tier1-asan
     CG_FUZZ_BUDGET=5 ./build-asan/tools/cg_fuzz run --seed=1
+
+    # Service soak under ASan (docs/SERVICE.md): >= 1M frames streamed
+    # through a mid-run MTBE degradation and a live remap. The
+    # scenario's own fatal gates cover liveness, the admission-bounded
+    # backlog and repair activity; on top of that, peak host RSS
+    # (VmHWM, polled while the soak runs) must stay under a fixed
+    # ceiling — a leak that grows with the frame count cannot hide in
+    # a long-lived service.
+    SOAK_RSS_CEILING_KB=$((3 * 1024 * 1024))
+    ./build-asan/tools/cg_bench run service_soak &
+    SOAK_PID=$!
+    SOAK_PEAK_KB=0
+    while kill -0 "$SOAK_PID" 2>/dev/null; do
+        HWM=$(awk '/VmHWM/ {print $2}' "/proc/$SOAK_PID/status" \
+              2>/dev/null || true)
+        [ -n "${HWM:-}" ] && SOAK_PEAK_KB=$HWM
+        sleep 0.2
+    done
+    wait "$SOAK_PID"
+    if [ "$SOAK_PEAK_KB" -gt "$SOAK_RSS_CEILING_KB" ]; then
+        echo "check.sh: service_soak peak RSS ${SOAK_PEAK_KB}kB" \
+             "exceeds the ${SOAK_RSS_CEILING_KB}kB ceiling" >&2
+        exit 1
+    fi
+    echo "check.sh: service soak gate ok (1M frames, peak RSS" \
+         "${SOAK_PEAK_KB}kB)"
 
     # TSan: the concurrency surface — sweep determinism, the thread
     # pool (including the exception path), the fuzz harness's own

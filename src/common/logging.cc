@@ -23,6 +23,13 @@ sinkSlot()
     return sink;
 }
 
+std::function<void()> &
+preEmitSlot()
+{
+    static std::function<void()> hook;
+    return hook;
+}
+
 /**
  * Per-message repeat counts for the advisory rate limiter. Bounded:
  * once kMaxTrackedMessages distinct texts are tracked, further new
@@ -47,6 +54,8 @@ emit(const char *prefix, const std::string &msg)
         sink(prefix, msg);
         return;
     }
+    if (const auto &hook = preEmitSlot())
+        hook();
     std::fprintf(stderr, "%s: %s\n", prefix, msg.c_str());
 }
 
@@ -84,6 +93,13 @@ setLogSink(LogSink sink)
 {
     std::lock_guard<std::mutex> lock(logMutex());
     sinkSlot() = std::move(sink);
+}
+
+void
+setLogPreEmitHook(std::function<void()> hook)
+{
+    std::lock_guard<std::mutex> lock(logMutex());
+    preEmitSlot() = std::move(hook);
 }
 
 void

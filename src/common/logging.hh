@@ -38,6 +38,17 @@ using LogSink = std::function<void(const char *prefix,
  */
 void setLogSink(LogSink sink);
 
+/**
+ * Install a hook invoked (under the log lock) immediately before a
+ * message is written to the *default stderr* sink; custom sinks
+ * installed via setLogSink() bypass it. Used by the TTY status line
+ * (sim::StatusLine) to clear its in-place \r line so a warn()/inform()
+ * emitted while a board is live lands on a clean row instead of
+ * splicing into the status text. nullptr uninstalls. The hook must not
+ * call back into the logging API (the log lock is held).
+ */
+void setLogPreEmitHook(std::function<void()> hook);
+
 /** Identical advisory messages printed before suppression kicks in. */
 inline constexpr unsigned kLogRepeatLimit = 10;
 

@@ -86,103 +86,122 @@ Multicore::addRuntime(Core &core, CommBackend &backend,
     return *_runtimes.back();
 }
 
-MachineRunResult
-Multicore::run()
+Multicore::RoundStatus
+Multicore::stepRound()
 {
-    MachineRunResult result;
-    std::vector<Count> blocked_rounds(_runtimes.size(), 0);
-    Count round = 0;
+    if (_blockedRounds.size() != _runtimes.size())
+        _blockedRounds.resize(_runtimes.size(), 0);
 
-    while (true) {
-        bool all_finished = true;
-        bool any_progress = false;
-        if (_eventTrace != nullptr)
-            _eventTrace->beginSlice(round);
-        // Simulated-time sampling cadence: keyed on the deterministic
-        // round counter so the series is independent of CG_JOBS.
-        if (_telemetry != nullptr && round > 0 &&
-            round % _config.telemetrySlices == 0) {
-            _telemetry->sample(_metrics, round, totalCycles());
-        }
-        ++round;
+    bool all_finished = true;
+    bool any_progress = false;
+    if (_eventTrace != nullptr)
+        _eventTrace->beginSlice(_round);
+    // Simulated-time sampling cadence: keyed on the deterministic
+    // round counter so the series is independent of CG_JOBS.
+    if (_telemetry != nullptr && _round > 0 &&
+        _round % _config.telemetrySlices == 0) {
+        _telemetry->sample(_metrics, _round, totalCycles());
+    }
+    ++_round;
 
-        for (std::size_t i = 0; i < _runtimes.size(); ++i) {
-            CoreRuntime &runtime = *_runtimes[i];
-            if (runtime.finished())
-                continue;
-            all_finished = false;
+    for (std::size_t i = 0; i < _runtimes.size(); ++i) {
+        CoreRuntime &runtime = *_runtimes[i];
+        if (runtime.finished())
+            continue;
+        all_finished = false;
 
-            const CoreRuntime::StepResult step =
-                runtime.step(_config.sliceInstructions);
-            if (step.progressed) {
-                any_progress = true;
-                blocked_rounds[i] = 0;
-            } else if (step.blocked) {
-                ++runtime.core().counters().blockedSlices;
-                if (++blocked_rounds[i] >= _config.timeoutRounds) {
-                    // Queue-manager timeout (paper §5.1). Recording at
-                    // this one site makes the event count equal
-                    // machine/timeoutsFired by construction.
-                    if (_eventTrace != nullptr) {
-                        _eventTrace->record(
-                            *_machineTrack, runtime.core().cycles(),
-                            trace::EventKind::QmTimeout, 0,
-                            static_cast<std::uint16_t>(i),
-                            static_cast<Word>(runtime.core().id()));
-                    }
-                    runtime.forceTimeout();
-                    ++_timeoutsFired;
-                    blocked_rounds[i] = 0;
+        const CoreRuntime::StepResult step =
+            runtime.step(_config.sliceInstructions);
+        if (step.progressed) {
+            any_progress = true;
+            _blockedRounds[i] = 0;
+        } else if (step.blocked) {
+            ++runtime.core().counters().blockedSlices;
+            if (++_blockedRounds[i] >= _config.timeoutRounds) {
+                // Queue-manager timeout (paper §5.1). Recording at
+                // this one site makes the event count equal
+                // machine/timeoutsFired by construction.
+                if (_eventTrace != nullptr) {
+                    _eventTrace->record(
+                        *_machineTrack, runtime.core().cycles(),
+                        trace::EventKind::QmTimeout, 0,
+                        static_cast<std::uint16_t>(i),
+                        static_cast<Word>(runtime.core().id()));
                 }
+                runtime.forceTimeout();
+                ++_timeoutsFired;
+                _blockedRounds[i] = 0;
             }
-            if (runtime.finished())
-                any_progress = true;
         }
+        if (runtime.finished())
+            any_progress = true;
+    }
 
-        if (all_finished) {
-            result.completed = true;
-            break;
+    if (all_finished)
+        return RoundStatus::AllFinished;
+
+    if (!any_progress) {
+        // System-wide deadlock (e.g., corrupted full/empty views,
+        // Fig. 3b): break it by timing out every stuck thread.
+        ++_deadlockBreaks;
+        if (_eventTrace != nullptr) {
+            _eventTrace->record(*_machineTrack, 0,
+                                trace::EventKind::DeadlockBreak);
         }
-
-        if (!any_progress) {
-            // System-wide deadlock (e.g., corrupted full/empty views,
-            // Fig. 3b): break it by timing out every stuck thread.
-            ++_deadlockBreaks;
-            if (_eventTrace != nullptr) {
-                _eventTrace->record(*_machineTrack, 0,
-                                    trace::EventKind::DeadlockBreak);
-            }
-            for (auto &runtime : _runtimes) {
-                if (!runtime->finished()) {
-                    if (_eventTrace != nullptr) {
-                        _eventTrace->record(
-                            *_machineTrack, runtime->core().cycles(),
-                            trace::EventKind::QmTimeout, 1, 0,
-                            static_cast<Word>(runtime->core().id()));
-                    }
-                    runtime->forceTimeout();
-                    ++_timeoutsFired;
+        for (auto &runtime : _runtimes) {
+            if (!runtime->finished()) {
+                if (_eventTrace != nullptr) {
+                    _eventTrace->record(
+                        *_machineTrack, runtime->core().cycles(),
+                        trace::EventKind::QmTimeout, 1, 0,
+                        static_cast<Word>(runtime->core().id()));
                 }
+                runtime->forceTimeout();
+                ++_timeoutsFired;
             }
-        }
-
-        if (totalCommittedInsts() > _config.globalWatchdogInsts) {
-            warn("multicore: global instruction watchdog tripped; "
-                 "aborting run");
-            break;
         }
     }
 
+    if (totalCommittedInsts() > _config.globalWatchdogInsts) {
+        warn("multicore: global instruction watchdog tripped; "
+             "aborting run");
+        return RoundStatus::WatchdogAbort;
+    }
+    return RoundStatus::Running;
+}
+
+MachineRunResult
+Multicore::finish()
+{
     // End-of-run sample: makes the recorder's cumulative view
     // reconcile 1:1 with the run's MetricSnapshot.
     if (_telemetry != nullptr)
-        _telemetry->sample(_metrics, round, totalCycles(), true);
+        _telemetry->sample(_metrics, _round, totalCycles(), true);
 
+    MachineRunResult result;
+    result.completed = allRuntimesFinished();
     result.totalInstructions = totalCommittedInsts();
     result.totalCycles = totalCycles();
     result.timeoutsFired = _timeoutsFired;
     result.deadlockBreaks = _deadlockBreaks;
     return result;
+}
+
+MachineRunResult
+Multicore::run()
+{
+    while (stepRound() == RoundStatus::Running) {
+    }
+    return finish();
+}
+
+bool
+Multicore::allRuntimesFinished() const
+{
+    for (const auto &runtime : _runtimes)
+        if (!runtime->finished())
+            return false;
+    return true;
 }
 
 Count

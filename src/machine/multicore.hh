@@ -116,8 +116,40 @@ class Multicore
     CoreRuntime &addRuntime(Core &core, CommBackend &backend,
                             Count total_frames);
 
+    /** What one incremental scheduler round observed. */
+    enum class RoundStatus
+    {
+        Running,       //!< At least one thread still has work.
+        AllFinished,   //!< Every thread has finished.
+        WatchdogAbort, //!< Global instruction watchdog tripped.
+    };
+
+    /**
+     * Execute one scheduler round: give every unfinished thread a
+     * slice, apply the QM-timeout and deadlock-break policies, sample
+     * telemetry on the round cadence. The machine keeps all scheduling
+     * state (round counter, per-thread blocked-round tallies) across
+     * calls, so a caller may pause between rounds, reconfigure live
+     * components (error injectors, programs), and resume — the service
+     * driver's pause/reconfigure/resume lifecycle (docs/SERVICE.md).
+     */
+    RoundStatus stepRound();
+
+    /**
+     * Close out an incremental run: take the final telemetry sample
+     * and assemble the run result. run() == stepRound() until not
+     * Running, then finish().
+     */
+    MachineRunResult finish();
+
     /** Drive every thread to completion. */
     MachineRunResult run();
+
+    /** Scheduler rounds executed so far (the telemetry slice clock). */
+    Count schedulerRound() const { return _round; }
+
+    /** Whether every registered runtime has finished. */
+    bool allRuntimesFinished() const;
 
     /** Sum of committed instructions over all cores. */
     Count totalCommittedInsts() const;
@@ -193,6 +225,11 @@ class Multicore
     std::vector<std::unique_ptr<QueueBase>> _queues;
     std::vector<std::unique_ptr<CommBackend>> _backends;
     std::vector<std::unique_ptr<CoreRuntime>> _runtimes;
+
+    // Incremental-scheduler state (stepRound()): the round counter
+    // doubles as the telemetry slice clock, so it must survive pauses.
+    Count _round = 0;
+    std::vector<Count> _blockedRounds;
 
     // Event tracing (null when off). The tracers are the per-core
     // TraceSink adapters; _machineTrack records scheduler events.

@@ -65,12 +65,18 @@ class SourceQueue : public QueueBase
         if (_next < _contents.size()) {
             word = _contents[_next++];
             ++_counters.pops;
-        } else {
-            // Exhausted: deliver zero items so an over-popping consumer
-            // cannot hang the system on its reliable input device.
-            word = makeItem(0);
-            ++_counters.underflowPops;
+            return QueueOpStatus::Ok;
         }
+        if (_streaming) {
+            // Service mode: the stream is live and currently empty —
+            // the consumer genuinely has to wait for the next arrival
+            // burst, exactly like an empty inter-core queue.
+            return QueueOpStatus::Blocked;
+        }
+        // Exhausted: deliver zero items so an over-popping consumer
+        // cannot hang the system on its reliable input device.
+        word = makeItem(0);
+        ++_counters.underflowPops;
         return QueueOpStatus::Ok;
     }
 
@@ -80,10 +86,42 @@ class SourceQueue : public QueueBase
     /** Words remaining unread (for tests). */
     std::size_t remaining() const { return _contents.size() - _next; }
 
+    /**
+     * Switch the device to live-stream semantics (service mode): an
+     * empty source means "no arrival yet" and pops return Blocked —
+     * the consumer waits instead of fabricating zero items ahead of
+     * the traffic. Batch mode (default) keeps the never-blocking
+     * zero-item underflow contract.
+     */
+    void setStreaming(bool streaming) { _streaming = streaming; }
+
+    /**
+     * Stream more words into the device (service mode): the reliable
+     * input producer appending newly-arrived frames while the machine
+     * runs. The consumed prefix is compacted away once it dominates
+     * the buffer, so a long-lived source holds O(backlog) words, not
+     * O(total stream).
+     */
+    void
+    append(const QueueWord *words, std::size_t count)
+    {
+        if (_next > kCompactThresholdWords &&
+            _next >= _contents.size() - _next) {
+            _contents.erase(_contents.begin(),
+                            _contents.begin() +
+                                static_cast<std::ptrdiff_t>(_next));
+            _next = 0;
+        }
+        _contents.insert(_contents.end(), words, words + count);
+    }
+
   private:
+    static constexpr std::size_t kCompactThresholdWords = 4096;
+
     RecyclePool<QueueWord> *_recycle;  //!< Not owned; may be null.
     std::vector<QueueWord> _contents;
     std::size_t _next = 0;
+    bool _streaming = false;
 };
 
 /**

@@ -20,6 +20,25 @@ ExperimentConfig::mtbe(double value)
 }
 
 ExperimentConfig &
+ExperimentConfig::perCoreMtbe(std::vector<double> mtbes)
+{
+    const std::size_t nodes =
+        static_cast<std::size_t>(_app->graph.numNodes());
+    if (!mtbes.empty() && mtbes.size() != nodes)
+        throw std::invalid_argument(
+            "ExperimentConfig: perCoreMtbe has " +
+            std::to_string(mtbes.size()) + " entries for a " +
+            std::to_string(nodes) + "-node graph");
+    for (double m : mtbes)
+        if (!(m > 0.0))
+            throw std::invalid_argument(
+                "ExperimentConfig: perCoreMtbe entries must be "
+                "positive");
+    _options.perCoreMtbe = std::move(mtbes);
+    return *this;
+}
+
+ExperimentConfig &
 ExperimentConfig::seedIndex(int index)
 {
     if (index < 0)

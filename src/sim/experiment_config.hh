@@ -74,6 +74,14 @@ class ExperimentConfig
     /** Mean instructions between errors; must be positive. */
     ExperimentConfig &mtbe(double value);
 
+    /**
+     * Heterogeneous error rates (docs/SERVICE.md): one MTBE per node
+     * in graph node order. The vector length must equal the app
+     * graph's node count and every entry must be positive. An empty
+     * vector restores the uniform mtbe().
+     */
+    ExperimentConfig &perCoreMtbe(std::vector<double> mtbes);
+
     /** Disable error injection (error-free / overhead runs). */
     ExperimentConfig &
     noErrors()

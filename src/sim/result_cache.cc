@@ -1,10 +1,13 @@
 #include "sim/result_cache.hh"
 
+#include <chrono>
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
+#include <filesystem>
 #include <fstream>
 #include <sstream>
+#include <system_error>
 #include <unistd.h>
 #include <utility>
 
@@ -160,6 +163,46 @@ ResultCache::store(const RunDescriptor &descriptor,
     stats().stores.fetch_add(1, std::memory_order_relaxed);
 }
 
+Count
+ResultCache::sweepOrphans(double grace_seconds)
+{
+    namespace fs = std::filesystem;
+    // A store() temp file is "<16 hex>.json.tmp.<pid>"; anything
+    // matching "*.tmp.*" in the cache directory is ours. The grace
+    // window keeps temp files a live concurrent writer is still
+    // filling; an orphan's mtime only ever gets older.
+    Count swept = 0;
+    std::error_code ec;
+    const auto now = fs::file_time_type::clock::now();
+    const auto grace = std::chrono::duration_cast<
+        fs::file_time_type::duration>(
+        std::chrono::duration<double>(grace_seconds));
+    for (const fs::directory_entry &entry :
+         fs::directory_iterator(_directory, ec)) {
+        if (ec)
+            break;
+        if (!entry.is_regular_file(ec))
+            continue;
+        const std::string name = entry.path().filename().string();
+        const std::size_t tmp_at = name.find(".tmp.");
+        if (tmp_at == std::string::npos ||
+            tmp_at + 5 >= name.size())
+            continue;
+        const auto mtime = entry.last_write_time(ec);
+        if (ec || now - mtime < grace)
+            continue;
+        if (fs::remove(entry.path(), ec) && !ec)
+            ++swept;
+    }
+    if (swept > 0) {
+        stats().orphansSwept.fetch_add(swept,
+                                       std::memory_order_relaxed);
+        inform("result_cache: swept " + std::to_string(swept) +
+               " orphaned temp file(s) from '" + _directory + "'");
+    }
+    return swept;
+}
+
 ResultCacheStats &
 ResultCache::stats()
 {
@@ -174,7 +217,12 @@ ResultCache::process()
         const char *dir = std::getenv("CG_CACHE_DIR");
         if (dir == nullptr || *dir == '\0')
             return nullptr;
-        return new ResultCache(dir);
+        auto *cache = new ResultCache(dir);
+        // Writers killed mid-store() (a dead shard worker, a ^C'd
+        // sweep) leave "<key>.json.tmp.<pid>" files behind forever;
+        // reclaim stale ones whenever the shared cache opens.
+        cache->sweepOrphans();
+        return cache;
     }();
     return instance;
 }

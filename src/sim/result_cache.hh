@@ -41,6 +41,7 @@ struct ResultCacheStats
     std::atomic<Count> misses{0};   //!< No (valid) entry on disk.
     std::atomic<Count> stores{0};   //!< Entries written.
     std::atomic<Count> invalid{0};  //!< Entries rejected on lookup.
+    std::atomic<Count> orphansSwept{0}; //!< Stale *.tmp.* deleted.
 };
 
 /** A directory of cached run results. Thread-safe (stateless aside
@@ -77,6 +78,17 @@ class ResultCache
                const ExecutedRun &run);
 
     const std::string &directory() const { return _directory; }
+
+    /**
+     * Delete orphaned temp files (`<key>.json.tmp.<pid>`) left behind
+     * by writers killed mid-store(), e.g. a shard worker dying between
+     * the temp write and the rename. Only files whose mtime is at
+     * least @p grace_seconds old are removed, so temp files of live
+     * concurrent writers survive. Returns the number deleted (also
+     * added to stats().orphansSwept). Called automatically when the
+     * process() singleton opens.
+     */
+    Count sweepOrphans(double grace_seconds = 60.0);
 
     /** Counters shared by every ResultCache in the process. */
     static ResultCacheStats &stats();

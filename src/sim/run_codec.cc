@@ -110,6 +110,10 @@ descriptorJson(const RunDescriptor &descriptor)
     for (Count scale : o.perNodeFrameScale)
         per_node.push(Json(scale));
 
+    Json per_core = Json::array();
+    for (double m_core : o.perCoreMtbe)
+        per_core.push(Json(m_core));
+
     Json timing = Json::object();
     timing["frame_flush_cycles"] = Json(Count{m.timing.frameFlushCycles});
     timing["mem_extra_cycles"] = Json(Count{m.timing.memExtraCycles});
@@ -140,6 +144,7 @@ descriptorJson(const RunDescriptor &descriptor)
     json["inject_errors"] = Json(o.injectErrors);
     json["machine"] = std::move(machine);
     json["mtbe"] = Json(o.mtbe);
+    json["per_core_mtbe"] = std::move(per_core);
     json["per_node_frame_scale"] = std::move(per_node);
     json["protection_mode"] = Json(protection::protectionModeName(o.mode));
     json["queue_capacity_words"] = Json(Count{o.queueCapacityWords});
@@ -205,6 +210,20 @@ descriptorFromJson(const Json &json, AppCache &apps,
         !fieldBool(json, "frame_aligned_output", &o.frameAlignedOutput,
                    error))
         return false;
+
+    const Json *per_core = json.find("per_core_mtbe");
+    if (per_core == nullptr || !per_core->isArray()) {
+        *error = "descriptor field 'per_core_mtbe' is not an array";
+        return false;
+    }
+    o.perCoreMtbe.clear();
+    for (const Json &m_core : per_core->arr()) {
+        if (!m_core.isNumber()) {
+            *error = "per_core_mtbe entry is not a number";
+            return false;
+        }
+        o.perCoreMtbe.push_back(m_core.number());
+    }
 
     const Json *per_node = json.find("per_node_frame_scale");
     if (per_node == nullptr || !per_node->isArray()) {

@@ -1,0 +1,624 @@
+#include "sim/service_driver.hh"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/logging.hh"
+#include "queue/queue_word.hh"
+#include "sim/protection.hh"
+#include "sim/telemetry_export.hh"
+
+namespace commguard::sim
+{
+
+namespace
+{
+
+/** splitmix64 finalizer: the same avalanche the loader's per-core
+ *  seed derivation uses. */
+std::uint64_t
+mix64(std::uint64_t x)
+{
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+    return x ^ (x >> 31);
+}
+
+/**
+ * The arrival process RNG. Integer-only (no libm, no doubles) so the
+ * schedule is bit-stable across platforms and builds.
+ */
+struct ArrivalRng
+{
+    std::uint64_t state;
+
+    std::uint64_t
+    next()
+    {
+        state += 0x9e3779b97f4a7c15ull;
+        return mix64(state);
+    }
+
+    /** Uniform in [1, 2*mean - 1]: mean @p mean, never zero. */
+    Count
+    aroundMean(Count mean)
+    {
+        if (mean <= 1)
+            return 1;
+        return 1 + static_cast<Count>(next() % (2 * mean - 1));
+    }
+};
+
+constexpr std::uint64_t kFnvOffset = 1469598103934665603ull;
+constexpr std::uint64_t kFnvPrime = 1099511628211ull;
+
+std::string
+hex64(std::uint64_t value)
+{
+    static const char digits[] = "0123456789abcdef";
+    std::string out(16, '0');
+    for (int i = 15; i >= 0; --i) {
+        out[static_cast<std::size_t>(i)] = digits[value & 0xf];
+        value >>= 4;
+    }
+    return out;
+}
+
+const char *
+eventKindName(ServiceEvent::Kind kind)
+{
+    return kind == ServiceEvent::Kind::MtbeDegrade ? "mtbe_degrade"
+                                                   : "remap";
+}
+
+/** What a sampled counter contributes to service observability. */
+enum class CounterKind : std::uint8_t
+{
+    Other,
+    Error,     //!< node/<name>/errorsInjected
+    Repair,    //!< repair-action leaves (padded/discarded/voted/...)
+    Underflow, //!< queue/source/underflowPops
+};
+
+/** "node/F1/errorsInjected" / "cg/F1/paddedItems" → "F1". */
+std::string
+middleComponent(const std::string &name)
+{
+    const std::size_t first = name.find('/');
+    if (first == std::string::npos)
+        return name;
+    const std::size_t second = name.find('/', first + 1);
+    if (second == std::string::npos)
+        return name.substr(first + 1);
+    return name.substr(first + 1, second - first - 1);
+}
+
+bool
+endsWith(const std::string &name, const char *leaf)
+{
+    const std::size_t n = std::char_traits<char>::length(leaf);
+    return name.size() >= n &&
+           name.compare(name.size() - n, n, leaf) == 0;
+}
+
+} // namespace
+
+ServiceDriver::ServiceDriver(ServiceConfig config)
+    : _config(std::move(config))
+{
+    if (_config.app == nullptr)
+        fatal("service: config.app must be set");
+    if (_config.totalFrames == 0)
+        fatal("service: totalFrames must be positive");
+    if (_config.load.frameScale != 1 ||
+        !_config.load.perNodeFrameScale.empty()) {
+        fatal("service: streaming requires the uniform frame domain "
+              "(frameScale == 1, no per-node scales)");
+    }
+    if (_config.load.frameAlignedOutput)
+        fatal("service: frameAlignedOutput is a batch-output device; "
+              "the streaming collector drains incrementally");
+    if (_config.meanBurstFrames == 0 || _config.meanGapSlices == 0)
+        fatal("service: meanBurstFrames and meanGapSlices must be "
+              "positive");
+    if (_config.maxBacklogFrames == 0)
+        fatal("service: maxBacklogFrames must be positive");
+    if (_config.snapshotEveryFrames == 0)
+        fatal("service: snapshotEveryFrames must be positive");
+    if (_config.forensicsWindow == 0)
+        fatal("service: forensicsWindow must be positive");
+    for (const ServiceEvent &event : _config.events) {
+        if (event.kind == ServiceEvent::Kind::MtbeDegrade &&
+            !(event.factor > 0.0))
+            fatal("service: degrade factor must be positive");
+    }
+    // Deterministic firing order regardless of construction order.
+    std::stable_sort(_config.events.begin(), _config.events.end(),
+                     [](const ServiceEvent &a, const ServiceEvent &b) {
+                         return a.atFrame < b.atFrame;
+                     });
+}
+
+ServiceOutcome
+ServiceDriver::run()
+{
+    const apps::App &application = *_config.app;
+
+    streamit::LoadOptions load = _config.load;
+    load.streamingSource = true;
+    load.machine.telemetrySlices =
+        _config.telemetrySlices ? _config.telemetrySlices : 1;
+    load.machine.telemetryRingCapacity = _config.telemetryRingCapacity;
+
+    streamit::LoadedApp app =
+        streamit::loadGraph(application.graph, application.input,
+                            _config.totalFrames, load);
+    Multicore &machine = *app.machine;
+    const int num_nodes = application.graph.numNodes();
+    const Count items_per_frame = app.frames.inputItemsPerFrame;
+    const protection::SourceFraming framing =
+        load.guardSourceEdge
+            ? protection::ProtectionRegistry::instance()
+                  .describe(load.mode)
+                  .sourceFraming
+            : protection::SourceFraming::Plain;
+
+    ServiceOutcome outcome;
+    outcome.outputChecksum = kFnvOffset;
+
+    // --------------------------------------------------------------
+    // Placement state: logical node n executes on physical slot
+    // (n + rotation) % num_nodes; slots carry the heterogeneous MTBE
+    // table and accumulate degradation events.
+    // --------------------------------------------------------------
+    std::vector<double> slot_mtbe(
+        static_cast<std::size_t>(num_nodes), load.mtbe);
+    if (!load.perCoreMtbe.empty())
+        slot_mtbe = load.perCoreMtbe;
+    int rotation = 0;
+    std::uint64_t epoch = 0;
+    auto reconfigure_node = [&](int n) {
+        ErrorInjector::Config injector;
+        injector.enabled = load.injectErrors;
+        const int slot = (n + rotation) % num_nodes;
+        injector.mtbe = slot_mtbe[static_cast<std::size_t>(slot)];
+        injector.flipAllRegisters = load.flipAllRegisters;
+        injector.seed = mix64(
+            load.seed +
+            0x9e3779b97f4a7c15ull *
+                (epoch * 4096 + static_cast<std::uint64_t>(n) + 1));
+        machine.cores()[static_cast<std::size_t>(n)]->configureInjector(
+            injector);
+    };
+
+    // --------------------------------------------------------------
+    // JSONL stream. Every record carries the schema version; the
+    // whole stream is a pure function of the config (virtual time
+    // only), so it is bitwise reproducible.
+    // --------------------------------------------------------------
+    auto append_record = [&outcome](const Json &record) {
+        outcome.jsonl += record.dump();
+        outcome.jsonl += '\n';
+    };
+
+    {
+        Json per_core = Json::array();
+        for (double m : slot_mtbe)
+            per_core.push(Json(m));
+        Json events = Json::array();
+        for (const ServiceEvent &event : _config.events) {
+            Json e = Json::object();
+            e["kind"] = Json(eventKindName(event.kind));
+            e["at_frame"] = Json(event.atFrame);
+            if (event.kind == ServiceEvent::Kind::MtbeDegrade) {
+                e["core"] = Json(event.core);
+                e["factor"] = Json(event.factor);
+            } else {
+                e["rotation"] = Json(event.rotation);
+            }
+            events.push(std::move(e));
+        }
+        Json meta = Json::object();
+        meta["type"] = Json("meta");
+        meta["service_schema_version"] = Json(kServiceSchemaVersion);
+        meta["app"] = Json(application.name);
+        meta["protection_mode"] =
+            Json(protection::protectionModeName(load.mode));
+        meta["seed"] = Json(Count{load.seed});
+        meta["arrival_seed"] = Json(Count{_config.arrivalSeed});
+        meta["total_frames"] = Json(_config.totalFrames);
+        meta["mean_burst_frames"] = Json(_config.meanBurstFrames);
+        meta["mean_gap_slices"] = Json(_config.meanGapSlices);
+        meta["max_backlog_frames"] = Json(_config.maxBacklogFrames);
+        meta["snapshot_every_frames"] =
+            Json(_config.snapshotEveryFrames);
+        meta["telemetry_slices"] =
+            Json(load.machine.telemetrySlices);
+        meta["forensics_window"] =
+            Json(Count{_config.forensicsWindow});
+        meta["per_core_mtbe"] = std::move(per_core);
+        meta["events"] = std::move(events);
+        append_record(meta);
+    }
+
+    // --------------------------------------------------------------
+    // Streaming source framing: the reliable input device appends the
+    // same framed words the batch loader would pre-fill, one burst at
+    // a time (docs/SERVICE.md).
+    // --------------------------------------------------------------
+    SourceQueue &source = *app.source;
+    CollectorQueue &collector = *app.collector;
+    std::vector<QueueWord> frame_words;
+    std::size_t input_cursor = 0;
+    const std::vector<Word> &input = application.input;
+    Count admitted = 0;
+    auto admit_frames = [&](Count frames) {
+        frame_words.clear();
+        for (Count f = 0; f < frames; ++f) {
+            const Count inv = admitted + f;
+            if (framing == protection::SourceFraming::Headers) {
+                frame_words.push_back(
+                    makeHeader(static_cast<FrameId>(inv + 1)));
+            }
+            Word sum_s = 0;
+            Word sum_w = 0;
+            for (Count i = 0; i < items_per_frame; ++i) {
+                const Word value =
+                    input.empty()
+                        ? 0
+                        : input[input_cursor++ % input.size()];
+                frame_words.push_back(makeItem(value));
+                if (framing == protection::SourceFraming::Checksums) {
+                    sum_s += value;
+                    sum_w += static_cast<Word>(i + 1) * value;
+                }
+            }
+            if (framing == protection::SourceFraming::Checksums) {
+                frame_words.push_back(
+                    makeHeader(static_cast<FrameId>(sum_s)));
+                frame_words.push_back(
+                    makeHeader(static_cast<FrameId>(sum_w)));
+            }
+        }
+        admitted += frames;
+        if (admitted == _config.totalFrames &&
+            framing == protection::SourceFraming::Headers) {
+            frame_words.push_back(makeHeader(endOfComputationId));
+        }
+        source.append(frame_words.data(), frame_words.size());
+        outcome.maxBacklogWords =
+            std::max(outcome.maxBacklogWords, source.size());
+    };
+
+    auto min_frames_completed = [&]() -> Count {
+        Count completed = _config.totalFrames;
+        for (const auto &runtime : machine.runtimes())
+            completed = std::min(completed, runtime->framesCompleted());
+        return completed;
+    };
+
+    auto drain_collector = [&]() {
+        const std::vector<Word> items = collector.takeItems();
+        outcome.outputItems += items.size();
+        for (Word item : items) {
+            outcome.outputChecksum =
+                (outcome.outputChecksum ^ item) * kFnvPrime;
+        }
+    };
+
+    // --------------------------------------------------------------
+    // Observability state: snapshot deltas against the recorder's
+    // cumulative view, plus the rolling forensics ring.
+    // --------------------------------------------------------------
+    telemetry::TelemetryRecorder &recorder =
+        *machine.telemetryRecorder();
+    std::vector<Count> previous_totals;
+    std::vector<CounterKind> counter_kinds;
+    std::vector<std::string> counter_nodes;
+    std::deque<ServiceForensicsEntry> forensics;
+    Count last_sample_round = 0;
+    Count slice = 0;
+
+    auto classify_counters = [&]() {
+        const std::vector<std::string> &names = recorder.names();
+        counter_kinds.assign(names.size(), CounterKind::Other);
+        counter_nodes.assign(names.size(), std::string());
+        for (std::size_t i = 0; i < names.size(); ++i) {
+            const std::string &name = names[i];
+            if (endsWith(name, "/errorsInjected") &&
+                name.compare(0, 5, "node/") == 0) {
+                counter_kinds[i] = CounterKind::Error;
+            } else if (telemetryRepairLeaf(name)) {
+                counter_kinds[i] = CounterKind::Repair;
+            } else if (name == "queue/source/underflowPops") {
+                counter_kinds[i] = CounterKind::Underflow;
+            }
+            counter_nodes[i] = middleComponent(name);
+        }
+    };
+
+    auto emit_snapshot = [&](Count completed, bool final) {
+        // Freshen the ring: one explicit sample at the current round
+        // unless the scheduler cadence (or finish()) just took one.
+        if (!final && machine.schedulerRound() > last_sample_round) {
+            recorder.sample(machine.metrics(),
+                            machine.schedulerRound(),
+                            machine.totalCycles());
+        }
+        last_sample_round = machine.schedulerRound();
+        if (counter_kinds.size() != recorder.names().size())
+            classify_counters();
+
+        drain_collector();
+        const std::vector<Count> totals = recorder.cumulative();
+        if (previous_totals.size() != totals.size())
+            previous_totals.assign(totals.size(), 0);
+
+        // Error→repair join over this interval, per node: the rolling
+        // forensics window entry.
+        std::vector<std::pair<Count, Count>> per_node(
+            static_cast<std::size_t>(num_nodes), {0, 0});
+        auto node_index = [&](const std::string &node) -> int {
+            for (int n = 0; n < num_nodes; ++n) {
+                if (machine.cores()[static_cast<std::size_t>(n)]
+                        ->name() == node)
+                    return n;
+            }
+            return -1;
+        };
+
+        Json deltas = Json::object();
+        const std::vector<std::string> &names = recorder.names();
+        for (std::size_t i = 0; i < totals.size(); ++i) {
+            const Count delta = totals[i] - previous_totals[i];
+            if (delta == 0)
+                continue;
+            deltas[names[i]] = Json(delta);
+            const int n = counter_kinds[i] == CounterKind::Other
+                              ? -1
+                              : node_index(counter_nodes[i]);
+            if (n < 0)
+                continue;
+            if (counter_kinds[i] == CounterKind::Error)
+                per_node[static_cast<std::size_t>(n)].first += delta;
+            else if (counter_kinds[i] == CounterKind::Repair)
+                per_node[static_cast<std::size_t>(n)].second += delta;
+        }
+        previous_totals = totals;
+
+        for (int n = 0; n < num_nodes; ++n) {
+            const auto &[errors, repairs] =
+                per_node[static_cast<std::size_t>(n)];
+            if (errors == 0 && repairs == 0)
+                continue;
+            if (forensics.size() >= _config.forensicsWindow) {
+                forensics.pop_front();
+                ++outcome.forensicsDropped;
+            }
+            forensics.push_back(ServiceForensicsEntry{
+                slice,
+                machine.cores()[static_cast<std::size_t>(n)]->name(),
+                errors, repairs});
+            ++outcome.forensicsRecorded;
+        }
+
+        Json recent = Json::array();
+        const std::size_t shown =
+            std::min(forensics.size(), _config.forensicsPerSnapshot);
+        for (std::size_t i = forensics.size() - shown;
+             i < forensics.size(); ++i) {
+            const ServiceForensicsEntry &entry = forensics[i];
+            Json e = Json::object();
+            e["slice"] = Json(entry.slice);
+            e["node"] = Json(entry.node);
+            e["errors"] = Json(entry.errors);
+            e["repairs"] = Json(entry.repairs);
+            recent.push(std::move(e));
+        }
+        Json window = Json::object();
+        window["entries"] = Json(Count{forensics.size()});
+        window["recorded"] = Json(outcome.forensicsRecorded);
+        window["dropped"] = Json(outcome.forensicsDropped);
+        window["recent"] = std::move(recent);
+
+        Json ring = Json::object();
+        ring["taken"] = Json(recorder.samplesTaken());
+        ring["dropped"] = Json(recorder.droppedSamples());
+        ring["retained"] = Json(Count{recorder.samples().size()});
+
+        Json record = Json::object();
+        record["type"] = Json("snapshot");
+        record["service_schema_version"] = Json(kServiceSchemaVersion);
+        record["index"] = Json(outcome.snapshots);
+        record["slice"] = Json(slice);
+        record["machine_round"] = Json(machine.schedulerRound());
+        record["cycles"] = Json(Cycle{machine.totalCycles()});
+        record["frames_admitted"] = Json(admitted);
+        record["frames_completed"] = Json(completed);
+        record["backlog_words"] = Json(Count{source.size()});
+        record["output_items"] = Json(outcome.outputItems);
+        record["deltas"] = std::move(deltas);
+        record["forensics"] = std::move(window);
+        record["ring"] = std::move(ring);
+        append_record(record);
+        ++outcome.snapshots;
+    };
+
+    // --------------------------------------------------------------
+    // The traffic loop. Virtual time only: `slice` advances one per
+    // executed machine round and fast-forwards across idle gaps, so
+    // arrival spacing never shows up as scheduler-visible stall
+    // rounds (QM timeouts stay reserved for error-induced stalls).
+    // --------------------------------------------------------------
+    ArrivalRng rng{mix64(_config.arrivalSeed)};
+    Count next_arrival = 0;
+    Count burst_index = 0;
+    std::size_t event_index = 0;
+    Count next_snapshot_at = _config.snapshotEveryFrames;
+    bool aborted = false;
+
+    auto apply_due_events = [&]() {
+        while (event_index < _config.events.size() &&
+               _config.events[event_index].atFrame <= admitted) {
+            const ServiceEvent &event = _config.events[event_index];
+            ++epoch;
+            Json record = Json::object();
+            record["type"] = Json("event");
+            record["service_schema_version"] =
+                Json(kServiceSchemaVersion);
+            record["kind"] = Json(eventKindName(event.kind));
+            record["slice"] = Json(slice);
+            record["frames_admitted"] = Json(admitted);
+            if (event.kind == ServiceEvent::Kind::MtbeDegrade) {
+                const int slot =
+                    ((event.core % num_nodes) + num_nodes) % num_nodes;
+                slot_mtbe[static_cast<std::size_t>(slot)] /=
+                    event.factor;
+                record["core"] = Json(slot);
+                record["factor"] = Json(event.factor);
+                // Reconfigure the node currently placed on the slot.
+                for (int n = 0; n < num_nodes; ++n) {
+                    if ((n + rotation) % num_nodes == slot)
+                        reconfigure_node(n);
+                }
+            } else {
+                rotation =
+                    (rotation + ((event.rotation % num_nodes) +
+                                 num_nodes)) %
+                    num_nodes;
+                record["rotation"] = Json(event.rotation);
+                for (int n = 0; n < num_nodes; ++n)
+                    reconfigure_node(n);
+            }
+            append_record(record);
+            ++outcome.eventsApplied;
+            ++event_index;
+        }
+    };
+
+    apply_due_events(); // atFrame == 0 events precede traffic.
+
+    while (true) {
+        if (admitted < _config.totalFrames && slice >= next_arrival) {
+            // Draw the burst unconditionally (the RNG sequence depends
+            // only on the arrival count), clamp to admission control.
+            Count burst = rng.aroundMean(_config.meanBurstFrames);
+            if (burst_index++ % 8 == 7)
+                burst *= 4; // deterministic traffic spike
+            // Forced timeouts can "complete" frames ahead of the
+            // traffic in catastrophically corrupted runs, so clamp
+            // both subtractions.
+            const Count done_now = min_frames_completed();
+            const Count inflight =
+                admitted > done_now ? admitted - done_now : 0;
+            const Count space = _config.maxBacklogFrames > inflight
+                                    ? _config.maxBacklogFrames - inflight
+                                    : 0;
+            burst = std::min(
+                {burst, space, _config.totalFrames - admitted});
+            if (burst > 0) {
+                admit_frames(burst);
+                ++outcome.bursts;
+                apply_due_events();
+            }
+            next_arrival = slice + rng.aroundMean(_config.meanGapSlices);
+        }
+
+        const Count completed = min_frames_completed();
+        if (completed >= admitted) {
+            if (admitted >= _config.totalFrames)
+                break; // everything admitted and drained
+            // Idle: fast-forward virtual time to the next arrival
+            // instead of spinning the scheduler on an empty machine.
+            slice = std::max(slice, next_arrival);
+            continue;
+        }
+
+        const Multicore::RoundStatus status = machine.stepRound();
+        ++outcome.machineRounds;
+        ++slice;
+        if (status == Multicore::RoundStatus::WatchdogAbort) {
+            aborted = true;
+            break;
+        }
+
+        const Count now_completed = min_frames_completed();
+        if (now_completed >= next_snapshot_at) {
+            emit_snapshot(now_completed, false);
+            while (next_snapshot_at <= now_completed)
+                next_snapshot_at += _config.snapshotEveryFrames;
+        }
+    }
+
+    const MachineRunResult result = machine.finish();
+    outcome.framesAdmitted = admitted;
+    outcome.framesCompleted = min_frames_completed();
+    outcome.virtualSlices = slice;
+    outcome.completed =
+        !aborted && outcome.framesCompleted == _config.totalFrames;
+    outcome.totalInstructions = result.totalInstructions;
+    outcome.totalCycles = result.totalCycles;
+    outcome.timeoutsFired = result.timeoutsFired;
+    outcome.deadlockBreaks = result.deadlockBreaks;
+
+    // finish() took the final sample; fold the tail interval into one
+    // last snapshot so the stream's running totals reconcile.
+    last_sample_round = machine.schedulerRound();
+    emit_snapshot(outcome.framesCompleted, true);
+
+    const std::vector<Count> totals = recorder.cumulative();
+    const std::vector<std::string> &names = recorder.names();
+    if (counter_kinds.size() != names.size())
+        classify_counters();
+    for (std::size_t i = 0; i < totals.size(); ++i) {
+        switch (counter_kinds[i]) {
+        case CounterKind::Error:
+            outcome.errorsInjected += totals[i];
+            break;
+        case CounterKind::Repair:
+            outcome.repairs += totals[i];
+            break;
+        case CounterKind::Underflow:
+            outcome.sourceUnderflows += totals[i];
+            break;
+        case CounterKind::Other:
+            break;
+        }
+    }
+
+    Json summary = Json::object();
+    summary["type"] = Json("summary");
+    summary["service_schema_version"] = Json(kServiceSchemaVersion);
+    summary["app"] = Json(application.name);
+    summary["protection_mode"] =
+        Json(protection::protectionModeName(load.mode));
+    summary["seed"] = Json(Count{load.seed});
+    summary["arrival_seed"] = Json(Count{_config.arrivalSeed});
+    summary["completed"] = Json(outcome.completed);
+    summary["total_frames"] = Json(_config.totalFrames);
+    summary["frames_admitted"] = Json(outcome.framesAdmitted);
+    summary["frames_completed"] = Json(outcome.framesCompleted);
+    summary["bursts"] = Json(outcome.bursts);
+    summary["virtual_slices"] = Json(outcome.virtualSlices);
+    summary["machine_rounds"] = Json(outcome.machineRounds);
+    summary["output_items"] = Json(outcome.outputItems);
+    summary["output_checksum"] = Json(hex64(outcome.outputChecksum));
+    summary["total_instructions"] = Json(outcome.totalInstructions);
+    summary["total_cycles"] = Json(Cycle{outcome.totalCycles});
+    summary["timeouts_fired"] = Json(outcome.timeoutsFired);
+    summary["deadlock_breaks"] = Json(outcome.deadlockBreaks);
+    summary["errors_injected"] = Json(outcome.errorsInjected);
+    summary["repairs"] = Json(outcome.repairs);
+    summary["source_underflows"] = Json(outcome.sourceUnderflows);
+    summary["snapshots"] = Json(outcome.snapshots);
+    summary["events_applied"] = Json(outcome.eventsApplied);
+    summary["forensics_recorded"] = Json(outcome.forensicsRecorded);
+    summary["forensics_dropped"] = Json(outcome.forensicsDropped);
+    summary["max_backlog_words"] =
+        Json(Count{outcome.maxBacklogWords});
+    outcome.summary = summary;
+    append_record(summary);
+    return outcome;
+}
+
+} // namespace commguard::sim

@@ -541,11 +541,69 @@ writeTelemetryReport(const std::string &path)
     out << kReportHtmlPrefix << data << kReportHtmlSuffix;
 }
 
+namespace
+{
+
+/**
+ * The one status line currently showing on stderr (at most one board
+ * is live at a time; a second one simply takes over the slot). The
+ * mutex coordinates the owner's repaints with the logging pre-emit
+ * hook, which fires on any thread that warns. Lock order: the logging
+ * module's internal lock is taken first (the hook runs under it), then
+ * this one; StatusLine methods never call the logging API while
+ * holding it.
+ */
+struct ActiveStatusLine
+{
+    std::mutex mutex;
+    StatusLine *line = nullptr;
+};
+
+ActiveStatusLine &
+activeStatusLine()
+{
+    static ActiveStatusLine active;
+    return active;
+}
+
+std::once_flag statusLineHookOnce;
+
+} // namespace
+
+void
+StatusLine::clearActiveLine()
+{
+    ActiveStatusLine &active = activeStatusLine();
+    std::lock_guard<std::mutex> lock(active.mutex);
+    StatusLine *line = active.line;
+    if (line == nullptr || !line->_dirty)
+        return;
+    std::fprintf(stderr, "\r%*s\r",
+                 static_cast<int>(line->_lastWidth), "");
+    std::fflush(stderr);
+    line->_dirty = false;
+    line->_lastWidth = 0;
+    line->_nextPrint = 0.0;  // Repaint on the owner's next update().
+}
+
+StatusLine::~StatusLine()
+{
+    ActiveStatusLine &active = activeStatusLine();
+    std::lock_guard<std::mutex> lock(active.mutex);
+    if (active.line == this)
+        active.line = nullptr;
+}
+
 void
 StatusLine::update(const std::string &text)
 {
     if (!_enabled)
         return;
+    std::call_once(statusLineHookOnce, [] {
+        setLogPreEmitHook(&StatusLine::clearActiveLine);
+    });
+    ActiveStatusLine &active = activeStatusLine();
+    std::lock_guard<std::mutex> lock(active.mutex);
     const double now = monotonicSeconds();
     if (now < _nextPrint)
         return;
@@ -557,13 +615,21 @@ StatusLine::update(const std::string &text)
     std::fflush(stderr);
     _lastWidth = text.size();
     _dirty = true;
+    active.line = this;
 }
 
 void
 StatusLine::finish(const std::string &text)
 {
-    if (!_enabled || (!_dirty && text.empty()))
+    if (!_enabled)
         return;
+    ActiveStatusLine &active = activeStatusLine();
+    std::lock_guard<std::mutex> lock(active.mutex);
+    if (!_dirty && text.empty()) {
+        if (active.line == this)
+            active.line = nullptr;
+        return;
+    }
     std::string padded = text;
     if (padded.size() < _lastWidth)
         padded.append(_lastWidth - padded.size(), ' ');
@@ -572,6 +638,35 @@ StatusLine::finish(const std::string &text)
     _lastWidth = 0;
     _nextPrint = 0.0;
     _dirty = false;
+    if (active.line == this)
+        active.line = nullptr;
+}
+
+bool
+telemetryRepairLeaf(const std::string &name)
+{
+    return isRepairLeaf(name);
+}
+
+std::string
+formatRateEta(std::size_t done, std::size_t total,
+              double elapsed_seconds)
+{
+    // A zero-done batch or an instant cache replay has no meaningful
+    // rate; rendering the division would print inf/garbage.
+    constexpr double kMinElapsed = 1e-3;
+    if (done == 0 || elapsed_seconds < kMinElapsed)
+        return "--/s  eta --";
+    const double rate =
+        static_cast<double>(done) / elapsed_seconds;
+    if (!std::isfinite(rate) || rate <= 0.0)
+        return "--/s  eta --";
+    const double eta =
+        static_cast<double>(total - done) / rate;
+    char buffer[64];
+    std::snprintf(buffer, sizeof buffer, "%.1f/s  eta %.0fs", rate,
+                  std::isfinite(eta) ? eta : 0.0);
+    return buffer;
 }
 
 bool
@@ -615,20 +710,14 @@ SweepHealthBoard::observe(std::size_t done, std::size_t total,
     ++aggregate.runs;
     aggregate.repairs += outcomeRepairs(outcome);
 
-    const double elapsed = std::max(1e-6, now - _batchStart);
-    const double rate = static_cast<double>(done) / elapsed;
-    const double eta =
-        rate > 0.0 ? static_cast<double>(total - done) / rate : 0.0;
-
     const ThreadPool::Stats stats = _runner->poolStats();
     auto delta = [](Count a, Count b) { return a >= b ? a - b : 0; };
 
     std::ostringstream text;
     text << "[board] " << done << "/" << total << " runs  ";
     char buffer[64];
-    std::snprintf(buffer, sizeof buffer, "%.1f/s  eta %.0fs", rate,
-                  eta);
-    text << buffer << "  | pool stolen "
+    text << formatRateEta(done, total, now - _batchStart)
+         << "  | pool stolen "
          << delta(stats.tasksStolen, _batchBaseStats.tasksStolen)
          << " waits "
          << delta(stats.queueWaits, _batchBaseStats.queueWaits)

@@ -76,20 +76,54 @@ void telemetryReportAdd(const std::vector<RunDescriptor> &batch,
 void writeTelemetryReport(const std::string &path);
 
 /**
+ * Whether @p name is a repair-action counter leaf (paddedItems,
+ * discardedItems, votedCorrections, correctedItems) — the
+ * pareto_protection "repaired items" definition shared by the health
+ * board, the HTML report and the service driver's forensics join.
+ */
+bool telemetryRepairLeaf(const std::string &name);
+
+/**
+ * The health board's "rate / ETA" fragment, e.g. "12.3/s  eta 40s".
+ * Degenerate inputs — no completions yet, an implausibly small elapsed
+ * window (instant cache replays), or a non-finite rate — render as
+ * "--/s  eta --" instead of inf/garbage. Exposed for tests.
+ */
+std::string formatRateEta(std::size_t done, std::size_t total,
+                          double elapsed_seconds);
+
+/**
  * Rate-limited single-line TTY status: update() rewrites one \r line
  * on stderr at most every quarter second; finish() commits the last
  * text with a newline. All output is suppressed when constructed
  * disabled, so callers can drive it unconditionally.
+ *
+ * While a line is showing, the StatusLine registers itself with the
+ * logging pre-emit hook: a warn()/inform() emitted concurrently first
+ * blanks the in-place line so the log message lands on its own clean
+ * row, and the status text repaints on the next update() instead of
+ * being spliced mid-line.
  */
 class StatusLine
 {
   public:
     explicit StatusLine(bool enabled) : _enabled(enabled) {}
+    ~StatusLine();
+
+    StatusLine(const StatusLine &) = delete;
+    StatusLine &operator=(const StatusLine &) = delete;
 
     void update(const std::string &text);
     void finish(const std::string &text);
 
     bool enabled() const { return _enabled; }
+
+    /**
+     * Blank the currently showing status line, if any (the logging
+     * pre-emit hook body; also callable from tests). The owner's next
+     * update() repaints immediately.
+     */
+    static void clearActiveLine();
 
   private:
     bool _enabled;

@@ -73,6 +73,21 @@ loadGraph(const StreamGraph &graph, const std::vector<Word> &input,
         const Count s = options.perNodeFrameScale[node];
         return s ? s : 1;
     };
+
+    // Heterogeneous error rates (docs/SERVICE.md); uniform by default.
+    if (!options.perCoreMtbe.empty() &&
+        options.perCoreMtbe.size() !=
+            static_cast<std::size_t>(num_nodes)) {
+        fatal("loadGraph: perCoreMtbe must have one entry per node");
+    }
+    auto node_mtbe = [&](int node) -> double {
+        if (options.perCoreMtbe.empty())
+            return options.mtbe;
+        const double m = options.perCoreMtbe[node];
+        if (!(m > 0.0))
+            fatal("loadGraph: perCoreMtbe entries must be positive");
+        return m;
+    };
     const Count source_scale = node_scale(graph.externalInput().node);
 
     // The source edge is framed only when it is guarded at all.
@@ -85,66 +100,69 @@ loadGraph(const StreamGraph &graph, const std::vector<Word> &input,
     // ------------------------------------------------------------------
     const Count items_per_inv = app.frames.inputItemsPerFrame;
     const Count needed = items_per_inv * steady_iterations;
-    std::vector<Word> local_padded;
-    std::vector<Word> &padded_input =
-        scratch != nullptr ? scratch->paddedInput : local_padded;
-    padded_input.assign(input.begin(), input.end());
-    if (padded_input.size() != needed) {
-        if (padded_input.size() < needed) {
-            warn("loadGraph: input shorter than schedule needs; "
-                 "zero-padding");
-        }
-        padded_input.resize(needed, 0);
-    }
-
     std::vector<QueueWord> source_words =
         queue_pool != nullptr ? queue_pool->acquire(0)
                               : std::vector<QueueWord>();
-    source_words.reserve(needed + 2 * steady_iterations + 2);
-    const Count source_block = items_per_inv * source_scale;
-    Word source_s = 0;
-    Word source_w = 0;
-    Count source_count = 0;
-    std::size_t cursor = 0;
-    for (Count inv = 0; inv < steady_iterations; ++inv) {
-        if (framing == protection::SourceFraming::Headers &&
-            inv % source_scale == 0) {
-            const FrameId id =
-                static_cast<FrameId>(inv / source_scale + 1);
-            source_words.push_back(makeHeader(id));
+    if (!options.streamingSource) {
+        std::vector<Word> local_padded;
+        std::vector<Word> &padded_input =
+            scratch != nullptr ? scratch->paddedInput : local_padded;
+        padded_input.assign(input.begin(), input.end());
+        if (padded_input.size() != needed) {
+            if (padded_input.size() < needed) {
+                warn("loadGraph: input shorter than schedule needs; "
+                     "zero-padding");
+            }
+            padded_input.resize(needed, 0);
         }
-        for (Count i = 0; i < items_per_inv; ++i) {
-            const Word value = padded_input[cursor++];
-            source_words.push_back(makeItem(value));
-            if (framing == protection::SourceFraming::Checksums) {
-                source_s += value;
-                source_w +=
-                    static_cast<Word>(source_count + 1) * value;
-                ++source_count;
-                if (source_count == source_block) {
-                    source_words.push_back(makeHeader(
-                        static_cast<FrameId>(source_s)));
-                    source_words.push_back(makeHeader(
-                        static_cast<FrameId>(source_w)));
-                    source_s = 0;
-                    source_w = 0;
-                    source_count = 0;
+
+        source_words.reserve(needed + 2 * steady_iterations + 2);
+        const Count source_block = items_per_inv * source_scale;
+        Word source_s = 0;
+        Word source_w = 0;
+        Count source_count = 0;
+        std::size_t cursor = 0;
+        for (Count inv = 0; inv < steady_iterations; ++inv) {
+            if (framing == protection::SourceFraming::Headers &&
+                inv % source_scale == 0) {
+                const FrameId id =
+                    static_cast<FrameId>(inv / source_scale + 1);
+                source_words.push_back(makeHeader(id));
+            }
+            for (Count i = 0; i < items_per_inv; ++i) {
+                const Word value = padded_input[cursor++];
+                source_words.push_back(makeItem(value));
+                if (framing == protection::SourceFraming::Checksums) {
+                    source_s += value;
+                    source_w +=
+                        static_cast<Word>(source_count + 1) * value;
+                    ++source_count;
+                    if (source_count == source_block) {
+                        source_words.push_back(makeHeader(
+                            static_cast<FrameId>(source_s)));
+                        source_words.push_back(makeHeader(
+                            static_cast<FrameId>(source_w)));
+                        source_s = 0;
+                        source_w = 0;
+                        source_count = 0;
+                    }
                 }
             }
         }
-    }
-    if (framing == protection::SourceFraming::Headers) {
-        source_words.push_back(makeHeader(endOfComputationId));
-    } else if (framing == protection::SourceFraming::Checksums &&
-               source_count > 0) {
-        source_words.push_back(
-            makeHeader(static_cast<FrameId>(source_s)));
-        source_words.push_back(
-            makeHeader(static_cast<FrameId>(source_w)));
+        if (framing == protection::SourceFraming::Headers) {
+            source_words.push_back(makeHeader(endOfComputationId));
+        } else if (framing == protection::SourceFraming::Checksums &&
+                   source_count > 0) {
+            source_words.push_back(
+                makeHeader(static_cast<FrameId>(source_s)));
+            source_words.push_back(
+                makeHeader(static_cast<FrameId>(source_w)));
+        }
     }
 
     auto source = std::make_unique<SourceQueue>(
         "source", std::move(source_words), queue_pool);
+    source->setStreaming(options.streamingSource);
     app.source = source.get();
     machine.addQueue(std::move(source));
 
@@ -299,7 +317,7 @@ loadGraph(const StreamGraph &graph, const std::vector<Word> &input,
 
         ErrorInjector::Config injector;
         injector.enabled = options.injectErrors;
-        injector.mtbe = options.mtbe;
+        injector.mtbe = node_mtbe(n);
         injector.seed = coreSeed(options.seed, n);
         injector.flipAllRegisters = options.flipAllRegisters;
         core.configureInjector(injector);

@@ -49,6 +49,13 @@ struct LoadOptions
     /** Per-core mean instructions between register-file bit flips. */
     double mtbe = 1e6;
 
+    /**
+     * Heterogeneous error rates (docs/SERVICE.md): one MTBE per node
+     * in graph node order. Empty means uniform (mtbe). When set, the
+     * size must equal the node count; every entry must be positive.
+     */
+    std::vector<double> perCoreMtbe;
+
     /** Base RNG seed; per-core injector seeds derive from it. */
     std::uint64_t seed = 1;
 
@@ -89,6 +96,15 @@ struct LoadOptions
 
     /** Minimum queue capacity in words. */
     std::size_t queueCapacityWords = 1u << 12;
+
+    /**
+     * Service mode (docs/SERVICE.md): leave the external source empty
+     * at load time; the service driver appends framed arrivals while
+     * the machine runs. Totals (steady iterations, end-of-computation
+     * framing expectations) are still sized from steady_iterations.
+     * Driver-internal — not part of the run descriptor.
+     */
+    bool streamingSource = false;
 
     MachineConfig machine;
 };

@@ -58,6 +58,24 @@ TEST_F(ExperimentConfigTest, RejectsBadPerNodeFrameScale)
         ExperimentConfig::app(_app).perNodeFrameScale(scales));
 }
 
+TEST_F(ExperimentConfigTest, RejectsBadPerCoreMtbe)
+{
+    // Wrong length: the fft graph has 9 nodes.
+    EXPECT_THROW(ExperimentConfig::app(_app).perCoreMtbe({1e5, 1e5}),
+                 std::invalid_argument);
+    // Right length, but a non-positive entry.
+    std::vector<double> mtbes(
+        static_cast<std::size_t>(_app.graph.numNodes()), 1e5);
+    mtbes[3] = 0.0;
+    EXPECT_THROW(ExperimentConfig::app(_app).perCoreMtbe(mtbes),
+                 std::invalid_argument);
+    // Right length, all positive: accepted and visible in options.
+    mtbes[3] = 5e4;
+    const ExperimentConfig config =
+        ExperimentConfig::app(_app).perCoreMtbe(mtbes);
+    EXPECT_EQ(config.options().perCoreMtbe, mtbes);
+}
+
 TEST_F(ExperimentConfigTest, RejectsZeroQueueCapacity)
 {
     EXPECT_THROW(ExperimentConfig::app(_app).queueCapacityWords(0),
@@ -147,7 +165,8 @@ TEST_F(ExperimentConfigTest, DescriptorJsonBytesAreGolden)
         "\"slice_instructions\":50000,\"timeout_rounds\":2000,"
         "\"timing\":{\"frame_flush_cycles\":4,"
         "\"mem_extra_cycles\":1,\"queue_op_cycles\":2}},"
-        "\"mtbe\":128000,\"per_node_frame_scale\":[],"
+        "\"mtbe\":128000,\"per_core_mtbe\":[],"
+        "\"per_node_frame_scale\":[],"
         "\"protection_mode\":\"commguard\","
         "\"queue_capacity_words\":4096,\"replicas\":2,"
         "\"seed\":3000009}");

@@ -36,6 +36,7 @@ class LoggingTest : public ::testing::Test
     TearDown() override
     {
         setLogSink(nullptr);
+        setLogPreEmitHook(nullptr);
         resetLogRateLimits();
     }
 
@@ -104,6 +105,32 @@ TEST_F(LoggingTest, RestoringTheDefaultSinkStopsCapture)
     // Goes to stderr, not the (now cleared) capture vector.
     warn("not captured");
     EXPECT_TRUE(_captured.empty());
+}
+
+TEST_F(LoggingTest, PreEmitHookFiresOnlyForTheDefaultSink)
+{
+    int fires = 0;
+    setLogPreEmitHook([&fires] { ++fires; });
+
+    // A custom sink owns its own presentation (test capture, file
+    // writers): the hook must not fire for it.
+    warn("through the custom sink");
+    EXPECT_EQ(fires, 0);
+
+    // The default stderr path shares the terminal with the status
+    // line, so the hook runs once per emitted line, before it.
+    setLogSink(nullptr);
+    warn("through stderr");
+    inform("also through stderr");
+    EXPECT_EQ(fires, 2);
+
+    // Rate-suppressed lines emit nothing, so the hook stays quiet.
+    resetLogRateLimits();
+    for (int i = 0; i < 30; ++i)
+        warn("repeated");
+    EXPECT_EQ(fires, 2 + static_cast<int>(kLogRepeatLimit));
+
+    setLogPreEmitHook(nullptr);
 }
 
 } // namespace

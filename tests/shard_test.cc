@@ -17,6 +17,7 @@
 
 #include <gtest/gtest.h>
 
+#include <chrono>
 #include <csignal>
 #include <cstring>
 #include <filesystem>
@@ -368,6 +369,44 @@ TEST_F(ResultCacheTest, KeyIsStableAndDescriptorSensitive)
     EXPECT_NE(key, other);
 }
 
+TEST_F(ResultCacheTest, SweepsStaleOrphanTempFilesOnly)
+{
+    // A writer killed between the temp write and the rename in
+    // store() leaves "<key>.json.tmp.<pid>" behind forever. The sweep
+    // reclaims stale ones; fresh ones (a live concurrent writer still
+    // filling its file) and real entries must survive.
+    const fs::path stale = _dir / "00deadbeef00cafe.json.tmp.12345";
+    const fs::path fresh = _dir / "00cafef00d00beef.json.tmp.6789";
+    std::ofstream(stale) << "partial entry";
+    std::ofstream(fresh) << "partial entry";
+    fs::last_write_time(stale, fs::file_time_type::clock::now() -
+                                   std::chrono::hours(1));
+
+    const RunDescriptor descriptor = {
+        &_app,
+        sweepOptions(streamit::ProtectionMode::CommGuard, true,
+                     64'000.0, 0)};
+    ExecutedRun executed;
+    executed.outcome = runOnce(*descriptor.app, descriptor.options);
+    executed.recordLine =
+        runRecordJson(descriptor, executed.outcome).dump();
+    ResultCache cache(_dir.string());
+    cache.store(descriptor, executed);
+
+    const Count swept_before =
+        ResultCache::stats().orphansSwept.load();
+    EXPECT_EQ(cache.sweepOrphans(60.0), 1u);
+    EXPECT_EQ(ResultCache::stats().orphansSwept.load(),
+              swept_before + 1);
+    EXPECT_FALSE(fs::exists(stale));
+    EXPECT_TRUE(fs::exists(fresh));
+    ExecutedRun replayed;
+    EXPECT_TRUE(cache.lookup(descriptor, &replayed));
+
+    // Idempotent: nothing stale left.
+    EXPECT_EQ(cache.sweepOrphans(60.0), 0u);
+}
+
 // ----------------------------------------------------------------------
 // ShardExecutor against real worker processes.
 // ----------------------------------------------------------------------
@@ -477,6 +516,54 @@ TEST(ShardExecutor, KilledWorkerRunIsReassignedWithoutCorruption)
         expectBitwiseEqual(base[i].outcome, shard[i].outcome);
         EXPECT_EQ(base[i].recordLine, shard[i].recordLine);
     }
+}
+
+TEST(ShardExecutor, SingleWorkerDeathRespawnsAndCompletes)
+{
+    const apps::App app = apps::makeFftApp(16);
+    const std::vector<RunDescriptor> batch = smallSweep(app);
+
+    LocalExecutor local(1);
+    const std::vector<ExecutedRun> base = runThrough(local, batch);
+
+    // One worker, killed after its first assignment: the pool goes
+    // empty and the executor must spawn a replacement, finish the
+    // sweep, and deliver every result exactly once (slot-by-index
+    // merge — a double-delivered run would show as a mismatch).
+    ShardPlan plan = testPlan(1);
+    plan.testKillAfterAssignments = 1;
+
+    const Count spawned_before = shardStats().workersSpawned.load();
+    ShardExecutor sharded(plan);
+    const std::vector<ExecutedRun> shard = runThrough(sharded, batch);
+    EXPECT_GE(shardStats().workersSpawned.load(),
+              spawned_before + 2);  // Original + respawn.
+
+    ASSERT_EQ(shard.size(), base.size());
+    for (std::size_t i = 0; i < base.size(); ++i) {
+        SCOPED_TRACE("run " + std::to_string(i));
+        expectBitwiseEqual(base[i].outcome, shard[i].outcome);
+        EXPECT_EQ(base[i].recordLine, shard[i].recordLine);
+    }
+}
+
+TEST(ShardExecutor, RespawnExhaustionFailsTheSweepCleanly)
+{
+    const apps::App app = apps::makeFftApp(16);
+    const std::vector<RunDescriptor> batch = smallSweep(app);
+
+    // With respawns disabled, the first worker death empties the pool
+    // and the sweep must abort with a clean diagnostic — not hang on
+    // a pipe that will never deliver, not deliver partial results.
+    EXPECT_EXIT(
+        {
+            ShardPlan plan = testPlan(1);
+            plan.testKillAfterAssignments = 1;
+            plan.maxRespawns = 0;
+            ShardExecutor sharded(plan);
+            runThrough(sharded, batch);
+        },
+        ::testing::ExitedWithCode(1), "worker pool exhausted");
 }
 
 TEST(ShardExecutor, SweepRunnerOverShardsMatchesLocalRunner)

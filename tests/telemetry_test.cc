@@ -222,5 +222,18 @@ TEST(Telemetry, JsonRecordsCarrySchemaAndReconcileWithoutDrops)
     EXPECT_EQ(delta_sums, cumulative_map);
 }
 
+TEST(Telemetry, FormatRateEtaGuardsDegenerateBatches)
+{
+    // The health board's rate/eta cell: an untouched batch or an
+    // instant cache replay must render placeholders, never inf/nan.
+    EXPECT_EQ(sim::formatRateEta(0, 10, 5.0), "--/s  eta --");
+    EXPECT_EQ(sim::formatRateEta(5, 10, 0.0), "--/s  eta --");
+    EXPECT_EQ(sim::formatRateEta(0, 10, 0.0), "--/s  eta --");
+
+    // Healthy batches keep the familiar rendering.
+    EXPECT_EQ(sim::formatRateEta(5, 10, 2.0), "2.5/s  eta 2s");
+    EXPECT_EQ(sim::formatRateEta(10, 10, 4.0), "2.5/s  eta 0s");
+}
+
 } // namespace
 } // namespace commguard

@@ -16,6 +16,13 @@
  *   cg_bench serve …                like run, with sharding on by
  *                                   default (CG_SHARDS or one worker
  *                                   per host core)
+ *   cg_bench serve-run …            service mode (docs/SERVICE.md):
+ *                                   one long-lived machine under an
+ *                                   open-loop streaming traffic model
+ *                                   with mid-run events; prints the
+ *                                   deterministic summary record and
+ *                                   optionally writes the full JSONL
+ *                                   stream (`jsonl_check --service`)
  *   cg_bench worker                 internal: serve-spawned worker
  *                                   speaking the shard protocol on
  *                                   stdin/stdout
@@ -37,6 +44,7 @@
 
 #include <algorithm>
 #include <cstdlib>
+#include <cstring>
 #include <filesystem>
 #include <fstream>
 #include <iostream>
@@ -44,12 +52,15 @@
 #include <string>
 #include <vector>
 
+#include "apps/app.hh"
 #include "common/thread_pool.hh"
 #include "sim/env_options.hh"
 #include "sim/fuzz.hh"
 #include "sim/protection.hh"
 #include "sim/scenario.hh"
+#include "sim/service_driver.hh"
 #include "sim/shard.hh"
+#include "sim/sweep_runner.hh"
 #include "sim/telemetry_export.hh"
 
 using namespace commguard;
@@ -92,13 +103,37 @@ usage(std::ostream &out, int code)
            "worker processes\n"
            "  serve ...                run with sharding on by "
            "default\n"
+           "  serve-run [opts]         service mode: stream an "
+           "open-loop traffic model\n"
+           "                           through one long-lived machine "
+           "(docs/SERVICE.md)\n"
+           "    --app=<name>           application (default fft)\n"
+           "    --mode=<mode>          protection mode (default "
+           "commguard)\n"
+           "    --frames=<n>           total frames (default 100000)\n"
+           "    --seed=<n>             error-seed index (default 0)\n"
+           "    --arrival-seed=<n>     traffic-model seed (default 1)\n"
+           "    --mtbe=<f>             uniform MTBE in instructions\n"
+           "    --per-core-mtbe=<f,..> per-core MTBE table\n"
+           "    --burst=<n> --gap=<n>  mean burst frames / gap slices\n"
+           "    --backlog=<n>          max in-flight frames\n"
+           "    --snapshot-frames=<n>  snapshot cadence in frames\n"
+           "    --window=<n>           rolling forensics window size\n"
+           "    --degrade=<f>:<c>:<x>  at frame f, divide core c's "
+           "MTBE by x\n"
+           "    --remap=<f>:<r>        at frame f, rotate placement "
+           "by r slots\n"
+           "    --out=<path>           write the full JSONL stream "
+           "here\n"
            "  worker                   internal: shard worker on "
            "stdin/stdout\n"
            "  replay <bundle.json>     re-run a fuzz repro bundle\n"
            "\n"
            "environment: CG_QUICK CG_JOBS CG_CSV CG_JSON CG_JSONL "
            "CG_MODE CG_TRACE_EVENTS CG_TELEMETRY_SLICES "
-           "CG_TELEMETRY_OUT CG_BOARD CG_SHARDS CG_CACHE_DIR\n";
+           "CG_TELEMETRY_OUT CG_BOARD CG_SHARDS CG_CACHE_DIR "
+           "CG_SERVICE_FRAMES CG_SERVICE_SNAPSHOT_FRAMES "
+           "CG_SERVICE_WINDOW\n";
     return code;
 }
 
@@ -319,6 +354,218 @@ cmdRun(const std::vector<std::string> &raw_args, bool serve)
     return 0;
 }
 
+/** Strict decimal Count parse for serve-run flags and CG_SERVICE_*. */
+bool
+parseCount(const std::string &text, Count *out)
+{
+    if (text.empty() || text.size() > 12)
+        return false;
+    Count value = 0;
+    for (char c : text) {
+        if (c < '0' || c > '9')
+            return false;
+        value = value * 10 + static_cast<Count>(c - '0');
+    }
+    *out = value;
+    return true;
+}
+
+/** Strict positive double parse (--mtbe, --per-core-mtbe entries). */
+bool
+parsePositiveDouble(const std::string &text, double *out)
+{
+    if (text.empty())
+        return false;
+    char *end = nullptr;
+    const double value = std::strtod(text.c_str(), &end);
+    if (end != text.c_str() + text.size() || !(value > 0.0))
+        return false;
+    *out = value;
+    return true;
+}
+
+int
+cmdServeRun(const std::vector<std::string> &args)
+{
+    const auto bad = [](const std::string &why) {
+        std::cerr << "cg_bench serve-run: " << why << "\n";
+        return usage(std::cerr, 2);
+    };
+
+    std::string app_name = "fft";
+    streamit::ProtectionMode mode = streamit::ProtectionMode::CommGuard;
+    Count frames = 100'000;
+    Count seed_index = 0;
+    sim::ServiceConfig config;
+    double mtbe = 128'000.0;
+    std::vector<double> per_core_mtbe;
+    std::string out_path;
+
+    // Environment defaults first (docs/SERVICE.md); flags override.
+    const auto env_count = [&bad](const char *key, Count *out) {
+        const char *value = std::getenv(key);
+        if (value == nullptr || *value == '\0')
+            return 0;
+        if (!parseCount(value, out) || *out == 0)
+            return bad(std::string("invalid ") + key + " value '" +
+                       value + "' (expected a decimal integer >= 1)");
+        return 0;
+    };
+    if (int code = env_count("CG_SERVICE_FRAMES", &frames); code != 0)
+        return code;
+    if (int code = env_count("CG_SERVICE_SNAPSHOT_FRAMES",
+                             &config.snapshotEveryFrames);
+        code != 0)
+        return code;
+    Count window = 0;
+    if (int code = env_count("CG_SERVICE_WINDOW", &window); code != 0)
+        return code;
+    if (window > 0)
+        config.forensicsWindow = static_cast<std::size_t>(window);
+
+    for (const std::string &arg : args) {
+        const auto value_of = [&arg](const char *prefix) {
+            return arg.substr(std::strlen(prefix));
+        };
+        if (arg.rfind("--app=", 0) == 0) {
+            app_name = value_of("--app=");
+        } else if (arg.rfind("--mode=", 0) == 0) {
+            const std::string name = value_of("--mode=");
+            if (!protection::tryParseProtectionMode(name, &mode))
+                return bad("unknown protection mode '" + name +
+                           "' (registered modes: " +
+                           protection::ProtectionRegistry::instance()
+                               .nameList() +
+                           ")");
+        } else if (arg.rfind("--frames=", 0) == 0) {
+            if (!parseCount(value_of("--frames="), &frames) ||
+                frames == 0)
+                return bad("invalid --frames value");
+        } else if (arg.rfind("--seed=", 0) == 0) {
+            if (!parseCount(value_of("--seed="), &seed_index))
+                return bad("invalid --seed value");
+        } else if (arg.rfind("--arrival-seed=", 0) == 0) {
+            Count arrival = 0;
+            if (!parseCount(value_of("--arrival-seed="), &arrival))
+                return bad("invalid --arrival-seed value");
+            config.arrivalSeed = arrival;
+        } else if (arg.rfind("--mtbe=", 0) == 0) {
+            if (!parsePositiveDouble(value_of("--mtbe="), &mtbe))
+                return bad("invalid --mtbe value");
+        } else if (arg.rfind("--per-core-mtbe=", 0) == 0) {
+            per_core_mtbe.clear();
+            std::istringstream list(value_of("--per-core-mtbe="));
+            std::string entry;
+            while (std::getline(list, entry, ',')) {
+                double value = 0.0;
+                if (!parsePositiveDouble(entry, &value))
+                    return bad("invalid --per-core-mtbe entry '" +
+                               entry + "'");
+                per_core_mtbe.push_back(value);
+            }
+            if (per_core_mtbe.empty())
+                return bad("--per-core-mtbe needs at least one entry");
+        } else if (arg.rfind("--burst=", 0) == 0) {
+            if (!parseCount(value_of("--burst="),
+                            &config.meanBurstFrames) ||
+                config.meanBurstFrames == 0)
+                return bad("invalid --burst value");
+        } else if (arg.rfind("--gap=", 0) == 0) {
+            if (!parseCount(value_of("--gap="),
+                            &config.meanGapSlices) ||
+                config.meanGapSlices == 0)
+                return bad("invalid --gap value");
+        } else if (arg.rfind("--backlog=", 0) == 0) {
+            if (!parseCount(value_of("--backlog="),
+                            &config.maxBacklogFrames) ||
+                config.maxBacklogFrames == 0)
+                return bad("invalid --backlog value");
+        } else if (arg.rfind("--snapshot-frames=", 0) == 0) {
+            if (!parseCount(value_of("--snapshot-frames="),
+                            &config.snapshotEveryFrames) ||
+                config.snapshotEveryFrames == 0)
+                return bad("invalid --snapshot-frames value");
+        } else if (arg.rfind("--window=", 0) == 0) {
+            if (!parseCount(value_of("--window="), &window) ||
+                window == 0)
+                return bad("invalid --window value");
+            config.forensicsWindow = static_cast<std::size_t>(window);
+        } else if (arg.rfind("--degrade=", 0) == 0) {
+            // --degrade=<frame>:<core>:<factor>
+            const std::string spec = value_of("--degrade=");
+            const std::size_t first = spec.find(':');
+            const std::size_t second =
+                first == std::string::npos ? std::string::npos
+                                           : spec.find(':', first + 1);
+            sim::ServiceEvent event;
+            event.kind = sim::ServiceEvent::Kind::MtbeDegrade;
+            Count core = 0;
+            if (second == std::string::npos ||
+                !parseCount(spec.substr(0, first), &event.atFrame) ||
+                !parseCount(spec.substr(first + 1, second - first - 1),
+                            &core) ||
+                !parsePositiveDouble(spec.substr(second + 1),
+                                     &event.factor))
+                return bad("invalid --degrade spec '" + spec +
+                           "' (expected <frame>:<core>:<factor>)");
+            event.core = static_cast<int>(core);
+            config.events.push_back(event);
+        } else if (arg.rfind("--remap=", 0) == 0) {
+            // --remap=<frame>:<rotation>
+            const std::string spec = value_of("--remap=");
+            const std::size_t colon = spec.find(':');
+            sim::ServiceEvent event;
+            event.kind = sim::ServiceEvent::Kind::Remap;
+            Count rotation = 0;
+            if (colon == std::string::npos ||
+                !parseCount(spec.substr(0, colon), &event.atFrame) ||
+                !parseCount(spec.substr(colon + 1), &rotation) ||
+                rotation == 0)
+                return bad("invalid --remap spec '" + spec +
+                           "' (expected <frame>:<rotation>)");
+            event.rotation = static_cast<int>(rotation);
+            config.events.push_back(event);
+        } else if (arg.rfind("--out=", 0) == 0) {
+            out_path = value_of("--out=");
+            if (out_path.empty())
+                return bad("--out needs a path");
+        } else {
+            return bad("unknown argument '" + arg + "'");
+        }
+    }
+
+    const apps::App app = apps::makeAppByName(app_name);
+    config.app = &app;
+    config.load = sim::sweepOptions(mode, true, mtbe,
+                                    static_cast<int>(seed_index));
+    if (!per_core_mtbe.empty()) {
+        if (per_core_mtbe.size() !=
+            static_cast<std::size_t>(app.graph.numNodes()))
+            return bad("--per-core-mtbe has " +
+                       std::to_string(per_core_mtbe.size()) +
+                       " entries; app '" + app_name + "' has " +
+                       std::to_string(app.graph.numNodes()) +
+                       " nodes");
+        config.load.perCoreMtbe = per_core_mtbe;
+    }
+    config.totalFrames = frames;
+
+    sim::ServiceDriver driver(std::move(config));
+    const sim::ServiceOutcome outcome = driver.run();
+
+    if (!out_path.empty()) {
+        std::ofstream out(out_path, std::ios::binary | std::ios::trunc);
+        out << outcome.jsonl;
+        if (!out) {
+            std::cerr << "cg_bench serve-run: cannot write '"
+                      << out_path << "'\n";
+            return 1;
+        }
+    }
+    std::cout << outcome.summary.dump() << "\n";
+    return outcome.completed ? 0 : 1;
+}
+
 int
 cmdReplay(const std::vector<std::string> &args)
 {
@@ -404,6 +651,9 @@ main(int argc, char **argv)
     // Tool-specific knobs, registered before the strict env scan.
     sim::allowEnvKey("CG_SHARDS");
     sim::allowEnvKey("CG_CACHE_DIR");
+    sim::allowEnvKey("CG_SERVICE_FRAMES");
+    sim::allowEnvKey("CG_SERVICE_SNAPSHOT_FRAMES");
+    sim::allowEnvKey("CG_SERVICE_WINDOW");
 
     // Validate the CG_* environment up front so a typo'd knob is
     // fatal on every subcommand, not just the ones that read it.
@@ -424,6 +674,8 @@ main(int argc, char **argv)
         return cmdRun(rest, /*serve=*/false);
     if (args[0] == "serve")
         return cmdRun(rest, /*serve=*/true);
+    if (args[0] == "serve-run")
+        return cmdServeRun(rest);
     if (args[0] == "worker") {
         if (!rest.empty()) {
             std::cerr << "cg_bench worker: takes no arguments\n";

@@ -57,6 +57,20 @@
  *                                          delta sums that reconcile
  *                                          1:1 with the final record's
  *                                          cumulative totals
+ *   jsonl_check --service <service.jsonl>  validate a service-mode
+ *                                          stream (`cg_bench
+ *                                          serve-run` output,
+ *                                          docs/SERVICE.md): current
+ *                                          service schema on every
+ *                                          record, a meta record
+ *                                          first, snapshots with
+ *                                          consecutive indices,
+ *                                          monotone slices and frame
+ *                                          counters bounded by
+ *                                          total_frames, and exactly
+ *                                          one summary record, last,
+ *                                          whose counts reconcile with
+ *                                          the stream
  *
  * Exit status 0 iff everything validates. Used by the `schema_check`
  * build target and scripts/check.sh.
@@ -76,6 +90,7 @@
 #include "common/telemetry.hh"
 #include "sim/fuzz.hh"
 #include "sim/protection.hh"
+#include "sim/service_driver.hh"
 
 using namespace commguard;
 
@@ -698,6 +713,191 @@ checkTelemetryFile(const char *path)
     return bad == 0;
 }
 
+/** Streaming state for one `--service` file (one run per file). */
+struct ServiceStreamState
+{
+    bool sawMeta = false;
+    bool sawSummary = false;
+    Count totalFrames = 0;
+    Count nextSnapshot = 0;       //!< Expected next snapshot index.
+    Count lastSlice = 0;
+    Count lastAdmitted = 0;
+    Count eventsSeen = 0;
+};
+
+bool
+checkServiceLine(const std::string &line, std::size_t number,
+                 ServiceStreamState &state)
+{
+    const auto fail = [number](const std::string &why) {
+        std::fprintf(stderr, "line %zu: %s\n", number, why.c_str());
+        return false;
+    };
+
+    Json record;
+    std::string error;
+    if (!Json::parse(line, record, &error))
+        return fail("parse error: " + error);
+    if (!record.isObject())
+        return fail("record is not an object");
+
+    const Json *version = record.find("service_schema_version");
+    if (version == nullptr ||
+        version->counter() !=
+            static_cast<Count>(sim::kServiceSchemaVersion)) {
+        return fail("bad or missing service_schema_version (expected " +
+                    std::to_string(sim::kServiceSchemaVersion) + ")");
+    }
+    const Json *type = record.find("type");
+    if (type == nullptr || !type->isString())
+        return fail("missing type string");
+    if (state.sawSummary)
+        return fail("record after the summary (summary must be last)");
+
+    const auto require_number = [&](const char *key,
+                                    const Json **out) {
+        const Json *value = record.find(key);
+        if (value == nullptr || !value->isNumber())
+            return false;
+        *out = value;
+        return true;
+    };
+
+    if (type->str() == "meta") {
+        if (state.sawMeta)
+            return fail("second meta record");
+        if (number != 1)
+            return fail("meta record is not the first line");
+        const Json *frames = nullptr;
+        if (!require_number("total_frames", &frames) ||
+            frames->counter() == 0)
+            return fail("meta lacks a positive total_frames");
+        state.sawMeta = true;
+        state.totalFrames = frames->counter();
+        return true;
+    }
+    if (!state.sawMeta)
+        return fail("stream does not begin with a meta record");
+
+    if (type->str() == "event") {
+        const Json *kind = record.find("kind");
+        if (kind == nullptr || !kind->isString() ||
+            (kind->str() != "mtbe_degrade" && kind->str() != "remap"))
+            return fail("event kind is not mtbe_degrade/remap");
+        ++state.eventsSeen;
+        return true;
+    }
+
+    if (type->str() == "snapshot") {
+        const Json *index = nullptr;
+        const Json *slice = nullptr;
+        const Json *admitted = nullptr;
+        const Json *completed = nullptr;
+        if (!require_number("index", &index) ||
+            !require_number("slice", &slice) ||
+            !require_number("frames_admitted", &admitted) ||
+            !require_number("frames_completed", &completed))
+            return fail("snapshot lacks numeric index/slice/"
+                        "frames_admitted/frames_completed");
+        for (const char *key : {"deltas", "forensics", "ring"}) {
+            const Json *section = record.find(key);
+            if (section == nullptr || !section->isObject())
+                return fail(std::string("snapshot lacks object '") +
+                            key + "'");
+        }
+        if (index->counter() != state.nextSnapshot)
+            return fail("snapshot index " + index->dump() +
+                        " is not consecutive (expected " +
+                        std::to_string(state.nextSnapshot) + ")");
+        if (state.nextSnapshot > 0 &&
+            slice->counter() < state.lastSlice)
+            return fail("snapshot slice " + slice->dump() +
+                        " decreases below " +
+                        std::to_string(state.lastSlice));
+        if (admitted->counter() < state.lastAdmitted)
+            return fail("frames_admitted " + admitted->dump() +
+                        " decreases");
+        if (admitted->counter() > state.totalFrames)
+            return fail("frames_admitted " + admitted->dump() +
+                        " exceeds total_frames");
+        if (completed->counter() > admitted->counter())
+            return fail("frames_completed " + completed->dump() +
+                        " exceeds frames_admitted");
+        ++state.nextSnapshot;
+        state.lastSlice = slice->counter();
+        state.lastAdmitted = admitted->counter();
+        return true;
+    }
+
+    if (type->str() == "summary") {
+        const Json *completed_flag = record.find("completed");
+        if (completed_flag == nullptr || !completed_flag->isBool())
+            return fail("summary lacks boolean completed");
+        const Json *frames = nullptr;
+        const Json *snapshots = nullptr;
+        const Json *events = nullptr;
+        if (!require_number("frames_completed", &frames) ||
+            !require_number("snapshots", &snapshots) ||
+            !require_number("events_applied", &events))
+            return fail("summary lacks frames_completed/snapshots/"
+                        "events_applied");
+        if (completed_flag->boolean() &&
+            frames->counter() != state.totalFrames)
+            return fail("summary claims completed but "
+                        "frames_completed " +
+                        frames->dump() + " != total_frames " +
+                        std::to_string(state.totalFrames));
+        if (snapshots->counter() != state.nextSnapshot)
+            return fail("summary snapshots " + snapshots->dump() +
+                        " != " + std::to_string(state.nextSnapshot) +
+                        " snapshot records in the stream");
+        if (events->counter() != state.eventsSeen)
+            return fail("summary events_applied " + events->dump() +
+                        " != " + std::to_string(state.eventsSeen) +
+                        " event records in the stream");
+        state.sawSummary = true;
+        return true;
+    }
+
+    return fail("unknown record type " + type->dump());
+}
+
+bool
+checkServiceFile(const char *path)
+{
+    std::ifstream in(path);
+    if (!in.good()) {
+        std::fprintf(stderr, "cannot open '%s'\n", path);
+        return false;
+    }
+
+    ServiceStreamState state;
+    std::size_t lines = 0;
+    std::size_t bad = 0;
+    std::string line;
+    while (std::getline(in, line)) {
+        ++lines;
+        if (!checkServiceLine(line, lines, state))
+            ++bad;
+    }
+    if (lines == 0) {
+        std::fprintf(stderr, "'%s' contains no service records\n",
+                     path);
+        return false;
+    }
+    if (!state.sawSummary) {
+        std::fprintf(stderr, "'%s' has no summary record\n", path);
+        ++bad;
+    }
+    std::printf("%zu service record%s checked (%llu snapshots, "
+                "%llu events), %zu invalid\n",
+                lines, lines == 1 ? "" : "s",
+                static_cast<unsigned long long>(state.nextSnapshot),
+                static_cast<unsigned long long>(state.eventsSeen),
+                bad);
+    return bad == 0;
+}
+
 int
 usage()
 {
@@ -707,7 +907,8 @@ usage()
                  "       jsonl_check --scenarios <list.json>\n"
                  "       jsonl_check --repro <bundle.json>...\n"
                  "       jsonl_check --bench <bench.json>...\n"
-                 "       jsonl_check --telemetry <runs.jsonl>\n");
+                 "       jsonl_check --telemetry <runs.jsonl>\n"
+                 "       jsonl_check --service <service.jsonl>\n");
     return 2;
 }
 
@@ -749,6 +950,11 @@ main(int argc, char **argv)
         if (argc != 3)
             return usage();
         return checkTelemetryFile(argv[2]) ? 0 : 1;
+    }
+    if (argc >= 2 && std::strcmp(argv[1], "--service") == 0) {
+        if (argc != 3)
+            return usage();
+        return checkServiceFile(argv[2]) ? 0 : 1;
     }
     if (argc >= 2 && std::strcmp(argv[1], "--trace") == 0) {
         if (argc < 3)
